@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Shared plumbing for the table/figure bench binaries: the standard
+ * quantizer construction and table printing helpers. Every bench
+ * prints the same rows/series the paper reports so EXPERIMENTS.md
+ * can cite paper-vs-measured side by side.
+ */
+
+#ifndef MOKEY_BENCH_BENCH_UTIL_HH
+#define MOKEY_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+
+#include "quant/exp_dictionary.hh"
+#include "quant/golden_dictionary.hh"
+#include "quant/quantizer.hh"
+
+namespace mokey::bench
+{
+
+/** The standard generation -> fit -> quantizer chain. */
+inline Quantizer
+standardQuantizer()
+{
+    const auto gd = GoldenDictionary::generate({});
+    return Quantizer(ExpDictionary::fit(gd));
+}
+
+/** Print a bench header banner. */
+inline void
+banner(const std::string &title, const std::string &paper_ref)
+{
+    std::printf("==================================================="
+                "=========\n");
+    std::printf("%s\n  (reproduces %s)\n", title.c_str(),
+                paper_ref.c_str());
+    std::printf("==================================================="
+                "=========\n");
+}
+
+} // namespace mokey::bench
+
+#endif // MOKEY_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Figure 1: BERT-Large weight and activation memory footprint as a
+ * function of sequence length, absolute (MB) and relative (%).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "model/config.hh"
+
+int
+main()
+{
+    using namespace mokey;
+    bench::banner("BERT-Large weight/activation footprint vs "
+                  "sequence length", "Figure 1");
+
+    const auto cfg = bertLarge();
+    std::printf("%-8s %12s %14s %10s %10s\n", "SeqLen",
+                "Weights(MB)", "Activations(MB)", "Weights%",
+                "Acts%");
+    for (size_t seq : {128, 256, 512, 1024, 2048}) {
+        const double wb = static_cast<double>(cfg.weightBytes(16)) /
+            (1024.0 * 1024.0);
+        const double ab =
+            static_cast<double>(cfg.activationBytes(seq, 16)) /
+            (1024.0 * 1024.0);
+        const double total = wb + ab;
+        std::printf("%-8zu %12.1f %14.1f %9.1f%% %9.1f%%\n", seq, wb,
+                    ab, 100.0 * wb / total, 100.0 * ab / total);
+    }
+    std::printf("\nPaper shape: activations overtake weights past "
+                "512 tokens.\n");
+    return 0;
+}

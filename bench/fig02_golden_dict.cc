@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Figure 2: the Golden Dictionary generated from a random N(0,1)
+ * distribution by agglomerative clustering — histogram plus the 16
+ * resulting centroids.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "quant/golden_dictionary.hh"
+
+int
+main()
+{
+    using namespace mokey;
+    bench::banner("Golden Dictionary from N(0,1) via agglomerative "
+                  "clustering", "Figure 2");
+
+    // The source histogram (one trial's samples).
+    Rng rng(0x600D);
+    Histogram h(-4.0, 4.0, 32);
+    for (float v : rng.gaussianVector(50000, 0.0, 1.0))
+        h.add(v);
+    std::printf("Sample histogram (ASCII, 50k draws):\n");
+    for (size_t i = 0; i < h.size(); ++i) {
+        std::printf("%+5.2f |", h.binCenter(i));
+        const auto stars = h.binCount(i) / 80;
+        for (size_t s = 0; s < stars; ++s)
+            std::printf("*");
+        std::printf("\n");
+    }
+
+    const auto gd = GoldenDictionary::generate({});
+    std::printf("\n16 Golden Dictionary centroids (averaged over 5 "
+                "trials):\n");
+    for (size_t i = 0; i < gd.size(); ++i)
+        std::printf("  [%2zu] %+8.4f\n", i, gd.centroids()[i]);
+    std::printf("\nSymmetrized positive half (the 3 b index "
+                "magnitudes):\n");
+    for (size_t i = 0; i < gd.half().size(); ++i)
+        std::printf("  idx %zu -> %7.4f sigma\n", i, gd.half()[i]);
+    return 0;
+}

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Figure 3: fitting the exponential curve a^i + b to the positive
+ * half of the Golden Dictionary (paper: a = 1.179, b = -0.977).
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "fit/expfit.hh"
+#include "quant/exp_dictionary.hh"
+#include "quant/golden_dictionary.hh"
+
+int
+main()
+{
+    using namespace mokey;
+    bench::banner("Exponential fit to the Golden Dictionary",
+                  "Figure 3");
+
+    const auto gd = GoldenDictionary::generate({});
+    const auto exp = ExpDictionary::fit(gd);
+
+    std::printf("Fitted: a = %.4f, b = %.4f   (paper: a = 1.179, "
+                "b = -0.977)\n\n", exp.a(), exp.b());
+    std::printf("%-5s %12s %12s %10s %8s\n", "idx", "GD half",
+                "a^i + b", "error", "weight");
+    const auto ws = paperFitWeights(gd.half().size());
+    for (size_t i = 0; i < gd.half().size(); ++i) {
+        const double fit_v = exp.magnitude(i);
+        std::printf("%-5zu %12.4f %12.4f %+10.4f %8.0f\n", i,
+                    gd.half()[i], fit_v, fit_v - gd.half()[i],
+                    ws[i]);
+    }
+    std::printf("\nSummed-exponent bases a^e for the SoI reduction "
+                "(e in [0,14]):\n  ");
+    for (size_t e = 0; e < exp.powerCount(); ++e)
+        std::printf("%.3f ", exp.power(e));
+    std::printf("\n");
+    return 0;
+}

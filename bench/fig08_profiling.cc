@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Figure 8: profiling stability — quantized accuracy after
+ * re-profiling the same model with 17 different random sample
+ * batches is essentially constant. Also sweeps the profiling batch
+ * size (the paper notes "even fewer input samples proved enough").
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "common/stats.hh"
+#include "model/config.hh"
+#include "model/pipeline.hh"
+#include "model/tasks.hh"
+
+int
+main()
+{
+    using namespace mokey;
+    bench::banner("Profiling-trial stability of quantized accuracy",
+                  "Figure 8");
+
+    const auto quantizer = bench::standardQuantizer();
+    const ModelConfig cfg = reduced(bertBase(), 12);
+    const Transformer model(cfg, 2024);
+    const TaskEvaluator task(model, TaskKind::Classification, 48,
+                             24, 555);
+    const double fp = task.evaluateReference();
+    std::printf("FP reference score: %.2f\n\n", fp);
+
+    std::printf("%-8s %10s\n", "Trial", "Accuracy");
+    RunningStats st;
+    for (int trial = 1; trial <= 17; ++trial) {
+        QuantizedTransformer pipe(model, quantizer);
+        pipe.quantizeWeights();
+        pipe.profileActivations(
+            task.profilingBatch(8, 7000 + trial * 100));
+        const double acc = task.evaluate([&](const Tensor &in) {
+            return pipe.forward(in,
+                                QuantMode::WeightsAndActivations);
+        });
+        st.add(acc);
+        std::printf("%-8d %9.2f%%\n", trial, acc);
+    }
+    std::printf("\nAcross trials: mean %.2f, stddev %.2f "
+                "(paper: visually flat)\n", st.mean(), st.stddev());
+
+    std::printf("\nProfiling batch-size sweep:\n%-12s %10s\n",
+                "BatchSize", "Accuracy");
+    for (int bs : {1, 2, 4, 8, 16}) {
+        QuantizedTransformer pipe(model, quantizer);
+        pipe.quantizeWeights();
+        pipe.profileActivations(
+            task.profilingBatch(static_cast<size_t>(bs), 9000));
+        const double acc = task.evaluate([&](const Tensor &in) {
+            return pipe.forward(in,
+                                QuantMode::WeightsAndActivations);
+        });
+        std::printf("%-12d %9.2f%%\n", bs, acc);
+    }
+    return 0;
+}

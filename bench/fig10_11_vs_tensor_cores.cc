@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Figures 10 and 11: Mokey accelerator speedup and energy
+ * efficiency (performance per joule) over the Tensor-Cores baseline
+ * across models and buffer capacities.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "sim/compression.hh"
+
+int
+main()
+{
+    using namespace mokey;
+    bench::banner("Mokey vs Tensor Cores: speedup (Fig. 10) and "
+                  "energy efficiency (Fig. 11)", "Figures 10-11");
+
+    const auto pts = paperLineup();
+    const auto bufs = paperBufferSweep();
+    const auto cs = sweepComparison(tensorCoresMachine(),
+                                    mokeyMachine(), pts, bufs);
+
+    std::printf("Speedup over Tensor Cores:\n%-22s", "Model/Task");
+    for (size_t b : bufs)
+        std::printf(" %8s", bufferLabel(b).c_str());
+    std::printf("\n");
+    for (const auto &p : pts) {
+        std::printf("%-22s", p.label.c_str());
+        for (const auto &c : cs) {
+            if (c.label == p.label)
+                std::printf(" %7.2fx", c.speedup());
+        }
+        std::printf("\n");
+    }
+    std::printf("%-22s", "GEOMEAN");
+    for (size_t b : bufs)
+        std::printf(" %7.2fx", geomeanSpeedup(cs, b));
+    std::printf("   (paper: 11x small buffers -> 4.1x at 4MB)\n");
+
+    std::printf("\nEnergy efficiency (perf/J) over Tensor "
+                "Cores:\n%-22s", "Model/Task");
+    for (size_t b : bufs)
+        std::printf(" %8s", bufferLabel(b).c_str());
+    std::printf("\n");
+    for (const auto &p : pts) {
+        std::printf("%-22s", p.label.c_str());
+        for (const auto &c : cs) {
+            if (c.label == p.label)
+                std::printf(" %7.1fx", c.energyEfficiency());
+        }
+        std::printf("\n");
+    }
+    std::printf("%-22s", "GEOMEAN");
+    for (size_t b : bufs)
+        std::printf(" %7.1fx", geomeanEnergyEff(cs, b));
+    std::printf("   (paper: 78x at 256KB -> 13x at 4MB)\n");
+    return 0;
+}

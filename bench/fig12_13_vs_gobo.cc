@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Figures 12 and 13: Mokey speedup and energy efficiency over the
+ * GOBO accelerator.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "sim/compression.hh"
+
+int
+main()
+{
+    using namespace mokey;
+    bench::banner("Mokey vs GOBO: speedup (Fig. 12) and energy "
+                  "efficiency (Fig. 13)", "Figures 12-13");
+
+    const auto pts = paperLineup();
+    const auto bufs = paperBufferSweep();
+    const auto cs = sweepComparison(goboMachine(), mokeyMachine(),
+                                    pts, bufs);
+
+    std::printf("Speedup over GOBO:\n%-22s", "Model/Task");
+    for (size_t b : bufs)
+        std::printf(" %8s", bufferLabel(b).c_str());
+    std::printf("\n");
+    for (const auto &p : pts) {
+        std::printf("%-22s", p.label.c_str());
+        for (const auto &c : cs) {
+            if (c.label == p.label)
+                std::printf(" %7.2fx", c.speedup());
+        }
+        std::printf("\n");
+    }
+    std::printf("%-22s", "GEOMEAN");
+    for (size_t b : bufs)
+        std::printf(" %7.2fx", geomeanSpeedup(cs, b));
+    std::printf("   (paper: fastest on long sequences / small "
+                "buffers)\n");
+
+    std::printf("\nEnergy efficiency (perf/J) over GOBO:\n%-22s",
+                "Model/Task");
+    for (size_t b : bufs)
+        std::printf(" %8s", bufferLabel(b).c_str());
+    std::printf("\n");
+    for (const auto &p : pts) {
+        std::printf("%-22s", p.label.c_str());
+        for (const auto &c : cs) {
+            if (c.label == p.label)
+                std::printf(" %7.2fx", c.energyEfficiency());
+        }
+        std::printf("\n");
+    }
+    std::printf("%-22s", "GEOMEAN");
+    for (size_t b : bufs)
+        std::printf(" %7.2fx", geomeanEnergyEff(cs, b));
+    std::printf("   (paper: 9x small buffers -> 2x at 4MB)\n");
+    return 0;
+}

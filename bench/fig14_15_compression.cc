@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Figures 14 and 15: the Tensor-Cores baseline with Mokey used
+ * purely as a memory-compression assist — off-chip only (OC) and
+ * off-chip plus on-chip (OC+ON). Speedup and energy efficiency
+ * relative to the uncompressed baseline.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "sim/compression.hh"
+
+int
+main()
+{
+    using namespace mokey;
+    bench::banner("Tensor Cores with Mokey memory compression",
+                  "Figures 14-15");
+
+    const auto pts = paperLineup();
+    const auto bufs = paperBufferSweep();
+    const auto oc = sweepComparison(tensorCoresMachine(),
+                                    tensorCoresMokeyOffChip(), pts,
+                                    bufs);
+    const auto on = sweepComparison(tensorCoresMachine(),
+                                    tensorCoresMokeyOnChip(), pts,
+                                    bufs);
+
+    std::printf("Speedup (Fig. 14):\n%-22s", "Model/Task");
+    for (size_t b : bufs)
+        std::printf("  OC@%-5s OCON@%-5s", bufferLabel(b).c_str(),
+                    bufferLabel(b).c_str());
+    std::printf("\n");
+    for (const auto &p : pts) {
+        std::printf("%-22s", p.label.c_str());
+        for (size_t b : bufs) {
+            double s_oc = 0, s_on = 0;
+            for (const auto &c : oc)
+                if (c.label == p.label && c.bufferBytes == b)
+                    s_oc = c.speedup();
+            for (const auto &c : on)
+                if (c.label == p.label && c.bufferBytes == b)
+                    s_on = c.speedup();
+            std::printf("  %7.2fx %8.2fx", s_oc, s_on);
+        }
+        std::printf("\n");
+    }
+    std::printf("%-22s", "GEOMEAN");
+    for (size_t b : bufs)
+        std::printf("  %7.2fx %8.2fx", geomeanSpeedup(oc, b),
+                    geomeanSpeedup(on, b));
+    std::printf("\n  (paper: OC ~3.9x at 256KB to ~4.3x at 4MB)\n");
+
+    std::printf("\nEnergy efficiency (Fig. 15):\n%-22s", "");
+    for (size_t b : bufs)
+        std::printf("  OC@%-5s OCON@%-5s", bufferLabel(b).c_str(),
+                    bufferLabel(b).c_str());
+    std::printf("\n%-22s", "GEOMEAN");
+    for (size_t b : bufs)
+        std::printf("  %7.2fx %8.2fx", geomeanEnergyEff(oc, b),
+                    geomeanEnergyEff(on, b));
+    std::printf("\n  (paper: OC 11x at 256KB, 7.8x at 4MB; OC+ON "
+                "54x at 256KB, 8x at 4MB)\n");
+    return 0;
+}

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the hot kernels: float GEMM,
+ * index-domain GEMM, fixed-point GEMM, encode, pack/unpack, and the
+ * golden-dictionary clustering.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hh"
+#include "quant/fixed_pipeline.hh"
+#include "quant/index_matmul.hh"
+#include "quant/memory_codec.hh"
+#include "quant/quantizer.hh"
+#include "tensor/ops.hh"
+
+namespace
+{
+
+using namespace mokey;
+
+struct Setup
+{
+    Setup()
+        : exp(1.179, -0.977, 8), quantizer(exp)
+    {
+        Rng rng(31337);
+        a = Tensor(64, 256, rng.gaussianVector(64 * 256, 0.0, 1.0));
+        w = Tensor(64, 256,
+                   rng.gaussianVector(64 * 256, 0.0, 0.05));
+        da = quantizer.buildDictionary(a);
+        dw = quantizer.buildDictionary(w);
+        qa = quantizer.encode(a, da);
+        qw = quantizer.encode(w, dw);
+    }
+
+    ExpDictionary exp;
+    Quantizer quantizer;
+    Tensor a, w;
+    TensorDictionary da{}, dw{};
+    QuantizedTensor qa, qw;
+};
+
+Setup &
+setup()
+{
+    static Setup s;
+    return s;
+}
+
+void
+BM_FloatGemm(benchmark::State &state)
+{
+    auto &s = setup();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(matmulTransB(s.a, s.w));
+}
+BENCHMARK(BM_FloatGemm)->Unit(benchmark::kMillisecond);
+
+void
+BM_IndexGemm(benchmark::State &state)
+{
+    auto &s = setup();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(indexMatmulTransB(s.qa, s.qw));
+}
+BENCHMARK(BM_IndexGemm)->Unit(benchmark::kMillisecond);
+
+void
+BM_FixedGemm(benchmark::State &state)
+{
+    auto &s = setup();
+    const FixedFormat fmt{16, 8};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            fixedIndexMatmulTransB(s.qa, s.qw, fmt));
+}
+BENCHMARK(BM_FixedGemm)->Unit(benchmark::kMillisecond);
+
+void
+BM_Encode(benchmark::State &state)
+{
+    auto &s = setup();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(s.quantizer.encode(s.a, s.da));
+}
+BENCHMARK(BM_Encode)->Unit(benchmark::kMicrosecond);
+
+void
+BM_PackUnpack(benchmark::State &state)
+{
+    auto &s = setup();
+    for (auto _ : state) {
+        const auto packed = packTensor(s.qa);
+        benchmark::DoNotOptimize(
+            unpackTensor(packed, s.qa.dictionary()));
+    }
+}
+BENCHMARK(BM_PackUnpack)->Unit(benchmark::kMicrosecond);
+
+void
+BM_GoldenDictionaryClustering(benchmark::State &state)
+{
+    Rng rng(99);
+    const auto samples = rng.gaussianVector(
+        static_cast<size_t>(state.range(0)), 0.0, 1.0);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(agglomerative1d(samples, 16));
+}
+BENCHMARK(BM_GoldenDictionaryClustering)
+    ->Arg(10000)
+    ->Arg(50000)
+    ->Unit(benchmark::kMillisecond);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

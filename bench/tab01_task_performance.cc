@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Table I: the effect of Mokey quantization on task performance —
+ * FP score, weight-only quantization, weight+activation
+ * quantization, and outlier fractions, for every model/task pair.
+ *
+ * Models run at reduced geometry (see DESIGN.md substitution table);
+ * scores are synthetic-task analogues, so the comparable quantity is
+ * the *Err* columns (degradation), not absolute scores.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "model/config.hh"
+#include "model/pipeline.hh"
+#include "model/tasks.hh"
+
+namespace
+{
+
+using namespace mokey;
+
+struct Row
+{
+    ModelConfig model;
+    TaskKind task;
+    uint64_t seed;
+};
+
+void
+runRow(const Row &row, const Quantizer &quantizer)
+{
+    const ModelConfig cfg = reduced(row.model, 12);
+    const Transformer model(cfg, row.seed);
+
+    const TaskEvaluator task(model, row.task, 48, 24,
+                             row.seed * 17 + 3);
+
+    QuantizedTransformer pipe(model, quantizer);
+    pipe.quantizeWeights();
+    // Paper: one profiling batch of 8 task samples, disjoint from
+    // the evaluation set.
+    pipe.profileActivations(task.profilingBatch(8,
+                                                row.seed * 31));
+    const double fp = task.evaluateReference();
+    const double w_only = task.evaluate([&](const Tensor &in) {
+        return pipe.forward(in, QuantMode::WeightsOnly);
+    });
+    const double w_a = task.evaluate([&](const Tensor &in) {
+        return pipe.forward(in, QuantMode::WeightsAndActivations);
+    });
+
+    std::printf("%-14s %-6s %-9s %8.2f %6.2f %8.2f %6.2f %6.2f "
+                "%8.2f %6.2f\n",
+                row.model.name.c_str(), taskName(row.task),
+                taskMetric(row.task), fp,
+                100.0 * pipe.weightOutlierFraction(), w_only,
+                fp - w_only,
+                100.0 * pipe.activationOutlierFraction(), w_a,
+                fp - w_a);
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    using namespace mokey;
+    bench::banner("Task performance under Mokey quantization",
+                  "Table I");
+    std::printf("(reduced-geometry models; compare Err columns "
+                "against the paper's)\n\n");
+    std::printf("%-14s %-6s %-9s %8s %6s %8s %6s %6s %8s %6s\n",
+                "Model", "Task", "Metric", "FPScore", "W-OT%",
+                "W-Score", "W-Err", "A-OT%", "WA-Score", "WA-Err");
+
+    const auto quantizer = bench::standardQuantizer();
+    const Row rows[] = {
+        {bertBase(), TaskKind::Classification, 101},
+        {bertLarge(), TaskKind::Classification, 102},
+        {bertLarge(), TaskKind::Regression, 103},
+        {bertLarge(), TaskKind::Span, 104},
+        {robertaLarge(), TaskKind::Classification, 105},
+        {robertaLarge(), TaskKind::Regression, 106},
+        {robertaLarge(), TaskKind::Span, 107},
+        {debertaXl(), TaskKind::Classification, 108},
+    };
+    for (const auto &row : rows)
+        runRow(row, quantizer);
+
+    std::printf("\nPaper: W-Err within +-0.4, WA-Err within +1.0, "
+                "W-OT ~1.2-1.6%%, A-OT ~1.7-4.5%%.\n");
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Table III: area, performance and energy breakdown for Tensor
+ * Cores vs Mokey running BERT-Large on SQuAD (seq 384), at 256 KB /
+ * 512 KB / 1 MB buffers.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "sim/compression.hh"
+
+int
+main()
+{
+    using namespace mokey;
+    bench::banner("Breakdown: Tensor Cores vs Mokey, BERT-Large on "
+                  "SQuAD", "Table III");
+
+    const auto w = modelWorkload(bertLarge(), 384);
+    const OutlierRates rates{0.0154, 0.017};
+
+    for (size_t buf : {256 * 1024, 512 * 1024, 1024 * 1024}) {
+        std::printf("\n--- %s on-chip buffer ---\n",
+                    bufferLabel(buf).c_str());
+        std::printf("%-28s %14s %14s\n", "", "Tensor Cores",
+                    "Mokey");
+        const auto tc = simulate(tensorCoresMachine(), w, buf,
+                                 rates);
+        const auto mk = simulate(mokeyMachine(), w, buf, rates);
+        std::printf("%-28s %14.1f %14.1f\n", "On-chip buffer (mm2)",
+                    tc.bufferAreaMm2, mk.bufferAreaMm2);
+        std::printf("%-28s %14.1f %14.1f\n", "Compute area (mm2)",
+                    tc.computeAreaMm2, mk.computeAreaMm2);
+        std::printf("%-28s %14.1f %14.1f\n", "Total chip area (mm2)",
+                    tc.totalAreaMm2, mk.totalAreaMm2);
+        std::printf("%-28s %13.0fM %13.0fM\n",
+                    "Memory transfer cycles", tc.memCycles / 1e6,
+                    mk.memCycles / 1e6);
+        std::printf("%-28s %13.0fM %13.0fM\n", "Compute cycles",
+                    tc.computeCycles / 1e6, mk.computeCycles / 1e6);
+        std::printf("%-28s %13.0fM %13.0fM\n", "Total cycles",
+                    tc.totalCycles / 1e6, mk.totalCycles / 1e6);
+        std::printf("%-28s %13.1f%% %13.1f%%\n",
+                    "Compute/Memory overlap",
+                    100.0 * tc.overlapFraction,
+                    100.0 * mk.overlapFraction);
+        std::printf("%-28s %14.2f %14.2f\n", "Off-chip energy (J)",
+                    tc.dramJ, mk.dramJ);
+        std::printf("%-28s %14.3f %14.3f\n", "On-chip energy (J)",
+                    tc.sramJ, mk.sramJ);
+        std::printf("%-28s %14.2f %14.2f\n", "Compute energy (J)",
+                    tc.computeJ, mk.computeJ);
+        std::printf("%-28s %14.2f %14.2f\n", "Total energy (J)",
+                    tc.totalJ, mk.totalJ);
+    }
+    std::printf("\nPaper anchors (256KB): TC 3734M cycles / 6.84J, "
+                "Mokey 249M / 0.84J; areas 13.2 vs 4.7 mm2.\n");
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Table IV: comparing quantization methods for BERT-Base on the
+ * MNLI analogue — bits, accuracy/error, integer compute,
+ * post-training, and total compression ratio.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "model/config.hh"
+#include "model/tasks.hh"
+#include "quant/baselines.hh"
+
+int
+main()
+{
+    using namespace mokey;
+    bench::banner("Quantization method comparison, BERT-Base MNLI "
+                  "analogue", "Table IV");
+
+    const auto quantizer = bench::standardQuantizer();
+    const ModelConfig cfg = reduced(bertBase(), 12);
+    const Transformer model(cfg, 4242);
+    const TaskEvaluator task(model, TaskKind::Classification, 48,
+                             24, 777);
+    const double fp = task.evaluateReference();
+
+    // Footprint ratios use the full BERT-Base geometry at seq 128.
+    const auto full = bertBase();
+    const size_t w_values = full.totalParams();
+    const size_t a_values =
+        full.activationBytes(128, 8) /* bytes at 8 b */ * 1;
+
+    std::printf("%-14s %6s %6s %9s %7s %4s %5s %7s\n", "Method",
+                "W-bit", "A-bit", "Score", "Err", "INT", "PT",
+                "Comp");
+
+    const auto lineup = makeTable4Lineup(quantizer);
+    for (const auto &method : lineup) {
+        // Quantize weights once; quantize activations on the fly
+        // inside the forward pass.
+        Transformer qmodel(model);
+        for (auto &layer : qmodel.weights()) {
+            for (Tensor *t : {&layer.wq, &layer.wk, &layer.wv,
+                              &layer.wo, &layer.w1, &layer.w2})
+                *t = method->quantizeWeights(*t);
+        }
+        const double score = task.evaluate([&](const Tensor &in) {
+            return qmodel.forward(
+                in, nullptr,
+                [&](const TensorId &, Tensor &t) {
+                    t = method->quantizeActivations(t);
+                });
+        });
+        std::printf("%-14s %6.1f %6.1f %9.2f %+7.2f %4s %5s %6.1fx"
+                    "\n",
+                    method->name().c_str(), method->weightBits(),
+                    method->activationBits(), score, fp - score,
+                    method->integerCompute() ? "yes" : "no",
+                    method->postTraining() ? "yes" : "no",
+                    method->compressionRatio(w_values, a_values));
+    }
+    std::printf("\nFP reference score: %.2f. Paper ordering: Mokey "
+                "matches/bests 8 b methods at 4 b/4 b with a ~7.9x "
+                "footprint reduction.\n", fp);
+    return 0;
+}

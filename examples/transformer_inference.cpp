@@ -1,0 +1,61 @@
+/**
+ * @file
+ * End-to-end quantized transformer inference: quantize a synthetic
+ * BERT-style encoder stack out of the box (no fine-tuning), profile
+ * activations on a small batch, and compare weight-only and
+ * weight+activation quantized forward passes against FP32.
+ */
+
+#include <cstdio>
+
+#include "model/config.hh"
+#include "model/pipeline.hh"
+#include "quant/exp_dictionary.hh"
+#include "quant/golden_dictionary.hh"
+#include "tensor/ops.hh"
+
+int
+main()
+{
+    using namespace mokey;
+
+    const ModelConfig cfg = reduced(bertBase(), 8);
+    std::printf("Model: %s — %zu layers, hidden %zu, %zu heads\n",
+                cfg.name.c_str(), cfg.layers, cfg.hidden,
+                cfg.heads);
+    const Transformer model(cfg, 42);
+
+    const auto gd = GoldenDictionary::generate({});
+    const Quantizer quantizer(ExpDictionary::fit(gd));
+
+    QuantizedTransformer pipe(model, quantizer);
+    pipe.quantizeWeights(); // Step 1: offline weight encoding
+    std::printf("Weight outliers: %.2f%%\n",
+                100.0 * pipe.weightOutlierFraction());
+
+    // Step 2: one profiling batch of 8 random inputs (paper §II).
+    std::vector<Tensor> batch;
+    for (int i = 0; i < 8; ++i)
+        batch.push_back(model.makeInput(32, 100 + i));
+    pipe.profileActivations(batch);
+
+    // Step 3: inference. Fresh inputs, never profiled.
+    for (int i = 0; i < 3; ++i) {
+        const Tensor input = model.makeInput(32, 900 + i);
+        const Tensor fp = model.forward(input);
+        const Tensor w_only =
+            pipe.forward(input, QuantMode::WeightsOnly);
+        const Tensor w_a =
+            pipe.forward(input, QuantMode::WeightsAndActivations);
+        std::printf("input %d: mean|err| weight-only %.4f, "
+                    "weight+act %.4f (hidden states are "
+                    "layer-normed, scale ~1)\n",
+                    i, meanAbsDiff(w_only, fp),
+                    meanAbsDiff(w_a, fp));
+    }
+    std::printf("Activation outliers observed: %.2f%% | outlier "
+                "multiply pairs: %.2f%%\n",
+                100.0 * pipe.activationOutlierFraction(),
+                100.0 * pipe.matmulStats().outlierPairFraction());
+    return 0;
+}

@@ -1,0 +1,167 @@
+#include "clustering/agglomerative1d.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/logging.hh"
+
+namespace mokey
+{
+
+namespace
+{
+
+/** A live cluster in the doubly linked merge list. */
+struct Cluster
+{
+    double sum;     ///< sum of member values
+    double sumSq;   ///< sum of squared member values
+    size_t n;       ///< member count
+    long prev;      ///< index of left neighbour, -1 at the edge
+    long next;      ///< index of right neighbour, -1 at the edge
+    size_t version; ///< bumped on every merge for lazy invalidation
+
+    double mean() const { return sum / static_cast<double>(n); }
+};
+
+/** Candidate merge between a cluster and its right neighbour. */
+struct Candidate
+{
+    double cost;
+    size_t left;
+    size_t leftVersion;
+    size_t right;
+    size_t rightVersion;
+
+    bool
+    operator>(const Candidate &o) const
+    {
+        return cost > o.cost;
+    }
+};
+
+double
+mergeCost(const Cluster &a, const Cluster &b, Linkage linkage)
+{
+    const double d = a.mean() - b.mean();
+    switch (linkage) {
+      case Linkage::Ward:
+        return static_cast<double>(a.n) * static_cast<double>(b.n) /
+            static_cast<double>(a.n + b.n) * d * d;
+      case Linkage::Centroid:
+        return std::abs(d);
+    }
+    panic("unknown linkage");
+}
+
+} // anonymous namespace
+
+ClusterResult
+agglomerative1d(const std::vector<float> &values, size_t k,
+                Linkage linkage)
+{
+    MOKEY_ASSERT(!values.empty(), "clustering an empty set");
+    MOKEY_ASSERT(k >= 1 && k <= values.size(),
+                 "cluster count %zu out of range", k);
+
+    std::vector<float> sorted(values);
+    std::sort(sorted.begin(), sorted.end());
+
+    std::vector<Cluster> clusters(sorted.size());
+    for (size_t i = 0; i < sorted.size(); ++i) {
+        const double v = sorted[i];
+        clusters[i] = Cluster{
+            v, v * v, 1,
+            static_cast<long>(i) - 1,
+            i + 1 < sorted.size() ? static_cast<long>(i) + 1 : -1,
+            0,
+        };
+    }
+
+    std::priority_queue<Candidate, std::vector<Candidate>,
+                        std::greater<>> heap;
+    for (size_t i = 0; i + 1 < clusters.size(); ++i) {
+        heap.push(Candidate{
+            mergeCost(clusters[i], clusters[i + 1], linkage),
+            i, 0, i + 1, 0,
+        });
+    }
+
+    size_t live = clusters.size();
+    std::vector<bool> dead(clusters.size(), false);
+
+    while (live > k) {
+        MOKEY_ASSERT(!heap.empty(), "merge heap exhausted early");
+        const Candidate c = heap.top();
+        heap.pop();
+        if (dead[c.left] || dead[c.right] ||
+            clusters[c.left].version != c.leftVersion ||
+            clusters[c.right].version != c.rightVersion) {
+            continue; // stale candidate
+        }
+
+        Cluster &l = clusters[c.left];
+        Cluster &r = clusters[c.right];
+        l.sum += r.sum;
+        l.sumSq += r.sumSq;
+        l.n += r.n;
+        l.next = r.next;
+        ++l.version;
+        dead[c.right] = true;
+        if (r.next >= 0)
+            clusters[static_cast<size_t>(r.next)].prev =
+                static_cast<long>(c.left);
+        --live;
+
+        if (l.prev >= 0) {
+            const auto p = static_cast<size_t>(l.prev);
+            heap.push(Candidate{
+                mergeCost(clusters[p], l, linkage),
+                p, clusters[p].version, c.left, l.version,
+            });
+        }
+        if (l.next >= 0) {
+            const auto nx = static_cast<size_t>(l.next);
+            heap.push(Candidate{
+                mergeCost(l, clusters[nx], linkage),
+                c.left, l.version, nx, clusters[nx].version,
+            });
+        }
+    }
+
+    ClusterResult res;
+    res.inertia = 0.0;
+    for (size_t i = 0; i < clusters.size(); ++i) {
+        if (dead[i])
+            continue;
+        const Cluster &c = clusters[i];
+        const double mean = c.mean();
+        res.centroids.push_back(mean);
+        res.sizes.push_back(c.n);
+        res.inertia += c.sumSq - c.sum * mean;
+    }
+    // The linked-list order is the sorted order already, but make the
+    // contract explicit.
+    MOKEY_ASSERT(std::is_sorted(res.centroids.begin(),
+                                res.centroids.end()),
+                 "centroids not sorted");
+    return res;
+}
+
+size_t
+nearestCentroid(const std::vector<double> &centroids, double v)
+{
+    MOKEY_ASSERT(!centroids.empty(), "no centroids");
+    const auto it =
+        std::lower_bound(centroids.begin(), centroids.end(), v);
+    if (it == centroids.begin())
+        return 0;
+    if (it == centroids.end())
+        return centroids.size() - 1;
+    const size_t hi = static_cast<size_t>(it - centroids.begin());
+    const size_t lo = hi - 1;
+    return (v - centroids[lo] <= centroids[hi] - v) ? lo : hi;
+}
+
+} // namespace mokey

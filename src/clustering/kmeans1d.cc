@@ -1,0 +1,103 @@
+#include "clustering/kmeans1d.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace mokey
+{
+
+ClusterResult
+kmeans1d(const std::vector<float> &values, size_t k, size_t max_iters,
+         uint64_t seed)
+{
+    MOKEY_ASSERT(!values.empty(), "k-means on an empty set");
+    MOKEY_ASSERT(k >= 1 && k <= values.size(),
+                 "cluster count %zu out of range", k);
+
+    std::vector<float> sorted(values);
+    std::sort(sorted.begin(), sorted.end());
+    const size_t n = sorted.size();
+
+    // Prefix sums for O(1) segment means.
+    std::vector<double> prefix(n + 1, 0.0), prefixSq(n + 1, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+        prefix[i + 1] = prefix[i] + sorted[i];
+        prefixSq[i + 1] = prefixSq[i] +
+            static_cast<double>(sorted[i]) * sorted[i];
+    }
+
+    std::vector<double> centroids(k);
+    for (size_t j = 0; j < k; ++j) {
+        const double q = (static_cast<double>(j) + 0.5) /
+            static_cast<double>(k);
+        auto idx = static_cast<size_t>(q * static_cast<double>(n - 1));
+        centroids[j] = sorted[idx];
+    }
+    if (seed != 0) {
+        Rng rng(seed);
+        const double span = sorted.back() - sorted.front();
+        for (auto &c : centroids)
+            c += rng.uniform(-0.05, 0.05) * span;
+        std::sort(centroids.begin(), centroids.end());
+    }
+
+    // In 1-D an assignment is a set of k contiguous segments whose
+    // boundaries sit at midpoints between consecutive centroids.
+    std::vector<size_t> bounds(k + 1);
+    for (size_t iter = 0; iter < max_iters; ++iter) {
+        bounds[0] = 0;
+        bounds[k] = n;
+        for (size_t j = 1; j < k; ++j) {
+            const double cut = 0.5 * (centroids[j - 1] + centroids[j]);
+            bounds[j] = static_cast<size_t>(
+                std::lower_bound(sorted.begin(), sorted.end(), cut) -
+                sorted.begin());
+            bounds[j] = std::max(bounds[j], bounds[j - 1]);
+        }
+
+        bool changed = false;
+        for (size_t j = 0; j < k; ++j) {
+            const size_t lo = bounds[j], hi = bounds[j + 1];
+            if (lo == hi)
+                continue; // keep an empty cluster's centroid in place
+            const double mean = (prefix[hi] - prefix[lo]) /
+                static_cast<double>(hi - lo);
+            if (mean != centroids[j]) {
+                centroids[j] = mean;
+                changed = true;
+            }
+        }
+        std::sort(centroids.begin(), centroids.end());
+        if (!changed)
+            break;
+    }
+
+    ClusterResult res;
+    res.inertia = 0.0;
+    bounds[0] = 0;
+    bounds[k] = n;
+    for (size_t j = 1; j < k; ++j) {
+        const double cut = 0.5 * (centroids[j - 1] + centroids[j]);
+        bounds[j] = static_cast<size_t>(
+            std::lower_bound(sorted.begin(), sorted.end(), cut) -
+            sorted.begin());
+        bounds[j] = std::max(bounds[j], bounds[j - 1]);
+    }
+    for (size_t j = 0; j < k; ++j) {
+        const size_t lo = bounds[j], hi = bounds[j + 1];
+        res.centroids.push_back(centroids[j]);
+        res.sizes.push_back(hi - lo);
+        if (lo == hi)
+            continue;
+        const double seg = prefixSq[hi] - prefixSq[lo];
+        const double sum = prefix[hi] - prefix[lo];
+        res.inertia += seg - 2.0 * centroids[j] * sum +
+            centroids[j] * centroids[j] * static_cast<double>(hi - lo);
+    }
+    return res;
+}
+
+} // namespace mokey

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * 1-D k-means (Lloyd's algorithm) on sorted data.
+ *
+ * GOBO — the prior work Mokey compares against — selects its weight
+ * centroids with an iterative k-means-like search (§V). We implement
+ * it as the centroid selector of the GOBO baseline quantizer, and as
+ * the foil for the agglomerative-vs-k-means ablation the paper argues
+ * for in §II-B (k-means depends on initialization; agglomerative does
+ * not).
+ */
+
+#ifndef MOKEY_CLUSTERING_KMEANS1D_HH
+#define MOKEY_CLUSTERING_KMEANS1D_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "clustering/agglomerative1d.hh"
+
+namespace mokey
+{
+
+/**
+ * Run Lloyd's k-means on 1-D values.
+ *
+ * Initialization places centroids at evenly spaced quantiles of the
+ * sorted data (deterministic); pass a seed to jitter the
+ * initialization instead, which exposes k-means' initialization
+ * sensitivity.
+ *
+ * @param values    input samples
+ * @param k         cluster count
+ * @param max_iters iteration cap
+ * @param seed      0 for deterministic quantile init; otherwise
+ *                  jittered init derived from the seed
+ */
+ClusterResult kmeans1d(const std::vector<float> &values, size_t k,
+                       size_t max_iters = 100, uint64_t seed = 0);
+
+} // namespace mokey
+
+#endif // MOKEY_CLUSTERING_KMEANS1D_HH

@@ -1,0 +1,120 @@
+#include "common/fixed_point.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace mokey
+{
+
+FixedFormat
+FixedFormat::forRange(int total_bits, double min_v, double max_v)
+{
+    MOKEY_ASSERT(total_bits >= 2 && total_bits <= 62,
+                 "unsupported fixed-point width %d", total_bits);
+    MOKEY_ASSERT(max_v >= min_v, "inverted range");
+    double span = max_v - min_v;
+    if (span <= 0.0)
+        span = 1e-12;
+    // Eq. 7: frac = b - ceil(log2(max - min)).
+    const int int_bits =
+        static_cast<int>(std::ceil(std::log2(span)));
+    int frac = total_bits - int_bits;
+    // Keep at least one fractional bit meaningful and never exceed
+    // what the mantissa of the incoming double can use.
+    frac = std::clamp(frac, -62, 62);
+    return FixedFormat{total_bits, frac};
+}
+
+double
+FixedFormat::maxValue() const
+{
+    return static_cast<double>(rawMax()) * resolution();
+}
+
+double
+FixedFormat::minValue() const
+{
+    return static_cast<double>(rawMin()) * resolution();
+}
+
+double
+FixedFormat::resolution() const
+{
+    return std::ldexp(1.0, -fracBits);
+}
+
+int64_t
+FixedFormat::rawMax() const
+{
+    return (int64_t{1} << (totalBits - 1)) - 1;
+}
+
+int64_t
+FixedFormat::rawMin() const
+{
+    return -(int64_t{1} << (totalBits - 1));
+}
+
+int64_t
+toFixedRaw(double v, const FixedFormat &fmt)
+{
+    const double scaled = std::ldexp(v, fmt.fracBits);
+    const double rounded = std::nearbyint(scaled);
+    const auto lo = static_cast<double>(fmt.rawMin());
+    const auto hi = static_cast<double>(fmt.rawMax());
+    return static_cast<int64_t>(std::clamp(rounded, lo, hi));
+}
+
+double
+fromFixedRaw(int64_t raw, const FixedFormat &fmt)
+{
+    return std::ldexp(static_cast<double>(raw), -fmt.fracBits);
+}
+
+double
+quantizeToFixed(double v, const FixedFormat &fmt)
+{
+    return fromFixedRaw(toFixedRaw(v, fmt), fmt);
+}
+
+namespace
+{
+
+int64_t
+saturate(int64_t v, const FixedFormat &fmt)
+{
+    return std::clamp(v, fmt.rawMin(), fmt.rawMax());
+}
+
+/** Shift right with round-to-nearest; shift may be negative (left). */
+int64_t
+roundShift(int64_t v, int shift)
+{
+    if (shift <= 0)
+        return v << (-shift);
+    const int64_t half = int64_t{1} << (shift - 1);
+    return (v + (v >= 0 ? half : half - 1)) >> shift;
+}
+
+} // anonymous namespace
+
+int64_t
+fixedMul(int64_t a, const FixedFormat &fa,
+         int64_t b, const FixedFormat &fb,
+         const FixedFormat &fout)
+{
+    // Product carries fa.frac + fb.frac fractional bits.
+    const int64_t prod = a * b;
+    const int shift = fa.fracBits + fb.fracBits - fout.fracBits;
+    return saturate(roundShift(prod, shift), fout);
+}
+
+int64_t
+fixedRescale(int64_t raw, const FixedFormat &from, const FixedFormat &to)
+{
+    return saturate(roundShift(raw, from.fracBits - to.fracBits), to);
+}
+
+} // namespace mokey

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Fixed-point number formats and conversions (paper §II-F).
+ *
+ * Mokey runs inference entirely in the integer domain. Per layer it
+ * chooses the number of fractional bits as
+ *
+ *     frac = b - ceil(log2(max - min))          (Eq. 7)
+ *
+ * and converts floats with
+ *
+ *     fx = round(fl * 2^frac) / 2^frac          (Eq. 8)
+ *
+ * FixedFormat captures (total bits, fractional bits); values are held
+ * as int64 raw integers scaled by 2^frac and saturate on overflow.
+ */
+
+#ifndef MOKEY_COMMON_FIXED_POINT_HH
+#define MOKEY_COMMON_FIXED_POINT_HH
+
+#include <cstdint>
+
+namespace mokey
+{
+
+/**
+ * A two's-complement fixed-point format.
+ *
+ * Encodes values in the range
+ * [-2^(total-1), 2^(total-1) - 1] / 2^frac.
+ */
+struct FixedFormat
+{
+    int totalBits; ///< total width, including the sign bit
+    int fracBits;  ///< bits to the right of the binary point
+
+    /**
+     * Choose a format per Eq. 7 for values spanning [minV, maxV].
+     *
+     * @param total_bits total width in bits (e.g. 16)
+     * @param min_v      smallest value that must be representable
+     * @param max_v      largest value that must be representable
+     */
+    static FixedFormat forRange(int total_bits, double min_v,
+                                double max_v);
+
+    /** Largest representable value. */
+    double maxValue() const;
+
+    /** Smallest (most negative) representable value. */
+    double minValue() const;
+
+    /** Value of one least-significant step. */
+    double resolution() const;
+
+    /** Raw integer bounds for this width. */
+    int64_t rawMax() const;
+    int64_t rawMin() const;
+
+    bool operator==(const FixedFormat &o) const = default;
+};
+
+/** Convert a float to its raw fixed-point integer, saturating. */
+int64_t toFixedRaw(double v, const FixedFormat &fmt);
+
+/** Convert a raw fixed-point integer back to a float. */
+double fromFixedRaw(int64_t raw, const FixedFormat &fmt);
+
+/** Round-trip a float through the format (Eq. 8 with saturation). */
+double quantizeToFixed(double v, const FixedFormat &fmt);
+
+/**
+ * Multiply two raw fixed-point numbers, producing a raw value in
+ * the given output format (rounding, saturating).
+ */
+int64_t fixedMul(int64_t a, const FixedFormat &fa,
+                 int64_t b, const FixedFormat &fb,
+                 const FixedFormat &fout);
+
+/**
+ * Re-scale a raw value between formats (rounding, saturating).
+ */
+int64_t fixedRescale(int64_t raw, const FixedFormat &from,
+                     const FixedFormat &to);
+
+} // namespace mokey
+
+#endif // MOKEY_COMMON_FIXED_POINT_HH

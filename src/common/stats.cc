@@ -1,0 +1,108 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace mokey
+{
+
+RunningStats::RunningStats()
+    : n(0), m(0.0), m2(0.0),
+      minV(std::numeric_limits<double>::infinity()),
+      maxV(-std::numeric_limits<double>::infinity())
+{
+}
+
+void
+RunningStats::add(double x)
+{
+    ++n;
+    const double delta = x - m;
+    m += delta / static_cast<double>(n);
+    m2 += delta * (x - m);
+    minV = std::min(minV, x);
+    maxV = std::max(maxV, x);
+}
+
+void
+RunningStats::addAll(const std::vector<float> &xs)
+{
+    for (float x : xs)
+        add(x);
+}
+
+void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other.n == 0)
+        return;
+    if (n == 0) {
+        *this = other;
+        return;
+    }
+    const double delta = other.m - m;
+    const size_t total = n + other.n;
+    m2 += other.m2 +
+        delta * delta * static_cast<double>(n) *
+        static_cast<double>(other.n) / static_cast<double>(total);
+    m += delta * static_cast<double>(other.n) /
+        static_cast<double>(total);
+    n = total;
+    minV = std::min(minV, other.minV);
+    maxV = std::max(maxV, other.maxV);
+}
+
+double
+RunningStats::variance() const
+{
+    if (n < 2)
+        return 0.0;
+    return m2 / static_cast<double>(n);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+quantile(std::vector<float> values, double q)
+{
+    MOKEY_ASSERT(!values.empty(), "quantile of an empty set");
+    MOKEY_ASSERT(q >= 0.0 && q <= 1.0, "quantile q=%f out of range", q);
+    std::sort(values.begin(), values.end());
+    const double pos = q * static_cast<double>(values.size() - 1);
+    const size_t lo = static_cast<size_t>(pos);
+    const size_t hi = std::min(lo + 1, values.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+Histogram::Histogram(double lo_, double hi_, size_t bins)
+    : lo(lo_), hi(hi_), counts(bins, 0), totalN(0)
+{
+    MOKEY_ASSERT(bins > 0, "histogram needs at least one bin");
+    MOKEY_ASSERT(hi > lo, "histogram range is empty");
+}
+
+void
+Histogram::add(double x)
+{
+    const double t = (x - lo) / (hi - lo);
+    auto bin = static_cast<long>(t * static_cast<double>(counts.size()));
+    bin = std::clamp(bin, 0l, static_cast<long>(counts.size()) - 1);
+    ++counts[static_cast<size_t>(bin)];
+    ++totalN;
+}
+
+double
+Histogram::binCenter(size_t i) const
+{
+    const double w = (hi - lo) / static_cast<double>(counts.size());
+    return lo + (static_cast<double>(i) + 0.5) * w;
+}
+
+} // namespace mokey

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Streaming statistics and histograms.
+ *
+ * Mokey's per-tensor dictionary fit needs only the mean and standard
+ * deviation of each tensor (paper §II-C); outlier selection needs tail
+ * quantiles. RunningStats provides numerically stable single-pass
+ * moments (Welford); Histogram backs the figures and the profiler.
+ */
+
+#ifndef MOKEY_COMMON_STATS_HH
+#define MOKEY_COMMON_STATS_HH
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace mokey
+{
+
+/** Single-pass mean/variance/extrema accumulator (Welford). */
+class RunningStats
+{
+  public:
+    RunningStats();
+
+    /** Fold one observation into the accumulator. */
+    void add(double x);
+
+    /** Fold a whole range of observations. */
+    void addAll(const std::vector<float> &xs);
+
+    /** Merge another accumulator (parallel Welford combine). */
+    void merge(const RunningStats &other);
+
+    /** Number of observations folded so far. */
+    size_t count() const { return n; }
+
+    /** Sample mean; 0 when empty. */
+    double mean() const { return n ? m : 0.0; }
+
+    /** Population variance; 0 with fewer than two observations. */
+    double variance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+    /** Smallest observation; +inf when empty. */
+    double min() const { return minV; }
+
+    /** Largest observation; -inf when empty. */
+    double max() const { return maxV; }
+
+  private:
+    size_t n;
+    double m;
+    double m2;
+    double minV;
+    double maxV;
+};
+
+/** Exact quantile of a copy of the data (q in [0, 1], linear interp). */
+double quantile(std::vector<float> values, double q);
+
+/** Fixed-width histogram over [lo, hi] with out-of-range clamping. */
+class Histogram
+{
+  public:
+    /**
+     * @param lo   low edge of the first bin
+     * @param hi   high edge of the last bin (must exceed @p lo)
+     * @param bins number of bins (must be positive)
+     */
+    Histogram(double lo, double hi, size_t bins);
+
+    /** Record one observation (clamped into range). */
+    void add(double x);
+
+    /** Count in bin @p i. */
+    size_t binCount(size_t i) const { return counts.at(i); }
+
+    /** Center value of bin @p i. */
+    double binCenter(size_t i) const;
+
+    /** Number of bins. */
+    size_t size() const { return counts.size(); }
+
+    /** Total number of recorded observations. */
+    size_t total() const { return totalN; }
+
+  private:
+    double lo;
+    double hi;
+    std::vector<size_t> counts;
+    size_t totalN;
+};
+
+} // namespace mokey
+
+#endif // MOKEY_COMMON_STATS_HH

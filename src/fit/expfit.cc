@@ -1,0 +1,97 @@
+#include "fit/expfit.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace mokey
+{
+
+double
+ExpFit::eval(int i) const
+{
+    return std::pow(a, i) + b;
+}
+
+std::vector<double>
+paperFitWeights(size_t n)
+{
+    std::vector<double> w(n);
+    for (size_t i = 0; i < n; ++i)
+        w[i] = std::ldexp(1.0, static_cast<int>(n - 1 - i));
+    return w;
+}
+
+namespace
+{
+
+/**
+ * Weighted SSE of the model for a given base, with the offset chosen
+ * optimally in closed form. Also returns that offset.
+ */
+double
+objective(double a, const std::vector<double> &ys,
+          const std::vector<double> &ws, double &b_out)
+{
+    double sw = 0.0, swr = 0.0;
+    std::vector<double> powers(ys.size());
+    double p = 1.0;
+    for (size_t i = 0; i < ys.size(); ++i) {
+        powers[i] = p;
+        sw += ws[i];
+        swr += ws[i] * (ys[i] - p);
+        p *= a;
+    }
+    const double b = swr / sw;
+    double sse = 0.0;
+    for (size_t i = 0; i < ys.size(); ++i) {
+        const double e = powers[i] + b - ys[i];
+        sse += ws[i] * e * e;
+    }
+    b_out = b;
+    return sse;
+}
+
+} // anonymous namespace
+
+ExpFit
+fitExponential(const std::vector<double> &ys,
+               std::vector<double> weights, double a_lo, double a_hi)
+{
+    MOKEY_ASSERT(ys.size() >= 2, "need at least two points to fit");
+    if (weights.empty())
+        weights = paperFitWeights(ys.size());
+    MOKEY_ASSERT(weights.size() == ys.size(),
+                 "weight/point count mismatch");
+
+    // Golden-section search over the base.
+    const double phi = (std::sqrt(5.0) - 1.0) / 2.0;
+    double lo = a_lo, hi = a_hi;
+    double x1 = hi - phi * (hi - lo);
+    double x2 = lo + phi * (hi - lo);
+    double b1, b2;
+    double f1 = objective(x1, ys, weights, b1);
+    double f2 = objective(x2, ys, weights, b2);
+    for (int iter = 0; iter < 200 && hi - lo > 1e-12; ++iter) {
+        if (f1 < f2) {
+            hi = x2;
+            x2 = x1;
+            f2 = f1;
+            x1 = hi - phi * (hi - lo);
+            f1 = objective(x1, ys, weights, b1);
+        } else {
+            lo = x1;
+            x1 = x2;
+            f1 = f2;
+            x2 = lo + phi * (hi - lo);
+            f2 = objective(x2, ys, weights, b2);
+        }
+    }
+
+    ExpFit fit;
+    fit.a = 0.5 * (lo + hi);
+    fit.residual = objective(fit.a, ys, weights, fit.b);
+    return fit;
+}
+
+} // namespace mokey

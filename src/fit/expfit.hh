@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Weighted least-squares fit of the model y(i) = a^i + b (Fig. 3).
+ *
+ * The paper fits an exponential curve to the positive half of the
+ * Golden Dictionary using MATLAB's curve-fitting toolbox with weights
+ * doubling towards zero (unit weight at the outer bin, 2^7 at the
+ * innermost). For fixed @c a the optimal @c b is closed-form, so the
+ * two-parameter problem reduces to a 1-D minimization over @c a solved
+ * by golden-section search — no MATLAB needed.
+ */
+
+#ifndef MOKEY_FIT_EXPFIT_HH
+#define MOKEY_FIT_EXPFIT_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace mokey
+{
+
+/** Result of an exponential fit. */
+struct ExpFit
+{
+    double a;        ///< base of the exponential
+    double b;        ///< additive offset
+    double residual; ///< weighted sum of squared errors
+
+    /** Evaluate the fitted model at integer index @p i. */
+    double eval(int i) const;
+};
+
+/**
+ * Fit y(i) = a^i + b to @p ys at indexes 0..ys.size()-1.
+ *
+ * @param ys      target values, one per integer index
+ * @param weights per-point weights; if empty, the paper's doubling
+ *                scheme (2^(n-1) at index 0 down to 1 at index n-1)
+ *                is used
+ * @param a_lo    lower bracket for the base
+ * @param a_hi    upper bracket for the base
+ */
+ExpFit fitExponential(const std::vector<double> &ys,
+                      std::vector<double> weights = {},
+                      double a_lo = 1.0001, double a_hi = 4.0);
+
+/** The paper's doubling weight scheme for @p n points. */
+std::vector<double> paperFitWeights(size_t n);
+
+} // namespace mokey
+
+#endif // MOKEY_FIT_EXPFIT_HH

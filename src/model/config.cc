@@ -1,0 +1,96 @@
+#include "model/config.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace mokey
+{
+
+size_t
+ModelConfig::encoderParams() const
+{
+    // Per encoder: Wq, Wk, Wv, Wo (H x H each) + their biases,
+    // FFN W1 (H x 4H), W2 (4H x H) + biases, and 2 layer norms.
+    const size_t attn = 4 * hidden * hidden + 4 * hidden;
+    const size_t ffn_p = 2 * hidden * ffn + ffn + hidden;
+    const size_t ln = 2 * 2 * hidden;
+    return layers * (attn + ffn_p + ln);
+}
+
+size_t
+ModelConfig::embeddingParams() const
+{
+    // Token table + 512 positions + token-type + embedding LN.
+    return vocab * hidden + 512 * hidden + 2 * hidden + 2 * hidden;
+}
+
+size_t
+ModelConfig::totalParams() const
+{
+    return encoderParams() + embeddingParams();
+}
+
+size_t
+ModelConfig::weightBytes(size_t bits_per_value) const
+{
+    return (totalParams() * bits_per_value + 7) / 8;
+}
+
+size_t
+ModelConfig::activationValuesPerLayer(size_t seq) const
+{
+    // Input, Q, K, V, context, attention output, FFN output: S x H
+    // each (7 S H); FFN intermediate: S x 4H; scores + probabilities:
+    // 2 x heads x S x S.
+    return 7 * seq * hidden + seq * ffn + 2 * heads * seq * seq;
+}
+
+size_t
+ModelConfig::activationBytes(size_t seq, size_t bits_per_value) const
+{
+    const size_t values = layers * activationValuesPerLayer(seq);
+    return (values * bits_per_value + 7) / 8;
+}
+
+ModelConfig
+bertBase()
+{
+    return ModelConfig{"BERT-Base", 12, 768, 12, 3072, 30522};
+}
+
+ModelConfig
+bertLarge()
+{
+    return ModelConfig{"BERT-Large", 24, 1024, 16, 4096, 30522};
+}
+
+ModelConfig
+robertaLarge()
+{
+    return ModelConfig{"RoBERTa-Large", 24, 1024, 16, 4096, 50265};
+}
+
+ModelConfig
+debertaXl()
+{
+    return ModelConfig{"DeBERTa-XL", 48, 1024, 16, 4096, 128100};
+}
+
+ModelConfig
+reduced(const ModelConfig &full, size_t scale)
+{
+    MOKEY_ASSERT(scale >= 1, "bad reduction scale");
+    ModelConfig r = full;
+    r.name = full.name + " (reduced)";
+    r.layers = std::min<size_t>(full.layers / 6 + 1, 4);
+    r.hidden = std::max<size_t>(full.hidden / scale, 32);
+    r.heads = std::max<size_t>(full.heads / 4, 2);
+    // Keep hidden divisible by heads.
+    r.hidden = (r.hidden / r.heads) * r.heads;
+    r.ffn = 4 * r.hidden;
+    r.vocab = 1024;
+    return r;
+}
+
+} // namespace mokey

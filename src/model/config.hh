@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Transformer model geometries (paper §IV-A).
+ *
+ * The published models Mokey evaluates — BERT-Base, BERT-Large,
+ * RoBERTa-Large, DeBERTa-XL — are described exactly by their encoder
+ * geometry. Geometry drives everything the accelerator simulator and
+ * the footprint analyses consume: parameter counts, per-layer GEMM
+ * dimensions, activation volumes (Fig. 1). The *reduced* presets
+ * scale the geometry down for task-fidelity experiments where a full
+ * forward pass per sample would be needlessly slow; distributional
+ * behaviour is preserved (see DESIGN.md substitution table).
+ */
+
+#ifndef MOKEY_MODEL_CONFIG_HH
+#define MOKEY_MODEL_CONFIG_HH
+
+#include <cstddef>
+#include <string>
+
+namespace mokey
+{
+
+/** Encoder-stack geometry of a transformer model. */
+struct ModelConfig
+{
+    std::string name;
+    size_t layers;      ///< encoder count
+    size_t hidden;      ///< model dimension H
+    size_t heads;       ///< attention heads
+    size_t ffn;         ///< feed-forward inner dimension (4H)
+    size_t vocab;       ///< vocabulary size (embedding table rows)
+
+    /** Head dimension H / heads. */
+    size_t headDim() const { return hidden / heads; }
+
+    /** Encoder parameter count (weights + biases, no embeddings). */
+    size_t encoderParams() const;
+
+    /** Embedding parameter count (token + position tables). */
+    size_t embeddingParams() const;
+
+    /** Total parameter count. */
+    size_t totalParams() const;
+
+    /** Weight footprint in bytes at @p bits_per_value. */
+    size_t weightBytes(size_t bits_per_value) const;
+
+    /**
+     * Activation footprint in bytes for one input of @p seq tokens:
+     * every per-layer tensor that flows between operators (input,
+     * Q/K/V, attention scores and probabilities, context, FFN
+     * intermediate, outputs), summed over layers — the quantity
+     * Fig. 1 plots.
+     */
+    size_t activationBytes(size_t seq, size_t bits_per_value) const;
+
+    /** Activation values (element count) for one layer at @p seq. */
+    size_t activationValuesPerLayer(size_t seq) const;
+};
+
+/** BERT-Base: 12 encoders, 110 M parameters. */
+ModelConfig bertBase();
+
+/** BERT-Large: 24 encoders, 340 M parameters. */
+ModelConfig bertLarge();
+
+/** RoBERTa-Large: BERT-Large geometry, larger vocabulary. */
+ModelConfig robertaLarge();
+
+/** DeBERTa-XL: 48 encoders, 750 M parameters. */
+ModelConfig debertaXl();
+
+/**
+ * A geometry-reduced stand-in sharing @p full's aspect ratios, for
+ * task-fidelity runs. @p scale divides hidden/ffn; layer count is
+ * capped at 4.
+ */
+ModelConfig reduced(const ModelConfig &full, size_t scale = 8);
+
+} // namespace mokey
+
+#endif // MOKEY_MODEL_CONFIG_HH

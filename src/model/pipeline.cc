@@ -1,0 +1,213 @@
+#include "model/pipeline.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "tensor/ops.hh"
+
+namespace mokey
+{
+
+QuantizedTransformer::QuantizedTransformer(const Transformer &m,
+                                           const Quantizer &q,
+                                           const TensorDictConfig &cfg)
+    : model(m), quantizer(q), dictCfg(cfg)
+{
+}
+
+void
+QuantizedTransformer::quantizeWeights()
+{
+    layers.clear();
+    dequantized = std::make_unique<Transformer>(model);
+    for (size_t l = 0; l < model.config().layers; ++l) {
+        const EncoderWeights &w = model.weights()[l];
+        QuantizedLayer ql;
+        const auto enc = [&](const Tensor &t) {
+            const auto dict = quantizer.buildDictionary(t, dictCfg);
+            return quantizer.encode(t, dict);
+        };
+        ql.wq = enc(w.wq);
+        ql.wk = enc(w.wk);
+        ql.wv = enc(w.wv);
+        ql.wo = enc(w.wo);
+        ql.w1 = enc(w.w1);
+        ql.w2 = enc(w.w2);
+
+        // The weight-only model runs the float forward pass over
+        // decoded (quantize-dequantized) weights.
+        EncoderWeights &dw = dequantized->weights()[l];
+        dw.wq = ql.wq.decode();
+        dw.wk = ql.wk.decode();
+        dw.wv = ql.wv.decode();
+        dw.wo = ql.wo.decode();
+        dw.w1 = ql.w1.decode();
+        dw.w2 = ql.w2.decode();
+        layers.push_back(std::move(ql));
+    }
+}
+
+void
+QuantizedTransformer::profileActivations(
+    const std::vector<Tensor> &batch)
+{
+    ModelProfiler profiler;
+    profiler.run(model, batch);
+    actDicts.clear();
+    for (const auto &id : profiler.ids()) {
+        // ids() returns the "L<layer>.<name>" keys run() created.
+        const auto dot = id.find('.');
+        MOKEY_ASSERT(dot != std::string::npos && id[0] == 'L',
+                     "malformed tensor id '%s'", id.c_str());
+        const TensorId tid{
+            static_cast<size_t>(std::stoul(id.substr(1, dot - 1))),
+            id.substr(dot + 1)};
+        actDicts.emplace(
+            id,
+            quantizer.buildDictionaryFromSamples(profiler.samples(tid),
+                                                 dictCfg));
+    }
+}
+
+bool
+QuantizedTransformer::ready() const
+{
+    return !layers.empty() && !actDicts.empty();
+}
+
+const TensorDictionary &
+QuantizedTransformer::activationDict(const TensorId &id) const
+{
+    const auto it = actDicts.find(id.str());
+    if (it == actDicts.end())
+        fatal("no activation dictionary for %s", id.str().c_str());
+    return it->second;
+}
+
+QuantizedTensor
+QuantizedTransformer::encodeAct(const TensorId &id,
+                                const Tensor &t) const
+{
+    return countActCodes(quantizer.encode(t, activationDict(id)));
+}
+
+QuantizedTensor
+QuantizedTransformer::countActCodes(QuantizedTensor q) const
+{
+    for (const QCode c : q.raw())
+        actOtCodes += c.isOutlier();
+    actTotalCodes += q.size();
+    return q;
+}
+
+Tensor
+QuantizedTransformer::forwardLayerQuantized(size_t l,
+                                            const Tensor &input) const
+{
+    const ModelConfig &cfg = model.config();
+    const EncoderWeights &w = model.weights()[l];
+    const QuantizedLayer &ql = layers[l];
+    const size_t seq = input.rows();
+    const size_t hd = cfg.headDim();
+
+    // QKV projections in the index domain.
+    const QuantizedTensor qx = encodeAct({l, "x"}, input);
+    Tensor q = indexMatmulTransB(qx, ql.wq, &mmStats);
+    Tensor k = indexMatmulTransB(qx, ql.wk, &mmStats);
+    Tensor v = indexMatmulTransB(qx, ql.wv, &mmStats);
+    addBias(q, w.bq);
+    addBias(k, w.bk);
+    addBias(v, w.bv);
+
+    // Attention: activation x activation GEMMs also run on indexes.
+    const auto &dq = activationDict({l, "q"});
+    const auto &dk = activationDict({l, "k"});
+    const auto &dv = activationDict({l, "v"});
+    const auto &dp = activationDict({l, "p"});
+
+    Tensor ctx(seq, cfg.hidden);
+    const auto inv_sqrt =
+        static_cast<float>(1.0 / std::sqrt(static_cast<double>(hd)));
+    for (size_t h = 0; h < cfg.heads; ++h) {
+        Tensor qh(seq, hd), kh(seq, hd), vht(hd, seq);
+        for (size_t r = 0; r < seq; ++r) {
+            for (size_t c = 0; c < hd; ++c) {
+                qh.at(r, c) = q.at(r, h * hd + c);
+                kh.at(r, c) = k.at(r, h * hd + c);
+                vht.at(c, r) = v.at(r, h * hd + c);
+            }
+        }
+        Tensor scores = indexMatmulTransB(
+            countActCodes(quantizer.encode(qh, dq)),
+            countActCodes(quantizer.encode(kh, dk)), &mmStats);
+        scale(scores, inv_sqrt);
+        softmaxRows(scores);
+        const Tensor out = indexMatmulTransB(
+            countActCodes(quantizer.encode(scores, dp)),
+            countActCodes(quantizer.encode(vht, dv)), &mmStats);
+        for (size_t r = 0; r < seq; ++r)
+            for (size_t c = 0; c < hd; ++c)
+                ctx.at(r, h * hd + c) = out.at(r, c);
+    }
+
+    Tensor attn = indexMatmulTransB(encodeAct({l, "ctx"}, ctx),
+                                    ql.wo, &mmStats);
+    addBias(attn, w.bo);
+    Tensor res1 = add(attn, input);
+    layerNormRows(res1);
+
+    Tensor mid = indexMatmulTransB(encodeAct({l, "mid_in"}, res1),
+                                   ql.w1, &mmStats);
+    addBias(mid, w.b1);
+    gelu(mid);
+    Tensor out = indexMatmulTransB(encodeAct({l, "mid"}, mid), ql.w2,
+                                   &mmStats);
+    addBias(out, w.b2);
+    Tensor res2 = add(out, res1);
+    layerNormRows(res2);
+    return res2;
+}
+
+Tensor
+QuantizedTransformer::forward(const Tensor &input, QuantMode mode) const
+{
+    MOKEY_ASSERT(!layers.empty(),
+                 "quantizeWeights() must run before forward()");
+    if (mode == QuantMode::WeightsOnly)
+        return dequantized->forward(input);
+
+    MOKEY_ASSERT(!actDicts.empty(),
+                 "profileActivations() must run before full "
+                 "quantized inference");
+    Tensor x = input;
+    for (size_t l = 0; l < model.config().layers; ++l)
+        x = forwardLayerQuantized(l, x);
+    return x;
+}
+
+double
+QuantizedTransformer::weightOutlierFraction() const
+{
+    size_t ot = 0, total = 0;
+    for (const auto &ql : layers) {
+        for (const QuantizedTensor *t :
+             {&ql.wq, &ql.wk, &ql.wv, &ql.wo, &ql.w1, &ql.w2}) {
+            for (const QCode c : t->raw())
+                ot += c.isOutlier();
+            total += t->size();
+        }
+    }
+    return total ? static_cast<double>(ot) /
+        static_cast<double>(total) : 0.0;
+}
+
+double
+QuantizedTransformer::activationOutlierFraction() const
+{
+    if (actTotalCodes == 0)
+        return 0.0;
+    return static_cast<double>(actOtCodes) /
+        static_cast<double>(actTotalCodes);
+}
+
+} // namespace mokey

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * End-to-end quantized inference (paper §II-G summary flow).
+ *
+ * The pipeline owns the whole Mokey recipe for one model:
+ *   1. quantize weights offline against their own dictionaries;
+ *   2. profile activations over a small batch and build their
+ *      dictionaries;
+ *   3. run inference where every GEMM goes through the index-domain
+ *      histogram path, activations are re-quantized on the fly, and
+ *      only softmax / layer-norm / GELU stay in the float domain
+ *      (exactly the operators the paper leaves to dedicated units).
+ *
+ * Two quantization modes mirror Table I's two columns: WeightsOnly
+ * and WeightsAndActivations.
+ */
+
+#ifndef MOKEY_MODEL_PIPELINE_HH
+#define MOKEY_MODEL_PIPELINE_HH
+
+#include <map>
+#include <memory>
+
+#include "model/profiler.hh"
+#include "model/transformer.hh"
+#include "quant/index_matmul.hh"
+#include "quant/quantizer.hh"
+
+namespace mokey
+{
+
+/** Which tensor classes are quantized (Table I columns). */
+enum class QuantMode
+{
+    WeightsOnly,
+    WeightsAndActivations,
+};
+
+/** Aggregate quantization statistics for reporting. */
+struct PipelineStats
+{
+    double weightOutlierFraction = 0.0;
+    double activationOutlierFraction = 0.0;
+    IndexMatmulStats matmul;
+};
+
+/** A Mokey-quantized transformer. */
+class QuantizedTransformer
+{
+  public:
+    /**
+     * @param model the float reference model (kept by reference;
+     *              must outlive the pipeline)
+     * @param quantizer shared exponential-dictionary quantizer
+     * @param cfg   per-tensor dictionary knobs
+     */
+    QuantizedTransformer(const Transformer &model,
+                         const Quantizer &quantizer,
+                         const TensorDictConfig &cfg = {});
+
+    /** Step 1: encode every weight matrix (offline). */
+    void quantizeWeights();
+
+    /** Steps 2-3: profile activations and build their dictionaries. */
+    void profileActivations(const std::vector<Tensor> &batch);
+
+    /** True once both weight and activation dictionaries exist. */
+    bool ready() const;
+
+    /**
+     * Quantized forward pass.
+     *
+     * @param input seq x hidden embedded input
+     * @param mode  which tensors are quantized
+     */
+    Tensor forward(const Tensor &input, QuantMode mode) const;
+
+    /** Fraction of weight values that are outliers. */
+    double weightOutlierFraction() const;
+
+    /** Mean outlier fraction over profiled activation tensors. */
+    double activationOutlierFraction() const;
+
+    /** Matmul statistics accumulated across forward() calls. */
+    const IndexMatmulStats &matmulStats() const { return mmStats; }
+
+    /** Activation dictionary for a tensor id (fatal if missing). */
+    const TensorDictionary &activationDict(const TensorId &id) const;
+
+  private:
+    const Transformer &model;
+    const Quantizer &quantizer;
+    TensorDictConfig dictCfg;
+
+    struct QuantizedLayer
+    {
+        QuantizedTensor wq, wk, wv, wo, w1, w2;
+    };
+    std::vector<QuantizedLayer> layers;
+    std::map<std::string, TensorDictionary> actDicts;
+    std::unique_ptr<Transformer> dequantized; ///< weight-only model
+    mutable IndexMatmulStats mmStats;
+    mutable size_t actOtCodes = 0;
+    mutable size_t actTotalCodes = 0;
+
+    Tensor forwardLayerQuantized(size_t l, const Tensor &input) const;
+
+    /** Encode an activation against its profiled dictionary. */
+    QuantizedTensor encodeAct(const TensorId &id,
+                              const Tensor &t) const;
+
+    /** Fold a quantized activation into the outlier-rate counters. */
+    QuantizedTensor countActCodes(QuantizedTensor q) const;
+};
+
+} // namespace mokey
+
+#endif // MOKEY_MODEL_PIPELINE_HH

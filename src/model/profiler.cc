@@ -1,0 +1,78 @@
+#include "model/profiler.hh"
+
+#include "common/logging.hh"
+
+namespace mokey
+{
+
+ActivationProfile::ActivationProfile(size_t capacity, uint64_t seed)
+    : cap(capacity), seen(0), rng(seed)
+{
+    buf.reserve(capacity);
+}
+
+void
+ActivationProfile::observe(const Tensor &t)
+{
+    for (float v : t.raw()) {
+        ++seen;
+        if (buf.size() < cap) {
+            buf.push_back(v);
+        } else {
+            // Reservoir sampling keeps a uniform subsample.
+            const uint64_t j = rng.uniformInt(seen);
+            if (j < cap)
+                buf[j] = v;
+        }
+    }
+}
+
+ModelProfiler::ModelProfiler(size_t capacity_per_tensor)
+    : cap(capacity_per_tensor)
+{
+}
+
+void
+ModelProfiler::run(const Transformer &model,
+                   const std::vector<Tensor> &batch)
+{
+    for (const Tensor &input : batch) {
+        model.forward(input, [this](const TensorId &id,
+                                    const Tensor &t) {
+            auto it = profiles.find(id.str());
+            if (it == profiles.end()) {
+                it = profiles
+                    .emplace(id.str(), ActivationProfile(cap))
+                    .first;
+            }
+            it->second.observe(t);
+        });
+    }
+}
+
+const std::vector<float> &
+ModelProfiler::samples(const TensorId &id) const
+{
+    const auto it = profiles.find(id.str());
+    if (it == profiles.end())
+        fatal("tensor %s was never profiled", id.str().c_str());
+    return it->second.samples();
+}
+
+bool
+ModelProfiler::has(const TensorId &id) const
+{
+    return profiles.count(id.str()) > 0;
+}
+
+std::vector<std::string>
+ModelProfiler::ids() const
+{
+    std::vector<std::string> out;
+    out.reserve(profiles.size());
+    for (const auto &kv : profiles)
+        out.push_back(kv.first);
+    return out;
+}
+
+} // namespace mokey

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Activation profiling (paper §II, Step 2).
+ *
+ * Mokey derives activation dictionaries from a single small profiling
+ * batch: per GEMM-input tensor it needs the mean, the standard
+ * deviation, and enough tail samples to place the outlier centroids.
+ * The profiler subsamples each observed activation tensor into a
+ * bounded reservoir so profiling cost stays independent of model
+ * size.
+ */
+
+#ifndef MOKEY_MODEL_PROFILER_HH
+#define MOKEY_MODEL_PROFILER_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "model/transformer.hh"
+
+namespace mokey
+{
+
+/** Reservoir-sampled value collection for one tensor id. */
+class ActivationProfile
+{
+  public:
+    explicit ActivationProfile(size_t capacity = 65536,
+                               uint64_t seed = 0xA11CE);
+
+    /** Fold a tensor's values into the reservoir. */
+    void observe(const Tensor &t);
+
+    /** The collected samples. */
+    const std::vector<float> &samples() const { return buf; }
+
+    /** Number of values observed (not retained). */
+    size_t observed() const { return seen; }
+
+  private:
+    size_t cap;
+    size_t seen;
+    std::vector<float> buf;
+    Rng rng;
+};
+
+/** Profiles every GEMM-input tensor over a batch of inputs. */
+class ModelProfiler
+{
+  public:
+    explicit ModelProfiler(size_t capacity_per_tensor = 65536);
+
+    /**
+     * Run the float model over a profiling batch, recording every
+     * GEMM input activation.
+     */
+    void run(const Transformer &model,
+             const std::vector<Tensor> &batch);
+
+    /** Samples for one tensor id (fatal if never observed). */
+    const std::vector<float> &samples(const TensorId &id) const;
+
+    /** True when the id was observed during profiling. */
+    bool has(const TensorId &id) const;
+
+    /** All observed tensor ids. */
+    std::vector<std::string> ids() const;
+
+  private:
+    size_t cap;
+    std::map<std::string, ActivationProfile> profiles;
+};
+
+} // namespace mokey
+
+#endif // MOKEY_MODEL_PROFILER_HH

@@ -1,0 +1,180 @@
+#include "model/transformer.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "tensor/ops.hh"
+
+namespace mokey
+{
+
+std::string
+TensorId::str() const
+{
+    return "L" + std::to_string(layer) + "." + tensor;
+}
+
+namespace
+{
+
+/**
+ * Draw a weight matrix from the transformer-like mixture: a Gaussian
+ * bulk at the published initialization scale plus a rare wide
+ * component that produces the outlier tail Mokey's OT dictionary
+ * exists for.
+ */
+Tensor
+mixtureWeights(Rng &rng, size_t rows, size_t cols, double stddev,
+               double tail_frac)
+{
+    std::vector<float> v(rows * cols);
+    for (auto &x : v) {
+        const bool tail = rng.uniform() < tail_frac;
+        x = static_cast<float>(
+            rng.gaussian(0.0, tail ? 5.0 * stddev : stddev));
+    }
+    return Tensor(rows, cols, std::move(v));
+}
+
+std::vector<float>
+smallBias(Rng &rng, size_t n)
+{
+    std::vector<float> b(n);
+    for (auto &x : b)
+        x = static_cast<float>(rng.gaussian(0.0, 0.02));
+    return b;
+}
+
+} // anonymous namespace
+
+Transformer::Transformer(const ModelConfig &config, uint64_t seed,
+                         double tail_frac)
+    : cfg(config)
+{
+    MOKEY_ASSERT(cfg.hidden % cfg.heads == 0,
+                 "hidden %zu not divisible by heads %zu", cfg.hidden,
+                 cfg.heads);
+    Rng rng(seed);
+    const double attn_std = 1.0 / std::sqrt(
+        static_cast<double>(cfg.hidden));
+    const double ffn_std = 1.0 / std::sqrt(
+        static_cast<double>(cfg.ffn));
+    enc.reserve(cfg.layers);
+    for (size_t l = 0; l < cfg.layers; ++l) {
+        EncoderWeights w;
+        w.wq = mixtureWeights(rng, cfg.hidden, cfg.hidden, attn_std,
+                              tail_frac);
+        w.wk = mixtureWeights(rng, cfg.hidden, cfg.hidden, attn_std,
+                              tail_frac);
+        w.wv = mixtureWeights(rng, cfg.hidden, cfg.hidden, attn_std,
+                              tail_frac);
+        w.wo = mixtureWeights(rng, cfg.hidden, cfg.hidden, attn_std,
+                              tail_frac);
+        w.w1 = mixtureWeights(rng, cfg.ffn, cfg.hidden, attn_std,
+                              tail_frac);
+        w.w2 = mixtureWeights(rng, cfg.hidden, cfg.ffn, ffn_std,
+                              tail_frac);
+        w.bq = smallBias(rng, cfg.hidden);
+        w.bk = smallBias(rng, cfg.hidden);
+        w.bv = smallBias(rng, cfg.hidden);
+        w.bo = smallBias(rng, cfg.hidden);
+        w.b1 = smallBias(rng, cfg.ffn);
+        w.b2 = smallBias(rng, cfg.hidden);
+        enc.push_back(std::move(w));
+    }
+}
+
+Tensor
+Transformer::forwardLayer(size_t layer, const Tensor &input,
+                          const ActivationHook &hook,
+                          const ActivationTransform &transform) const
+{
+    MOKEY_ASSERT(layer < enc.size(), "layer %zu out of range", layer);
+    MOKEY_ASSERT(input.cols() == cfg.hidden, "input width mismatch");
+    const EncoderWeights &w = enc[layer];
+    const size_t seq = input.rows();
+    const size_t hd = cfg.headDim();
+
+    const auto observe = [&](const TensorId &id, Tensor &t) {
+        if (hook)
+            hook(id, t);
+        if (transform)
+            transform(id, t);
+    };
+
+    Tensor x = input;
+    observe({layer, "x"}, x);
+
+    Tensor q = matmulTransB(x, w.wq);
+    Tensor k = matmulTransB(x, w.wk);
+    Tensor v = matmulTransB(x, w.wv);
+    addBias(q, w.bq);
+    addBias(k, w.bk);
+    addBias(v, w.bv);
+    observe({layer, "q"}, q);
+    observe({layer, "k"}, k);
+    observe({layer, "v"}, v);
+
+    // Per-head scaled dot-product attention.
+    Tensor ctx(seq, cfg.hidden);
+    const auto inv_sqrt =
+        static_cast<float>(1.0 / std::sqrt(static_cast<double>(hd)));
+    for (size_t h = 0; h < cfg.heads; ++h) {
+        Tensor qh(seq, hd), kh(seq, hd), vh(seq, hd);
+        for (size_t r = 0; r < seq; ++r) {
+            for (size_t c = 0; c < hd; ++c) {
+                qh.at(r, c) = q.at(r, h * hd + c);
+                kh.at(r, c) = k.at(r, h * hd + c);
+                vh.at(r, c) = v.at(r, h * hd + c);
+            }
+        }
+        Tensor scores = matmulTransB(qh, kh);
+        scale(scores, inv_sqrt);
+        softmaxRows(scores);
+        observe({layer, "p"}, scores);
+        const Tensor out = matmul(scores, vh);
+        for (size_t r = 0; r < seq; ++r)
+            for (size_t c = 0; c < hd; ++c)
+                ctx.at(r, h * hd + c) = out.at(r, c);
+    }
+    observe({layer, "ctx"}, ctx);
+
+    Tensor attn = matmulTransB(ctx, w.wo);
+    addBias(attn, w.bo);
+    Tensor res1 = add(attn, x);
+    layerNormRows(res1);
+
+    observe({layer, "mid_in"}, res1);
+    Tensor mid = matmulTransB(res1, w.w1);
+    addBias(mid, w.b1);
+    gelu(mid);
+    observe({layer, "mid"}, mid);
+    Tensor out = matmulTransB(mid, w.w2);
+    addBias(out, w.b2);
+    Tensor res2 = add(out, res1);
+    layerNormRows(res2);
+    return res2;
+}
+
+Tensor
+Transformer::forward(const Tensor &input, const ActivationHook &hook,
+                     const ActivationTransform &transform) const
+{
+    Tensor x = input;
+    for (size_t l = 0; l < cfg.layers; ++l)
+        x = forwardLayer(l, x, hook, transform);
+    return x;
+}
+
+Tensor
+Transformer::makeInput(size_t seq, uint64_t seed) const
+{
+    Rng rng(seed);
+    Tensor x(seq, cfg.hidden,
+             rng.gaussianVector(seq * cfg.hidden, 0.0, 1.0));
+    layerNormRows(x); // embeddings are layer-normed in BERT
+    return x;
+}
+
+} // namespace mokey

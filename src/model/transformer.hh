@@ -1,0 +1,117 @@
+/**
+ * @file
+ * A from-scratch transformer encoder stack with synthetic weights.
+ *
+ * The FP32 forward pass is the reference model of the reproduction:
+ * Mokey's task-performance experiments (Table I) measure how far a
+ * quantized forward pass drifts from it. Weights are drawn from the
+ * Gaussian-bulk + heavy-tail mixtures observed in published
+ * transformer checkpoints, which is the property Mokey's quantizer
+ * actually depends on (see DESIGN.md).
+ */
+
+#ifndef MOKEY_MODEL_TRANSFORMER_HH
+#define MOKEY_MODEL_TRANSFORMER_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "model/config.hh"
+#include "tensor/tensor.hh"
+
+namespace mokey
+{
+
+/** Weights of one encoder layer. */
+struct EncoderWeights
+{
+    // All projection matrices are stored transposed (out x in) so
+    // both the float and the quantized paths run X * W^T.
+    Tensor wq, wk, wv, wo; ///< H x H
+    Tensor w1;             ///< FFN up projection, 4H x H
+    Tensor w2;             ///< FFN down projection, H x 4H
+    std::vector<float> bq, bk, bv, bo, b1, b2;
+};
+
+/**
+ * Identifies one GEMM input tensor inside the model — the
+ * granularity at which Mokey builds dictionaries.
+ */
+struct TensorId
+{
+    size_t layer;
+    std::string tensor; ///< "x", "q", "k", "v", "p", "ctx", "mid"
+
+    std::string str() const;
+    bool operator==(const TensorId &o) const = default;
+};
+
+/**
+ * Observation hook: the float forward pass reports every GEMM input
+ * activation so the profiler can sample it.
+ */
+using ActivationHook =
+    std::function<void(const TensorId &, const Tensor &)>;
+
+/**
+ * Mutation hook: lets a quantization method rewrite every GEMM
+ * input activation in place (used by the Table IV baseline
+ * comparison, where each method's activation quantizer runs inside
+ * the float forward pass).
+ */
+using ActivationTransform =
+    std::function<void(const TensorId &, Tensor &)>;
+
+/** The synthetic transformer encoder stack. */
+class Transformer
+{
+  public:
+    /**
+     * Build with synthetic weights.
+     *
+     * @param cfg   geometry
+     * @param seed  weight-generation seed
+     * @param tail_frac fraction of weights drawn from the wide
+     *        (outlier) mixture component
+     */
+    Transformer(const ModelConfig &cfg, uint64_t seed,
+                double tail_frac = 0.02);
+
+    const ModelConfig &config() const { return cfg; }
+
+    const std::vector<EncoderWeights> &weights() const { return enc; }
+    std::vector<EncoderWeights> &weights() { return enc; }
+
+    /**
+     * FP32 forward pass over one input of shape seq x hidden.
+     *
+     * @param input     embedded input sequence
+     * @param hook      optional activation observer
+     * @param transform optional in-place activation rewriter
+     */
+    Tensor forward(const Tensor &input,
+                   const ActivationHook &hook = nullptr,
+                   const ActivationTransform &transform =
+                       nullptr) const;
+
+    /**
+     * Forward pass for one encoder layer (used by the quantized
+     * pipeline to share the non-GEMM plumbing).
+     */
+    Tensor forwardLayer(size_t layer, const Tensor &input,
+                        const ActivationHook &hook = nullptr,
+                        const ActivationTransform &transform =
+                            nullptr) const;
+
+    /** Generate a plausible embedded input (seq x hidden). */
+    Tensor makeInput(size_t seq, uint64_t seed) const;
+
+  private:
+    ModelConfig cfg;
+    std::vector<EncoderWeights> enc;
+};
+
+} // namespace mokey
+
+#endif // MOKEY_MODEL_TRANSFORMER_HH

@@ -1,0 +1,91 @@
+#include "model/workload.hh"
+
+#include "common/logging.hh"
+
+namespace mokey
+{
+
+uint64_t
+GemmOp::macs() const
+{
+    return static_cast<uint64_t>(m) * n * k * repeats;
+}
+
+uint64_t
+GemmOp::bValues() const
+{
+    return static_cast<uint64_t>(k) * n * repeats;
+}
+
+uint64_t
+GemmOp::aValues() const
+{
+    return static_cast<uint64_t>(m) * k * repeats;
+}
+
+uint64_t
+GemmOp::outValues() const
+{
+    return static_cast<uint64_t>(m) * n * repeats;
+}
+
+uint64_t
+Workload::totalMacs() const
+{
+    uint64_t s = 0;
+    for (const auto &op : ops)
+        s += op.macs();
+    return s;
+}
+
+uint64_t
+Workload::weightValues() const
+{
+    uint64_t s = 0;
+    for (const auto &op : ops) {
+        if (op.weightStatic)
+            s += op.bValues();
+    }
+    return s;
+}
+
+uint64_t
+Workload::activationValues() const
+{
+    uint64_t s = 0;
+    for (const auto &op : ops) {
+        s += op.outValues();
+        if (!op.weightStatic)
+            s += op.bValues();
+    }
+    return s;
+}
+
+Workload
+modelWorkload(const ModelConfig &cfg, size_t seq, size_t batch)
+{
+    MOKEY_ASSERT(seq > 0 && batch > 0, "empty workload");
+    Workload w;
+    w.model = cfg.name;
+    w.seq = seq;
+    w.batch = batch;
+    const size_t H = cfg.hidden;
+    const size_t hd = cfg.headDim();
+    const size_t rows = batch * seq;
+    const size_t attn_reps = batch * cfg.heads;
+    for (size_t l = 0; l < cfg.layers; ++l) {
+        const std::string p = "L" + std::to_string(l) + ".";
+        w.ops.push_back({p + "q", rows, H, H, 1, true});
+        w.ops.push_back({p + "k", rows, H, H, 1, true});
+        w.ops.push_back({p + "v", rows, H, H, 1, true});
+        w.ops.push_back({p + "scores", seq, seq, hd, attn_reps,
+                         false});
+        w.ops.push_back({p + "pv", seq, hd, seq, attn_reps, false});
+        w.ops.push_back({p + "attn_out", rows, H, H, 1, true});
+        w.ops.push_back({p + "ffn1", rows, cfg.ffn, H, 1, true});
+        w.ops.push_back({p + "ffn2", rows, H, cfg.ffn, 1, true});
+    }
+    return w;
+}
+
+} // namespace mokey

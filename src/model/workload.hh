@@ -1,0 +1,73 @@
+/**
+ * @file
+ * GEMM workload extraction for the accelerator simulator.
+ *
+ * The simulator does not execute tensors — it executes *shapes*. This
+ * module flattens a model geometry at a given sequence length into
+ * the ordered list of GEMMs one inference performs, tagging each
+ * operand as a static weight or a runtime activation so the memory
+ * system can account for reuse and datatype width correctly.
+ */
+
+#ifndef MOKEY_MODEL_WORKLOAD_HH
+#define MOKEY_MODEL_WORKLOAD_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/config.hh"
+
+namespace mokey
+{
+
+/** One GEMM of the inference pass: out(m x n) = A(m x k) * B(k x n). */
+struct GemmOp
+{
+    std::string name;
+    size_t m, n, k;
+    size_t repeats = 1;     ///< e.g. one per attention head
+    bool weightStatic = true; ///< B is a weight (reusable, off-line
+                              ///< quantized); false for act x act
+
+    /** Multiply-accumulate count including repeats. */
+    uint64_t macs() const;
+
+    /** Elements of the B operand (weights or second activation). */
+    uint64_t bValues() const;
+
+    /** Elements of the A operand. */
+    uint64_t aValues() const;
+
+    /** Elements of the output. */
+    uint64_t outValues() const;
+};
+
+/** A full-inference workload. */
+struct Workload
+{
+    std::string model;
+    size_t seq = 0;
+    size_t batch = 1;
+    std::vector<GemmOp> ops;
+
+    uint64_t totalMacs() const;
+
+    /** Distinct weight values (loaded once, reused across rows). */
+    uint64_t weightValues() const;
+
+    /** Activation values produced during the pass. */
+    uint64_t activationValues() const;
+};
+
+/**
+ * The GEMM list of a model at sequence length @p seq and batch size
+ * @p batch. Weight GEMMs fold the batch into their row dimension;
+ * attention GEMMs repeat per sample.
+ */
+Workload modelWorkload(const ModelConfig &cfg, size_t seq,
+                       size_t batch = 1);
+
+} // namespace mokey
+
+#endif // MOKEY_MODEL_WORKLOAD_HH

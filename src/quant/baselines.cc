@@ -1,0 +1,370 @@
+#include "quant/baselines.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "clustering/kmeans1d.hh"
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace mokey
+{
+
+double
+BaselineQuantizer::compressionRatio(size_t weight_values,
+                                    size_t act_values) const
+{
+    const double fp32 =
+        32.0 * static_cast<double>(weight_values + act_values);
+    const double quant =
+        weightBits() * static_cast<double>(weight_values) +
+        activationBits() * static_cast<double>(act_values);
+    return fp32 / quant;
+}
+
+namespace
+{
+
+/** Uniform symmetric quantize-dequantize with a given max range. */
+Tensor
+uniformQuant(const Tensor &t, int bits, double max_abs)
+{
+    const double levels = std::ldexp(1.0, bits - 1) - 1.0;
+    const double s = max_abs > 0.0 ? max_abs / levels : 1.0;
+    Tensor out(t.rows(), t.cols());
+    for (size_t i = 0; i < t.size(); ++i) {
+        const double q = std::nearbyint(t.raw()[i] / s);
+        out.raw()[i] = static_cast<float>(
+            std::clamp(q, -levels, levels) * s);
+    }
+    return out;
+}
+
+double
+maxAbs(const Tensor &t)
+{
+    double mx = 0.0;
+    for (float v : t.raw())
+        mx = std::max(mx, std::abs(static_cast<double>(v)));
+    return mx;
+}
+
+class Fp32Baseline : public BaselineQuantizer
+{
+  public:
+    std::string name() const override { return "FP32 Baseline"; }
+    Tensor quantizeWeights(const Tensor &w) const override { return w; }
+    Tensor
+    quantizeActivations(const Tensor &a) const override
+    {
+        return a;
+    }
+    double weightBits() const override { return 32.0; }
+    double activationBits() const override { return 32.0; }
+    bool integerCompute() const override { return false; }
+    bool postTraining() const override { return true; }
+};
+
+class Q8Bert : public BaselineQuantizer
+{
+  public:
+    std::string name() const override { return "Q8BERT"; }
+
+    Tensor
+    quantizeWeights(const Tensor &w) const override
+    {
+        return uniformQuant(w, 8, maxAbs(w));
+    }
+
+    Tensor
+    quantizeActivations(const Tensor &a) const override
+    {
+        return uniformQuant(a, 8, maxAbs(a));
+    }
+
+    double weightBits() const override { return 8.0; }
+    double activationBits() const override { return 8.0; }
+    bool integerCompute() const override { return false; }
+    bool postTraining() const override { return false; }
+};
+
+class IBert : public BaselineQuantizer
+{
+  public:
+    std::string name() const override { return "I-BERT"; }
+
+    Tensor
+    quantizeWeights(const Tensor &w) const override
+    {
+        return uniformQuant(w, 8, maxAbs(w));
+    }
+
+    Tensor
+    quantizeActivations(const Tensor &a) const override
+    {
+        // Percentile clipping tames activation tails.
+        const double hi = quantile(a.raw(), 0.9995);
+        const double lo = quantile(a.raw(), 0.0005);
+        return uniformQuant(a, 8, std::max(std::abs(hi),
+                                           std::abs(lo)));
+    }
+
+    double weightBits() const override { return 8.0; }
+    double activationBits() const override { return 8.0; }
+    bool integerCompute() const override { return true; }
+    bool postTraining() const override { return false; }
+};
+
+class QBert : public BaselineQuantizer
+{
+  public:
+    explicit QBert(size_t group) : groupCols(group) {}
+
+    std::string name() const override { return "Q-BERT"; }
+
+    Tensor
+    quantizeWeights(const Tensor &w) const override
+    {
+        // Group-wise uniform 4 b: each run of groupCols columns in a
+        // row shares a scale.
+        Tensor out(w.rows(), w.cols());
+        const double levels = 7.0;
+        for (size_t r = 0; r < w.rows(); ++r) {
+            for (size_t g0 = 0; g0 < w.cols(); g0 += groupCols) {
+                const size_t g1 = std::min(g0 + groupCols, w.cols());
+                double mx = 0.0;
+                for (size_t c = g0; c < g1; ++c)
+                    mx = std::max(mx, std::abs(
+                        static_cast<double>(w.at(r, c))));
+                const double s = mx > 0.0 ? mx / levels : 1.0;
+                for (size_t c = g0; c < g1; ++c) {
+                    const double q =
+                        std::nearbyint(w.at(r, c) / s);
+                    out.at(r, c) = static_cast<float>(
+                        std::clamp(q, -levels, levels) * s);
+                }
+            }
+        }
+        return out;
+    }
+
+    Tensor
+    quantizeActivations(const Tensor &a) const override
+    {
+        return uniformQuant(a, 8, maxAbs(a));
+    }
+
+    double weightBits() const override { return 4.0; }
+    double activationBits() const override { return 8.0; }
+    bool integerCompute() const override { return false; }
+    bool postTraining() const override { return false; }
+
+  private:
+    size_t groupCols;
+};
+
+class Gobo : public BaselineQuantizer
+{
+  public:
+    explicit Gobo(double outlier_frac) : otFrac(outlier_frac) {}
+
+    std::string name() const override { return "GOBO"; }
+
+    Tensor
+    quantizeWeights(const Tensor &w) const override
+    {
+        // Split off the |v| tail as FP32 outliers, k-means the rest
+        // into 8 centroids (3 b).
+        std::vector<float> mags(w.raw());
+        for (auto &v : mags)
+            v = std::abs(v);
+        const double cut =
+            quantile(mags, std::max(0.0, 1.0 - otFrac));
+
+        std::vector<float> bulk;
+        bulk.reserve(w.size());
+        for (float v : w.raw()) {
+            if (std::abs(v) <= cut)
+                bulk.push_back(v);
+        }
+        Tensor out(w.rows(), w.cols());
+        if (bulk.empty()) {
+            out.raw() = w.raw();
+            return out;
+        }
+        const auto km = kmeans1d(bulk, std::min<size_t>(8,
+                                                        bulk.size()));
+        for (size_t i = 0; i < w.size(); ++i) {
+            const float v = w.raw()[i];
+            if (std::abs(v) > cut) {
+                out.raw()[i] = v; // outliers stay FP32
+            } else {
+                out.raw()[i] = static_cast<float>(
+                    km.centroids[nearestCentroid(km.centroids, v)]);
+            }
+        }
+        return out;
+    }
+
+    Tensor
+    quantizeActivations(const Tensor &a) const override
+    {
+        return a; // GOBO leaves activations in floating point
+    }
+
+    double
+    weightBits() const override
+    {
+        // 3 b codes plus FP32 storage for the outlier fraction.
+        return 3.0 + otFrac * 32.0;
+    }
+
+    double activationBits() const override { return 32.0; }
+    bool integerCompute() const override { return false; }
+    bool postTraining() const override { return true; }
+
+  private:
+    double otFrac;
+};
+
+class TernaryBert : public BaselineQuantizer
+{
+  public:
+    std::string name() const override { return "TernaryBERT"; }
+
+    Tensor
+    quantizeWeights(const Tensor &w) const override
+    {
+        // Per-row TWN-style ternarization: threshold 0.7 * mean|w|,
+        // magnitude = mean of the surviving |w|.
+        Tensor out(w.rows(), w.cols());
+        for (size_t r = 0; r < w.rows(); ++r) {
+            double mean_abs = 0.0;
+            for (size_t c = 0; c < w.cols(); ++c)
+                mean_abs += std::abs(
+                    static_cast<double>(w.at(r, c)));
+            mean_abs /= static_cast<double>(w.cols());
+            const double thr = 0.7 * mean_abs;
+            double mag = 0.0;
+            size_t n = 0;
+            for (size_t c = 0; c < w.cols(); ++c) {
+                if (std::abs(static_cast<double>(w.at(r, c))) > thr) {
+                    mag += std::abs(static_cast<double>(w.at(r, c)));
+                    ++n;
+                }
+            }
+            mag = n ? mag / static_cast<double>(n) : 0.0;
+            for (size_t c = 0; c < w.cols(); ++c) {
+                const double v = w.at(r, c);
+                out.at(r, c) = static_cast<float>(
+                    std::abs(v) > thr ? (v > 0 ? mag : -mag) : 0.0);
+            }
+        }
+        return out;
+    }
+
+    Tensor
+    quantizeActivations(const Tensor &a) const override
+    {
+        return uniformQuant(a, 8, maxAbs(a));
+    }
+
+    double weightBits() const override { return 2.0; }
+    double activationBits() const override { return 8.0; }
+    bool integerCompute() const override { return false; }
+    bool postTraining() const override { return false; }
+};
+
+class MokeyBaseline : public BaselineQuantizer
+{
+  public:
+    explicit MokeyBaseline(const Quantizer &q) : quantizer(q) {}
+
+    std::string name() const override { return "Mokey"; }
+
+    Tensor
+    quantizeWeights(const Tensor &w) const override
+    {
+        const auto dict = quantizer.buildDictionary(w);
+        return quantizer.encode(w, dict).decode();
+    }
+
+    Tensor
+    quantizeActivations(const Tensor &a) const override
+    {
+        const auto dict = quantizer.buildDictionary(a);
+        return quantizer.encode(a, dict).decode();
+    }
+
+    // 4 b codes plus the Fig. 5 pointer-stream overhead at the
+    // paper's average outlier rates.
+    double weightBits() const override { return 4.0 + 7.0 / 64.0 +
+            0.015 * 6.0; }
+    double activationBits() const override { return 4.0 + 7.0 / 64.0 +
+            0.045 * 6.0; }
+    bool integerCompute() const override { return true; }
+    bool postTraining() const override { return true; }
+
+  private:
+    const Quantizer &quantizer;
+};
+
+} // anonymous namespace
+
+std::unique_ptr<BaselineQuantizer>
+makeFp32Baseline()
+{
+    return std::make_unique<Fp32Baseline>();
+}
+
+std::unique_ptr<BaselineQuantizer>
+makeQ8Bert()
+{
+    return std::make_unique<Q8Bert>();
+}
+
+std::unique_ptr<BaselineQuantizer>
+makeIBert()
+{
+    return std::make_unique<IBert>();
+}
+
+std::unique_ptr<BaselineQuantizer>
+makeQBert(size_t group)
+{
+    return std::make_unique<QBert>(group);
+}
+
+std::unique_ptr<BaselineQuantizer>
+makeGobo(double outlier_frac)
+{
+    return std::make_unique<Gobo>(outlier_frac);
+}
+
+std::unique_ptr<BaselineQuantizer>
+makeTernaryBert()
+{
+    return std::make_unique<TernaryBert>();
+}
+
+std::unique_ptr<BaselineQuantizer>
+makeMokeyBaseline(const Quantizer &q)
+{
+    return std::make_unique<MokeyBaseline>(q);
+}
+
+std::vector<std::unique_ptr<BaselineQuantizer>>
+makeTable4Lineup(const Quantizer &q)
+{
+    std::vector<std::unique_ptr<BaselineQuantizer>> v;
+    v.push_back(makeFp32Baseline());
+    v.push_back(makeQ8Bert());
+    v.push_back(makeIBert());
+    v.push_back(makeQBert());
+    v.push_back(makeGobo());
+    v.push_back(makeTernaryBert());
+    v.push_back(makeMokeyBaseline(q));
+    return v;
+}
+
+} // namespace mokey

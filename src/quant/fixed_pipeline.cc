@@ -1,0 +1,235 @@
+#include "quant/fixed_pipeline.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace mokey
+{
+
+namespace
+{
+
+/** Round-to-nearest right shift for possibly negative shift counts. */
+int64_t
+roundShift(int64_t v, int shift)
+{
+    if (shift <= 0)
+        return v << (-shift);
+    const int64_t half = int64_t{1} << (shift - 1);
+    return (v + (v >= 0 ? half : half - 1)) >> shift;
+}
+
+} // anonymous namespace
+
+FixedIndexEngine::FixedIndexEngine(const TensorDictionary &dict_a,
+                                   const TensorDictionary &dict_w,
+                                   FixedFormat out_fmt)
+    : dictA(dict_a), dictW(dict_w), outFmt(out_fmt),
+      accFmt{62, 24}
+{
+    const ExpDictionary &exp = dictA.exp();
+    MOKEY_ASSERT(exp.a() == dictW.exp().a() &&
+                 exp.b() == dictW.exp().b(),
+                 "operands use different exponential dictionaries");
+    const size_t h = exp.indexCount();
+    MOKEY_ASSERT(h <= kMaxGaussianIndexes, "index space too large");
+
+    // 16 b format for a^0 .. a^(2h-2).
+    baseFmt = FixedFormat::forRange(16, 0.0, exp.power(2 * h - 2));
+    for (size_t e = 0; e < 2 * h - 1; ++e)
+        powRaw[e] = toFixedRaw(exp.power(e), baseFmt);
+
+    const double s_a = dictA.scale(), s_w = dictW.scale();
+    const double m_a = dictA.mean(), m_w = dictW.mean();
+    const double b = exp.b();
+
+    cSoi = makeCoeff(s_a * s_w);
+    cB = makeCoeff(s_a * s_w * b);
+    cBB = makeCoeff(s_a * s_w * b * b);
+    cAm = makeCoeff(s_a * m_w);
+    cAmB = makeCoeff(s_a * m_w * b);
+    cWm = makeCoeff(s_w * m_a);
+    cWmB = makeCoeff(s_w * m_a * b);
+    cMm = makeCoeff(m_a * m_w);
+
+    // Centroid lookup tables in each operand's own 16 b format
+    // (the OPP's G/OT-LUT contents).
+    const auto snap_all = [h](const TensorDictionary &d,
+                              std::vector<int64_t> &g,
+                              std::vector<int64_t> &ot) {
+        const FixedFormat &f = d.fixedFormat();
+        g.resize(2 * h);
+        for (size_t i = 0; i < h; ++i) {
+            g[2 * i] = toFixedRaw(d.gaussianValue(false, i), f);
+            g[2 * i + 1] = toFixedRaw(d.gaussianValue(true, i), f);
+        }
+        ot.clear();
+        for (double c : d.outlierCentroids())
+            ot.push_back(toFixedRaw(c, f));
+    };
+    snap_all(dictA, gARaw, otARaw);
+    snap_all(dictW, gWRaw, otWRaw);
+    meanARaw = toFixedRaw(m_a, dictA.fixedFormat());
+    meanWRaw = toFixedRaw(m_w, dictW.fixedFormat());
+}
+
+FixedIndexEngine::Coeff
+FixedIndexEngine::makeCoeff(double v)
+{
+    const double mag = std::max(std::abs(v), 1e-12);
+    const FixedFormat f = FixedFormat::forRange(16, -mag, mag);
+    return Coeff{toFixedRaw(v, f), f};
+}
+
+FixedVectorConstants
+FixedIndexEngine::vectorConstants(const QCode *codes, size_t n) const
+{
+    FixedVectorConstants c;
+    for (size_t i = 0; i < n; ++i) {
+        const QCode q = codes[i];
+        if (q.isOutlier())
+            continue;
+        const int64_t p = powRaw[q.index()];
+        if (q.negative()) {
+            c.soa2Raw -= p;
+            c.pom2 -= 1;
+        } else {
+            c.soa2Raw += p;
+            c.pom2 += 1;
+        }
+    }
+    return c;
+}
+
+int64_t
+FixedIndexEngine::term(int64_t sum_raw, int frac_sum,
+                       const Coeff &c) const
+{
+    // (sum at frac_sum) * (coeff at c.fmt.fracBits) has
+    // frac_sum + c.fmt.fracBits fractional bits; bring to accFmt.
+    const int64_t prod = sum_raw * c.raw;
+    return roundShift(prod,
+                      frac_sum + c.fmt.fracBits - accFmt.fracBits);
+}
+
+int64_t
+FixedIndexEngine::decodeRaw(QCode q, bool is_a) const
+{
+    if (q.isOutlier()) {
+        const auto &ot = is_a ? otARaw : otWRaw;
+        MOKEY_ASSERT(q.outlierIndex() < ot.size(),
+                     "outlier index beyond LUT");
+        return ot[q.outlierIndex()];
+    }
+    const auto &g = is_a ? gARaw : gWRaw;
+    return g[2 * q.index() + (q.negative() ? 1 : 0)];
+}
+
+int64_t
+FixedIndexEngine::dotRaw(const QCode *a, const QCode *w, size_t k,
+                         const FixedVectorConstants &ca,
+                         const FixedVectorConstants &cw,
+                         IndexMatmulStats *stats) const
+{
+    const size_t h = dictA.exp().indexCount();
+
+    CrfState crf;
+    int64_t ot_acc = 0; // frac = fracA + fracW
+    const int frac_a = dictA.fixedFormat().fracBits;
+    const int frac_w = dictW.fixedFormat().fracBits;
+    uint64_t g_pairs = 0, ot_pairs = 0;
+
+    for (size_t i = 0; i < k; ++i) {
+        const QCode qa = a[i], qw = w[i];
+        if (qa.isOutlier() || qw.isOutlier()) {
+            const int64_t av = decodeRaw(qa, true);
+            const int64_t wv = decodeRaw(qw, false);
+            int64_t corr;
+            if (qa.isOutlier() && qw.isOutlier())
+                corr = meanARaw * meanWRaw;
+            else if (qa.isOutlier())
+                corr = meanARaw * wv;
+            else
+                corr = meanWRaw * av;
+            ot_acc += av * wv - corr;
+            ++ot_pairs;
+            continue;
+        }
+        const int sign = (qa.negative() != qw.negative()) ? -1 : 1;
+        crf.soi[qa.index() + qw.index()] += sign;
+        crf.soa1[qa.index()] += sign;
+        crf.sow1[qw.index()] += sign;
+        crf.pom1 += sign;
+        ++g_pairs;
+    }
+
+    // Post-processing, all integer: weighted reductions of the CRFs
+    // against the 16 b power table, then coefficient scaling into the
+    // wide accumulator format.
+    int64_t soi_raw = 0, soa1_raw = 0, sow1_raw = 0;
+    for (size_t e = 0; e < 2 * h - 1; ++e)
+        soi_raw += static_cast<int64_t>(crf.soi[e]) * powRaw[e];
+    for (size_t i = 0; i < h; ++i) {
+        soa1_raw += static_cast<int64_t>(crf.soa1[i]) * powRaw[i];
+        sow1_raw += static_cast<int64_t>(crf.sow1[i]) * powRaw[i];
+    }
+
+    const int fb = baseFmt.fracBits;
+    int64_t acc = 0;
+    acc += term(soi_raw, fb, cSoi);
+    acc += term(soa1_raw + sow1_raw, fb, cB);
+    acc += term(crf.pom1, 0, cBB);
+    acc += term(ca.soa2Raw, fb, cAm);
+    acc += term(ca.pom2, 0, cAmB);
+    acc += term(cw.soa2Raw, fb, cWm);
+    acc += term(cw.pom2, 0, cWmB);
+    acc += term(static_cast<int64_t>(k), 0, cMm);
+    acc += roundShift(ot_acc, frac_a + frac_w - accFmt.fracBits);
+
+    if (stats) {
+        stats->gaussianPairs += g_pairs;
+        stats->outlierPairs += ot_pairs;
+    }
+
+    // Land in the output activation's 16 b format, saturating.
+    const int64_t out =
+        roundShift(acc, accFmt.fracBits - outFmt.fracBits);
+    return std::clamp(out, outFmt.rawMin(), outFmt.rawMax());
+}
+
+double
+FixedIndexEngine::dot(const QCode *a, const QCode *w, size_t k,
+                      const FixedVectorConstants &ca,
+                      const FixedVectorConstants &cw,
+                      IndexMatmulStats *stats) const
+{
+    return fromFixedRaw(dotRaw(a, w, k, ca, cw, stats), outFmt);
+}
+
+Tensor
+fixedIndexMatmulTransB(const QuantizedTensor &a,
+                       const QuantizedTensor &wt, FixedFormat out_fmt,
+                       IndexMatmulStats *stats)
+{
+    MOKEY_ASSERT(a.cols() == wt.cols(), "shape mismatch");
+    const size_t m = a.rows(), n = wt.rows(), k = a.cols();
+
+    FixedIndexEngine eng(a.dictionary(), wt.dictionary(), out_fmt);
+    std::vector<FixedVectorConstants> row_c(m), col_c(n);
+    for (size_t i = 0; i < m; ++i)
+        row_c[i] = eng.vectorConstants(a.row(i), k);
+    for (size_t j = 0; j < n; ++j)
+        col_c[j] = eng.vectorConstants(wt.row(j), k);
+
+    Tensor out(m, n);
+    for (size_t i = 0; i < m; ++i)
+        for (size_t j = 0; j < n; ++j)
+            out.at(i, j) = static_cast<float>(
+                eng.dot(a.row(i), wt.row(j), k, row_c[i], col_c[j],
+                        stats));
+    return out;
+}
+
+} // namespace mokey

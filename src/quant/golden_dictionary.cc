@@ -1,0 +1,66 @@
+#include "quant/golden_dictionary.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace mokey
+{
+
+GoldenDictionary
+GoldenDictionary::generate(const GoldenDictionaryConfig &cfg)
+{
+    MOKEY_ASSERT(cfg.entries >= 2 && cfg.entries % 2 == 0,
+                 "golden dictionary needs an even entry count");
+    MOKEY_ASSERT(cfg.samples >= cfg.entries, "too few samples");
+    MOKEY_ASSERT(cfg.repeats >= 1, "need at least one trial");
+
+    std::vector<double> avg(cfg.entries, 0.0);
+    for (size_t trial = 0; trial < cfg.repeats; ++trial) {
+        Rng rng(cfg.seed + trial * 0x9e3779b9ull);
+        const auto samples = rng.gaussianVector(cfg.samples, 0.0, 1.0);
+        const auto res = agglomerative1d(samples, cfg.entries,
+                                         cfg.linkage);
+        MOKEY_ASSERT(res.centroids.size() == cfg.entries,
+                     "clustering returned %zu centroids",
+                     res.centroids.size());
+        for (size_t i = 0; i < cfg.entries; ++i)
+            avg[i] += res.centroids[i];
+    }
+    for (auto &c : avg)
+        c /= static_cast<double>(cfg.repeats);
+
+    return fromCentroids(std::move(avg));
+}
+
+GoldenDictionary
+GoldenDictionary::fromCentroids(std::vector<double> sorted)
+{
+    MOKEY_ASSERT(std::is_sorted(sorted.begin(), sorted.end()),
+                 "centroids must be sorted");
+    MOKEY_ASSERT(sorted.size() % 2 == 0, "entry count must be even");
+    GoldenDictionary gd;
+    gd.full = std::move(sorted);
+    gd.symmetrize();
+    return gd;
+}
+
+void
+GoldenDictionary::symmetrize()
+{
+    // Fold mirrored pairs: the j-th magnitude averages the j-th
+    // centroid above zero with the j-th below zero.
+    const size_t h = full.size() / 2;
+    halfMagnitudes.assign(h, 0.0);
+    for (size_t j = 0; j < h; ++j)
+        halfMagnitudes[j] = 0.5 * (full[h + j] - full[h - 1 - j]);
+    MOKEY_ASSERT(std::is_sorted(halfMagnitudes.begin(),
+                                halfMagnitudes.end()),
+                 "half magnitudes not monotone");
+    MOKEY_ASSERT(halfMagnitudes.front() >= 0.0,
+                 "negative magnitude after symmetrization");
+}
+
+} // namespace mokey

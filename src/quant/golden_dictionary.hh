@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Golden Dictionary generation (paper §II-B, Fig. 2).
+ *
+ * The Golden Dictionary (GD) is built once, independent of any model:
+ * draw a large N(0,1) sample, run agglomerative clustering down to 16
+ * centroids, repeat, and average the sorted centroid sets. Because the
+ * source distribution is symmetric around zero only the 8 positive
+ * magnitudes need to be kept; the sign bit of each quantized code
+ * supplies the other half.
+ */
+
+#ifndef MOKEY_QUANT_GOLDEN_DICTIONARY_HH
+#define MOKEY_QUANT_GOLDEN_DICTIONARY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "clustering/agglomerative1d.hh"
+
+namespace mokey
+{
+
+/** Configuration for golden-dictionary generation. */
+struct GoldenDictionaryConfig
+{
+    size_t samples = 50000;  ///< N(0,1) draws per trial (paper: 50 k)
+    size_t entries = 16;     ///< dictionary size (paper: 16)
+    size_t repeats = 5;      ///< trials averaged into the GD
+    uint64_t seed = 0x600D;  ///< base PRNG seed
+    Linkage linkage = Linkage::Ward;
+};
+
+/**
+ * The model-independent reference dictionary.
+ *
+ * Holds the full sorted centroid list and the symmetrized positive
+ * half used for the exponential fit.
+ */
+class GoldenDictionary
+{
+  public:
+    /** Generate per the configuration (deterministic in the seed). */
+    static GoldenDictionary generate(
+        const GoldenDictionaryConfig &cfg = {});
+
+    /** Build directly from an explicit centroid list (for tests). */
+    static GoldenDictionary fromCentroids(std::vector<double> sorted);
+
+    /** All centroids, sorted ascending (size = cfg.entries). */
+    const std::vector<double> &centroids() const { return full; }
+
+    /**
+     * Symmetrized positive magnitudes, ascending
+     * (size = entries / 2). half()[i] is the magnitude quantized
+     * codes with index i map to before per-tensor scaling.
+     */
+    const std::vector<double> &half() const { return halfMagnitudes; }
+
+    /** Number of full-dictionary entries. */
+    size_t size() const { return full.size(); }
+
+  private:
+    std::vector<double> full;
+    std::vector<double> halfMagnitudes;
+
+    void symmetrize();
+};
+
+} // namespace mokey
+
+#endif // MOKEY_QUANT_GOLDEN_DICTIONARY_HH

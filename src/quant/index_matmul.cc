@@ -1,0 +1,200 @@
+#include "quant/index_matmul.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace mokey
+{
+
+void
+CrfState::clear()
+{
+    soi.fill(0);
+    soa1.fill(0);
+    sow1.fill(0);
+    pom1 = 0;
+}
+
+double
+IndexMatmulStats::outlierPairFraction() const
+{
+    const uint64_t total = gaussianPairs + outlierPairs;
+    if (total == 0)
+        return 0.0;
+    return static_cast<double>(outlierPairs) /
+        static_cast<double>(total);
+}
+
+void
+IndexMatmulStats::merge(const IndexMatmulStats &o)
+{
+    gaussianPairs += o.gaussianPairs;
+    outlierPairs += o.outlierPairs;
+}
+
+VectorConstants
+vectorConstants(const QCode *codes, size_t n, const ExpDictionary &exp)
+{
+    VectorConstants c;
+    for (size_t i = 0; i < n; ++i) {
+        const QCode q = codes[i];
+        if (q.isOutlier())
+            continue;
+        const double p = exp.power(q.index());
+        if (q.negative()) {
+            c.soa2 -= p;
+            c.pom2 -= 1.0;
+        } else {
+            c.soa2 += p;
+            c.pom2 += 1.0;
+        }
+    }
+    return c;
+}
+
+namespace
+{
+
+/** Decoded centroid of a code (no fixed-point snapping). */
+double
+decodeCode(QCode q, const TensorDictionary &d)
+{
+    if (q.isOutlier())
+        return d.outlierValue(q.outlierIndex());
+    return d.gaussianValue(q.negative(), q.index());
+}
+
+} // anonymous namespace
+
+double
+indexDot(const QCode *a, const TensorDictionary &dict_a,
+         const QCode *w, const TensorDictionary &dict_w, size_t k,
+         const VectorConstants &ca, const VectorConstants &cw,
+         IndexMatmulStats *stats, CrfState *crf_out)
+{
+    const ExpDictionary &exp = dict_a.exp();
+    MOKEY_ASSERT(exp.a() == dict_w.exp().a() &&
+                 exp.b() == dict_w.exp().b(),
+                 "operands use different exponential dictionaries");
+    const size_t h = exp.indexCount();
+    MOKEY_ASSERT(h <= kMaxGaussianIndexes,
+                 "index space %zu exceeds CRF capacity", h);
+
+    CrfState crf;
+    double ot_acc = 0.0;
+    uint64_t g_pairs = 0, ot_pairs = 0;
+
+    const double m_a = dict_a.mean(), m_w = dict_w.mean();
+
+    for (size_t i = 0; i < k; ++i) {
+        const QCode qa = a[i], qw = w[i];
+        if (qa.isOutlier() || qw.isOutlier()) {
+            // OPP path: one real MAC plus the exact correction for
+            // what the precomputed terms already counted.
+            const double av = decodeCode(qa, dict_a);
+            const double wv = decodeCode(qw, dict_w);
+            double corr;
+            if (qa.isOutlier() && qw.isOutlier())
+                corr = m_a * m_w;
+            else if (qa.isOutlier())
+                corr = m_a * wv;
+            else
+                corr = m_w * av;
+            ot_acc += av * wv - corr;
+            ++ot_pairs;
+            continue;
+        }
+        // GPE path: add the 3 b indexes, XOR the signs, bump the
+        // CRFs (Fig. 6).
+        const int sign = (qa.negative() != qw.negative()) ? -1 : 1;
+        crf.soi[qa.index() + qw.index()] += sign;
+        crf.soa1[qa.index()] += sign;
+        crf.sow1[qw.index()] += sign;
+        crf.pom1 += sign;
+        ++g_pairs;
+    }
+
+    // Post-processing: multiply histogram counts by their bases and
+    // scale by the per-tensor constants (the OPP's serial phase).
+    double soi = 0.0;
+    for (size_t e = 0; e < 2 * h - 1; ++e)
+        soi += crf.soi[e] * exp.power(e);
+    double soa1 = 0.0, sow1 = 0.0;
+    for (size_t i = 0; i < h; ++i) {
+        soa1 += crf.soa1[i] * exp.power(i);
+        sow1 += crf.sow1[i] * exp.power(i);
+    }
+
+    const double s_a = dict_a.scale(), s_w = dict_w.scale();
+    const double b = exp.b();
+
+    const double result =
+        s_a * s_w * soi +
+        s_a * s_w * b * (soa1 + sow1) +
+        s_a * s_w * b * b * crf.pom1 +
+        s_a * m_w * (ca.soa2 + b * ca.pom2) +
+        s_w * m_a * (cw.soa2 + b * cw.pom2) +
+        static_cast<double>(k) * m_a * m_w +
+        ot_acc;
+
+    if (stats) {
+        stats->gaussianPairs += g_pairs;
+        stats->outlierPairs += ot_pairs;
+    }
+    if (crf_out)
+        *crf_out = crf;
+    return result;
+}
+
+Tensor
+indexMatmulTransB(const QuantizedTensor &a, const QuantizedTensor &wt,
+                  IndexMatmulStats *stats)
+{
+    MOKEY_ASSERT(a.cols() == wt.cols(),
+                 "index matmul reduction mismatch: %zu vs %zu",
+                 a.cols(), wt.cols());
+    const size_t m = a.rows(), n = wt.rows(), k = a.cols();
+    const ExpDictionary &exp = a.dictionary().exp();
+
+    // Pairing-independent sums: per activation row and per weight
+    // column (row of Wt). In hardware these are produced while the
+    // previous layer's output is quantized (rows) and at compile time
+    // (columns).
+    std::vector<VectorConstants> row_c(m), col_c(n);
+    for (size_t i = 0; i < m; ++i)
+        row_c[i] = vectorConstants(a.row(i), k, exp);
+    for (size_t j = 0; j < n; ++j)
+        col_c[j] = vectorConstants(wt.row(j), k,
+                                   wt.dictionary().exp());
+
+    Tensor out(m, n);
+    for (size_t i = 0; i < m; ++i) {
+        for (size_t j = 0; j < n; ++j) {
+            out.at(i, j) = static_cast<float>(
+                indexDot(a.row(i), a.dictionary(), wt.row(j),
+                         wt.dictionary(), k, row_c[i], col_c[j],
+                         stats));
+        }
+    }
+    return out;
+}
+
+Tensor
+decodedMatmulTransB(const QuantizedTensor &a, const QuantizedTensor &wt)
+{
+    MOKEY_ASSERT(a.cols() == wt.cols(), "shape mismatch");
+    const size_t m = a.rows(), n = wt.rows(), k = a.cols();
+    Tensor out(m, n);
+    for (size_t i = 0; i < m; ++i) {
+        for (size_t j = 0; j < n; ++j) {
+            double acc = 0.0;
+            for (size_t p = 0; p < k; ++p)
+                acc += a.decodeAt(i, p) * wt.decodeAt(j, p);
+            out.at(i, j) = static_cast<float>(acc);
+        }
+    }
+    return out;
+}
+
+} // namespace mokey

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Index-domain matrix multiply (paper §II-D, Fig. 4, Eqs. 1-6).
+ *
+ * This is Mokey's central idea: because every Gaussian-dictionary
+ * value has the form  theta * (a^int + b) * s + m , a dot product over
+ * two quantized tensors decomposes into
+ *
+ *   sA sW  SoI  + sA sW b (SoA1 + SoW1) + sA sW b^2 PoM1   (online)
+ * + sA mW (SoA2 + b PoM2)                                  (per row)
+ * + sW mA (SoW2 + b PoM3)                                  (per col)
+ * + K mA mW                                                (constant)
+ *
+ * where the online terms are *integer histograms* over summed indexes
+ * — 3 b additions and counter increments instead of FP16 MACs. Pairs
+ * touching an outlier bypass the histograms: the OPP looks up both
+ * centroids, multiplies once, and applies an exact correction for the
+ * contribution the precomputed terms already counted:
+ *
+ *   A gaussian, W outlier : add  A*W - mW*A
+ *   A outlier,  W gaussian: add  A*W - mA*W
+ *   both outliers         : add  A*W - mA*mW
+ *
+ * With these corrections the index-domain result equals the
+ * decode-then-multiply reference *exactly* (up to FP rounding), which
+ * the property tests assert.
+ */
+
+#ifndef MOKEY_QUANT_INDEX_MATMUL_HH
+#define MOKEY_QUANT_INDEX_MATMUL_HH
+
+#include <array>
+#include <cstdint>
+
+#include "quant/quantized_tensor.hh"
+#include "tensor/tensor.hh"
+
+namespace mokey
+{
+
+/** Maximum Gaussian index count supported by the fixed-size CRFs. */
+constexpr size_t kMaxGaussianIndexes = 8;
+
+/** Maximum summed-exponent entries (a^0 .. a^14 for 4 b codes). */
+constexpr size_t kMaxSumExponents = 2 * kMaxGaussianIndexes - 1;
+
+/**
+ * The per-output-activation histogram state — a software model of
+ * the GPE's four Counter Register Files (Fig. 6).
+ */
+struct CrfState
+{
+    std::array<int32_t, kMaxSumExponents> soi{};  ///< 15-entry CRF
+    std::array<int32_t, kMaxGaussianIndexes> soa1{}; ///< 8-entry CRF
+    std::array<int32_t, kMaxGaussianIndexes> sow1{}; ///< 8-entry CRF
+    int32_t pom1 = 0;                              ///< 1-entry CRF
+
+    /** Reset all counters to zero. */
+    void clear();
+};
+
+/** Precomputed pairing-independent sums for one vector of codes. */
+struct VectorConstants
+{
+    double soa2 = 0.0; ///< sum of theta * a^idx over Gaussian codes
+    double pom2 = 0.0; ///< sum of theta over Gaussian codes
+};
+
+/** Aggregate counters reported by a matmul run. */
+struct IndexMatmulStats
+{
+    uint64_t gaussianPairs = 0;
+    uint64_t outlierPairs = 0;
+
+    /** Fraction of multiply pairs routed to the OPP. */
+    double outlierPairFraction() const;
+
+    void merge(const IndexMatmulStats &o);
+};
+
+/**
+ * Precompute the SoA2/PoM2-style sums for @p n codes (done "while
+ * quantizing the previous layer's output" in hardware).
+ */
+VectorConstants vectorConstants(const QCode *codes, size_t n,
+                                const ExpDictionary &exp);
+
+/**
+ * One index-domain dot product of length @p k.
+ *
+ * @param a      activation codes
+ * @param dict_a activation dictionary
+ * @param w      weight codes
+ * @param dict_w weight dictionary
+ * @param k      reduction length
+ * @param ca     precomputed constants for @p a (vectorConstants)
+ * @param cw     precomputed constants for @p w
+ * @param stats  optional pair-count accumulator
+ * @param crf    optional: receives the final CRF histograms
+ */
+double indexDot(const QCode *a, const TensorDictionary &dict_a,
+                const QCode *w, const TensorDictionary &dict_w,
+                size_t k, const VectorConstants &ca,
+                const VectorConstants &cw,
+                IndexMatmulStats *stats = nullptr,
+                CrfState *crf = nullptr);
+
+/**
+ * Index-domain GEMM: out = A (M x K) * Wt^T where Wt is (N x K).
+ *
+ * Both operands are quantized; the result is the full-precision
+ * output activation tensor ready for on-the-fly re-quantization.
+ */
+Tensor indexMatmulTransB(const QuantizedTensor &a,
+                         const QuantizedTensor &wt,
+                         IndexMatmulStats *stats = nullptr);
+
+/** Reference: decode both operands and multiply in float. */
+Tensor decodedMatmulTransB(const QuantizedTensor &a,
+                           const QuantizedTensor &wt);
+
+} // namespace mokey
+
+#endif // MOKEY_QUANT_INDEX_MATMUL_HH

@@ -1,0 +1,130 @@
+#include "quant/memory_codec.hh"
+
+#include "common/logging.hh"
+
+namespace mokey
+{
+
+void
+BitWriter::put(uint64_t value, unsigned bits)
+{
+    MOKEY_ASSERT(bits >= 1 && bits <= 57, "bad field width %u", bits);
+    value &= (bits == 64) ? ~0ull : ((1ull << bits) - 1);
+    for (unsigned i = 0; i < bits; ++i) {
+        const size_t bit = nBits + i;
+        if (bit / 8 >= buf.size())
+            buf.push_back(0);
+        if ((value >> i) & 1)
+            buf[bit / 8] |= static_cast<uint8_t>(1u << (bit % 8));
+    }
+    nBits += bits;
+}
+
+BitReader::BitReader(const std::vector<uint8_t> &bytes)
+    : buf(bytes), pos(0)
+{
+}
+
+uint64_t
+BitReader::get(unsigned bits)
+{
+    MOKEY_ASSERT(bits >= 1 && bits <= 57, "bad field width %u", bits);
+    MOKEY_ASSERT(pos + bits <= buf.size() * 8,
+                 "bit stream underrun at %zu", pos);
+    uint64_t v = 0;
+    for (unsigned i = 0; i < bits; ++i) {
+        const size_t bit = pos + i;
+        if ((buf[bit / 8] >> (bit % 8)) & 1)
+            v |= 1ull << i;
+    }
+    pos += bits;
+    return v;
+}
+
+size_t
+PackedTensor::totalBits() const
+{
+    return values.size() * 8 + otPointers.size() * 8;
+}
+
+double
+PackedTensor::compressionRatio(size_t baseline_bits_per_value) const
+{
+    if (totalBits() == 0)
+        return 1.0;
+    return static_cast<double>(count * baseline_bits_per_value) /
+        static_cast<double>(totalBits());
+}
+
+PackedTensor
+packTensor(const QuantizedTensor &q)
+{
+    BitWriter values, pointers;
+
+    const auto &codes = q.raw();
+    const size_t n = codes.size();
+    for (size_t g = 0; g < n; g += kCodecGroupSize) {
+        const size_t end = std::min(g + kCodecGroupSize, n);
+        // First pass: collect outlier positions in the group.
+        std::vector<uint8_t> positions;
+        for (size_t i = g; i < end; ++i) {
+            if (codes[i].isOutlier())
+                positions.push_back(static_cast<uint8_t>(i - g));
+        }
+        pointers.put(positions.size(), kCodecCountBits);
+        for (uint8_t p : positions)
+            pointers.put(p, kCodecPosBits);
+        // Second pass: the dense 4 b value stream. A Gaussian code
+        // packs (sign, index); an outlier code packs its 4 b
+        // outlier-dictionary index.
+        for (size_t i = g; i < end; ++i) {
+            const QCode c = codes[i];
+            const uint8_t nibble = c.isOutlier()
+                ? c.outlierIndex()
+                : static_cast<uint8_t>((c.negative() ? 8 : 0) |
+                                       c.index());
+            values.put(nibble, 4);
+        }
+    }
+
+    PackedTensor out;
+    out.values = values.bytes();
+    out.otPointers = pointers.bytes();
+    out.count = n;
+    out.rows = q.rows();
+    out.cols = q.cols();
+    return out;
+}
+
+QuantizedTensor
+unpackTensor(const PackedTensor &p, const TensorDictionary &dict)
+{
+    QuantizedTensor q(p.rows, p.cols, dict);
+    MOKEY_ASSERT(q.size() == p.count, "packed shape mismatch");
+
+    BitReader values(p.values), pointers(p.otPointers);
+    for (size_t g = 0; g < p.count; g += kCodecGroupSize) {
+        const size_t end = std::min(g + kCodecGroupSize, p.count);
+        const auto ot_count =
+            static_cast<size_t>(pointers.get(kCodecCountBits));
+        std::vector<bool> is_ot(end - g, false);
+        for (size_t i = 0; i < ot_count; ++i) {
+            const auto pos =
+                static_cast<size_t>(pointers.get(kCodecPosBits));
+            MOKEY_ASSERT(pos < end - g, "outlier position %zu beyond "
+                         "group", pos);
+            is_ot[pos] = true;
+        }
+        for (size_t i = g; i < end; ++i) {
+            const auto nibble =
+                static_cast<uint8_t>(values.get(4));
+            q.raw()[i] = is_ot[i - g]
+                ? QCode::outlier(nibble)
+                : QCode::gaussian(nibble & 8,
+                                  static_cast<uint8_t>(nibble & 7));
+        }
+    }
+    return q;
+}
+
+} // namespace mokey

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The DRAM-friendly packed container (paper §III-A, Fig. 5).
+ *
+ * Off-chip, every value is a 4 b index (1 b sign + 3 b index for
+ * Gaussian codes, or a 4 b outlier-dictionary index). Which indexes
+ * are outliers is carried by a second, much smaller stream: per group
+ * of 64 values, an outlier count followed by one 6 b in-group
+ * position per outlier. Both streams are read sequentially, which is
+ * what makes the container DRAM-friendly. On-chip the codes expand to
+ * the 5 b (isOtl, sign, index) form.
+ */
+
+#ifndef MOKEY_QUANT_MEMORY_CODEC_HH
+#define MOKEY_QUANT_MEMORY_CODEC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "quant/quantized_tensor.hh"
+
+namespace mokey
+{
+
+/** Little-endian LSB-first bit stream writer. */
+class BitWriter
+{
+  public:
+    /** Append the low @p bits bits of @p value. */
+    void put(uint64_t value, unsigned bits);
+
+    /** Finished byte vector (final partial byte zero-padded). */
+    const std::vector<uint8_t> &bytes() const { return buf; }
+
+    /** Number of bits written. */
+    size_t bitCount() const { return nBits; }
+
+  private:
+    std::vector<uint8_t> buf;
+    size_t nBits = 0;
+};
+
+/** Reader matching BitWriter's layout. */
+class BitReader
+{
+  public:
+    explicit BitReader(const std::vector<uint8_t> &bytes);
+
+    /** Read @p bits bits; reading past the end is a panic. */
+    uint64_t get(unsigned bits);
+
+    /** Bits consumed so far. */
+    size_t position() const { return pos; }
+
+  private:
+    const std::vector<uint8_t> &buf;
+    size_t pos;
+};
+
+/** The two packed streams of Fig. 5. */
+struct PackedTensor
+{
+    std::vector<uint8_t> values;     ///< 4 b indexes, dense
+    std::vector<uint8_t> otPointers; ///< count + 6 b positions/group
+    size_t count = 0;                ///< number of packed codes
+    size_t rows = 0;
+    size_t cols = 0;
+
+    /** Total container size in bits (both streams). */
+    size_t totalBits() const;
+
+    /** Compression ratio against @p baseline_bits_per_value. */
+    double compressionRatio(size_t baseline_bits_per_value) const;
+};
+
+/** Values per pointer-stream group (Fig. 5 uses 64). */
+constexpr size_t kCodecGroupSize = 64;
+
+/** Bits for the per-group outlier count (0..64 needs 7). */
+constexpr unsigned kCodecCountBits = 7;
+
+/** Bits for an in-group outlier position (0..63). */
+constexpr unsigned kCodecPosBits = 6;
+
+/** Pack a quantized tensor into the DRAM container. */
+PackedTensor packTensor(const QuantizedTensor &q);
+
+/**
+ * Unpack a DRAM container back into 5 b codes.
+ *
+ * @param p    the packed streams
+ * @param dict the dictionary the codes decode under (copied into the
+ *             result tensor)
+ */
+QuantizedTensor unpackTensor(const PackedTensor &p,
+                             const TensorDictionary &dict);
+
+} // namespace mokey
+
+#endif // MOKEY_QUANT_MEMORY_CODEC_HH

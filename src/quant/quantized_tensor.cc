@@ -1,0 +1,75 @@
+#include "quant/quantized_tensor.hh"
+
+#include "common/logging.hh"
+
+namespace mokey
+{
+
+QCode
+QCode::gaussian(bool negative, uint8_t index)
+{
+    MOKEY_ASSERT(index <= idxMask, "gaussian index %u out of range",
+                 index);
+    return QCode{static_cast<uint8_t>(
+        (negative ? signBit : 0) | index)};
+}
+
+QCode
+QCode::outlier(uint8_t index)
+{
+    MOKEY_ASSERT(index <= 0xf, "outlier index %u out of range", index);
+    return QCode{static_cast<uint8_t>(otlBit | index)};
+}
+
+QuantizedTensor::QuantizedTensor() : nRows(0), nCols(0) {}
+
+QuantizedTensor::QuantizedTensor(size_t rows, size_t cols,
+                                 TensorDictionary d)
+    : nRows(rows), nCols(cols), codes(rows * cols, QCode{0}),
+      dict(std::move(d))
+{
+}
+
+Tensor
+QuantizedTensor::decode() const
+{
+    Tensor t(nRows, nCols);
+    for (size_t r = 0; r < nRows; ++r)
+        for (size_t c = 0; c < nCols; ++c)
+            t.at(r, c) = static_cast<float>(decodeAt(r, c));
+    return t;
+}
+
+double
+QuantizedTensor::decodeAt(size_t r, size_t c) const
+{
+    const QCode q = at(r, c);
+    if (q.isOutlier())
+        return dict.outlierValue(q.outlierIndex());
+    return dict.gaussianValue(q.negative(), q.index());
+}
+
+double
+QuantizedTensor::outlierFraction() const
+{
+    if (codes.empty())
+        return 0.0;
+    size_t n = 0;
+    for (const QCode q : codes)
+        n += q.isOutlier();
+    return static_cast<double>(n) / static_cast<double>(codes.size());
+}
+
+size_t
+QuantizedTensor::packedFootprintBits() const
+{
+    // Fig. 5: 4 b per value plus, per group of 64 values, a 7 b
+    // outlier count and 6 b per outlier position.
+    const size_t groups = (codes.size() + 63) / 64;
+    size_t ot = 0;
+    for (const QCode q : codes)
+        ot += q.isOutlier();
+    return codes.size() * 4 + groups * 7 + ot * 6;
+}
+
+} // namespace mokey

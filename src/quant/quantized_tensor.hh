@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Quantized codes and code containers.
+ *
+ * Every quantized value is a 5 b code (paper §III-A): one bit selects
+ * the Gaussian vs the outlier dictionary, one bit is the sign (used
+ * only for Gaussian codes), and three bits index the dictionary. In
+ * memory the codes live in the 4 b DRAM container of Fig. 5; inside
+ * the library we keep the expanded 5 b form, exactly as the paper
+ * suggests for on-chip storage.
+ */
+
+#ifndef MOKEY_QUANT_QUANTIZED_TENSOR_HH
+#define MOKEY_QUANT_QUANTIZED_TENSOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "quant/tensor_dictionary.hh"
+#include "tensor/tensor.hh"
+
+namespace mokey
+{
+
+/** A single 5 b quantized code. */
+struct QCode
+{
+    uint8_t raw; ///< bit 4: isOtl, bit 3: sign, bits 2..0: index
+
+    static constexpr uint8_t otlBit = 1u << 4;
+    static constexpr uint8_t signBit = 1u << 3;
+    static constexpr uint8_t idxMask = 0x7;
+
+    /** Make a Gaussian-dictionary code. */
+    static QCode gaussian(bool negative, uint8_t index);
+
+    /** Make an outlier-dictionary code (4 b outlier index). */
+    static QCode outlier(uint8_t index);
+
+    bool isOutlier() const { return raw & otlBit; }
+
+    /** Sign of a Gaussian code: true when negative. */
+    bool negative() const { return raw & signBit; }
+
+    /** Sign as a +1/-1 integer (Gaussian codes only). */
+    int theta() const { return negative() ? -1 : 1; }
+
+    /** 3 b Gaussian index. */
+    uint8_t index() const { return raw & idxMask; }
+
+    /** 4 b outlier-dictionary index (sign bit reused as bit 3). */
+    uint8_t outlierIndex() const { return raw & 0xf; }
+
+    bool operator==(const QCode &o) const = default;
+};
+
+/** A quantized matrix: codes plus the dictionary that decodes them. */
+class QuantizedTensor
+{
+  public:
+    QuantizedTensor();
+    QuantizedTensor(size_t rows, size_t cols, TensorDictionary dict);
+
+    size_t rows() const { return nRows; }
+    size_t cols() const { return nCols; }
+    size_t size() const { return codes.size(); }
+
+    QCode &at(size_t r, size_t c) { return codes[r * nCols + c]; }
+    QCode at(size_t r, size_t c) const { return codes[r * nCols + c]; }
+
+    QCode *row(size_t r) { return codes.data() + r * nCols; }
+    const QCode *row(size_t r) const { return codes.data() + r * nCols; }
+
+    const std::vector<QCode> &raw() const { return codes; }
+    std::vector<QCode> &raw() { return codes; }
+
+    const TensorDictionary &dictionary() const { return dict; }
+
+    /** Expand every code back to its centroid value. */
+    Tensor decode() const;
+
+    /** Decoded value of the code at (r, c). */
+    double decodeAt(size_t r, size_t c) const;
+
+    /** Fraction of codes that index the outlier dictionary. */
+    double outlierFraction() const;
+
+    /** Memory footprint in the 4 b + pointer DRAM container. */
+    size_t packedFootprintBits() const;
+
+  private:
+    size_t nRows;
+    size_t nCols;
+    std::vector<QCode> codes;
+    TensorDictionary dict;
+};
+
+} // namespace mokey
+
+#endif // MOKEY_QUANT_QUANTIZED_TENSOR_HH

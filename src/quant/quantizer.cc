@@ -1,0 +1,95 @@
+#include "quant/quantizer.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace mokey
+{
+
+Quantizer::Quantizer(ExpDictionary exp) : expDict(std::move(exp)) {}
+
+TensorDictionary
+Quantizer::buildDictionary(const Tensor &t,
+                           const TensorDictConfig &cfg) const
+{
+    return TensorDictionary::build(expDict, t.raw(), cfg);
+}
+
+TensorDictionary
+Quantizer::buildDictionaryFromSamples(const std::vector<float> &samples,
+                                      const TensorDictConfig &cfg) const
+{
+    return TensorDictionary::build(expDict, samples, cfg);
+}
+
+QuantizedTensor
+Quantizer::encode(const Tensor &t, const TensorDictionary &dict) const
+{
+    QuantizedTensor q(t.rows(), t.cols(), dict);
+    for (size_t r = 0; r < t.rows(); ++r)
+        for (size_t c = 0; c < t.cols(); ++c)
+            q.at(r, c) = encodeValue(t.at(r, c), dict);
+    return q;
+}
+
+QCode
+Quantizer::encodeValue(double v, const TensorDictionary &dict) const
+{
+    if (dict.isOutlierValue(v) && !dict.outlierCentroids().empty()) {
+        return QCode::outlier(
+            static_cast<uint8_t>(dict.nearestOutlierIndex(v)));
+    }
+    // Gaussian path: normalize to sigma units, pick the nearest
+    // exponential magnitude.
+    const double u = (v - dict.mean()) / dict.scale();
+    const bool negative = u < 0.0;
+    const size_t idx = dict.exp().nearestIndex(std::abs(u));
+    return QCode::gaussian(negative, static_cast<uint8_t>(idx));
+}
+
+QCode
+Quantizer::encodeComparatorLadder(double v,
+                                  const TensorDictionary &dict) const
+{
+    const auto &lad = dict.ladder();
+    MOKEY_ASSERT(!lad.empty(), "empty comparator ladder");
+
+    // Fig. 7: the value is compared against every (sorted) centroid;
+    // the comparator outputs form a run of 0s then 1s. The leading-1
+    // position selects centroid CH; the entry before it is CL. Two
+    // subtractions pick the closer one.
+    size_t leading_one = lad.size(); // index of first centroid >= v
+    for (size_t i = 0; i < lad.size(); ++i) {
+        if (lad[i].value >= v) {
+            leading_one = i;
+            break;
+        }
+    }
+
+    size_t pick;
+    if (leading_one == lad.size()) {
+        pick = lad.size() - 1; // above every centroid
+    } else if (leading_one == 0) {
+        pick = 0; // below every centroid
+    } else {
+        const double d_hi = lad[leading_one].value - v;
+        const double d_lo = v - lad[leading_one - 1].value;
+        pick = (d_lo <= d_hi) ? leading_one - 1 : leading_one;
+    }
+
+    const auto &e = lad[pick];
+    if (e.isOutlier)
+        return QCode::outlier(e.index);
+    return QCode::gaussian(e.negative, e.index);
+}
+
+double
+Quantizer::decode(QCode code, const TensorDictionary &dict)
+{
+    if (code.isOutlier())
+        return dict.outlierValue(code.outlierIndex());
+    return dict.gaussianValue(code.negative(), code.index());
+}
+
+} // namespace mokey

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Encoding tensors into dictionary codes (paper §II-A, Fig. 7).
+ *
+ * Two encode paths exist on purpose:
+ *  - encode(): the reference nearest-centroid search used when
+ *    preparing weights offline;
+ *  - encodeComparatorLadder(): a faithful functional model of the
+ *    hardware output-activation quantizer of Fig. 7 — compare the
+ *    value against every centroid of the sorted combined (G + OT)
+ *    dictionary, leading-one detect, pick the closer of the two
+ *    straddling centroids. The ladder always returns the globally
+ *    nearest centroid; the reference path may differ only for values
+ *    straddling the Gaussian/outlier threshold, where both choices
+ *    carry the same reconstruction error bound.
+ */
+
+#ifndef MOKEY_QUANT_QUANTIZER_HH
+#define MOKEY_QUANT_QUANTIZER_HH
+
+#include "quant/quantized_tensor.hh"
+#include "tensor/tensor.hh"
+
+namespace mokey
+{
+
+/** Quantization entry point bundling dictionary build + encode. */
+class Quantizer
+{
+  public:
+    /** @param exp the shared fitted exponential dictionary. */
+    explicit Quantizer(ExpDictionary exp);
+
+    const ExpDictionary &exp() const { return expDict; }
+
+    /**
+     * Build a per-tensor dictionary from the tensor's own values
+     * (the weight path — values are statically known).
+     */
+    TensorDictionary buildDictionary(
+        const Tensor &t, const TensorDictConfig &cfg = {}) const;
+
+    /**
+     * Build a per-tensor dictionary from profiled samples (the
+     * activation path — §II-C "estimated using profiling").
+     */
+    TensorDictionary buildDictionaryFromSamples(
+        const std::vector<float> &samples,
+        const TensorDictConfig &cfg = {}) const;
+
+    /** Encode a full tensor against a prepared dictionary. */
+    QuantizedTensor encode(const Tensor &t,
+                           const TensorDictionary &dict) const;
+
+    /** Encode one value by nearest-centroid search (reference). */
+    QCode encodeValue(double v, const TensorDictionary &dict) const;
+
+    /**
+     * Encode one value with the comparator-ladder semantics of
+     * Fig. 7 (hardware output quantizer model).
+     */
+    QCode encodeComparatorLadder(double v,
+                                 const TensorDictionary &dict) const;
+
+    /** Decode helper: value of @p code under @p dict. */
+    static double decode(QCode code, const TensorDictionary &dict);
+
+  private:
+    ExpDictionary expDict;
+};
+
+} // namespace mokey
+
+#endif // MOKEY_QUANT_QUANTIZER_HH

@@ -1,0 +1,215 @@
+#include "sim/accelerator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace mokey
+{
+
+size_t
+MachineConfig::tiles() const
+{
+    const size_t per_tile = tile.gpes * tile.lanesPerGpe;
+    return std::max<size_t>(1, lanes / per_tile);
+}
+
+double
+OutlierRates::weightActPair() const
+{
+    return 1.0 - (1.0 - weight) * (1.0 - activation);
+}
+
+double
+OutlierRates::actActPair() const
+{
+    return 1.0 - (1.0 - activation) * (1.0 - activation);
+}
+
+namespace
+{
+
+/** Mokey's 4 b + OT-pointer off-chip width (Fig. 5). */
+constexpr double kMokeyOffChipBits = 4.0 + 7.0 / 64.0 + 0.03 * 6.0;
+
+/** Mokey's expanded 5 b on-chip width (§III-A). */
+constexpr double kMokeyOnChipBits = 5.0;
+
+} // anonymous namespace
+
+MachineConfig
+tensorCoresMachine()
+{
+    MachineConfig m;
+    m.name = "Tensor Cores";
+    m.lanes = 2048;
+    m.computeAreaMm2 = 16.1;
+    m.lanePj = m.energy.fp16MacPj;
+    m.bits = StorageBits{16, 16, 16, 16};
+    m.bufArea = SramAreaModel::wideInterface();
+    return m;
+}
+
+MachineConfig
+goboMachine()
+{
+    MachineConfig m;
+    m.name = "GOBO";
+    m.lanes = 2560;
+    m.computeAreaMm2 = 15.9;
+    m.lanePj = m.energy.goboOpPj;
+    // Weights: 3 b codes + dictionary/outlier overhead (~0.25 b);
+    // activations stay FP16 on and off chip.
+    m.bits = StorageBits{3.25, 16, 3.25, 16};
+    m.bufArea = SramAreaModel::wideInterface();
+    return m;
+}
+
+MachineConfig
+mokeyMachine()
+{
+    MachineConfig m;
+    m.name = "Mokey";
+    m.lanes = 3072;
+    m.computeAreaMm2 = 14.8;
+    m.lanePj = m.energy.mokeyGaussPairPj;
+    m.bits = StorageBits{kMokeyOffChipBits, kMokeyOffChipBits,
+                         kMokeyOnChipBits, kMokeyOnChipBits};
+    m.indexCompute = true;
+    // The OPP's lookup + MAC path retires four outlier pairs per
+    // cycle — the rate needed to sustain the paper's published
+    // compute-cycle totals at the Table I outlier rates.
+    m.tile.oppPerCycle = 4;
+    m.bufArea = SramAreaModel::narrowInterface();
+    return m;
+}
+
+MachineConfig
+tensorCoresMokeyOffChip()
+{
+    MachineConfig m = tensorCoresMachine();
+    m.name = "Tensor Cores + Mokey OC";
+    // Values travel compressed, expand to FP16 on arrival.
+    m.bits.offChipW = kMokeyOffChipBits;
+    m.bits.offChipA = kMokeyOffChipBits;
+    return m;
+}
+
+MachineConfig
+tensorCoresMokeyOnChip()
+{
+    MachineConfig m = tensorCoresMokeyOffChip();
+    m.name = "Tensor Cores + Mokey OC+ON";
+    // Values also stay compressed (5 b) inside the buffers and
+    // expand through LUTs at the compute units.
+    m.bits.onChipW = kMokeyOnChipBits;
+    m.bits.onChipA = kMokeyOnChipBits;
+    return m;
+}
+
+RunResult
+simulate(const MachineConfig &machine, const Workload &w,
+         size_t buffer_bytes, const OutlierRates &rates)
+{
+    MOKEY_ASSERT(buffer_bytes >= 1024, "buffer too small to model");
+    RunResult r;
+
+    // --- Memory side: tile, then stream the traffic.
+    const WorkloadTraffic traffic =
+        tileWorkload(w, machine.bits, buffer_bytes);
+    r.trafficBytes = traffic.totalBytes();
+    r.actResident = traffic.actResident;
+
+    const DramModel dram;
+    // Two streams for plain tensors; Mokey adds the OT-pointer
+    // stream (Fig. 5).
+    const size_t streams = machine.indexCompute ? 3 : 2;
+    const DramResult dr = dram.stream(
+        static_cast<uint64_t>(r.trafficBytes), streams);
+    r.memCycles = dr.cycles;
+    r.dramJ = dr.energyJ;
+
+    // --- Compute side.
+    const EnergyModel &em = machine.energy;
+    double outputs = 0.0;
+    for (const auto &op : w.ops)
+        outputs += static_cast<double>(op.outValues());
+
+    if (!machine.indexCompute) {
+        const double macs = static_cast<double>(w.totalMacs());
+        r.computeCycles = macs / static_cast<double>(machine.lanes);
+        r.computeJ = macs * machine.lanePj * 1e-12;
+    } else {
+        const TileSim tile_model(machine.tile);
+        const double tiles =
+            static_cast<double>(machine.tiles());
+        double cycles = 0.0, gauss = 0.0, otl = 0.0;
+        for (const auto &op : w.ops) {
+            const double p = op.weightStatic
+                ? rates.weightActPair()
+                : rates.actActPair();
+            const double macs = static_cast<double>(op.macs());
+            const double tput =
+                tile_model.analyticThroughput(p) * tiles;
+            cycles += macs / tput;
+            gauss += macs * (1.0 - p);
+            otl += macs * p;
+        }
+        // Post-processing serializes through the OPP; double-buffered
+        // CRFs overlap ~80 % of it with the next accumulation.
+        const double pp_cycles = outputs *
+            static_cast<double>(machine.tile.postprocessCycles) /
+            tiles * 0.2;
+        r.computeCycles = cycles + pp_cycles;
+        r.computeJ =
+            (gauss * em.mokeyGaussPairPj +
+             otl * em.mokeyOutlierMacPj +
+             outputs * em.mokeyPostprocessPj) * 1e-12;
+    }
+
+    // --- SRAM energy: operand fetches (with PE-array reuse ~2x)
+    // plus fill traffic through the buffer.
+    const double operand_bits =
+        static_cast<double>(w.totalMacs()) *
+        (machine.bits.onChipA + machine.bits.onChipW) / 2.0;
+    const double fill_bits = r.trafficBytes * 8.0 *
+        (machine.bits.onChipA / machine.bits.offChipA);
+    r.sramJ = (operand_bits + fill_bits) *
+        em.sramPjPerBit(buffer_bytes) * 1e-12;
+
+    // --- Overlap: compute/memory overlap improves as each GEMM's
+    // full operand set approaches on-chip residency (more prefetch
+    // slack for double buffering), and suffers while activations
+    // spill.
+    const double buffer_bits =
+        static_cast<double>(buffer_bytes) * 8.0;
+    double residency = 0.0;
+    for (const auto &op : w.ops) {
+        const double operand_set =
+            static_cast<double>(op.aValues()) *
+                machine.bits.onChipA +
+            static_cast<double>(op.bValues()) *
+                (op.weightStatic ? machine.bits.onChipW
+                                 : machine.bits.onChipA);
+        residency += std::min(1.0, buffer_bits / operand_set);
+    }
+    residency /= static_cast<double>(w.ops.size());
+    r.overlapFraction = std::clamp(
+        0.15 + 0.85 * residency * (traffic.actResident ? 1.0 : 0.75),
+        0.1, 0.985);
+
+    const double hi = std::max(r.computeCycles, r.memCycles);
+    const double lo = std::min(r.computeCycles, r.memCycles);
+    r.totalCycles = hi + (1.0 - r.overlapFraction) * lo;
+
+    r.totalJ = r.dramJ + r.sramJ + r.computeJ;
+
+    // --- Area.
+    r.bufferAreaMm2 = machine.bufArea.area(buffer_bytes);
+    r.computeAreaMm2 = machine.computeAreaMm2;
+    r.totalAreaMm2 = r.bufferAreaMm2 + r.computeAreaMm2;
+    return r;
+}
+
+} // namespace mokey

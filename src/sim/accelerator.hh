@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The three evaluated machines (paper §IV-B/C): an FP16 Tensor-Cores
+ * accelerator, the GOBO accelerator, and the Mokey accelerator —
+ * plus Mokey-as-compression variants of the Tensor-Cores baseline
+ * (§IV-D). All share one simulation core: the dataflow tiler for
+ * traffic, the DDR4 model for memory time/energy, an analytic
+ * compute-throughput model (validated against the cycle-level
+ * TileSim for Mokey), and the calibrated energy/area models.
+ */
+
+#ifndef MOKEY_SIM_ACCELERATOR_HH
+#define MOKEY_SIM_ACCELERATOR_HH
+
+#include <string>
+
+#include "model/workload.hh"
+#include "sim/dataflow.hh"
+#include "sim/dram.hh"
+#include "sim/energy_model.hh"
+#include "sim/gpe.hh"
+
+namespace mokey
+{
+
+/** Machine description. */
+struct MachineConfig
+{
+    std::string name;
+    size_t lanes;            ///< MAC-equivalent lanes
+    double computeAreaMm2;   ///< post-layout compute area
+    double lanePj;           ///< energy per lane-op (non-index)
+    StorageBits bits;        ///< storage widths
+    bool indexCompute = false; ///< Mokey GPE/OPP path
+    TileConfig tile;         ///< tile organization (index machines)
+    SramAreaModel bufArea = SramAreaModel::wideInterface();
+    EnergyModel energy;
+
+    /** Tiles in the machine (index machines). */
+    size_t tiles() const;
+};
+
+/** The FP16 Tensor-Cores baseline: 2048 lanes, 16 b everywhere. */
+MachineConfig tensorCoresMachine();
+
+/** GOBO: 2560 lanes, 3 b (+outliers) weights, FP16 activations. */
+MachineConfig goboMachine();
+
+/** Mokey: 3072 lanes (384 GPEs), 4 b off-chip / 5 b on-chip. */
+MachineConfig mokeyMachine();
+
+/** Tensor Cores + Mokey compression off-chip only (Fig. 14 "OC"). */
+MachineConfig tensorCoresMokeyOffChip();
+
+/** Tensor Cores + Mokey compression off- and on-chip ("OC+ON"). */
+MachineConfig tensorCoresMokeyOnChip();
+
+/** Simulation outcome for one (machine, workload, buffer) point. */
+struct RunResult
+{
+    double computeCycles = 0.0;
+    double memCycles = 0.0;
+    double totalCycles = 0.0;
+    double overlapFraction = 0.0; ///< compute/memory overlap achieved
+
+    double trafficBytes = 0.0;
+    bool actResident = false;
+
+    double dramJ = 0.0;
+    double sramJ = 0.0;
+    double computeJ = 0.0;
+    double totalJ = 0.0;
+
+    double bufferAreaMm2 = 0.0;
+    double computeAreaMm2 = 0.0;
+    double totalAreaMm2 = 0.0;
+};
+
+/** Outlier rates feeding the index-compute throughput model. */
+struct OutlierRates
+{
+    double weight = 0.015;     ///< paper Table I average
+    double activation = 0.045;
+
+    /** Pair probability for a (weight, activation) GEMM. */
+    double weightActPair() const;
+
+    /** Pair probability for an (activation, activation) GEMM. */
+    double actActPair() const;
+};
+
+/**
+ * Simulate one inference of @p w on @p machine with
+ * @p buffer_bytes of on-chip buffering.
+ */
+RunResult simulate(const MachineConfig &machine, const Workload &w,
+                   size_t buffer_bytes,
+                   const OutlierRates &rates = {});
+
+} // namespace mokey
+
+#endif // MOKEY_SIM_ACCELERATOR_HH

@@ -1,0 +1,127 @@
+#include "sim/compression.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace mokey
+{
+
+std::vector<EvalPoint>
+paperLineup()
+{
+    // §IV: GLUE tasks use sequence length 128; SQuAD uses 384.
+    std::vector<EvalPoint> pts;
+    const auto add = [&](const ModelConfig &cfg, const char *task,
+                         size_t seq, double w_ot, double a_ot) {
+        EvalPoint p;
+        p.label = cfg.name + "/" + task;
+        p.workload = modelWorkload(cfg, seq);
+        p.rates = OutlierRates{w_ot, a_ot};
+        pts.push_back(std::move(p));
+    };
+    // Outlier rates from Table I.
+    add(bertBase(), "MNLI", 128, 0.016, 0.045);
+    add(bertLarge(), "MNLI", 128, 0.0151, 0.04);
+    add(bertLarge(), "STS-B", 128, 0.0151, 0.025);
+    add(bertLarge(), "SQuAD", 384, 0.0154, 0.017);
+    add(robertaLarge(), "MNLI", 128, 0.0148, 0.041);
+    add(robertaLarge(), "STS-B", 128, 0.0148, 0.044);
+    add(robertaLarge(), "SQuAD", 384, 0.0148, 0.029);
+    add(debertaXl(), "MNLI", 128, 0.012, 0.043);
+    return pts;
+}
+
+std::vector<size_t>
+paperBufferSweep()
+{
+    return {256 * 1024, 512 * 1024, 1024 * 1024, 2048 * 1024,
+            4096 * 1024};
+}
+
+double
+Comparison::speedup() const
+{
+    return base.totalCycles / test.totalCycles;
+}
+
+double
+Comparison::relativeEnergy() const
+{
+    return base.totalJ / test.totalJ;
+}
+
+double
+Comparison::energyEfficiency() const
+{
+    return speedup() * relativeEnergy();
+}
+
+std::vector<Comparison>
+sweepComparison(const MachineConfig &base_m, const MachineConfig &test_m,
+                const std::vector<EvalPoint> &points,
+                const std::vector<size_t> &buffers)
+{
+    std::vector<Comparison> out;
+    for (const auto &p : points) {
+        for (size_t buf : buffers) {
+            Comparison c;
+            c.label = p.label;
+            c.bufferBytes = buf;
+            c.base = simulate(base_m, p.workload, buf, p.rates);
+            c.test = simulate(test_m, p.workload, buf, p.rates);
+            out.push_back(std::move(c));
+        }
+    }
+    return out;
+}
+
+namespace
+{
+
+double
+geomean(const std::vector<Comparison> &cs, size_t buffer_bytes,
+        double (Comparison::*fn)() const)
+{
+    double log_sum = 0.0;
+    size_t n = 0;
+    for (const auto &c : cs) {
+        if (c.bufferBytes != buffer_bytes)
+            continue;
+        log_sum += std::log((c.*fn)());
+        ++n;
+    }
+    MOKEY_ASSERT(n > 0, "no comparisons at this buffer size");
+    return std::exp(log_sum / static_cast<double>(n));
+}
+
+} // anonymous namespace
+
+double
+geomeanSpeedup(const std::vector<Comparison> &cs, size_t buffer_bytes)
+{
+    return geomean(cs, buffer_bytes, &Comparison::speedup);
+}
+
+double
+geomeanRelativeEnergy(const std::vector<Comparison> &cs,
+                      size_t buffer_bytes)
+{
+    return geomean(cs, buffer_bytes, &Comparison::relativeEnergy);
+}
+
+double
+geomeanEnergyEff(const std::vector<Comparison> &cs, size_t buffer_bytes)
+{
+    return geomean(cs, buffer_bytes, &Comparison::energyEfficiency);
+}
+
+std::string
+bufferLabel(size_t bytes)
+{
+    if (bytes >= 1024 * 1024 && bytes % (1024 * 1024) == 0)
+        return std::to_string(bytes / (1024 * 1024)) + "MB";
+    return std::to_string(bytes / 1024) + "KB";
+}
+
+} // namespace mokey

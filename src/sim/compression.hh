@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Evaluation sweep helpers (paper §IV-C/D).
+ *
+ * The paper's figures all share one shape: for each model/task pair
+ * and each on-chip buffer capacity (256 KB .. 4 MB), run two machines
+ * and report a ratio (speedup or relative energy). This module
+ * provides the model lineup, the buffer sweep, and the ratio
+ * plumbing so every bench binary reduces to "pick machines, print".
+ */
+
+#ifndef MOKEY_SIM_COMPRESSION_HH
+#define MOKEY_SIM_COMPRESSION_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/accelerator.hh"
+
+namespace mokey
+{
+
+/** One evaluated model/task point (Figs. 9-15 x-axis groups). */
+struct EvalPoint
+{
+    std::string label;   ///< e.g. "BERT-Large/SQuAD"
+    Workload workload;
+    OutlierRates rates;
+};
+
+/** The paper's model/task lineup with its sequence lengths. */
+std::vector<EvalPoint> paperLineup();
+
+/** The paper's buffer capacities: 256 KB, 512 KB, 1 MB, 2 MB, 4 MB. */
+std::vector<size_t> paperBufferSweep();
+
+/** One (point, buffer) comparison of two machines. */
+struct Comparison
+{
+    std::string label;
+    size_t bufferBytes;
+    RunResult base;
+    RunResult test;
+
+    double speedup() const;        ///< base cycles / test cycles
+    double relativeEnergy() const; ///< base J / test J
+
+    /**
+     * Performance-per-joule ratio — the metric of Figs. 11/13/15
+     * (it equals speedup x relativeEnergy, which reproduces the
+     * paper's "one to two orders of magnitude" claims that plain
+     * energy ratios cannot).
+     */
+    double energyEfficiency() const;
+};
+
+/**
+ * Run @p test and @p base over every point and buffer size.
+ */
+std::vector<Comparison> sweepComparison(
+    const MachineConfig &base, const MachineConfig &test,
+    const std::vector<EvalPoint> &points,
+    const std::vector<size_t> &buffers);
+
+/** Geometric mean of a selector over comparisons with one buffer. */
+double geomeanSpeedup(const std::vector<Comparison> &cs,
+                      size_t buffer_bytes);
+double geomeanRelativeEnergy(const std::vector<Comparison> &cs,
+                             size_t buffer_bytes);
+double geomeanEnergyEff(const std::vector<Comparison> &cs,
+                        size_t buffer_bytes);
+
+/** Pretty-print helper: "256KB", "4MB". */
+std::string bufferLabel(size_t bytes);
+
+} // namespace mokey
+
+#endif // MOKEY_SIM_COMPRESSION_HH

@@ -1,0 +1,57 @@
+#include "sim/crf.hh"
+
+#include "common/logging.hh"
+
+namespace mokey
+{
+
+CrfSim::CrfSim(size_t entries, unsigned counter_bits)
+    : counters(entries, 0), drained(entries, 0),
+      maxMag((1 << (counter_bits - 1)) - 1), drainCount(0)
+{
+    MOKEY_ASSERT(entries >= 1, "empty CRF");
+    MOKEY_ASSERT(counter_bits >= 2 && counter_bits <= 31,
+                 "bad counter width %u", counter_bits);
+}
+
+bool
+CrfSim::bump(size_t addr, int sign)
+{
+    MOKEY_ASSERT(addr < counters.size(), "CRF address %zu out of "
+                 "range", addr);
+    MOKEY_ASSERT(sign == 1 || sign == -1, "bad sign");
+    bool drained_now = false;
+    if ((sign > 0 && counters[addr] >= maxMag) ||
+        (sign < 0 && counters[addr] <= -maxMag)) {
+        drain();
+        drained_now = true;
+    }
+    counters[addr] += sign;
+    return drained_now;
+}
+
+int64_t
+CrfSim::total(size_t addr) const
+{
+    return drained.at(addr) + counters.at(addr);
+}
+
+void
+CrfSim::drain()
+{
+    for (size_t i = 0; i < counters.size(); ++i) {
+        drained[i] += counters[i];
+        counters[i] = 0;
+    }
+    ++drainCount;
+}
+
+void
+CrfSim::clear()
+{
+    std::fill(counters.begin(), counters.end(), 0);
+    std::fill(drained.begin(), drained.end(), 0);
+    drainCount = 0;
+}
+
+} // namespace mokey

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Counter Register File model (paper Fig. 6, right).
+ *
+ * Each GPE accumulates its four summations in small CRFs (15x8,
+ * 8x8, 8x8, 1x8: entries x counter bits). The paper leaves one
+ * detail implicit: a 4096-deep reduction can push a counter past the
+ * +-2^(w-1) range of an 8 b up/down counter. We resolve it the way
+ * the serial post-processing port naturally allows: when a counter
+ * nears saturation the GPE drains the CRF through the
+ * post-processing path mid-reduction (a partial weighted reduction),
+ * which preserves the running sum exactly. CrfSim counts how often
+ * that happens so the tile model can charge the extra cycles.
+ */
+
+#ifndef MOKEY_SIM_CRF_HH
+#define MOKEY_SIM_CRF_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mokey
+{
+
+/** One up/down counter register file with drain-on-saturation. */
+class CrfSim
+{
+  public:
+    /**
+     * @param entries      counter count (15, 8, or 1)
+     * @param counter_bits width of each counter (paper: 8)
+     */
+    CrfSim(size_t entries, unsigned counter_bits);
+
+    /**
+     * Increment (+1) or decrement (-1) entry @p addr.
+     *
+     * @return true when the access forced a drain first
+     */
+    bool bump(size_t addr, int sign);
+
+    /** Counter value at @p addr (post-drain residue). */
+    int32_t at(size_t addr) const { return counters.at(addr); }
+
+    /**
+     * Exact running totals including everything drained so far —
+     * what post-processing ultimately reduces.
+     */
+    int64_t total(size_t addr) const;
+
+    /** Number of mid-reduction drains triggered. */
+    uint64_t drains() const { return drainCount; }
+
+    /** Entries in this CRF. */
+    size_t size() const { return counters.size(); }
+
+    /** Reset counters and drained accumulators. */
+    void clear();
+
+  private:
+    std::vector<int32_t> counters;
+    std::vector<int64_t> drained;
+    int32_t maxMag;
+    uint64_t drainCount;
+
+    void drain();
+};
+
+} // namespace mokey
+
+#endif // MOKEY_SIM_CRF_HH

@@ -1,0 +1,127 @@
+#include "sim/dataflow.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/logging.hh"
+
+namespace mokey
+{
+
+TileDecision
+tileGemm(const GemmOp &op, const StorageBits &bits, double buffer_bits,
+         bool act_resident)
+{
+    MOKEY_ASSERT(buffer_bits > 0.0, "no buffer");
+    const double bits_b =
+        op.weightStatic ? bits.onChipW : bits.onChipA;
+    const double traffic_b =
+        op.weightStatic ? bits.offChipW : bits.offChipA;
+
+    const double m = static_cast<double>(op.m);
+    const double n = static_cast<double>(op.n);
+    const double k = static_cast<double>(op.k);
+    const double reps = static_cast<double>(op.repeats);
+
+    const double a_store = m * k * bits.onChipA;
+    const double b_store = k * n * bits_b;
+    const double avail = buffer_bits / 2.0; // double buffering
+
+    // Strategy A: hold a row-tile of A, stream B once per row-tile.
+    const double tm =
+        std::clamp(std::floor(avail / (k * bits.onChipA)), 1.0, m);
+    const double fetches_b_sA = std::ceil(m / tm);
+    // Strategy B: hold a column-tile of B, stream A once per tile.
+    const double tn =
+        std::clamp(std::floor(avail / (k * bits_b)), 1.0, n);
+    const double fetches_a_sB = std::ceil(n / tn);
+
+    TileDecision d;
+    const double a_traffic_once = m * k * bits.offChipA;
+    const double b_traffic_once = k * n * traffic_b;
+    const double out_traffic = m * n * bits.offChipA;
+
+    const double traffic_sA =
+        (act_resident ? 0.0 : a_traffic_once + out_traffic) +
+        b_traffic_once * fetches_b_sA;
+    const double traffic_sB =
+        (act_resident ? 0.0 : a_traffic_once * fetches_a_sB +
+         out_traffic) +
+        b_traffic_once;
+
+    if (traffic_sA <= traffic_sB) {
+        d.weightFetches = fetches_b_sA;
+        d.actFetches = 1.0;
+        d.trafficBits = traffic_sA * reps;
+        d.tileBits = std::min(avail, tm * k * bits.onChipA) +
+            std::min(avail, b_store);
+    } else {
+        d.weightFetches = 1.0;
+        d.actFetches = fetches_a_sB;
+        d.trafficBits = traffic_sB * reps;
+        d.tileBits = std::min(avail, tn * k * bits_b) +
+            std::min(avail, a_store);
+    }
+    d.tileBits = std::min(d.tileBits, buffer_bits);
+    return d;
+}
+
+double
+maxLayerActivationBits(const Workload &w, double bits_per_act)
+{
+    // Group ops by their "L<i>." prefix and sum activation values
+    // (inputs of act x act GEMMs plus every output).
+    std::map<std::string, double> per_layer;
+    for (const auto &op : w.ops) {
+        const auto dot = op.name.find('.');
+        const std::string layer = op.name.substr(0, dot);
+        double vals = static_cast<double>(op.outValues()) +
+            static_cast<double>(op.aValues());
+        if (!op.weightStatic)
+            vals += static_cast<double>(op.bValues());
+        per_layer[layer] += vals * bits_per_act;
+    }
+    double mx = 0.0;
+    for (const auto &kv : per_layer)
+        mx = std::max(mx, kv.second);
+    return mx;
+}
+
+WorkloadTraffic
+tileWorkload(const Workload &w, const StorageBits &bits,
+             size_t buffer_bytes)
+{
+    const double buffer_bits =
+        static_cast<double>(buffer_bytes) * 8.0;
+    const double act_ws = maxLayerActivationBits(w, bits.onChipA);
+
+    WorkloadTraffic t;
+    t.actResident = act_ws <= buffer_bits / 2.0;
+    const double weight_buffer =
+        t.actResident ? buffer_bits - act_ws : buffer_bits / 2.0;
+
+    double tile_sum = 0.0;
+    for (const auto &op : w.ops) {
+        const TileDecision d =
+            tileGemm(op, bits, weight_buffer, t.actResident);
+        t.totalBits += d.trafficBits;
+        const double b_traffic = static_cast<double>(op.bValues()) *
+            (op.weightStatic ? bits.offChipW : bits.offChipA) *
+            d.weightFetches;
+        if (op.weightStatic)
+            t.weightBits += b_traffic;
+        else
+            t.activationBits += b_traffic;
+        t.activationBits += d.trafficBits - b_traffic;
+        tile_sum += d.tileBits;
+    }
+    // Spilled activations' layer hand-off traffic is already
+    // charged by the per-GEMM A/out terms above.
+    t.avgTileBits = w.ops.empty()
+        ? 0.0
+        : tile_sum / static_cast<double>(w.ops.size());
+    return t;
+}
+
+} // namespace mokey

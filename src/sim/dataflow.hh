@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Tiled-GEMM dataflow optimizer (paper §IV-B: "the dataflow for all
+ * designs is optimized to minimize the number of off-chip
+ * transactions").
+ *
+ * For each GEMM the tiler picks the orientation (hold-A-stream-B vs
+ * hold-B-stream-A) that minimizes off-chip traffic given the on-chip
+ * buffer share available, with half the buffer reserved for double
+ * buffering. Capacity is evaluated at *on-chip* storage width and
+ * traffic at *off-chip* storage width — the distinction that makes
+ * Mokey's compression (4 b off-chip / 5 b on-chip) and the
+ * memory-compression plug-in modes (Figs. 14/15) fall out of one
+ * model.
+ */
+
+#ifndef MOKEY_SIM_DATAFLOW_HH
+#define MOKEY_SIM_DATAFLOW_HH
+
+#include <cstdint>
+
+#include "model/workload.hh"
+
+namespace mokey
+{
+
+/** Storage widths (bits per value, fractional allowed). */
+struct StorageBits
+{
+    double offChipW = 16.0; ///< weight traffic width
+    double offChipA = 16.0; ///< activation traffic width
+    double onChipW = 16.0;  ///< weight buffer width
+    double onChipA = 16.0;  ///< activation buffer width
+};
+
+/** Traffic decision for one GEMM. */
+struct TileDecision
+{
+    double trafficBits = 0.0;   ///< off-chip bits moved
+    double weightFetches = 1.0; ///< times the B operand is fetched
+    double actFetches = 1.0;    ///< times the A operand is fetched
+    double tileBits = 0.0;      ///< resident working set (on-chip)
+};
+
+/**
+ * Tile one GEMM.
+ *
+ * @param op           the GEMM
+ * @param bits         storage widths
+ * @param buffer_bits  on-chip bits available to this GEMM's tiles
+ * @param act_resident activations live on-chip (no A/out traffic)
+ */
+TileDecision tileGemm(const GemmOp &op, const StorageBits &bits,
+                      double buffer_bits, bool act_resident);
+
+/** Aggregate traffic for a whole workload. */
+struct WorkloadTraffic
+{
+    double totalBits = 0.0;
+    double weightBits = 0.0;
+    double activationBits = 0.0;
+    double avgTileBits = 0.0;
+    bool actResident = false;
+
+    double totalBytes() const { return totalBits / 8.0; }
+};
+
+/**
+ * Tile every GEMM of @p w against a buffer of @p buffer_bytes.
+ *
+ * Activations are held resident when the largest per-layer
+ * activation working set fits in half the buffer; the weight tiles
+ * get whatever activations don't use.
+ */
+WorkloadTraffic tileWorkload(const Workload &w, const StorageBits &bits,
+                             size_t buffer_bytes);
+
+/** Largest per-layer activation working set in bits. */
+double maxLayerActivationBits(const Workload &w, double bits_per_act);
+
+} // namespace mokey
+
+#endif // MOKEY_SIM_DATAFLOW_HH

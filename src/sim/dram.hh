@@ -1,0 +1,107 @@
+/**
+ * @file
+ * A DDR4-3200 dual-channel DRAM timing and energy model — the
+ * DRAMSIM3 substitute (see DESIGN.md).
+ *
+ * The accelerator workloads stream large tensors sequentially, so
+ * the model is organized around *streams*: a stream of consecutive
+ * bursts enjoys row-buffer hits; interleaving several streams (the
+ * quantized-value stream plus the OT-pointer stream of Fig. 5, or
+ * tile fetches from different tensors) costs periodic row misses.
+ * Timing parameters follow DDR4-3200 (tCK = 0.625 ns against a 1 GHz
+ * accelerator clock; we express everything in accelerator cycles).
+ */
+
+#ifndef MOKEY_SIM_DRAM_HH
+#define MOKEY_SIM_DRAM_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mokey
+{
+
+/** DDR4-3200 dual-channel configuration. */
+struct DramConfig
+{
+    size_t channels = 2;
+    size_t banksPerChannel = 16;
+    size_t rowBytes = 8192;      ///< row-buffer size per bank
+    size_t burstBytes = 64;      ///< one BL8 x64 access
+    double peakBytesPerCycle = 51.2; ///< 2 ch x 25.6 GB/s at 1 GHz
+
+    // Latencies in accelerator cycles (1 ns each).
+    double tRcd = 14.0; ///< activate-to-read
+    double tRp = 14.0;  ///< precharge
+    double tCl = 14.0;  ///< CAS
+    double tBurst = 2.5; ///< data transfer of one burst at peak BW
+
+    /**
+     * Bytes a tile engine fetches from one stream before switching
+     * to another (DMA chunk). Interleaved streams break row
+     * locality at this granularity — the effect that makes tiled
+     * GEMM traffic run far below peak bandwidth in DRAMSIM3 too.
+     * The 64 B default (one burst per switch) together with
+     * rowMissOverlap = 2 yields ~8 % of peak bandwidth under
+     * multi-stream load, which is what the paper's Table II cycle
+     * counts imply for its DRAMSIM3 configuration.
+     */
+    size_t chunkBytes = 64;
+
+    /**
+     * How many row activations the bank-level parallelism can
+     * overlap with data transfer.
+     */
+    double rowMissOverlap = 2.0;
+
+    double activatePj = 909.0; ///< energy per row activation
+    double readWritePjPerBit = 12.0; ///< IO + array access
+    double backgroundPjPerBit = 48.0; ///< refresh/standby amortized
+};
+
+/** Result of streaming a block of traffic through the model. */
+struct DramResult
+{
+    double cycles = 0.0;
+    double energyJ = 0.0;
+    uint64_t bursts = 0;
+    uint64_t rowActivations = 0;
+
+    void merge(const DramResult &o);
+};
+
+/** Stream-oriented DDR4 model. */
+class DramModel
+{
+  public:
+    explicit DramModel(const DramConfig &cfg = {});
+
+    const DramConfig &config() const { return cfg; }
+
+    /**
+     * Cost of transferring @p bytes split across @p streams
+     * concurrently interleaved sequential streams.
+     *
+     * Each stream walks rows sequentially: one activation per row,
+     * then row-hit bursts. Interleaving @p streams across the
+     * available banks adds conflict misses once streams outnumber
+     * banks.
+     *
+     * @param bytes   total payload
+     * @param streams number of concurrent sequential streams
+     */
+    DramResult stream(uint64_t bytes, size_t streams = 1) const;
+
+    /**
+     * Effective bandwidth (bytes/cycle) for the given stream count —
+     * peak derated by row-miss overhead.
+     */
+    double effectiveBandwidth(size_t streams = 1) const;
+
+  private:
+    DramConfig cfg;
+};
+
+} // namespace mokey
+
+#endif // MOKEY_SIM_DRAM_HH

@@ -1,0 +1,42 @@
+#include "sim/energy_model.hh"
+
+#include <cmath>
+
+namespace mokey
+{
+
+double
+EnergyModel::sramPjPerBit(size_t capacity_bytes) const
+{
+    // 0.05 pJ/bit at 512 KB, sqrt scaling with capacity (longer
+    // word/bit lines), floored for tiny buffers.
+    const double ref = 512.0 * 1024.0;
+    const double s =
+        std::sqrt(static_cast<double>(capacity_bytes) / ref);
+    return 0.05 * (s < 0.25 ? 0.25 : s);
+}
+
+double
+SramAreaModel::area(size_t capacity_bytes) const
+{
+    const double mb =
+        static_cast<double>(capacity_bytes) / (1024.0 * 1024.0);
+    return overheadMm2 + mm2PerMb * mb;
+}
+
+SramAreaModel
+SramAreaModel::wideInterface()
+{
+    // Calibrated to Table III Tensor Cores: 13.2 / 16.8 / 24.7 mm^2
+    // at 256 KB / 512 KB / 1 MB.
+    return SramAreaModel{9.4, 15.2};
+}
+
+SramAreaModel
+SramAreaModel::narrowInterface()
+{
+    // Calibrated to Table III Mokey: 4.7 / 8.0 / 14.6 mm^2.
+    return SramAreaModel{1.4, 13.2};
+}
+
+} // namespace mokey

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Energy and area models (paper §IV-B).
+ *
+ * The paper's per-operation numbers come from post-layout synthesis
+ * at 65 nm / 1 GHz plus CACTI for SRAMs. We cannot run Synopsys
+ * tooling here, so per-op constants are calibrated to the published
+ * aggregates (Tables II and III): an FP16 tensor-core lane burns
+ * ~7.7 pJ/MAC all-in, a Mokey Gaussian pair ~2.85 pJ (the paper's
+ * "2.7x less energy" per unit), buffer areas reproduce the Table III
+ * area rows, and DRAM energy per bit is set so the published
+ * off-chip/compute energy split (~82 % at 256 KB) holds. The *model
+ * structure* (how energy scales with traffic, capacity, width) is
+ * what the experiments exercise; the constants anchor it to the
+ * paper's technology point.
+ */
+
+#ifndef MOKEY_SIM_ENERGY_MODEL_HH
+#define MOKEY_SIM_ENERGY_MODEL_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mokey
+{
+
+/** Technology constants, all per-op energies in pJ. */
+struct EnergyModel
+{
+    // Compute.
+    double fp16MacPj = 7.7;       ///< tensor-core lane, all-in
+    double goboOpPj = 4.6;        ///< GOBO FP16 accumulate lane
+    double mokeyGaussPairPj = 2.85; ///< GPE index add + CRF bump
+    double mokeyOutlierMacPj = 8.5; ///< OPP LUT + 16 b MAC
+    double mokeyPostprocessPj = 12.0; ///< per output activation
+
+    // Memory.
+    double dramPjPerBit = 60.0;   ///< DDR4 incl. background power
+
+    /**
+     * On-chip buffer read/write energy per bit, CACTI-like scaling:
+     * grows with the square root of capacity.
+     *
+     * @param capacity_bytes buffer capacity
+     */
+    double sramPjPerBit(size_t capacity_bytes) const;
+};
+
+/**
+ * Buffer area model calibrated to Table III.
+ *
+ * Area = interface overhead (proportional to the datapath width the
+ * buffer must feed) + capacity-proportional cell area. Mokey's 5 b
+ * interfaces shrink the overhead term by ~6x.
+ */
+struct SramAreaModel
+{
+    double overheadMm2;   ///< width-dependent fixed term
+    double mm2PerMb;      ///< cell-array slope
+
+    double area(size_t capacity_bytes) const;
+
+    /** Wide 16 b-interface buffers (Tensor Cores, GOBO). */
+    static SramAreaModel wideInterface();
+
+    /** Narrow 5 b-interface buffers (Mokey). */
+    static SramAreaModel narrowInterface();
+};
+
+} // namespace mokey
+
+#endif // MOKEY_SIM_ENERGY_MODEL_HH

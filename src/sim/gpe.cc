@@ -1,0 +1,147 @@
+#include "sim/gpe.hh"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace mokey
+{
+
+double
+TileResult::throughput() const
+{
+    return cycles ? static_cast<double>(pairsProcessed) /
+        static_cast<double>(cycles) : 0.0;
+}
+
+TileSim::TileSim(const TileConfig &config) : cfg(config)
+{
+    MOKEY_ASSERT(cfg.gpes >= 1 && cfg.lanesPerGpe >= 1 &&
+                 cfg.oppPerCycle >= 1, "degenerate tile");
+}
+
+TileResult
+TileSim::run(const std::vector<std::vector<PairEvent>> &streams,
+             size_t outputs) const
+{
+    MOKEY_ASSERT(streams.size() <= cfg.gpes,
+                 "%zu streams for %zu GPEs", streams.size(),
+                 cfg.gpes);
+
+    struct GpeState
+    {
+        size_t next = 0;                ///< stream cursor
+        std::deque<PairEvent> pending;  ///< outliers awaiting OPP
+        CrfSim soi{15, 8};
+        CrfSim soa1{8, 8};
+        CrfSim sow1{8, 8};
+        CrfSim pom1{1, 8};
+    };
+    std::vector<GpeState> gpes(streams.size());
+    for (size_t g = 0; g < gpes.size(); ++g) {
+        gpes[g].soi = CrfSim(15, cfg.counterBits);
+        gpes[g].soa1 = CrfSim(8, cfg.counterBits);
+        gpes[g].sow1 = CrfSim(8, cfg.counterBits);
+        gpes[g].pom1 = CrfSim(1, cfg.counterBits);
+    }
+
+    TileResult res;
+    auto all_done = [&]() {
+        for (size_t g = 0; g < gpes.size(); ++g) {
+            if (gpes[g].next < streams[g].size() ||
+                !gpes[g].pending.empty())
+                return false;
+        }
+        return true;
+    };
+
+    while (!all_done()) {
+        ++res.cycles;
+
+        // Phase 1: every un-held GPE consumes its next group.
+        for (size_t g = 0; g < gpes.size(); ++g) {
+            GpeState &st = gpes[g];
+            if (!st.pending.empty()) {
+                ++res.holdCycles; // channel stalled this cycle
+                continue;
+            }
+            const size_t take = std::min(
+                cfg.lanesPerGpe, streams[g].size() - st.next);
+            for (size_t i = 0; i < take; ++i) {
+                const PairEvent &e = streams[g][st.next + i];
+                if (e.isOutlier) {
+                    st.pending.push_back(e);
+                    ++res.outlierPairs;
+                } else {
+                    uint64_t d = 0;
+                    d += st.soi.bump(e.sumIndex, e.sign);
+                    d += st.soa1.bump(e.idxA, e.sign);
+                    d += st.sow1.bump(e.idxW, e.sign);
+                    d += st.pom1.bump(0, e.sign);
+                    res.crfDrains += d;
+                }
+            }
+            st.next += take;
+            res.pairsProcessed += take;
+        }
+
+        // Phase 2: the OPP drains outliers, lowest-index GPE first
+        // (the serial leading-one detector).
+        size_t capacity = cfg.oppPerCycle;
+        bool busy = false;
+        for (size_t g = 0; g < gpes.size() && capacity > 0; ++g) {
+            while (capacity > 0 && !gpes[g].pending.empty()) {
+                gpes[g].pending.pop_front();
+                --capacity;
+                busy = true;
+            }
+        }
+        if (busy)
+            ++res.oppBusyCycles;
+    }
+
+    // Post-processing: one serial CRF scan per output activation,
+    // plus mid-reduction drains that went through the same port.
+    res.cycles += (outputs + res.crfDrains) * cfg.postprocessCycles;
+    return res;
+}
+
+TileResult
+TileSim::runSynthetic(size_t pairs_per_gpe, double outlier_prob,
+                      size_t outputs, uint64_t seed) const
+{
+    Rng rng(seed);
+    std::vector<std::vector<PairEvent>> streams(cfg.gpes);
+    for (auto &s : streams) {
+        s.reserve(pairs_per_gpe);
+        for (size_t i = 0; i < pairs_per_gpe; ++i) {
+            PairEvent e;
+            e.isOutlier = rng.uniform() < outlier_prob;
+            e.idxA = static_cast<uint8_t>(rng.uniformInt(8));
+            e.idxW = static_cast<uint8_t>(rng.uniformInt(8));
+            e.sumIndex = static_cast<uint8_t>(e.idxA + e.idxW);
+            e.sign = rng.uniform() < 0.5 ? 1 : -1;
+            s.push_back(e);
+        }
+    }
+    return run(streams, outputs);
+}
+
+double
+TileSim::analyticThroughput(double outlier_prob) const
+{
+    const double peak =
+        static_cast<double>(cfg.gpes * cfg.lanesPerGpe);
+    if (outlier_prob <= 0.0)
+        return peak;
+    // The OPP retires oppPerCycle outliers per cycle; once the
+    // arrival rate peak * p exceeds that, holds throttle the tile to
+    // the rate the OPP can sustain.
+    const double opp_limited =
+        static_cast<double>(cfg.oppPerCycle) / outlier_prob;
+    return std::min(peak, opp_limited);
+}
+
+} // namespace mokey

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Cycle-level model of one Mokey tile (paper §III-B, Fig. 6).
+ *
+ * A tile is 8 cascaded Gaussian PEs sharing one outlier /
+ * post-processing unit. Per cycle each un-held GPE consumes a group
+ * of up to 8 (activation, weight) pairs; Gaussian pairs bump the
+ * CRFs immediately, outlier pairs must pass through the OPP. The
+ * serial leading-one detector grants the OPP to the lowest-indexed
+ * GPE with a pending outlier; every other GPE with pending outliers
+ * asserts hold and stalls its input channel.
+ *
+ * This model is driven with real code streams (from quantized
+ * tensors) or synthetic outlier patterns, and is used to validate
+ * the analytic throughput model inside the accelerator simulator.
+ */
+
+#ifndef MOKEY_SIM_GPE_HH
+#define MOKEY_SIM_GPE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/crf.hh"
+
+namespace mokey
+{
+
+/** One multiply pair presented to the tile. */
+struct PairEvent
+{
+    bool isOutlier;
+    uint8_t sumIndex;   ///< idxA + idxW (Gaussian pairs)
+    uint8_t idxA;
+    uint8_t idxW;
+    int8_t sign;        ///< +1 / -1
+};
+
+/** Tile configuration. */
+struct TileConfig
+{
+    size_t gpes = 8;           ///< GPEs per tile
+    size_t lanesPerGpe = 8;    ///< pairs consumed per GPE per cycle
+    size_t oppPerCycle = 2;    ///< outlier MACs the OPP retires/cycle
+    unsigned counterBits = 8;  ///< CRF counter width
+    size_t postprocessCycles = 33; ///< serial CRF scan per output
+};
+
+/** Outcome of a tile run. */
+struct TileResult
+{
+    uint64_t cycles = 0;          ///< total cycles including stalls
+    uint64_t holdCycles = 0;      ///< GPE-cycles lost to hold
+    uint64_t oppBusyCycles = 0;   ///< cycles the OPP serviced outliers
+    uint64_t crfDrains = 0;       ///< mid-reduction CRF drains
+    uint64_t pairsProcessed = 0;
+    uint64_t outlierPairs = 0;
+
+    /** Pairs retired per cycle. */
+    double throughput() const;
+};
+
+/** Cycle-level simulator for one tile. */
+class TileSim
+{
+  public:
+    explicit TileSim(const TileConfig &cfg = {});
+
+    /**
+     * Run one reduction: each GPE receives its own pair stream
+     * (streams may differ in length; shorter ones idle at the end).
+     * Post-processing for @p outputs output activations is appended
+     * serially at the end.
+     */
+    TileResult run(const std::vector<std::vector<PairEvent>> &streams,
+                   size_t outputs) const;
+
+    /**
+     * Convenience: synthetic streams of @p pairs_per_gpe pairs with
+     * Bernoulli(@p outlier_prob) outliers.
+     */
+    TileResult runSynthetic(size_t pairs_per_gpe, double outlier_prob,
+                            size_t outputs, uint64_t seed) const;
+
+    const TileConfig &config() const { return cfg; }
+
+    /**
+     * Analytic throughput estimate (pairs/cycle for the whole tile)
+     * for the given outlier-pair probability — the closed form the
+     * accelerator simulator uses. The cycle model validates it.
+     */
+    double analyticThroughput(double outlier_prob) const;
+
+  private:
+    TileConfig cfg;
+};
+
+} // namespace mokey
+
+#endif // MOKEY_SIM_GPE_HH

@@ -1,0 +1,158 @@
+#include "tensor/ops.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace mokey
+{
+
+Tensor
+matmul(const Tensor &a, const Tensor &b)
+{
+    MOKEY_ASSERT(a.cols() == b.rows(), "matmul shape mismatch "
+                 "%zux%zu * %zux%zu", a.rows(), a.cols(), b.rows(),
+                 b.cols());
+    Tensor c(a.rows(), b.cols());
+    const size_t m = a.rows(), k = a.cols(), n = b.cols();
+    for (size_t i = 0; i < m; ++i) {
+        float *crow = c.row(i);
+        const float *arow = a.row(i);
+        for (size_t p = 0; p < k; ++p) {
+            const float av = arow[p];
+            const float *brow = b.row(p);
+            for (size_t j = 0; j < n; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+    return c;
+}
+
+Tensor
+matmulTransB(const Tensor &a, const Tensor &b)
+{
+    MOKEY_ASSERT(a.cols() == b.cols(), "matmulTransB shape mismatch");
+    Tensor c(a.rows(), b.rows());
+    const size_t m = a.rows(), k = a.cols(), n = b.rows();
+    for (size_t i = 0; i < m; ++i) {
+        const float *arow = a.row(i);
+        for (size_t j = 0; j < n; ++j) {
+            const float *brow = b.row(j);
+            double acc = 0.0;
+            for (size_t p = 0; p < k; ++p)
+                acc += static_cast<double>(arow[p]) * brow[p];
+            c.at(i, j) = static_cast<float>(acc);
+        }
+    }
+    return c;
+}
+
+void
+addBias(Tensor &t, const std::vector<float> &bias)
+{
+    MOKEY_ASSERT(bias.size() == t.cols(), "bias length mismatch");
+    for (size_t r = 0; r < t.rows(); ++r) {
+        float *row = t.row(r);
+        for (size_t c = 0; c < t.cols(); ++c)
+            row[c] += bias[c];
+    }
+}
+
+void
+softmaxRows(Tensor &t)
+{
+    for (size_t r = 0; r < t.rows(); ++r) {
+        float *row = t.row(r);
+        const float mx = *std::max_element(row, row + t.cols());
+        double sum = 0.0;
+        for (size_t c = 0; c < t.cols(); ++c) {
+            row[c] = std::exp(row[c] - mx);
+            sum += row[c];
+        }
+        const auto inv = static_cast<float>(1.0 / sum);
+        for (size_t c = 0; c < t.cols(); ++c)
+            row[c] *= inv;
+    }
+}
+
+void
+scale(Tensor &t, float s)
+{
+    for (auto &v : t.raw())
+        v *= s;
+}
+
+void
+layerNormRows(Tensor &t, float eps)
+{
+    for (size_t r = 0; r < t.rows(); ++r) {
+        float *row = t.row(r);
+        double sum = 0.0;
+        for (size_t c = 0; c < t.cols(); ++c)
+            sum += row[c];
+        const double mean = sum / static_cast<double>(t.cols());
+        double var = 0.0;
+        for (size_t c = 0; c < t.cols(); ++c) {
+            const double d = row[c] - mean;
+            var += d * d;
+        }
+        var /= static_cast<double>(t.cols());
+        const double inv = 1.0 / std::sqrt(var + eps);
+        for (size_t c = 0; c < t.cols(); ++c)
+            row[c] = static_cast<float>((row[c] - mean) * inv);
+    }
+}
+
+void
+gelu(Tensor &t)
+{
+    for (auto &v : t.raw()) {
+        const double x = v;
+        v = static_cast<float>(0.5 * x * (1.0 + std::erf(x * M_SQRT1_2)));
+    }
+}
+
+Tensor
+add(const Tensor &a, const Tensor &b)
+{
+    MOKEY_ASSERT(a.rows() == b.rows() && a.cols() == b.cols(),
+                 "add shape mismatch");
+    Tensor c(a.rows(), a.cols());
+    for (size_t i = 0; i < a.size(); ++i)
+        c.raw()[i] = a.raw()[i] + b.raw()[i];
+    return c;
+}
+
+double
+maxAbsDiff(const Tensor &a, const Tensor &b)
+{
+    MOKEY_ASSERT(a.size() == b.size(), "diff shape mismatch");
+    double mx = 0.0;
+    for (size_t i = 0; i < a.size(); ++i)
+        mx = std::max(mx, std::abs(static_cast<double>(a.raw()[i]) -
+                                   b.raw()[i]));
+    return mx;
+}
+
+double
+meanAbsDiff(const Tensor &a, const Tensor &b)
+{
+    MOKEY_ASSERT(a.size() == b.size(), "diff shape mismatch");
+    MOKEY_ASSERT(a.size() > 0, "diff of empty tensors");
+    double sum = 0.0;
+    for (size_t i = 0; i < a.size(); ++i)
+        sum += std::abs(static_cast<double>(a.raw()[i]) - b.raw()[i]);
+    return sum / static_cast<double>(a.size());
+}
+
+double
+frobeniusNorm(const Tensor &a)
+{
+    double sum = 0.0;
+    for (float v : a.raw())
+        sum += static_cast<double>(v) * v;
+    return std::sqrt(sum);
+}
+
+} // namespace mokey

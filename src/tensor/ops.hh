@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Dense float reference kernels: GEMM, softmax, layer-norm, GELU.
+ *
+ * These are the FP32 reference implementations that (a) drive the
+ * synthetic transformer models and (b) serve as the gold output that
+ * the index-domain fixed-point pipeline is verified against.
+ */
+
+#ifndef MOKEY_TENSOR_OPS_HH
+#define MOKEY_TENSOR_OPS_HH
+
+#include "tensor/tensor.hh"
+
+namespace mokey
+{
+
+/** C = A (m x k) * B (k x n). */
+Tensor matmul(const Tensor &a, const Tensor &b);
+
+/** C = A (m x k) * B^T where B is (n x k). */
+Tensor matmulTransB(const Tensor &a, const Tensor &b);
+
+/** In place: add a per-column bias vector to every row. */
+void addBias(Tensor &t, const std::vector<float> &bias);
+
+/** In place: row-wise softmax. */
+void softmaxRows(Tensor &t);
+
+/** In place: scale every element. */
+void scale(Tensor &t, float s);
+
+/** In place: layer normalization over each row (gain 1, bias 0). */
+void layerNormRows(Tensor &t, float eps = 1e-5f);
+
+/** In place: exact (erf-based) GELU. */
+void gelu(Tensor &t);
+
+/** Element-wise sum (shapes must match). */
+Tensor add(const Tensor &a, const Tensor &b);
+
+/** Max |a - b| over all elements (shapes must match). */
+double maxAbsDiff(const Tensor &a, const Tensor &b);
+
+/** Mean |a - b| over all elements (shapes must match). */
+double meanAbsDiff(const Tensor &a, const Tensor &b);
+
+/** Frobenius norm of @p a. */
+double frobeniusNorm(const Tensor &a);
+
+} // namespace mokey
+
+#endif // MOKEY_TENSOR_OPS_HH

@@ -1,0 +1,39 @@
+#include "tensor/tensor.hh"
+
+#include "common/logging.hh"
+
+namespace mokey
+{
+
+Tensor::Tensor() : nRows(0), nCols(0) {}
+
+Tensor::Tensor(size_t rows, size_t cols)
+    : nRows(rows), nCols(cols), buf(rows * cols, 0.0f)
+{
+}
+
+Tensor::Tensor(size_t rows, size_t cols, std::vector<float> data)
+    : nRows(rows), nCols(cols), buf(std::move(data))
+{
+    MOKEY_ASSERT(buf.size() == rows * cols,
+                 "tensor data size %zu != %zux%zu", buf.size(), rows,
+                 cols);
+}
+
+Tensor
+Tensor::transposed() const
+{
+    Tensor t(nCols, nRows);
+    for (size_t r = 0; r < nRows; ++r)
+        for (size_t c = 0; c < nCols; ++c)
+            t.at(c, r) = at(r, c);
+    return t;
+}
+
+size_t
+Tensor::footprintBytes(size_t bits_per_value) const
+{
+    return (buf.size() * bits_per_value + 7) / 8;
+}
+
+} // namespace mokey

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * A minimal dense row-major float matrix.
+ *
+ * Transformer inference decomposes into 2-D GEMMs once the batch and
+ * head dimensions are folded into rows, so a matrix (rather than a
+ * general N-D tensor) is the right primitive for this reproduction.
+ */
+
+#ifndef MOKEY_TENSOR_TENSOR_HH
+#define MOKEY_TENSOR_TENSOR_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace mokey
+{
+
+/** Dense row-major matrix of 32 b floats. */
+class Tensor
+{
+  public:
+    /** An empty 0x0 tensor. */
+    Tensor();
+
+    /** A zero-initialized rows x cols tensor. */
+    Tensor(size_t rows, size_t cols);
+
+    /** Wrap existing data (size must be rows*cols). */
+    Tensor(size_t rows, size_t cols, std::vector<float> data);
+
+    size_t rows() const { return nRows; }
+    size_t cols() const { return nCols; }
+    size_t size() const { return buf.size(); }
+
+    float &at(size_t r, size_t c) { return buf[r * nCols + c]; }
+    float at(size_t r, size_t c) const { return buf[r * nCols + c]; }
+
+    float *data() { return buf.data(); }
+    const float *data() const { return buf.data(); }
+
+    std::vector<float> &raw() { return buf; }
+    const std::vector<float> &raw() const { return buf; }
+
+    /** Pointer to the start of row @p r. */
+    float *row(size_t r) { return buf.data() + r * nCols; }
+    const float *row(size_t r) const { return buf.data() + r * nCols; }
+
+    /** Transposed copy. */
+    Tensor transposed() const;
+
+    /** Memory footprint at @p bits_per_value bits per element. */
+    size_t footprintBytes(size_t bits_per_value) const;
+
+  private:
+    size_t nRows;
+    size_t nCols;
+    std::vector<float> buf;
+};
+
+} // namespace mokey
+
+#endif // MOKEY_TENSOR_TENSOR_HH

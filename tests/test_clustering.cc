@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Unit + property tests for the 1-D clustering substrate.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "clustering/agglomerative1d.hh"
+#include "clustering/kmeans1d.hh"
+#include "common/rng.hh"
+
+namespace mokey
+{
+namespace
+{
+
+TEST(Agglomerative1d, SingleCluster)
+{
+    const std::vector<float> v{1, 2, 3, 4};
+    const auto r = agglomerative1d(v, 1);
+    ASSERT_EQ(r.centroids.size(), 1u);
+    EXPECT_DOUBLE_EQ(r.centroids[0], 2.5);
+    EXPECT_EQ(r.sizes[0], 4u);
+}
+
+TEST(Agglomerative1d, KEqualsNIsIdentity)
+{
+    const std::vector<float> v{4, 1, 3, 2};
+    const auto r = agglomerative1d(v, 4);
+    ASSERT_EQ(r.centroids.size(), 4u);
+    EXPECT_DOUBLE_EQ(r.centroids[0], 1.0);
+    EXPECT_DOUBLE_EQ(r.centroids[3], 4.0);
+    EXPECT_NEAR(r.inertia, 0.0, 1e-12);
+}
+
+TEST(Agglomerative1d, ObviousTwoClusters)
+{
+    const std::vector<float> v{0.0, 0.1, 0.2, 10.0, 10.1, 10.2};
+    const auto r = agglomerative1d(v, 2);
+    ASSERT_EQ(r.centroids.size(), 2u);
+    EXPECT_NEAR(r.centroids[0], 0.1, 1e-6);
+    EXPECT_NEAR(r.centroids[1], 10.1, 1e-6);
+    EXPECT_EQ(r.sizes[0], 3u);
+    EXPECT_EQ(r.sizes[1], 3u);
+}
+
+TEST(Agglomerative1d, CentroidsSortedAndSizesSum)
+{
+    Rng rng(17);
+    const auto v = rng.gaussianVector(5000, 0.0, 1.0);
+    const auto r = agglomerative1d(v, 16);
+    ASSERT_EQ(r.centroids.size(), 16u);
+    EXPECT_TRUE(std::is_sorted(r.centroids.begin(),
+                               r.centroids.end()));
+    size_t total = 0;
+    for (size_t s : r.sizes)
+        total += s;
+    EXPECT_EQ(total, v.size());
+}
+
+TEST(Agglomerative1d, GaussianCentroidsRoughlySymmetric)
+{
+    Rng rng(23);
+    const auto v = rng.gaussianVector(50000, 0.0, 1.0);
+    const auto r = agglomerative1d(v, 16);
+    // Mirrored magnitudes should be close for a symmetric source.
+    for (size_t j = 0; j < 8; ++j) {
+        const double pos = r.centroids[8 + j];
+        const double neg = -r.centroids[7 - j];
+        // Single-trial clustering is noisy; the golden-dictionary
+        // averaging (tested in test_quant) tightens this further.
+        EXPECT_NEAR(pos, neg, 0.4) << "pair " << j;
+    }
+}
+
+TEST(Agglomerative1d, DenseCenterBins)
+{
+    // For a Gaussian, inner clusters hold more points than outer.
+    Rng rng(29);
+    const auto v = rng.gaussianVector(50000, 0.0, 1.0);
+    const auto r = agglomerative1d(v, 16);
+    const size_t inner = r.sizes[7] + r.sizes[8];
+    const size_t outer = r.sizes[0] + r.sizes[15];
+    EXPECT_GT(inner, outer);
+}
+
+TEST(Agglomerative1d, InertiaDecreasesWithK)
+{
+    Rng rng(31);
+    const auto v = rng.gaussianVector(2000, 0.0, 1.0);
+    double prev = agglomerative1d(v, 2).inertia;
+    for (size_t k : {4u, 8u, 16u, 32u}) {
+        const double cur = agglomerative1d(v, k).inertia;
+        EXPECT_LT(cur, prev) << "k=" << k;
+        prev = cur;
+    }
+}
+
+TEST(Agglomerative1d, WardMatchesBruteForceSmall)
+{
+    // Brute-force greedy Ward merging on a small set must match the
+    // heap implementation exactly.
+    Rng rng(37);
+    std::vector<float> v;
+    for (int i = 0; i < 40; ++i)
+        v.push_back(static_cast<float>(rng.uniform(-2.0, 2.0)));
+
+    const auto fast = agglomerative1d(v, 5);
+
+    // Brute force: clusters as (sum, n) pairs over sorted data.
+    std::vector<float> s(v);
+    std::sort(s.begin(), s.end());
+    std::vector<std::pair<double, size_t>> cl;
+    for (float x : s)
+        cl.push_back({x, 1});
+    while (cl.size() > 5) {
+        size_t best = 0;
+        double best_cost = 1e300;
+        for (size_t i = 0; i + 1 < cl.size(); ++i) {
+            const double ma = cl[i].first /
+                static_cast<double>(cl[i].second);
+            const double mb = cl[i + 1].first /
+                static_cast<double>(cl[i + 1].second);
+            const double cost = static_cast<double>(cl[i].second) *
+                static_cast<double>(cl[i + 1].second) /
+                static_cast<double>(cl[i].second + cl[i + 1].second) *
+                (ma - mb) * (ma - mb);
+            if (cost < best_cost) {
+                best_cost = cost;
+                best = i;
+            }
+        }
+        cl[best].first += cl[best + 1].first;
+        cl[best].second += cl[best + 1].second;
+        cl.erase(cl.begin() + static_cast<long>(best) + 1);
+    }
+    ASSERT_EQ(fast.centroids.size(), cl.size());
+    for (size_t i = 0; i < cl.size(); ++i) {
+        EXPECT_NEAR(fast.centroids[i],
+                    cl[i].first / static_cast<double>(cl[i].second),
+                    1e-9);
+    }
+}
+
+TEST(NearestCentroid, PicksClosest)
+{
+    const std::vector<double> c{-2.0, 0.0, 3.0};
+    EXPECT_EQ(nearestCentroid(c, -5.0), 0u);
+    EXPECT_EQ(nearestCentroid(c, -0.9), 1u);
+    EXPECT_EQ(nearestCentroid(c, 1.6), 2u);
+    EXPECT_EQ(nearestCentroid(c, 100.0), 2u);
+}
+
+TEST(NearestCentroid, TieGoesLow)
+{
+    const std::vector<double> c{0.0, 2.0};
+    EXPECT_EQ(nearestCentroid(c, 1.0), 0u);
+}
+
+TEST(Kmeans1d, ObviousTwoClusters)
+{
+    const std::vector<float> v{0.0, 0.1, 0.2, 10.0, 10.1, 10.2};
+    const auto r = kmeans1d(v, 2);
+    ASSERT_EQ(r.centroids.size(), 2u);
+    EXPECT_NEAR(r.centroids[0], 0.1, 1e-6);
+    EXPECT_NEAR(r.centroids[1], 10.1, 1e-6);
+}
+
+TEST(Kmeans1d, CentroidsSorted)
+{
+    Rng rng(41);
+    const auto v = rng.gaussianVector(5000, 1.0, 2.0);
+    const auto r = kmeans1d(v, 8);
+    EXPECT_TRUE(std::is_sorted(r.centroids.begin(),
+                               r.centroids.end()));
+}
+
+TEST(Kmeans1d, SeedSensitivity)
+{
+    // The paper's argument for agglomerative clustering: k-means
+    // results depend on initialization. Different jitter seeds may
+    // produce different inertia; the deterministic run must be
+    // reproducible.
+    Rng rng(43);
+    const auto v = rng.gaussianVector(2000, 0.0, 1.0);
+    const auto a = kmeans1d(v, 16);
+    const auto b = kmeans1d(v, 16);
+    ASSERT_EQ(a.centroids.size(), b.centroids.size());
+    for (size_t i = 0; i < a.centroids.size(); ++i)
+        EXPECT_DOUBLE_EQ(a.centroids[i], b.centroids[i]);
+}
+
+TEST(Kmeans1d, InertiaNoWorseThanAgglomerativeStart)
+{
+    // Lloyd refinement should land near (often below) the
+    // agglomerative inertia on smooth data.
+    Rng rng(47);
+    const auto v = rng.gaussianVector(20000, 0.0, 1.0);
+    const auto km = kmeans1d(v, 16);
+    const auto ac = agglomerative1d(v, 16);
+    EXPECT_LT(km.inertia, ac.inertia * 1.5);
+}
+
+class ClusterCountSweep : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(ClusterCountSweep, SizesPartitionInput)
+{
+    Rng rng(53);
+    const auto v = rng.gaussianVector(3000, 0.0, 1.0);
+    const size_t k = GetParam();
+    for (const auto &r : {agglomerative1d(v, k), kmeans1d(v, k)}) {
+        ASSERT_EQ(r.centroids.size(), k);
+        size_t total = 0;
+        for (size_t s : r.sizes)
+            total += s;
+        EXPECT_EQ(total, v.size());
+        EXPECT_TRUE(std::is_sorted(r.centroids.begin(),
+                                   r.centroids.end()));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ClusterCountSweep,
+                         ::testing::Values(2, 4, 8, 16, 32, 64));
+
+} // anonymous namespace
+} // namespace mokey

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Unit tests for src/common: RNG, statistics, fixed-point.
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/fixed_point.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+
+namespace mokey
+{
+namespace
+{
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    bool any_diff = false;
+    for (int i = 0; i < 16; ++i)
+        any_diff |= a.next() != b.next();
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespected)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = r.uniform(-3.0, 5.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformIntBounded)
+{
+    Rng r(3);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.uniformInt(17), 17u);
+}
+
+TEST(Rng, UniformIntCoversAllResidues)
+{
+    Rng r(3);
+    std::vector<int> seen(8, 0);
+    for (int i = 0; i < 4000; ++i)
+        ++seen[r.uniformInt(8)];
+    for (int c : seen)
+        EXPECT_GT(c, 0);
+}
+
+TEST(Rng, GaussianMomentsConverge)
+{
+    Rng r(11);
+    RunningStats st;
+    for (int i = 0; i < 200000; ++i)
+        st.add(r.gaussian());
+    EXPECT_NEAR(st.mean(), 0.0, 0.02);
+    EXPECT_NEAR(st.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, GaussianShiftScale)
+{
+    Rng r(11);
+    RunningStats st;
+    for (int i = 0; i < 100000; ++i)
+        st.add(r.gaussian(5.0, 2.0));
+    EXPECT_NEAR(st.mean(), 5.0, 0.05);
+    EXPECT_NEAR(st.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, GaussianVectorLengthAndMoments)
+{
+    Rng r(13);
+    const auto v = r.gaussianVector(50000, -1.0, 0.5);
+    ASSERT_EQ(v.size(), 50000u);
+    RunningStats st;
+    st.addAll(v);
+    EXPECT_NEAR(st.mean(), -1.0, 0.02);
+    EXPECT_NEAR(st.stddev(), 0.5, 0.02);
+}
+
+TEST(RunningStats, EmptyIsSane)
+{
+    RunningStats st;
+    EXPECT_EQ(st.count(), 0u);
+    EXPECT_EQ(st.mean(), 0.0);
+    EXPECT_EQ(st.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue)
+{
+    RunningStats st;
+    st.add(3.5);
+    EXPECT_EQ(st.count(), 1u);
+    EXPECT_DOUBLE_EQ(st.mean(), 3.5);
+    EXPECT_DOUBLE_EQ(st.min(), 3.5);
+    EXPECT_DOUBLE_EQ(st.max(), 3.5);
+}
+
+TEST(RunningStats, MatchesClosedForm)
+{
+    RunningStats st;
+    const std::vector<float> xs{1, 2, 3, 4, 5, 6, 7, 8};
+    st.addAll(xs);
+    EXPECT_DOUBLE_EQ(st.mean(), 4.5);
+    // Population variance of 1..8.
+    EXPECT_NEAR(st.variance(), 5.25, 1e-12);
+    EXPECT_DOUBLE_EQ(st.min(), 1.0);
+    EXPECT_DOUBLE_EQ(st.max(), 8.0);
+}
+
+TEST(RunningStats, MergeEqualsSinglePass)
+{
+    Rng r(5);
+    const auto v = r.gaussianVector(10000, 2.0, 3.0);
+    RunningStats whole, lo, hi;
+    whole.addAll(v);
+    for (size_t i = 0; i < v.size(); ++i)
+        (i < 3000 ? lo : hi).add(v[i]);
+    lo.merge(hi);
+    EXPECT_EQ(lo.count(), whole.count());
+    EXPECT_NEAR(lo.mean(), whole.mean(), 1e-9);
+    EXPECT_NEAR(lo.variance(), whole.variance(), 1e-7);
+}
+
+TEST(RunningStats, MergeWithEmpty)
+{
+    RunningStats a, b;
+    a.add(1.0);
+    a.add(2.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    b.merge(a);
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(Quantile, EndpointsAndMedian)
+{
+    const std::vector<float> v{5, 1, 3, 2, 4};
+    EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(quantile(v, 1.0), 5.0);
+    EXPECT_DOUBLE_EQ(quantile(v, 0.5), 3.0);
+}
+
+TEST(Quantile, Interpolates)
+{
+    const std::vector<float> v{0, 10};
+    EXPECT_DOUBLE_EQ(quantile(v, 0.25), 2.5);
+}
+
+TEST(Histogram, CountsAndClamping)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.5);
+    h.add(9.5);
+    h.add(-100.0); // clamps into bin 0
+    h.add(100.0);  // clamps into bin 9
+    EXPECT_EQ(h.binCount(0), 2u);
+    EXPECT_EQ(h.binCount(9), 2u);
+    EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, BinCenters)
+{
+    Histogram h(0.0, 10.0, 10);
+    EXPECT_DOUBLE_EQ(h.binCenter(0), 0.5);
+    EXPECT_DOUBLE_EQ(h.binCenter(9), 9.5);
+}
+
+TEST(FixedFormat, ForRangeMatchesEq7)
+{
+    // Range [0, 4): span 4 -> 2 integer bits -> 14 fractional bits.
+    const auto f = FixedFormat::forRange(16, 0.0, 4.0);
+    EXPECT_EQ(f.totalBits, 16);
+    EXPECT_EQ(f.fracBits, 14);
+}
+
+TEST(FixedFormat, SmallRangeGainsFraction)
+{
+    // Span 0.25 -> -2 integer bits -> 18 fractional bits.
+    const auto f = FixedFormat::forRange(16, -0.125, 0.125);
+    EXPECT_EQ(f.fracBits, 18);
+}
+
+TEST(FixedFormat, ResolutionAndBounds)
+{
+    const FixedFormat f{16, 8};
+    EXPECT_DOUBLE_EQ(f.resolution(), 1.0 / 256.0);
+    EXPECT_EQ(f.rawMax(), 32767);
+    EXPECT_EQ(f.rawMin(), -32768);
+    EXPECT_DOUBLE_EQ(f.maxValue(), 32767.0 / 256.0);
+}
+
+TEST(FixedPoint, RoundTripWithinResolution)
+{
+    const FixedFormat f{16, 10};
+    Rng r(99);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = r.uniform(-30.0, 30.0);
+        const double q = quantizeToFixed(v, f);
+        EXPECT_NEAR(q, v, f.resolution() / 2.0 + 1e-12);
+    }
+}
+
+TEST(FixedPoint, SaturatesAtBounds)
+{
+    const FixedFormat f{16, 8};
+    EXPECT_EQ(toFixedRaw(1e9, f), f.rawMax());
+    EXPECT_EQ(toFixedRaw(-1e9, f), f.rawMin());
+}
+
+TEST(FixedPoint, MulMatchesFloat)
+{
+    const FixedFormat fa{16, 10}, fb{16, 12}, fo{32, 16};
+    Rng r(123);
+    for (int i = 0; i < 1000; ++i) {
+        const double a = r.uniform(-20.0, 20.0);
+        const double b = r.uniform(-5.0, 5.0);
+        const int64_t ra = toFixedRaw(a, fa);
+        const int64_t rb = toFixedRaw(b, fb);
+        const int64_t rp = fixedMul(ra, fa, rb, fb, fo);
+        const double qa = fromFixedRaw(ra, fa);
+        const double qb = fromFixedRaw(rb, fb);
+        EXPECT_NEAR(fromFixedRaw(rp, fo), qa * qb,
+                    fo.resolution());
+    }
+}
+
+TEST(FixedPoint, RescalePreservesValue)
+{
+    const FixedFormat from{16, 12}, to{16, 8};
+    const int64_t raw = toFixedRaw(3.14159, from);
+    const int64_t r2 = fixedRescale(raw, from, to);
+    EXPECT_NEAR(fromFixedRaw(r2, to), 3.14159, to.resolution());
+}
+
+TEST(FixedPoint, NegativeRoundingIsNearest)
+{
+    const FixedFormat f{16, 0};
+    EXPECT_EQ(toFixedRaw(-2.5, f), -2); // nearbyint ties-to-even
+    EXPECT_EQ(toFixedRaw(-2.6, f), -3);
+    EXPECT_EQ(toFixedRaw(-2.4, f), -2);
+}
+
+} // anonymous namespace
+} // namespace mokey

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for the weighted exponential curve fit (Fig. 3).
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "fit/expfit.hh"
+
+namespace mokey
+{
+namespace
+{
+
+TEST(PaperFitWeights, DoublingScheme)
+{
+    const auto w = paperFitWeights(8);
+    ASSERT_EQ(w.size(), 8u);
+    EXPECT_DOUBLE_EQ(w[0], 128.0); // 2^7 at the innermost bin
+    EXPECT_DOUBLE_EQ(w[7], 1.0);   // unit weight at the outer bin
+    for (size_t i = 0; i + 1 < w.size(); ++i)
+        EXPECT_DOUBLE_EQ(w[i], 2.0 * w[i + 1]);
+}
+
+TEST(FitExponential, RecoversExactModel)
+{
+    // Data generated exactly from a^i + b must be recovered.
+    const double a = 1.3, b = -0.7;
+    std::vector<double> ys;
+    for (int i = 0; i < 8; ++i)
+        ys.push_back(std::pow(a, i) + b);
+    const auto fit = fitExponential(ys);
+    EXPECT_NEAR(fit.a, a, 1e-6);
+    EXPECT_NEAR(fit.b, b, 1e-6);
+    EXPECT_NEAR(fit.residual, 0.0, 1e-10);
+}
+
+TEST(FitExponential, EvalMatchesModel)
+{
+    const ExpFit f{1.2, -0.5, 0.0};
+    EXPECT_DOUBLE_EQ(f.eval(0), 0.5);
+    EXPECT_NEAR(f.eval(3), std::pow(1.2, 3) - 0.5, 1e-12);
+}
+
+TEST(FitExponential, RobustToNoise)
+{
+    Rng rng(61);
+    const double a = 1.18, b = -0.95;
+    std::vector<double> ys;
+    for (int i = 0; i < 8; ++i)
+        ys.push_back(std::pow(a, i) + b +
+                     rng.uniform(-0.005, 0.005));
+    const auto fit = fitExponential(ys);
+    EXPECT_NEAR(fit.a, a, 0.02);
+    EXPECT_NEAR(fit.b, b, 0.05);
+}
+
+TEST(FitExponential, WeightsEmphasizeInnerBins)
+{
+    // Perturb only the outer bin: the weighted fit should barely
+    // move compared to perturbing the inner bin.
+    const double a = 1.25, b = -0.8;
+    std::vector<double> clean;
+    for (int i = 0; i < 8; ++i)
+        clean.push_back(std::pow(a, i) + b);
+
+    auto outer = clean;
+    outer[7] += 0.2;
+    auto inner = clean;
+    inner[0] += 0.2;
+
+    const auto f_outer = fitExponential(outer);
+    const auto f_inner = fitExponential(inner);
+    const double drift_outer = std::abs(f_outer.eval(0) - clean[0]);
+    const double drift_inner = std::abs(f_inner.eval(0) - clean[0]);
+    EXPECT_LT(drift_outer, drift_inner);
+}
+
+TEST(FitExponential, UniformWeightsSupported)
+{
+    const double a = 1.5, b = 0.2;
+    std::vector<double> ys;
+    for (int i = 0; i < 6; ++i)
+        ys.push_back(std::pow(a, i) + b);
+    const auto fit = fitExponential(ys, std::vector<double>(6, 1.0));
+    EXPECT_NEAR(fit.a, a, 1e-6);
+    EXPECT_NEAR(fit.b, b, 1e-6);
+}
+
+TEST(FitExponential, MonotoneFitsMonotoneData)
+{
+    // Any reasonable dictionary half is increasing; the fitted curve
+    // must be increasing too (a > 1).
+    const std::vector<double> ys{0.05, 0.2, 0.45, 0.7, 1.0, 1.35,
+                                 1.75, 2.2};
+    const auto fit = fitExponential(ys);
+    EXPECT_GT(fit.a, 1.0);
+    for (int i = 0; i + 1 < 8; ++i)
+        EXPECT_LT(fit.eval(i), fit.eval(i + 1));
+}
+
+} // anonymous namespace
+} // namespace mokey

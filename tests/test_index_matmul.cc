@@ -1,0 +1,310 @@
+/**
+ * @file
+ * Property tests for the index-domain GEMM (Eqs. 1-6) and the
+ * integer-only pipeline (§II-F).
+ *
+ * The load-bearing property: the histogram decomposition plus the
+ * OPP outlier corrections must reproduce the decode-then-multiply
+ * reference *exactly* (to FP rounding), for any mix of Gaussian and
+ * outlier codes and any tensor statistics.
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "quant/fixed_pipeline.hh"
+#include "quant/index_matmul.hh"
+#include "quant/quantizer.hh"
+#include "tensor/ops.hh"
+
+namespace mokey
+{
+namespace
+{
+
+struct Shape
+{
+    size_t m, n, k;
+    double mean_a, std_a;
+    double mean_w, std_w;
+    double tail_frac;
+};
+
+class IndexMatmulProperty : public ::testing::TestWithParam<Shape>
+{
+  protected:
+    IndexMatmulProperty() : exp(1.179, -0.977, 8), quantizer(exp) {}
+
+    QuantizedTensor
+    makeOperand(size_t rows, size_t cols, double mean, double stddev,
+                double tail_frac, uint64_t seed)
+    {
+        Rng rng(seed);
+        std::vector<float> v =
+            rng.gaussianVector(rows * cols, mean, stddev);
+        const auto n_tail = static_cast<size_t>(
+            tail_frac * static_cast<double>(v.size()));
+        for (size_t i = 0; i < n_tail; ++i)
+            v[rng.uniformInt(v.size())] = static_cast<float>(
+                rng.gaussian(mean, 5.0 * stddev));
+        Tensor t(rows, cols, v);
+        const auto dict = quantizer.buildDictionary(t);
+        return quantizer.encode(t, dict);
+    }
+
+    ExpDictionary exp;
+    Quantizer quantizer;
+};
+
+TEST_P(IndexMatmulProperty, MatchesDecodedReferenceExactly)
+{
+    const Shape s = GetParam();
+    const auto a = makeOperand(s.m, s.k, s.mean_a, s.std_a,
+                               s.tail_frac, 1000 + s.m);
+    const auto wt = makeOperand(s.n, s.k, s.mean_w, s.std_w,
+                                s.tail_frac, 2000 + s.n);
+
+    IndexMatmulStats stats;
+    const Tensor fast = indexMatmulTransB(a, wt, &stats);
+    const Tensor ref = decodedMatmulTransB(a, wt);
+
+    // Tolerance scales with the magnitude of the accumulation.
+    const double tol =
+        1e-9 * std::max(1.0, frobeniusNorm(ref)) + 1e-6;
+    EXPECT_LT(maxAbsDiff(fast, ref), tol);
+    EXPECT_EQ(stats.gaussianPairs + stats.outlierPairs,
+              static_cast<uint64_t>(s.m) * s.n * s.k);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, IndexMatmulProperty,
+    ::testing::Values(
+        Shape{4, 4, 16, 0.0, 1.0, 0.0, 0.02, 0.0},
+        Shape{8, 8, 64, 0.0, 1.0, 0.0, 0.02, 0.02},
+        Shape{3, 5, 33, 0.5, 0.3, -0.1, 0.05, 0.03},
+        Shape{16, 8, 128, -2.0, 0.5, 1.0, 0.1, 0.05},
+        Shape{1, 1, 256, 0.1, 1.5, -0.3, 0.02, 0.04},
+        Shape{8, 16, 96, 3.0, 2.0, -1.5, 1.0, 0.02},
+        Shape{12, 12, 48, 0.0, 0.01, 0.0, 10.0, 0.03}));
+
+class IndexDotFixture : public ::testing::Test
+{
+  protected:
+    IndexDotFixture() : exp(1.179, -0.977, 8), quantizer(exp) {}
+
+    ExpDictionary exp;
+    Quantizer quantizer;
+};
+
+TEST_F(IndexDotFixture, AllGaussianUsesNoOpp)
+{
+    Rng rng(171);
+    Tensor ta(1, 64, rng.gaussianVector(64, 0.0, 1.0));
+    Tensor tw(1, 64, rng.gaussianVector(64, 0.0, 1.0));
+    auto da = quantizer.buildDictionary(ta);
+    auto dw = quantizer.buildDictionary(tw);
+    auto qa = quantizer.encode(ta, da);
+    auto qw = quantizer.encode(tw, dw);
+    // Clear any outliers so every pair takes the GPE path.
+    for (auto &c : qa.raw())
+        if (c.isOutlier())
+            c = QCode::gaussian(false, 7);
+    for (auto &c : qw.raw())
+        if (c.isOutlier())
+            c = QCode::gaussian(true, 7);
+
+    IndexMatmulStats st;
+    const auto ca = vectorConstants(qa.row(0), 64, exp);
+    const auto cw = vectorConstants(qw.row(0), 64, exp);
+    indexDot(qa.row(0), qa.dictionary(), qw.row(0), qw.dictionary(),
+             64, ca, cw, &st);
+    EXPECT_EQ(st.outlierPairs, 0u);
+    EXPECT_EQ(st.gaussianPairs, 64u);
+}
+
+TEST_F(IndexDotFixture, CrfCountsAreConsistent)
+{
+    Rng rng(173);
+    Tensor ta(1, 200, rng.gaussianVector(200, 0.0, 1.0));
+    Tensor tw(1, 200, rng.gaussianVector(200, 0.0, 1.0));
+    auto da = quantizer.buildDictionary(ta);
+    auto dw = quantizer.buildDictionary(tw);
+    auto qa = quantizer.encode(ta, da);
+    auto qw = quantizer.encode(tw, dw);
+
+    IndexMatmulStats st;
+    CrfState crf;
+    const auto ca = vectorConstants(qa.row(0), 200, exp);
+    const auto cw = vectorConstants(qw.row(0), 200, exp);
+    indexDot(qa.row(0), da, qw.row(0), dw, 200, ca, cw, &st, &crf);
+
+    // Sum of |soi| counts can't exceed the Gaussian pair count, and
+    // the total signed count must equal pom1 in every CRF.
+    int64_t soi_signed = 0, abs_total = 0;
+    for (int32_t c : crf.soi) {
+        soi_signed += c;
+        abs_total += std::abs(c);
+    }
+    EXPECT_LE(abs_total, static_cast<int64_t>(st.gaussianPairs));
+    EXPECT_EQ(soi_signed, crf.pom1);
+    int64_t soa_signed = 0, sow_signed = 0;
+    for (int32_t c : crf.soa1)
+        soa_signed += c;
+    for (int32_t c : crf.sow1)
+        sow_signed += c;
+    EXPECT_EQ(soa_signed, crf.pom1);
+    EXPECT_EQ(sow_signed, crf.pom1);
+}
+
+TEST_F(IndexDotFixture, VectorConstantsMatchBruteForce)
+{
+    Rng rng(179);
+    Tensor t(1, 300, rng.gaussianVector(300, 0.3, 1.2));
+    const auto dict = quantizer.buildDictionary(t);
+    const auto q = quantizer.encode(t, dict);
+    const auto c = vectorConstants(q.row(0), 300, exp);
+
+    double soa2 = 0.0, pom2 = 0.0;
+    for (size_t i = 0; i < 300; ++i) {
+        const QCode code = q.at(0, i);
+        if (code.isOutlier())
+            continue;
+        const double p = std::pow(exp.a(), code.index());
+        soa2 += code.theta() * p;
+        pom2 += code.theta();
+    }
+    EXPECT_NEAR(c.soa2, soa2, 1e-9);
+    EXPECT_NEAR(c.pom2, pom2, 1e-12);
+}
+
+TEST_F(IndexDotFixture, QuantizedGemmTracksFloatGemm)
+{
+    // End-to-end sanity: quantize A and W, multiply in the index
+    // domain, compare against the FP32 GEMM of the *original*
+    // tensors — the quantization error should be small relative to
+    // the output magnitude.
+    Rng rng(181);
+    const size_t m = 16, n = 16, k = 256;
+    Tensor a(m, k, rng.gaussianVector(m * k, 0.0, 1.0));
+    Tensor w(n, k, rng.gaussianVector(n * k, 0.0, 0.05));
+
+    auto da = quantizer.buildDictionary(a);
+    auto dw = quantizer.buildDictionary(w);
+    const auto qa = quantizer.encode(a, da);
+    const auto qw = quantizer.encode(w, dw);
+
+    const Tensor qout = indexMatmulTransB(qa, qw);
+    const Tensor fout = matmulTransB(a, w);
+
+    const double rel = maxAbsDiff(qout, fout) /
+        (frobeniusNorm(fout) /
+         std::sqrt(static_cast<double>(m * n)));
+    EXPECT_LT(rel, 0.5); // bounded relative error per output
+    EXPECT_GT(frobeniusNorm(qout), 0.5 * frobeniusNorm(fout));
+}
+
+TEST_F(IndexDotFixture, MismatchedExpDictionariesPanic)
+{
+    Rng rng(191);
+    Tensor t(1, 8, rng.gaussianVector(8, 0.0, 1.0));
+    const auto dict = quantizer.buildDictionary(t);
+    const auto q = quantizer.encode(t, dict);
+
+    ExpDictionary other(1.3, -0.9, 8);
+    Quantizer qz2(other);
+    const auto dict2 = qz2.buildDictionary(t);
+    const auto q2 = qz2.encode(t, dict2);
+
+    const auto ca = vectorConstants(q.row(0), 8, exp);
+    EXPECT_DEATH(indexDot(q.row(0), dict, q2.row(0), dict2, 8, ca,
+                          ca),
+                 "different exponential dictionaries");
+}
+
+class FixedPipelineProperty : public ::testing::TestWithParam<Shape>
+{
+  protected:
+    FixedPipelineProperty() : exp(1.179, -0.977, 8), quantizer(exp) {}
+
+    ExpDictionary exp;
+    Quantizer quantizer;
+};
+
+TEST_P(FixedPipelineProperty, TracksFloatIndexDot)
+{
+    const Shape s = GetParam();
+    Rng rng(7000 + s.k);
+
+    Tensor ta(s.m, s.k,
+              rng.gaussianVector(s.m * s.k, s.mean_a, s.std_a));
+    Tensor tw(s.n, s.k,
+              rng.gaussianVector(s.n * s.k, s.mean_w, s.std_w));
+    auto da = quantizer.buildDictionary(ta);
+    auto dw = quantizer.buildDictionary(tw);
+    const auto qa = quantizer.encode(ta, da);
+    const auto qw = quantizer.encode(tw, dw);
+
+    const Tensor fl = indexMatmulTransB(qa, qw);
+    // Output format sized from the float result's observed range.
+    double mx = 1e-6;
+    for (float v : fl.raw())
+        mx = std::max(mx, std::abs(static_cast<double>(v)));
+    const auto out_fmt = FixedFormat::forRange(16, -mx, mx);
+
+    const Tensor fx = fixedIndexMatmulTransB(qa, qw, out_fmt);
+
+    // The integer pipeline quantizes the eight scaling coefficients
+    // to 16 b; partially cancelling large terms amplify that
+    // rounding, so the achievable bound is a few percent of full
+    // scale — consistent with 16 b fixed-point arithmetic.
+    const double tol = 0.06 * mx + 2.0 * out_fmt.resolution();
+    EXPECT_LT(maxAbsDiff(fx, fl), tol);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, FixedPipelineProperty,
+    ::testing::Values(
+        Shape{4, 4, 32, 0.0, 1.0, 0.0, 0.02, 0.0},
+        Shape{8, 8, 64, 0.5, 0.3, -0.1, 0.05, 0.0},
+        Shape{6, 6, 128, -1.0, 0.5, 0.5, 0.2, 0.0},
+        Shape{2, 3, 512, 0.0, 2.0, 0.0, 1.0, 0.0}));
+
+TEST_F(IndexDotFixture, FixedPipelineSaturatesGracefully)
+{
+    // Deliberately tiny output format: results must clamp, not wrap.
+    Rng rng(193);
+    Tensor ta(2, 64, rng.gaussianVector(128, 0.0, 1.0));
+    Tensor tw(2, 64, rng.gaussianVector(128, 0.0, 1.0));
+    auto da = quantizer.buildDictionary(ta);
+    auto dw = quantizer.buildDictionary(tw);
+    const auto qa = quantizer.encode(ta, da);
+    const auto qw = quantizer.encode(tw, dw);
+
+    const FixedFormat tiny{16, 20}; // max value ~0.03
+    const Tensor fx = fixedIndexMatmulTransB(qa, qw, tiny);
+    for (float v : fx.raw()) {
+        EXPECT_LE(v, static_cast<float>(tiny.maxValue()) + 1e-9);
+        EXPECT_GE(v, static_cast<float>(tiny.minValue()) - 1e-9);
+    }
+}
+
+TEST_F(IndexDotFixture, FixedVectorConstantsMatchFloat)
+{
+    Rng rng(197);
+    Tensor t(1, 256, rng.gaussianVector(256, 0.0, 1.0));
+    const auto dict = quantizer.buildDictionary(t);
+    const auto q = quantizer.encode(t, dict);
+
+    FixedIndexEngine eng(dict, dict, FixedFormat{16, 8});
+    const auto fc = eng.vectorConstants(q.row(0), 256);
+    const auto flc = vectorConstants(q.row(0), 256, exp);
+
+    const double soa2 =
+        fromFixedRaw(fc.soa2Raw, eng.baseFormat());
+    EXPECT_NEAR(soa2, flc.soa2, 256 * eng.baseFormat().resolution());
+    EXPECT_DOUBLE_EQ(static_cast<double>(fc.pom2), flc.pom2);
+}
+
+} // anonymous namespace
+} // namespace mokey

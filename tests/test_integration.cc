@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Cross-module integration tests: quantizer x codec x pipeline x
+ * fixed-point engine x simulator working together, plus edge cases
+ * and failure injection.
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "model/pipeline.hh"
+#include "model/tasks.hh"
+#include "quant/fixed_pipeline.hh"
+#include "quant/memory_codec.hh"
+#include "sim/compression.hh"
+#include "tensor/ops.hh"
+
+namespace mokey
+{
+namespace
+{
+
+ModelConfig
+tinyConfig()
+{
+    return ModelConfig{"tiny", 2, 32, 2, 128, 256};
+}
+
+class IntegrationFixture : public ::testing::Test
+{
+  protected:
+    IntegrationFixture()
+        : exp(1.179, -0.977, 8), quantizer(exp)
+    {
+    }
+
+    ExpDictionary exp;
+    Quantizer quantizer;
+};
+
+TEST_F(IntegrationFixture, WeightsThroughDramContainerAndBack)
+{
+    // Offline flow: quantize weights, pack into the DRAM container,
+    // unpack, decode — must equal decoding without the container.
+    Rng rng(2100);
+    Tensor w(96, 96, rng.gaussianVector(96 * 96, 0.0, 0.04));
+    const auto dict = quantizer.buildDictionary(w);
+    const auto q = quantizer.encode(w, dict);
+
+    const PackedTensor packed = packTensor(q);
+    const QuantizedTensor back = unpackTensor(packed, dict);
+    EXPECT_DOUBLE_EQ(maxAbsDiff(back.decode(), q.decode()), 0.0);
+}
+
+TEST_F(IntegrationFixture, IndexGemmSurvivesContainerRoundTrip)
+{
+    // GEMM on codes that travelled through the packed container
+    // equals GEMM on the originals.
+    Rng rng(2200);
+    Tensor a(16, 128, rng.gaussianVector(16 * 128, 0.0, 1.0));
+    Tensor w(16, 128, rng.gaussianVector(16 * 128, 0.0, 1.0));
+    const auto qa = quantizer.encode(a, quantizer.buildDictionary(a));
+    const auto qw = quantizer.encode(w, quantizer.buildDictionary(w));
+
+    const auto qa2 = unpackTensor(packTensor(qa), qa.dictionary());
+    const auto qw2 = unpackTensor(packTensor(qw), qw.dictionary());
+    EXPECT_LT(maxAbsDiff(indexMatmulTransB(qa, qw),
+                         indexMatmulTransB(qa2, qw2)), 1e-12);
+}
+
+TEST_F(IntegrationFixture, FixedEngineOnModelGemm)
+{
+    // The integer-only engine tracks the float index path on a real
+    // GEMM drawn from a transformer layer.
+    const Transformer model(tinyConfig(), 77);
+    const Tensor x = model.makeInput(16, 5);
+    const Tensor &wq = model.weights()[0].wq;
+
+    const auto dx = quantizer.buildDictionary(x);
+    const auto dw = quantizer.buildDictionary(wq);
+    const auto qx = quantizer.encode(x, dx);
+    const auto qw = quantizer.encode(wq, dw);
+
+    const Tensor fl = indexMatmulTransB(qx, qw);
+    double mx = 1e-6;
+    for (float v : fl.raw())
+        mx = std::max(mx, std::abs(static_cast<double>(v)));
+    const auto fmt = FixedFormat::forRange(16, -mx, mx);
+    const Tensor fx = fixedIndexMatmulTransB(qx, qw, fmt);
+    // Transformer-layer dictionaries carry near-zero means, which
+    // makes several 16 b coefficients tiny and lets their rounding
+    // show through partially cancelling terms; ~10 % of full scale
+    // is the achievable bound here.
+    EXPECT_LT(maxAbsDiff(fx, fl), 0.12 * mx + 2 * fmt.resolution());
+}
+
+TEST_F(IntegrationFixture, QuantizedForwardDeterministic)
+{
+    const Transformer model(tinyConfig(), 88);
+    QuantizedTransformer pipe(model, quantizer);
+    pipe.quantizeWeights();
+    std::vector<Tensor> batch;
+    for (int i = 0; i < 2; ++i)
+        batch.push_back(model.makeInput(8, 10 + i));
+    pipe.profileActivations(batch);
+
+    const Tensor in = model.makeInput(8, 99);
+    const Tensor o1 =
+        pipe.forward(in, QuantMode::WeightsAndActivations);
+    const Tensor o2 =
+        pipe.forward(in, QuantMode::WeightsAndActivations);
+    EXPECT_DOUBLE_EQ(maxAbsDiff(o1, o2), 0.0);
+}
+
+TEST_F(IntegrationFixture, ConstantTensorDegeneratesGracefully)
+{
+    Tensor t(8, 8, std::vector<float>(64, 3.25f));
+    const auto dict = quantizer.buildDictionary(t);
+    const auto q = quantizer.encode(t, dict);
+    const Tensor back = q.decode();
+    // A constant tensor has sigma ~ 0; decode must stay near the
+    // constant (no NaN/inf blowups).
+    for (float v : back.raw()) {
+        EXPECT_TRUE(std::isfinite(v));
+        EXPECT_NEAR(v, 3.25f, 0.01f);
+    }
+}
+
+TEST_F(IntegrationFixture, ExtremeValuesStayFinite)
+{
+    Rng rng(2300);
+    std::vector<float> v = rng.gaussianVector(1000, 0.0, 1.0);
+    v.push_back(1e6f);
+    v.push_back(-1e6f);
+    Tensor t(1, v.size(), v);
+    const auto dict = quantizer.buildDictionary(t);
+    const auto q = quantizer.encode(t, dict);
+    for (size_t i = 0; i < q.size(); ++i)
+        EXPECT_TRUE(std::isfinite(q.decodeAt(0, i))) << i;
+}
+
+TEST_F(IntegrationFixture, ProfilingBatchMatchesTaskDistribution)
+{
+    const Transformer model(tinyConfig(), 99);
+    const TaskEvaluator task(model, TaskKind::Span, 8, 16, 42);
+    const auto b1 = task.profilingBatch(4, 7);
+    const auto b2 = task.profilingBatch(4, 7);
+    ASSERT_EQ(b1.size(), 4u);
+    // Deterministic in the seed.
+    for (size_t i = 0; i < 4; ++i)
+        EXPECT_DOUBLE_EQ(maxAbsDiff(b1[i], b2[i]), 0.0);
+    // Span inputs carry the injected mark: one row has much larger
+    // norm than the others.
+    for (const auto &in : b1) {
+        double mx = 0.0, sum = 0.0;
+        for (size_t r = 0; r < in.rows(); ++r) {
+            double n = 0.0;
+            for (size_t c = 0; c < in.cols(); ++c)
+                n += static_cast<double>(in.at(r, c)) * in.at(r, c);
+            mx = std::max(mx, n);
+            sum += n;
+        }
+        EXPECT_GT(mx, 2.0 * sum / static_cast<double>(in.rows()));
+    }
+}
+
+TEST_F(IntegrationFixture, BitReaderUnderrunPanics)
+{
+    BitWriter w;
+    w.put(0x5, 4);
+    BitReader r(w.bytes());
+    r.get(4);
+    EXPECT_DEATH(r.get(8), "");
+}
+
+TEST(SimulatorIntegration, AllMachinesAllPointsFinite)
+{
+    // Every machine simulates every lineup point at every buffer
+    // size with finite, positive results and sane invariants.
+    const auto pts = paperLineup();
+    for (const auto &m :
+         {tensorCoresMachine(), goboMachine(), mokeyMachine(),
+          tensorCoresMokeyOffChip(), tensorCoresMokeyOnChip()}) {
+        for (const auto &p : pts) {
+            const auto r =
+                simulate(m, p.workload, 512 * 1024, p.rates);
+            EXPECT_GT(r.totalCycles, 0.0) << m.name << p.label;
+            EXPECT_GE(r.totalCycles,
+                      std::max(r.computeCycles, r.memCycles) -
+                          1e-6);
+            EXPECT_GT(r.totalJ, 0.0);
+            EXPECT_NEAR(r.totalJ,
+                        r.dramJ + r.sramJ + r.computeJ, 1e-9);
+            EXPECT_GT(r.trafficBytes, 0.0);
+            EXPECT_TRUE(std::isfinite(r.totalCycles));
+            EXPECT_TRUE(std::isfinite(r.totalJ));
+        }
+    }
+}
+
+TEST(SimulatorIntegration, CompressionNeverAddsTraffic)
+{
+    const auto pts = paperLineup();
+    for (const auto &p : pts) {
+        for (size_t buf : paperBufferSweep()) {
+            const auto base = simulate(tensorCoresMachine(),
+                                       p.workload, buf, p.rates);
+            const auto oc = simulate(tensorCoresMokeyOffChip(),
+                                     p.workload, buf, p.rates);
+            const auto on = simulate(tensorCoresMokeyOnChip(),
+                                     p.workload, buf, p.rates);
+            EXPECT_LT(oc.trafficBytes, base.trafficBytes)
+                << p.label;
+            EXPECT_LE(on.trafficBytes, oc.trafficBytes * 1.0001)
+                << p.label;
+        }
+    }
+}
+
+TEST(SimulatorIntegration, LongerSequencesCostMore)
+{
+    const auto m = mokeyMachine();
+    double prev = 0.0;
+    for (size_t seq : {64, 128, 256, 512}) {
+        const auto w = modelWorkload(bertLarge(), seq);
+        const auto r = simulate(m, w, 1024 * 1024);
+        EXPECT_GT(r.totalCycles, prev);
+        prev = r.totalCycles;
+    }
+}
+
+TEST(SimulatorIntegration, BiggerModelsCostMore)
+{
+    const auto m = tensorCoresMachine();
+    const auto base = simulate(
+        m, modelWorkload(bertBase(), 128), 512 * 1024);
+    const auto large = simulate(
+        m, modelWorkload(bertLarge(), 128), 512 * 1024);
+    const auto xl = simulate(
+        m, modelWorkload(debertaXl(), 128), 512 * 1024);
+    EXPECT_GT(large.totalCycles, base.totalCycles);
+    EXPECT_GT(xl.totalCycles, large.totalCycles);
+    EXPECT_GT(xl.totalJ, large.totalJ);
+}
+
+TEST(TaskIntegration, QuantizedPipelineOnAllThreeTasks)
+{
+    // End-to-end: every task kind scores a quantized model within a
+    // sane band of its own FP reference.
+    const Transformer model(tinyConfig(), 1234);
+    ExpDictionary exp(1.179, -0.977, 8);
+    Quantizer qz(exp);
+    for (const TaskKind kind :
+         {TaskKind::Classification, TaskKind::Regression,
+          TaskKind::Span}) {
+        const TaskEvaluator task(model, kind, 24, 16, 99);
+        QuantizedTransformer pipe(model, qz);
+        pipe.quantizeWeights();
+        pipe.profileActivations(task.profilingBatch(4, 55));
+        const double fp = task.evaluateReference();
+        const double q = task.evaluate([&](const Tensor &in) {
+            return pipe.forward(
+                in, QuantMode::WeightsAndActivations);
+        });
+        EXPECT_GT(fp, 40.0) << taskName(kind);
+        EXPECT_NEAR(q, fp, 25.0) << taskName(kind);
+    }
+}
+
+} // anonymous namespace
+} // namespace mokey

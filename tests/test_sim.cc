@@ -1,0 +1,427 @@
+/**
+ * @file
+ * Tests for the accelerator simulator: energy/area models, DRAM,
+ * CRF/tile cycle models, the dataflow tiler, and the machine-level
+ * results against the paper's published anchors.
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "sim/accelerator.hh"
+#include "sim/compression.hh"
+#include "sim/crf.hh"
+#include "sim/dataflow.hh"
+#include "sim/dram.hh"
+#include "sim/energy_model.hh"
+#include "sim/gpe.hh"
+
+namespace mokey
+{
+namespace
+{
+
+TEST(SramAreaModel, TableIIIAnchors)
+{
+    const auto wide = SramAreaModel::wideInterface();
+    EXPECT_NEAR(wide.area(256 * 1024), 13.2, 0.6);
+    EXPECT_NEAR(wide.area(512 * 1024), 16.8, 0.6);
+    EXPECT_NEAR(wide.area(1024 * 1024), 24.7, 0.6);
+
+    const auto narrow = SramAreaModel::narrowInterface();
+    EXPECT_NEAR(narrow.area(256 * 1024), 4.7, 0.5);
+    EXPECT_NEAR(narrow.area(512 * 1024), 8.0, 0.5);
+    EXPECT_NEAR(narrow.area(1024 * 1024), 14.6, 0.5);
+}
+
+TEST(SramAreaModel, NarrowAlwaysSmaller)
+{
+    const auto wide = SramAreaModel::wideInterface();
+    const auto narrow = SramAreaModel::narrowInterface();
+    for (size_t kb : {128, 256, 512, 1024, 4096})
+        EXPECT_LT(narrow.area(kb * 1024), wide.area(kb * 1024));
+}
+
+TEST(EnergyModel, SramEnergyScalesWithCapacity)
+{
+    const EnergyModel em;
+    EXPECT_LT(em.sramPjPerBit(128 * 1024),
+              em.sramPjPerBit(4 * 1024 * 1024));
+    EXPECT_GT(em.sramPjPerBit(1024), 0.0);
+}
+
+TEST(EnergyModel, MokeyPairCheaperThanFp16Mac)
+{
+    const EnergyModel em;
+    // Paper: Mokey compute units consume 2.7x less energy.
+    EXPECT_NEAR(em.fp16MacPj / em.mokeyGaussPairPj, 2.7, 0.3);
+}
+
+TEST(DramModel, ZeroBytesFree)
+{
+    const DramModel d;
+    const auto r = d.stream(0);
+    EXPECT_EQ(r.cycles, 0.0);
+    EXPECT_EQ(r.energyJ, 0.0);
+}
+
+TEST(DramModel, SingleStreamNearPeak)
+{
+    const DramModel d;
+    const double bw = d.effectiveBandwidth(1);
+    EXPECT_GT(bw, 0.6 * d.config().peakBytesPerCycle);
+}
+
+TEST(DramModel, MultiStreamHeavilyDerated)
+{
+    // The calibration point: multi-stream tiled traffic runs at
+    // ~8 % of peak (what Table II's cycle counts imply).
+    const DramModel d;
+    const double bw2 = d.effectiveBandwidth(2);
+    EXPECT_LT(bw2, 0.15 * d.config().peakBytesPerCycle);
+    EXPECT_GT(bw2, 0.04 * d.config().peakBytesPerCycle);
+    // More streams never help.
+    EXPECT_LE(d.effectiveBandwidth(3), bw2 + 1e-9);
+}
+
+TEST(DramModel, CyclesMonotoneInBytes)
+{
+    const DramModel d;
+    double prev = 0.0;
+    for (uint64_t mb = 1; mb <= 64; mb *= 2) {
+        const auto r = d.stream(mb * 1024 * 1024, 2);
+        EXPECT_GT(r.cycles, prev);
+        prev = r.cycles;
+    }
+}
+
+TEST(DramModel, EnergyProportionalToBits)
+{
+    const DramModel d;
+    const auto r1 = d.stream(16 * 1024 * 1024, 2);
+    const auto r2 = d.stream(32 * 1024 * 1024, 2);
+    EXPECT_NEAR(r2.energyJ / r1.energyJ, 2.0, 0.05);
+}
+
+TEST(CrfSim, TotalsExactWithoutDrain)
+{
+    CrfSim crf(15, 8);
+    for (int i = 0; i < 50; ++i)
+        crf.bump(3, 1);
+    for (int i = 0; i < 20; ++i)
+        crf.bump(3, -1);
+    EXPECT_EQ(crf.total(3), 30);
+    EXPECT_EQ(crf.drains(), 0u);
+}
+
+TEST(CrfSim, DrainPreservesTotals)
+{
+    CrfSim crf(4, 4); // saturates at +-7
+    for (int i = 0; i < 1000; ++i)
+        crf.bump(1, 1);
+    EXPECT_EQ(crf.total(1), 1000);
+    EXPECT_GT(crf.drains(), 0u);
+}
+
+TEST(CrfSim, MixedEntriesIndependent)
+{
+    CrfSim crf(8, 8);
+    crf.bump(0, 1);
+    crf.bump(7, -1);
+    EXPECT_EQ(crf.total(0), 1);
+    EXPECT_EQ(crf.total(7), -1);
+    EXPECT_EQ(crf.total(3), 0);
+}
+
+TEST(CrfSim, ClearResets)
+{
+    CrfSim crf(4, 8);
+    crf.bump(2, 1);
+    crf.clear();
+    EXPECT_EQ(crf.total(2), 0);
+    EXPECT_EQ(crf.drains(), 0u);
+}
+
+TEST(TileSim, NoOutliersRunsAtPeak)
+{
+    const TileSim tile;
+    const auto r = tile.runSynthetic(1024, 0.0, 0, 42);
+    EXPECT_EQ(r.outlierPairs, 0u);
+    EXPECT_EQ(r.holdCycles, 0u);
+    // 1024 pairs per GPE at 8/cycle = 128 cycles exactly.
+    EXPECT_EQ(r.cycles, 128u);
+    EXPECT_NEAR(r.throughput(), 64.0, 1e-9);
+}
+
+TEST(TileSim, AllOutliersOppBound)
+{
+    TileConfig cfg;
+    cfg.oppPerCycle = 1;
+    const TileSim tile(cfg);
+    const auto r = tile.runSynthetic(64, 1.0, 0, 43);
+    // 8 GPEs x 64 outliers each through a 1/cycle OPP.
+    EXPECT_GE(r.cycles, 8u * 64u);
+    EXPECT_GT(r.holdCycles, 0u);
+}
+
+TEST(TileSim, PostprocessingChargedPerOutput)
+{
+    const TileSim tile;
+    const auto r0 = tile.runSynthetic(64, 0.0, 0, 44);
+    const auto r1 = tile.runSynthetic(64, 0.0, 10, 44);
+    EXPECT_EQ(r1.cycles - r0.cycles,
+              10u * tile.config().postprocessCycles);
+}
+
+class TileAnalytic : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(TileAnalytic, AnalyticBracketsCycleModel)
+{
+    // The analytic form is an upper bound: near the OPP saturation
+    // knee, bursty outlier arrivals plus group-granular holds keep
+    // the measured throughput below it (blocking feedback throttles
+    // arrivals before the OPP fully saturates). Away from the knee
+    // the bound is tight.
+    const double p = GetParam();
+    TileConfig cfg;
+    cfg.oppPerCycle = 2;
+    const TileSim tile(cfg);
+    const auto r = tile.runSynthetic(20000, p, 0, 77);
+    const double analytic = tile.analyticThroughput(p);
+    EXPECT_LE(r.throughput(), analytic * 1.02) << "p=" << p;
+    EXPECT_GE(r.throughput(), analytic * 0.5) << "p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(OutlierSweep, TileAnalytic,
+                         ::testing::Values(0.0, 0.01, 0.02, 0.04,
+                                           0.08, 0.15));
+
+TEST(Dataflow, SmallGemmSingleFetch)
+{
+    const GemmOp op{"t", 64, 64, 64, 1, true};
+    const StorageBits bits{16, 16, 16, 16};
+    const auto d = tileGemm(op, bits, 8.0 * 1024 * 1024, false);
+    EXPECT_DOUBLE_EQ(d.weightFetches, 1.0);
+    EXPECT_DOUBLE_EQ(d.actFetches, 1.0);
+    EXPECT_DOUBLE_EQ(d.trafficBits, (64. * 64 + 64. * 64 + 64. * 64)
+                     * 16);
+}
+
+TEST(Dataflow, ReloadsGrowAsBufferShrinks)
+{
+    const GemmOp op{"t", 512, 4096, 1024, 1, true};
+    const StorageBits bits{16, 16, 16, 16};
+    // Smaller buffer => more traffic, monotonically.
+    double prev = 0.0;
+    for (size_t kb : {4096, 1024, 256, 64}) {
+        const auto d = tileGemm(op, bits, kb * 8.0 * 1024, false);
+        EXPECT_GE(d.trafficBits, prev);
+        prev = d.trafficBits;
+    }
+    const auto big = tileGemm(op, bits, 4096 * 8.0 * 1024, false);
+    const auto small = tileGemm(op, bits, 64 * 8.0 * 1024, false);
+    EXPECT_GT(small.trafficBits, big.trafficBits);
+}
+
+TEST(Dataflow, ActResidencyRemovesActTraffic)
+{
+    const GemmOp op{"t", 128, 768, 768, 1, true};
+    const StorageBits bits{16, 16, 16, 16};
+    const auto spill = tileGemm(op, bits, 1e6, false);
+    const auto resident = tileGemm(op, bits, 1e6, true);
+    EXPECT_LT(resident.trafficBits, spill.trafficBits);
+}
+
+TEST(Dataflow, CompressionShrinksWorkloadTraffic)
+{
+    const auto w = modelWorkload(bertBase(), 128);
+    const StorageBits fp16{16, 16, 16, 16};
+    const StorageBits mokey{4.3, 4.3, 5, 5};
+    const auto t16 = tileWorkload(w, fp16, 512 * 1024);
+    const auto t4 = tileWorkload(w, mokey, 512 * 1024);
+    // >= 3.7x from width alone, more from better residency.
+    EXPECT_GT(t16.totalBits / t4.totalBits, 3.7);
+}
+
+TEST(Dataflow, MaxLayerActBitsMatchesConfigEstimate)
+{
+    const auto cfg = bertLarge();
+    const auto w = modelWorkload(cfg, 128);
+    const double got = maxLayerActivationBits(w, 16.0);
+    // Same order as the Fig. 1 per-layer activation volume estimate
+    // (the workload version double counts layer inputs as both
+    // producer output and consumer input).
+    const double est = static_cast<double>(
+        cfg.activationValuesPerLayer(128)) * 16.0;
+    EXPECT_GT(got, 0.5 * est);
+    EXPECT_LT(got, 3.0 * est);
+}
+
+class MachineAnchors : public ::testing::Test
+{
+  protected:
+    MachineAnchors() : w(modelWorkload(bertBase(), 128)) {}
+    Workload w;
+};
+
+TEST_F(MachineAnchors, TableIICycleCounts)
+{
+    // Paper Table II (BERT-Base, 512 KB): TC 167M, GOBO 52M,
+    // Mokey 29M cycles. Allow 30 % — the shape claim.
+    const auto tc = simulate(tensorCoresMachine(), w, 512 * 1024);
+    const auto gb = simulate(goboMachine(), w, 512 * 1024);
+    const auto mk = simulate(mokeyMachine(), w, 512 * 1024);
+    EXPECT_NEAR(tc.totalCycles, 167e6, 50e6);
+    EXPECT_NEAR(gb.totalCycles, 52e6, 16e6);
+    EXPECT_NEAR(mk.totalCycles, 29e6, 9e6);
+    EXPECT_GT(tc.totalCycles, gb.totalCycles);
+    EXPECT_GT(gb.totalCycles, mk.totalCycles);
+}
+
+TEST_F(MachineAnchors, TableIIEnergies)
+{
+    // Paper: TC 0.36 J, GOBO 0.17 J, Mokey 0.09 J.
+    const auto tc = simulate(tensorCoresMachine(), w, 512 * 1024);
+    const auto gb = simulate(goboMachine(), w, 512 * 1024);
+    const auto mk = simulate(mokeyMachine(), w, 512 * 1024);
+    EXPECT_NEAR(tc.totalJ, 0.36, 0.13);
+    EXPECT_NEAR(gb.totalJ, 0.17, 0.06);
+    EXPECT_NEAR(mk.totalJ, 0.09, 0.03);
+}
+
+TEST_F(MachineAnchors, ComputeAreasMatchTableII)
+{
+    EXPECT_DOUBLE_EQ(tensorCoresMachine().computeAreaMm2, 16.1);
+    EXPECT_DOUBLE_EQ(goboMachine().computeAreaMm2, 15.9);
+    EXPECT_DOUBLE_EQ(mokeyMachine().computeAreaMm2, 14.8);
+}
+
+TEST_F(MachineAnchors, CyclesMonotoneInBufferSize)
+{
+    // Fig. 9 property: larger buffers never slow inference down.
+    for (const auto &m : {tensorCoresMachine(), goboMachine(),
+                          mokeyMachine()}) {
+        double prev = 1e300;
+        for (size_t buf : paperBufferSweep()) {
+            const auto r = simulate(m, w, buf);
+            EXPECT_LE(r.totalCycles, prev * 1.001) << m.name;
+            prev = r.totalCycles;
+        }
+    }
+}
+
+TEST_F(MachineAnchors, MokeyChipSmallerAtIsoCapacity)
+{
+    const auto tc = simulate(tensorCoresMachine(), w, 1024 * 1024);
+    const auto mk = simulate(mokeyMachine(), w, 1024 * 1024);
+    EXPECT_LT(mk.totalAreaMm2, tc.totalAreaMm2);
+}
+
+TEST_F(MachineAnchors, OverlapImprovesWithBuffer)
+{
+    double prev = 0.0;
+    for (size_t buf : paperBufferSweep()) {
+        const auto r = simulate(mokeyMachine(), w, buf);
+        EXPECT_GE(r.overlapFraction, prev - 1e-9);
+        prev = r.overlapFraction;
+    }
+}
+
+TEST(Sweeps, MokeySpeedupBandsVsTensorCores)
+{
+    // Fig. 10: larger gains with smaller buffers; at least ~2.5x
+    // everywhere, bigger than 4x at 256 KB in our calibration
+    // (paper: 4.1x - 11x).
+    const auto cs = sweepComparison(tensorCoresMachine(),
+                                    mokeyMachine(), paperLineup(),
+                                    paperBufferSweep());
+    const double small = geomeanSpeedup(cs, 256 * 1024);
+    const double large = geomeanSpeedup(cs, 4096 * 1024);
+    EXPECT_GT(small, large);
+    EXPECT_GT(small, 4.0);
+    EXPECT_GT(large, 2.0);
+}
+
+TEST(Sweeps, MokeyEnergyEfficiencyOrderOfMagnitude)
+{
+    // Fig. 11: "one to two orders of magnitude" perf/J at small
+    // buffers, ~13x at 4 MB.
+    const auto cs = sweepComparison(tensorCoresMachine(),
+                                    mokeyMachine(), paperLineup(),
+                                    paperBufferSweep());
+    EXPECT_GT(geomeanEnergyEff(cs, 256 * 1024), 20.0);
+    EXPECT_GT(geomeanEnergyEff(cs, 4096 * 1024), 6.0);
+}
+
+TEST(Sweeps, MokeyBeatsGoboOnEnergyEverywhere)
+{
+    // Fig. 13: 9x at small buffers decaying to ~2x at 4 MB.
+    const auto cs = sweepComparison(goboMachine(), mokeyMachine(),
+                                    paperLineup(),
+                                    paperBufferSweep());
+    double prev = 1e300;
+    for (size_t buf : paperBufferSweep()) {
+        const double e = geomeanEnergyEff(cs, buf);
+        EXPECT_GT(e, 1.5) << bufferLabel(buf);
+        EXPECT_LE(e, prev + 0.3);
+        prev = e;
+    }
+}
+
+TEST(Sweeps, CompressionModesOrdered)
+{
+    // Fig. 14: OC+ON >= OC >= 1 in speedup, biggest at small
+    // buffers.
+    const auto pts = paperLineup();
+    const auto bufs = paperBufferSweep();
+    const auto oc = sweepComparison(tensorCoresMachine(),
+                                    tensorCoresMokeyOffChip(), pts,
+                                    bufs);
+    const auto on = sweepComparison(tensorCoresMachine(),
+                                    tensorCoresMokeyOnChip(), pts,
+                                    bufs);
+    for (size_t buf : bufs) {
+        const double s_oc = geomeanSpeedup(oc, buf);
+        const double s_on = geomeanSpeedup(on, buf);
+        EXPECT_GE(s_on, s_oc - 1e-9) << bufferLabel(buf);
+        EXPECT_GT(s_oc, 1.5) << bufferLabel(buf);
+    }
+    // Paper: ~3.9x average OC speedup at 256 KB.
+    EXPECT_NEAR(geomeanSpeedup(oc, 256 * 1024), 3.9, 1.3);
+}
+
+TEST(Sweeps, CompressionEnergyEfficiency)
+{
+    // Fig. 15: ~11x at 256 KB OC; OC+ON much larger at small
+    // buffers (paper: 54x).
+    const auto pts = paperLineup();
+    const auto bufs = paperBufferSweep();
+    const auto oc = sweepComparison(tensorCoresMachine(),
+                                    tensorCoresMokeyOffChip(), pts,
+                                    bufs);
+    const auto on = sweepComparison(tensorCoresMachine(),
+                                    tensorCoresMokeyOnChip(), pts,
+                                    bufs);
+    EXPECT_GT(geomeanEnergyEff(oc, 256 * 1024), 6.0);
+    EXPECT_GT(geomeanEnergyEff(on, 256 * 1024),
+              geomeanEnergyEff(oc, 256 * 1024));
+}
+
+TEST(Sweeps, BufferLabels)
+{
+    EXPECT_EQ(bufferLabel(256 * 1024), "256KB");
+    EXPECT_EQ(bufferLabel(4096 * 1024), "4MB");
+}
+
+TEST(OutlierRatesTest, PairProbabilities)
+{
+    const OutlierRates r{0.015, 0.045};
+    EXPECT_NEAR(r.weightActPair(), 1 - 0.985 * 0.955, 1e-12);
+    EXPECT_NEAR(r.actActPair(), 1 - 0.955 * 0.955, 1e-12);
+    EXPECT_GT(r.actActPair(), r.weightActPair());
+}
+
+} // anonymous namespace
+} // namespace mokey
