@@ -9,8 +9,11 @@
 #ifndef MOKEY_BENCH_BENCH_UTIL_HH
 #define MOKEY_BENCH_BENCH_UTIL_HH
 
+#include <chrono>
 #include <cstdio>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "quant/exp_dictionary.hh"
 #include "quant/golden_dictionary.hh"
@@ -38,6 +41,95 @@ banner(const std::string &title, const std::string &paper_ref)
     std::printf("==================================================="
                 "=========\n");
 }
+
+// ---- machine-readable perf output -----------------------------------
+//
+// Each bench binary can append BenchRecords and flush them to a
+// BENCH_<name>.json file, so the perf trajectory of the hot kernels
+// is tracked in version-controlled artifacts from PR to PR instead
+// of scrollback.
+
+/** One measured kernel configuration. */
+struct BenchRecord
+{
+    std::string kernel; ///< e.g. "index_gemm_engine"
+    size_t m = 0, n = 0, k = 0;
+    double ns_per_op = 0.0; ///< wall time per kernel invocation
+    double gb_per_s = 0.0;  ///< operand+result bytes over wall time
+    double speedup_vs_seed = 0.0; ///< 0 when not a comparison row
+};
+
+/**
+ * Best-of-reps wall-clock timer: runs @p fn until both @p min_reps
+ * and @p min_seconds are spent, returns the *minimum* observed ns per
+ * call (the least-noise estimator for a deterministic kernel).
+ */
+inline double
+timeKernelNs(const std::function<void()> &fn, int min_reps = 5,
+             double min_seconds = 0.2)
+{
+    using clock = std::chrono::steady_clock;
+    fn(); // warm caches and the thread pool
+    double best = 1e300;
+    double spent = 0.0;
+    for (int rep = 0; rep < min_reps || spent < min_seconds; ++rep) {
+        const auto t0 = clock::now();
+        fn();
+        const auto t1 = clock::now();
+        const double ns =
+            std::chrono::duration<double, std::nano>(t1 - t0).count();
+        best = ns < best ? ns : best;
+        spent += ns * 1e-9;
+        if (rep > 10000)
+            break;
+    }
+    return best;
+}
+
+/** Collects BenchRecords and writes them as one JSON document. */
+class BenchJson
+{
+  public:
+    explicit BenchJson(std::string bench_name)
+        : name(std::move(bench_name))
+    {
+    }
+
+    void add(const BenchRecord &r) { records.push_back(r); }
+
+    /** Write BENCH_<name>.json into the working directory. */
+    bool
+    write() const
+    {
+        const std::string path = "BENCH_" + name + ".json";
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot write %s\n", path.c_str());
+            return false;
+        }
+        std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"records\": [\n",
+                     name.c_str());
+        for (size_t i = 0; i < records.size(); ++i) {
+            const BenchRecord &r = records[i];
+            std::fprintf(
+                f,
+                "    {\"kernel\": \"%s\", \"m\": %zu, \"n\": %zu, "
+                "\"k\": %zu, \"ns_per_op\": %.1f, "
+                "\"gb_per_s\": %.3f, \"speedup_vs_seed\": %.2f}%s\n",
+                r.kernel.c_str(), r.m, r.n, r.k, r.ns_per_op,
+                r.gb_per_s, r.speedup_vs_seed,
+                i + 1 < records.size() ? "," : "");
+        }
+        std::fprintf(f, "  ]\n}\n");
+        std::fclose(f);
+        std::printf("wrote %s\n", path.c_str());
+        return true;
+    }
+
+  private:
+    std::string name;
+    std::vector<BenchRecord> records;
+};
 
 } // namespace mokey::bench
 

@@ -3,10 +3,19 @@
  * google-benchmark microbenchmarks for the hot kernels: float GEMM,
  * index-domain GEMM, fixed-point GEMM, encode, pack/unpack, and the
  * golden-dictionary clustering.
+ *
+ * main() additionally times the engine kernels against replicas of
+ * the *seed* scalar kernels and writes BENCH_micro_kernels.json
+ * (kernel, shape, ns/op, GB/s, speedup), so the perf trajectory of
+ * the index-domain engine is tracked from this PR onward.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+
+#include "bench/bench_util.hh"
+#include "common/parallel.hh"
 #include "common/rng.hh"
 #include "quant/fixed_pipeline.hh"
 #include "quant/index_matmul.hh"
@@ -48,6 +57,29 @@ setup()
     return s;
 }
 
+/**
+ * Replica of the seed matmulTransB: single-threaded single-lane
+ * double accumulation. The library kernel evolves; this baseline
+ * stays frozen so speedups stay comparable across PRs.
+ */
+Tensor
+seedMatmulTransB(const Tensor &a, const Tensor &b)
+{
+    Tensor c(a.rows(), b.rows());
+    const size_t m = a.rows(), k = a.cols(), n = b.rows();
+    for (size_t i = 0; i < m; ++i) {
+        const float *arow = a.row(i);
+        for (size_t j = 0; j < n; ++j) {
+            const float *brow = b.row(j);
+            double acc = 0.0;
+            for (size_t p = 0; p < k; ++p)
+                acc += static_cast<double>(arow[p]) * brow[p];
+            c.at(i, j) = static_cast<float>(acc);
+        }
+    }
+    return c;
+}
+
 void
 BM_FloatGemm(benchmark::State &state)
 {
@@ -58,6 +90,15 @@ BM_FloatGemm(benchmark::State &state)
 BENCHMARK(BM_FloatGemm)->Unit(benchmark::kMillisecond);
 
 void
+BM_FloatGemmSeed(benchmark::State &state)
+{
+    auto &s = setup();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(seedMatmulTransB(s.a, s.w));
+}
+BENCHMARK(BM_FloatGemmSeed)->Unit(benchmark::kMillisecond);
+
+void
 BM_IndexGemm(benchmark::State &state)
 {
     auto &s = setup();
@@ -65,6 +106,26 @@ BM_IndexGemm(benchmark::State &state)
         benchmark::DoNotOptimize(indexMatmulTransB(s.qa, s.qw));
 }
 BENCHMARK(BM_IndexGemm)->Unit(benchmark::kMillisecond);
+
+void
+BM_IndexGemmScalar(benchmark::State &state)
+{
+    auto &s = setup();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            indexMatmulTransBScalar(s.qa, s.qw));
+}
+BENCHMARK(BM_IndexGemmScalar)->Unit(benchmark::kMillisecond);
+
+void
+BM_IndexGemmReference(benchmark::State &state)
+{
+    auto &s = setup();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            indexMatmulTransBReference(s.qa, s.qw));
+}
+BENCHMARK(BM_IndexGemmReference)->Unit(benchmark::kMillisecond);
 
 void
 BM_FixedGemm(benchmark::State &state)
@@ -112,6 +173,80 @@ BENCHMARK(BM_GoldenDictionaryClustering)
     ->Arg(50000)
     ->Unit(benchmark::kMillisecond);
 
+/**
+ * Time engine vs seed kernels on GEMM shapes from the transformer
+ * workloads and flush BENCH_micro_kernels.json. GB/s counts operand
+ * reads plus result writes at their in-memory width (1 B codes for
+ * the index path, 4 B floats otherwise).
+ */
+void
+writeSpeedupReport()
+{
+    bench::BenchJson json("micro_kernels");
+
+    struct GemmShape
+    {
+        size_t m, n, k;
+    };
+    for (const GemmShape shape :
+         {GemmShape{64, 64, 256}, GemmShape{128, 128, 768}}) {
+        const size_t m = shape.m, n = shape.n, k = shape.k;
+        Rng rng(31337 + m);
+        ExpDictionary exp(1.179, -0.977, 8);
+        Quantizer quantizer(exp);
+        Tensor a(m, k, rng.gaussianVector(m * k, 0.0, 1.0));
+        Tensor w(n, k, rng.gaussianVector(n * k, 0.0, 0.05));
+        const auto qa =
+            quantizer.encode(a, quantizer.buildDictionary(a));
+        const auto qw =
+            quantizer.encode(w, quantizer.buildDictionary(w));
+
+        const double fbytes =
+            static_cast<double>(m * k + n * k + m * n) * 4.0;
+        const double ibytes =
+            static_cast<double>(m * k + n * k) * 1.0 +
+            static_cast<double>(m * n) * 4.0;
+
+        const double seed_f = bench::timeKernelNs(
+            [&] { seedMatmulTransB(a, w); });
+        const double fast_f = bench::timeKernelNs(
+            [&] { matmulTransB(a, w); });
+        const double seed_i = bench::timeKernelNs(
+            [&] { indexMatmulTransBReference(qa, qw); });
+        const double fast_i = bench::timeKernelNs(
+            [&] { indexMatmulTransB(qa, qw); });
+
+        json.add({"float_gemm_seed", m, n, k, seed_f,
+                  fbytes / seed_f, 0.0});
+        json.add({"float_gemm_engine", m, n, k, fast_f,
+                  fbytes / fast_f, seed_f / fast_f});
+        json.add({"index_gemm_seed", m, n, k, seed_i,
+                  ibytes / seed_i, 0.0});
+        json.add({"index_gemm_engine", m, n, k, fast_i,
+                  ibytes / fast_i, seed_i / fast_i});
+
+        std::printf("shape %zux%zux%zu: float %.2fx, index %.2fx "
+                    "(threads=%zu)\n",
+                    m, n, k, seed_f / fast_f, seed_i / fast_i,
+                    threadCount());
+    }
+    json.write();
+}
+
 } // anonymous namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    // The seed-vs-engine report costs a couple of seconds and
+    // rewrites BENCH_micro_kernels.json in the CWD; developers
+    // iterating on one benchmark can turn it off.
+    if (std::getenv("MOKEY_NO_SPEEDUP_REPORT") == nullptr)
+        writeSpeedupReport();
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

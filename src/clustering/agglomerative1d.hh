@@ -38,7 +38,13 @@ struct ClusterResult
     std::vector<size_t> sizes;
 
     /** Sum of squared distances of points to their centroid. */
-    double inertia;
+    double inertia = 0.0;
+
+    /**
+     * Refinement iterations actually executed (Lloyd sweeps for
+     * kmeans1d; 0 for the non-iterative agglomerative path).
+     */
+    size_t iterations = 0;
 };
 
 /**

@@ -57,7 +57,10 @@ struct FixedFormat
     int64_t rawMax() const;
     int64_t rawMin() const;
 
-    bool operator==(const FixedFormat &o) const = default;
+    bool operator==(const FixedFormat &o) const
+    {
+        return totalBits == o.totalBits && fracBits == o.fracBits;
+    }
 };
 
 /** Convert a float to its raw fixed-point integer, saturating. */

@@ -1,0 +1,234 @@
+#include "common/parallel.hh"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace mokey
+{
+
+namespace
+{
+
+/** True while the current thread is executing pool work. */
+thread_local bool in_worker = false;
+
+/**
+ * The process-wide pool. Workers park on a condition variable and
+ * wake per loop; chunks are claimed with an atomic cursor so load
+ * balances while chunk *boundaries* stay deterministic.
+ */
+class ThreadPool
+{
+  public:
+    static ThreadPool &global()
+    {
+        static ThreadPool pool;
+        return pool;
+    }
+
+    size_t threads()
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        return workers.size() + 1; // calling thread participates
+    }
+
+    void resize(size_t n)
+    {
+        if (n < 1)
+            n = 1;
+        std::lock_guard<std::mutex> run_lk(run_mu); // no loop in flight
+        stopWorkers();
+        std::lock_guard<std::mutex> lk(mu);
+        spawnLocked(n - 1);
+    }
+
+    void run(size_t begin, size_t end, size_t grain,
+             const RangeBody &body)
+    {
+        // One top-level loop at a time: a second outer thread would
+        // otherwise clobber the in-flight job state.
+        std::lock_guard<std::mutex> run_lk(run_mu);
+        {
+            std::unique_lock<std::mutex> lk(mu);
+            job = &body;
+            job_end = end;
+            job_grain = grain;
+            cursor.store(begin, std::memory_order_relaxed);
+            pending = workers.size();
+            ++generation;
+        }
+        cv_work.notify_all();
+
+        // The calling thread pulls chunks too. It must count as a
+        // worker while it does: a nested parallelFor() issued from
+        // inside its chunk would otherwise re-enter run() and
+        // overwrite the job the workers are still draining.
+        in_worker = true;
+        drain(body);
+        in_worker = false;
+
+        std::unique_lock<std::mutex> lk(mu);
+        cv_done.wait(lk, [this] { return pending == 0; });
+        job = nullptr;
+    }
+
+  private:
+    ThreadPool()
+    {
+        size_t n = std::thread::hardware_concurrency();
+        if (const char *env = std::getenv("MOKEY_THREADS")) {
+            const long v = std::atol(env);
+            if (v >= 1)
+                n = static_cast<size_t>(v);
+            else
+                warn("ignoring invalid MOKEY_THREADS='%s'", env);
+        }
+        if (n < 1)
+            n = 1;
+        std::lock_guard<std::mutex> lk(mu);
+        spawnLocked(n - 1);
+    }
+
+    ~ThreadPool() { stopWorkers(); }
+
+    void spawnLocked(size_t n)
+    {
+        // Each worker starts already caught up to the current
+        // generation: a fresh worker seeded with 0 would sail
+        // through its first wait (generation is monotonically
+        // bumped), find no job, and decrement the *next* loop's
+        // pending count without having drained anything.
+        const uint64_t gen = generation;
+        workers.reserve(n);
+        for (size_t t = 0; t < n; ++t)
+            workers.emplace_back([this, gen] { workerLoop(gen); });
+    }
+
+    void stopWorkers()
+    {
+        {
+            std::lock_guard<std::mutex> lk(mu);
+            stopping = true;
+            ++generation;
+        }
+        cv_work.notify_all();
+        for (auto &w : workers)
+            w.join();
+        std::lock_guard<std::mutex> lk(mu);
+        workers.clear();
+        stopping = false;
+    }
+
+    /** Claim and execute chunks until the loop's range is exhausted. */
+    void drain(const RangeBody &body)
+    {
+        const size_t end = job_end, grain = job_grain;
+        for (;;) {
+            const size_t lo =
+                cursor.fetch_add(grain, std::memory_order_relaxed);
+            if (lo >= end)
+                break;
+            const size_t hi = std::min(lo + grain, end);
+            body(lo, hi);
+        }
+    }
+
+    void workerLoop(uint64_t seen)
+    {
+        in_worker = true;
+        for (;;) {
+            const RangeBody *body;
+            {
+                std::unique_lock<std::mutex> lk(mu);
+                cv_work.wait(lk, [this, seen] {
+                    return generation != seen;
+                });
+                seen = generation;
+                if (stopping)
+                    return;
+                body = job;
+            }
+            if (body)
+                drain(*body);
+            {
+                std::lock_guard<std::mutex> lk(mu);
+                if (pending > 0 && --pending == 0)
+                    cv_done.notify_all();
+            }
+        }
+    }
+
+    std::mutex run_mu; ///< serializes top-level run()/resize()
+    std::mutex mu;
+    std::condition_variable cv_work;
+    std::condition_variable cv_done;
+    std::vector<std::thread> workers;
+
+    const RangeBody *job = nullptr;
+    size_t job_end = 0, job_grain = 1; ///< cursor seeds the begin
+    std::atomic<size_t> cursor{0};
+    size_t pending = 0;
+    uint64_t generation = 0;
+    bool stopping = false;
+};
+
+} // anonymous namespace
+
+size_t
+threadCount()
+{
+    return ThreadPool::global().threads();
+}
+
+void
+setThreadCount(size_t n)
+{
+    MOKEY_ASSERT(!in_worker, "setThreadCount() from inside the pool");
+    ThreadPool::global().resize(n);
+}
+
+void
+parallelForRange(size_t begin, size_t end, size_t grain,
+                 const RangeBody &body)
+{
+    if (begin >= end)
+        return;
+    if (grain < 1)
+        grain = 1;
+    const size_t range = end - begin;
+    // Check the thread_local first: nested loops (the common case in
+    // the hot kernels) must not touch the pool mutex at all.
+    if (in_worker || range <= grain) {
+        body(begin, end);
+        return;
+    }
+    ThreadPool &pool = ThreadPool::global();
+    const size_t threads = pool.threads();
+    if (threads == 1) {
+        body(begin, end);
+        return;
+    }
+    // Deterministic chunk size: split into ~4 chunks per thread for
+    // load balance, but never below the caller's grain.
+    const size_t target = (range + threads * 4 - 1) / (threads * 4);
+    pool.run(begin, end, std::max(grain, target), body);
+}
+
+void
+parallelFor(size_t begin, size_t end, size_t grain,
+            const std::function<void(size_t)> &body)
+{
+    parallelForRange(begin, end, grain,
+                     [&body](size_t lo, size_t hi) {
+                         for (size_t i = lo; i < hi; ++i)
+                             body(i);
+                     });
+}
+
+} // namespace mokey

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Shared-memory parallelism substrate for the compute kernels.
+ *
+ * One process-wide thread pool executes parallelFor() loops. Design
+ * constraints, in priority order:
+ *
+ *  1. *Determinism.* Results must be bit-identical for any thread
+ *     count. The pool therefore only hands out disjoint, contiguous
+ *     chunks of the iteration space whose boundaries depend on the
+ *     range and grain alone — never on timing. Callers keep each
+ *     output element's computation entirely inside one iteration.
+ *  2. *Nesting safety.* A parallelFor() issued from inside a worker
+ *     runs inline (serially) instead of deadlocking the pool — outer
+ *     loops parallelize, inner loops degrade gracefully.
+ *  3. *Cheap small loops.* Ranges below the grain threshold (or a
+ *     1-thread pool) bypass the pool entirely, so per-call overhead
+ *     stays out of microsecond-scale kernels.
+ *
+ * Thread count defaults to std::thread::hardware_concurrency() and
+ * can be overridden by the MOKEY_THREADS environment variable or
+ * setThreadCount() (tests use the latter to sweep 1/2/N).
+ */
+
+#ifndef MOKEY_COMMON_PARALLEL_HH
+#define MOKEY_COMMON_PARALLEL_HH
+
+#include <cstddef>
+#include <functional>
+
+namespace mokey
+{
+
+/** Body signature for chunked loops: process indexes [lo, hi). */
+using RangeBody = std::function<void(size_t lo, size_t hi)>;
+
+/** Number of threads the pool currently runs (>= 1). */
+size_t threadCount();
+
+/**
+ * Resize the pool to exactly @p n threads (clamped to >= 1).
+ * Blocks until no loop is in flight; intended for startup and tests.
+ */
+void setThreadCount(size_t n);
+
+/**
+ * Run @p body over [begin, end) split into contiguous chunks.
+ *
+ * Chunk boundaries are a pure function of (range, grain, thread
+ * count); which worker executes which chunk is unspecified, so the
+ * body must only write state owned by its own indexes.
+ *
+ * @param begin first index
+ * @param end   one past the last index
+ * @param grain minimum indexes per chunk (>= 1); ranges not larger
+ *              than @p grain run inline on the calling thread
+ * @param body  chunk handler, called as body(lo, hi)
+ */
+void parallelForRange(size_t begin, size_t end, size_t grain,
+                      const RangeBody &body);
+
+/** Per-index convenience wrapper over parallelForRange(). */
+void parallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t i)> &body);
+
+} // namespace mokey
+
+#endif // MOKEY_COMMON_PARALLEL_HH

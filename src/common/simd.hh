@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Vectorized dot-product primitives shared by the hot kernels.
+ *
+ * Each function carries GCC target_clones, so the binary ships
+ * generic, AVX2+FMA, and AVX-512 variants and the dynamic linker
+ * picks one per process at startup. Within a process the chosen
+ * variant — and therefore the exact FP rounding — is fixed, which is
+ * what lets the GEMM engines promise bit-identical results across
+ * thread counts and tilings.
+ *
+ * Lane structure (and thus arithmetic order) is written out
+ * explicitly: 16 independent accumulators reduced in a fixed tree.
+ * The result is a pure function of the inputs and the selected ISA.
+ */
+
+#ifndef MOKEY_COMMON_SIMD_HH
+#define MOKEY_COMMON_SIMD_HH
+
+#include <cstddef>
+
+namespace mokey
+{
+
+/** Sum of x[i]*y[i] over doubles, 16-lane fixed-tree reduction. */
+double dotDD(const double *x, const double *y, size_t n);
+
+/** Sum of x[i]*y[i] over floats, accumulated in double. */
+double dotFD(const float *x, const float *y, size_t n);
+
+/**
+ * Two dot products sharing one x stream: r0 = x . y0, r1 = x . y1.
+ * The column pairing halves x loads/converts in GEMM inner loops.
+ * Uses its own (8-lane) accumulation order — deterministic, but not
+ * bit-matched to dotFD(); callers must route a given output through
+ * the same function on every run.
+ */
+void dotFD2(const float *x, const float *y0, const float *y1,
+            size_t n, double *r0, double *r1);
+
+} // namespace mokey
+
+#endif // MOKEY_COMMON_SIMD_HH

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "tensor/ops.hh"
 
 namespace mokey
@@ -18,33 +19,37 @@ QuantizedTransformer::QuantizedTransformer(const Transformer &m,
 void
 QuantizedTransformer::quantizeWeights()
 {
-    layers.clear();
+    const size_t n_layers = model.config().layers;
+    layers.assign(n_layers, QuantizedLayer{});
     dequantized = std::make_unique<Transformer>(model);
-    for (size_t l = 0; l < model.config().layers; ++l) {
-        const EncoderWeights &w = model.weights()[l];
-        QuantizedLayer ql;
-        const auto enc = [&](const Tensor &t) {
-            const auto dict = quantizer.buildDictionary(t, dictCfg);
-            return quantizer.encode(t, dict);
-        };
-        ql.wq = enc(w.wq);
-        ql.wk = enc(w.wk);
-        ql.wv = enc(w.wv);
-        ql.wo = enc(w.wo);
-        ql.w1 = enc(w.w1);
-        ql.w2 = enc(w.w2);
 
-        // The weight-only model runs the float forward pass over
-        // decoded (quantize-dequantized) weights.
+    // Every (layer, matrix) pair is independent — dictionary build,
+    // encode, and decode all fan out across the pool.
+    struct Job
+    {
+        const Tensor *src;
+        QuantizedTensor *dst;
+        Tensor *deq; ///< decoded copy for the weight-only model
+    };
+    std::vector<Job> jobs;
+    jobs.reserve(n_layers * 6);
+    for (size_t l = 0; l < n_layers; ++l) {
+        const EncoderWeights &w = model.weights()[l];
+        QuantizedLayer &ql = layers[l];
         EncoderWeights &dw = dequantized->weights()[l];
-        dw.wq = ql.wq.decode();
-        dw.wk = ql.wk.decode();
-        dw.wv = ql.wv.decode();
-        dw.wo = ql.wo.decode();
-        dw.w1 = ql.w1.decode();
-        dw.w2 = ql.w2.decode();
-        layers.push_back(std::move(ql));
+        jobs.push_back({&w.wq, &ql.wq, &dw.wq});
+        jobs.push_back({&w.wk, &ql.wk, &dw.wk});
+        jobs.push_back({&w.wv, &ql.wv, &dw.wv});
+        jobs.push_back({&w.wo, &ql.wo, &dw.wo});
+        jobs.push_back({&w.w1, &ql.w1, &dw.w1});
+        jobs.push_back({&w.w2, &ql.w2, &dw.w2});
     }
+    parallelFor(0, jobs.size(), 1, [&](size_t i) {
+        const Job &job = jobs[i];
+        const auto dict = quantizer.buildDictionary(*job.src, dictCfg);
+        *job.dst = quantizer.encode(*job.src, dict);
+        *job.deq = job.dst->decode();
+    });
 }
 
 void

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "common/rng.hh"
 #include "tensor/ops.hh"
 
@@ -116,11 +117,14 @@ Transformer::forwardLayer(size_t layer, const Tensor &input,
     observe({layer, "k"}, k);
     observe({layer, "v"}, v);
 
-    // Per-head scaled dot-product attention.
+    // Per-head scaled dot-product attention. Heads are independent
+    // and write disjoint column slices of ctx, so they fan out across
+    // the pool — except when an observer is attached, which must see
+    // the per-head score tensors in deterministic order.
     Tensor ctx(seq, cfg.hidden);
     const auto inv_sqrt =
         static_cast<float>(1.0 / std::sqrt(static_cast<double>(hd)));
-    for (size_t h = 0; h < cfg.heads; ++h) {
+    const auto head = [&](size_t h) {
         Tensor qh(seq, hd), kh(seq, hd), vh(seq, hd);
         for (size_t r = 0; r < seq; ++r) {
             for (size_t c = 0; c < hd; ++c) {
@@ -137,6 +141,12 @@ Transformer::forwardLayer(size_t layer, const Tensor &input,
         for (size_t r = 0; r < seq; ++r)
             for (size_t c = 0; c < hd; ++c)
                 ctx.at(r, h * hd + c) = out.at(r, c);
+    };
+    if (hook || transform) {
+        for (size_t h = 0; h < cfg.heads; ++h)
+            head(h);
+    } else {
+        parallelFor(0, cfg.heads, 1, head);
     }
     observe({layer, "ctx"}, ctx);
 

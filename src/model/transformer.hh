@@ -44,7 +44,10 @@ struct TensorId
     std::string tensor; ///< "x", "q", "k", "v", "p", "ctx", "mid"
 
     std::string str() const;
-    bool operator==(const TensorId &o) const = default;
+    bool operator==(const TensorId &o) const
+    {
+        return layer == o.layer && tensor == o.tensor;
+    }
 };
 
 /**

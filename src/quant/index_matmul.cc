@@ -1,8 +1,12 @@
 #include "quant/index_matmul.hh"
 
+#include <algorithm>
 #include <cmath>
+#include <mutex>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
+#include "common/simd.hh"
 
 namespace mokey
 {
@@ -148,8 +152,9 @@ indexDot(const QCode *a, const TensorDictionary &dict_a,
 }
 
 Tensor
-indexMatmulTransB(const QuantizedTensor &a, const QuantizedTensor &wt,
-                  IndexMatmulStats *stats)
+indexMatmulTransBReference(const QuantizedTensor &a,
+                           const QuantizedTensor &wt,
+                           IndexMatmulStats *stats)
 {
     MOKEY_ASSERT(a.cols() == wt.cols(),
                  "index matmul reduction mismatch: %zu vs %zu",
@@ -178,6 +183,214 @@ indexMatmulTransB(const QuantizedTensor &a, const QuantizedTensor &wt,
         }
     }
     return out;
+}
+
+namespace
+{
+
+/**
+ * Per-GEMM constants: the 6-term reconstruction of indexDot() folded
+ * into scalars, so the per-dot computation touches no dictionary
+ * objects.
+ */
+struct EngineContext
+{
+    size_t k = 0;
+    double sA = 0.0, sW = 0.0; ///< per-tensor scales
+    double mA = 0.0, mW = 0.0; ///< per-tensor means
+    double c0 = 0.0;           ///< s_a * s_w
+    double constTerm = 0.0;    ///< k * m_a * m_w
+};
+
+EngineContext
+makeContext(const QuantizedTensor &a, const QuantizedTensor &wt)
+{
+    const TensorDictionary &da = a.dictionary();
+    const TensorDictionary &dw = wt.dictionary();
+    const ExpDictionary &exp = da.exp();
+    MOKEY_ASSERT(exp.a() == dw.exp().a() &&
+                 exp.b() == dw.exp().b(),
+                 "operands use different exponential dictionaries");
+    MOKEY_ASSERT(exp.indexCount() <= kMaxGaussianIndexes,
+                 "index space %zu exceeds CRF capacity",
+                 exp.indexCount());
+
+    EngineContext ctx;
+    ctx.k = a.cols();
+    ctx.sA = da.scale();
+    ctx.sW = dw.scale();
+    ctx.mA = da.mean();
+    ctx.mW = dw.mean();
+    ctx.c0 = ctx.sA * ctx.sW;
+    ctx.constTerm = static_cast<double>(ctx.k) * ctx.mA * ctx.mW;
+    return ctx;
+}
+
+/**
+ * One engine dot product over the mag planes and outlier sidecars.
+ *
+ * The GPE histogram algebra collapses exactly: a Gaussian pair's
+ * online terms
+ *   s_a s_w (a^(ia+iw) + b a^ia + b a^iw + b^2) * sign
+ * factor into  c0 * [th_a (a^ia + b)] * [th_w (a^iw + b)], i.e. the
+ * product of the two mag-plane entries — so the whole branchy
+ * histogram sweep plus exp.power() post-processing becomes one
+ * vectorized dot product (outlier slots hold 0 and vanish). The CRF
+ * histogram model itself lives on in indexDot(), which the property
+ * tests hold this engine to.
+ *
+ * OPP: merge the column-sorted sidecars; each entry is one real MAC
+ * plus the exact correction for what the precomputed terms already
+ * counted.
+ *
+ * noinline on purpose: a single instantiation guarantees identical
+ * FP contraction for every caller, which the bit-parity guarantee
+ * (scalar == tiled == any thread count) depends on.
+ */
+__attribute__((noinline)) double
+engineDot(const EngineContext &ctx, const double *ma,
+          const CodePlanes::Outlier *oa, size_t na, const double *mw,
+          const CodePlanes::Outlier *ow, size_t nw, double row_term,
+          double col_term, uint64_t &ot_pairs)
+{
+    const double gpe = ctx.c0 * dotDD(ma, mw, ctx.k);
+
+    double ot_acc = 0.0;
+    size_t x = 0, y = 0;
+    uint64_t both = 0;
+    while (x < na && y < nw) {
+        if (oa[x].col == ow[y].col) {
+            ot_acc += oa[x].value * ow[y].value - ctx.mA * ctx.mW;
+            ++both;
+            ++x;
+            ++y;
+        } else if (oa[x].col < ow[y].col) {
+            const uint32_t c = oa[x].col;
+            const double wv = mw[c] * ctx.sW + ctx.mW;
+            ot_acc += (oa[x].value - ctx.mA) * wv;
+            ++x;
+        } else {
+            const uint32_t c = ow[y].col;
+            const double av = ma[c] * ctx.sA + ctx.mA;
+            ot_acc += (ow[y].value - ctx.mW) * av;
+            ++y;
+        }
+    }
+    for (; x < na; ++x) {
+        const uint32_t c = oa[x].col;
+        const double wv = mw[c] * ctx.sW + ctx.mW;
+        ot_acc += (oa[x].value - ctx.mA) * wv;
+    }
+    for (; y < nw; ++y) {
+        const uint32_t c = ow[y].col;
+        const double av = ma[c] * ctx.sA + ctx.mA;
+        ot_acc += (ow[y].value - ctx.mW) * av;
+    }
+    ot_pairs += na + nw - both;
+
+    return gpe + row_term + col_term + ctx.constTerm + ot_acc;
+}
+
+/** Weight-tile width: ~8*kTileN*k mag-plane bytes stay L2-resident. */
+constexpr size_t kTileN = 32;
+
+Tensor
+engineMatmul(const QuantizedTensor &a, const QuantizedTensor &wt,
+             IndexMatmulStats *stats, bool tiled_parallel)
+{
+    MOKEY_ASSERT(a.cols() == wt.cols(),
+                 "index matmul reduction mismatch: %zu vs %zu",
+                 a.cols(), wt.cols());
+    const size_t m = a.rows(), n = wt.rows(), k = a.cols();
+    const EngineContext ctx = makeContext(a, wt);
+
+    // Materialize both plane views on this thread before fanning out.
+    const CodePlanes &pa = a.planes();
+    const CodePlanes &pw = wt.planes();
+
+    // Pairing-independent sums folded straight into per-row/-column
+    // scalar terms of the reconstruction. The seed's SoA2 + b*PoM2
+    // is exactly the mag-plane row sum:
+    //   sum th (a^i) + b sum th  =  sum th (a^i + b).
+    std::vector<double> row_term(m), col_term(n);
+    const auto fold = [k](const CodePlanes &p, size_t r) {
+        const double *mg = p.magRow(r);
+        double sum = 0.0;
+        for (size_t c = 0; c < k; ++c)
+            sum += mg[c];
+        return sum;
+    };
+    // The scalar path must honour its contract of never touching the
+    // pool, so the fold loops are serial there too; per-element
+    // results are identical either way.
+    const auto foldRows = [&](size_t i) {
+        row_term[i] = ctx.sA * ctx.mW * fold(pa, i);
+    };
+    const auto foldCols = [&](size_t j) {
+        col_term[j] = ctx.sW * ctx.mA * fold(pw, j);
+    };
+    if (tiled_parallel) {
+        parallelFor(0, m, 16, foldRows);
+        parallelFor(0, n, 16, foldCols);
+    } else {
+        for (size_t i = 0; i < m; ++i)
+            foldRows(i);
+        for (size_t j = 0; j < n; ++j)
+            foldCols(j);
+    }
+
+    Tensor out(m, n);
+    std::mutex stats_mu;
+    const auto band = [&](size_t lo, size_t hi) {
+        uint64_t ot_pairs = 0;
+        // Tile over the weight rows so a kTileN-row plane block is
+        // reused by every activation row of the band.
+        for (size_t jb = 0; jb < n; jb += kTileN) {
+            const size_t jhi = std::min(jb + kTileN, n);
+            for (size_t i = lo; i < hi; ++i) {
+                const double *ma = pa.magRow(i);
+                const CodePlanes::Outlier *oa = pa.outlierRow(i);
+                const size_t na = pa.outlierCount(i);
+                float *orow = out.row(i);
+                for (size_t j = jb; j < jhi; ++j) {
+                    orow[j] = static_cast<float>(engineDot(
+                        ctx, ma, oa, na, pw.magRow(j),
+                        pw.outlierRow(j), pw.outlierCount(j),
+                        row_term[i], col_term[j], ot_pairs));
+                }
+            }
+        }
+        if (stats) {
+            std::lock_guard<std::mutex> lk(stats_mu);
+            const uint64_t pairs =
+                static_cast<uint64_t>(hi - lo) * n * k;
+            stats->outlierPairs += ot_pairs;
+            stats->gaussianPairs += pairs - ot_pairs;
+        }
+    };
+
+    if (tiled_parallel)
+        parallelForRange(0, m, 1, band);
+    else
+        band(0, m);
+    return out;
+}
+
+} // anonymous namespace
+
+Tensor
+indexMatmulTransB(const QuantizedTensor &a, const QuantizedTensor &wt,
+                  IndexMatmulStats *stats)
+{
+    return engineMatmul(a, wt, stats, true);
+}
+
+Tensor
+indexMatmulTransBScalar(const QuantizedTensor &a,
+                        const QuantizedTensor &wt,
+                        IndexMatmulStats *stats)
+{
+    return engineMatmul(a, wt, stats, false);
 }
 
 Tensor

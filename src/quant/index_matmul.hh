@@ -110,10 +110,35 @@ double indexDot(const QCode *a, const TensorDictionary &dict_a,
  *
  * Both operands are quantized; the result is the full-precision
  * output activation tensor ready for on-the-fly re-quantization.
+ *
+ * This is the production engine: it streams the dense Gaussian code
+ * planes branch-free (GPE), merge-iterates the per-row outlier
+ * sidecars (OPP), tiles the output for cache reuse, and splits row
+ * bands across the thread pool. Per-output-element arithmetic order
+ * is fixed, so results are bit-identical for every thread count and
+ * identical to indexMatmulTransBScalar().
  */
 Tensor indexMatmulTransB(const QuantizedTensor &a,
                          const QuantizedTensor &wt,
                          IndexMatmulStats *stats = nullptr);
+
+/**
+ * The engine's scalar path: the same per-element kernel as
+ * indexMatmulTransB() run entirely on the calling thread. Exists so
+ * parity tests can pin the parallel path bit-for-bit.
+ */
+Tensor indexMatmulTransBScalar(const QuantizedTensor &a,
+                               const QuantizedTensor &wt,
+                               IndexMatmulStats *stats = nullptr);
+
+/**
+ * The seed scalar algorithm — one indexDot() per output element,
+ * branching per code pair. Kept as the algebra reference the engine
+ * is validated (and benchmarked) against.
+ */
+Tensor indexMatmulTransBReference(const QuantizedTensor &a,
+                                  const QuantizedTensor &wt,
+                                  IndexMatmulStats *stats = nullptr);
 
 /** Reference: decode both operands and multiply in float. */
 Tensor decodedMatmulTransB(const QuantizedTensor &a,

@@ -103,6 +103,9 @@ unpackTensor(const PackedTensor &p, const TensorDictionary &dict)
     MOKEY_ASSERT(q.size() == p.count, "packed shape mismatch");
 
     BitReader values(p.values), pointers(p.otPointers);
+    // One raw() call up front: the non-const accessor drops the
+    // planes cache with an atomic store, far too heavy per element.
+    std::vector<QCode> &codes = q.raw();
     for (size_t g = 0; g < p.count; g += kCodecGroupSize) {
         const size_t end = std::min(g + kCodecGroupSize, p.count);
         const auto ot_count =
@@ -118,7 +121,7 @@ unpackTensor(const PackedTensor &p, const TensorDictionary &dict)
         for (size_t i = g; i < end; ++i) {
             const auto nibble =
                 static_cast<uint8_t>(values.get(4));
-            q.raw()[i] = is_ot[i - g]
+            codes[i] = is_ot[i - g]
                 ? QCode::outlier(nibble)
                 : QCode::gaussian(nibble & 8,
                                   static_cast<uint8_t>(nibble & 7));

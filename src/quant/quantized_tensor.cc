@@ -1,5 +1,7 @@
 #include "quant/quantized_tensor.hh"
 
+#include <mutex>
+
 #include "common/logging.hh"
 
 namespace mokey
@@ -28,6 +30,62 @@ QuantizedTensor::QuantizedTensor(size_t rows, size_t cols,
     : nRows(rows), nCols(cols), codes(rows * cols, QCode{0}),
       dict(std::move(d))
 {
+}
+
+const CodePlanes &
+QuantizedTensor::planes() const
+{
+    // Concurrent const readers (two threads GEMMing with one shared
+    // weight tensor) may race to build: the cache pointer is only
+    // touched through atomic loads/stores, and a process-wide mutex
+    // makes the build itself single-flight. Mutation during a
+    // concurrent planes() call remains the caller's bug.
+    auto cached = std::atomic_load_explicit(
+        &planesCache, std::memory_order_acquire);
+    if (cached)
+        return *cached;
+
+    static std::mutex build_mu;
+    std::lock_guard<std::mutex> lk(build_mu);
+    cached = std::atomic_load_explicit(&planesCache,
+                                       std::memory_order_acquire);
+    if (cached)
+        return *cached;
+
+    auto p = std::make_shared<CodePlanes>();
+    p->rows = nRows;
+    p->cols = nCols;
+    p->index.resize(codes.size());
+    p->theta.resize(codes.size());
+    p->mag.resize(codes.size());
+    p->rowStart.assign(nRows + 1, 0);
+    for (size_t r = 0; r < nRows; ++r) {
+        const QCode *src = codes.data() + r * nCols;
+        uint8_t *idx = p->index.data() + r * nCols;
+        int8_t *th = p->theta.data() + r * nCols;
+        double *mg = p->mag.data() + r * nCols;
+        for (size_t c = 0; c < nCols; ++c) {
+            const QCode q = src[c];
+            if (q.isOutlier()) {
+                idx[c] = 0;
+                th[c] = 0;
+                mg[c] = 0.0;
+                p->outliers.push_back(
+                    {static_cast<uint32_t>(c),
+                     dict.outlierValue(q.outlierIndex())});
+            } else {
+                idx[c] = q.index();
+                th[c] = static_cast<int8_t>(q.theta());
+                mg[c] = q.theta() * dict.exp().magnitude(q.index());
+            }
+        }
+        p->rowStart[r + 1] =
+            static_cast<uint32_t>(p->outliers.size());
+    }
+    std::atomic_store_explicit(&planesCache,
+                               std::shared_ptr<const CodePlanes>(p),
+                               std::memory_order_release);
+    return *p;
 }
 
 Tensor

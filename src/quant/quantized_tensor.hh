@@ -13,7 +13,9 @@
 #ifndef MOKEY_QUANT_QUANTIZED_TENSOR_HH
 #define MOKEY_QUANT_QUANTIZED_TENSOR_HH
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "quant/tensor_dictionary.hh"
@@ -51,7 +53,66 @@ struct QCode
     /** 4 b outlier-dictionary index (sign bit reused as bit 3). */
     uint8_t outlierIndex() const { return raw & 0xf; }
 
-    bool operator==(const QCode &o) const = default;
+    bool operator==(const QCode &o) const { return raw == o.raw; }
+};
+
+/**
+ * The execution-friendly view of a quantized matrix: the GPE/OPP
+ * split of Fig. 6 made structural.
+ *
+ * The dense planes cover *every* element: Gaussian codes carry their
+ * 3 b index and a +/-1 sign; outlier positions carry index 0 and
+ * sign 0, so a branch-free inner loop can stream them and have their
+ * histogram contributions vanish. The outlier pairs themselves live
+ * in a per-row sidecar of (column, decoded centroid) entries sorted
+ * by column — short lists the OPP path merge-iterates.
+ */
+struct CodePlanes
+{
+    size_t rows = 0;
+    size_t cols = 0;
+
+    std::vector<uint8_t> index; ///< Gaussian index plane (0 at outliers)
+    std::vector<int8_t> theta;  ///< +1/-1 sign plane (0 at outliers)
+
+    /**
+     * Signed unscaled magnitude plane: theta * (a^index + b), 0.0 at
+     * outliers. The engine's workhorse: the entire GPE histogram
+     * algebra for a pair of rows collapses exactly to
+     * s_a*s_w * dot(magA, magW) (see index_matmul.cc), and a
+     * Gaussian code decodes as mag * scale + mean.
+     */
+    std::vector<double> mag;
+
+    /** One sidecar entry: an outlier's column and decoded value. */
+    struct Outlier
+    {
+        uint32_t col;
+        double value;
+    };
+    std::vector<Outlier> outliers;  ///< all rows, concatenated
+    std::vector<uint32_t> rowStart; ///< rows+1 offsets into outliers
+
+    const uint8_t *indexRow(size_t r) const
+    {
+        return index.data() + r * cols;
+    }
+    const int8_t *thetaRow(size_t r) const
+    {
+        return theta.data() + r * cols;
+    }
+    const double *magRow(size_t r) const
+    {
+        return mag.data() + r * cols;
+    }
+    const Outlier *outlierRow(size_t r) const
+    {
+        return outliers.data() + rowStart[r];
+    }
+    size_t outlierCount(size_t r) const
+    {
+        return rowStart[r + 1] - rowStart[r];
+    }
 };
 
 /** A quantized matrix: codes plus the dictionary that decodes them. */
@@ -61,20 +122,70 @@ class QuantizedTensor
     QuantizedTensor();
     QuantizedTensor(size_t rows, size_t cols, TensorDictionary dict);
 
+    // Copying is a const read of the source, so callers may copy a
+    // shared tensor while another thread builds its planes(): the
+    // cache pointer must travel through the same atomics the build
+    // uses. Declaring these suppresses the implicit moves; moves are
+    // mutations (never safe under concurrent readers) and stay
+    // defaulted.
+    QuantizedTensor(const QuantizedTensor &o)
+        : nRows(o.nRows), nCols(o.nCols), codes(o.codes),
+          dict(o.dict),
+          planesCache(std::atomic_load_explicit(
+              &o.planesCache, std::memory_order_acquire))
+    {
+    }
+    QuantizedTensor &
+    operator=(const QuantizedTensor &o)
+    {
+        if (this != &o) {
+            nRows = o.nRows;
+            nCols = o.nCols;
+            codes = o.codes;
+            dict = o.dict;
+            planesCache = std::atomic_load_explicit(
+                &o.planesCache, std::memory_order_acquire);
+        }
+        return *this;
+    }
+    QuantizedTensor(QuantizedTensor &&) = default;
+    QuantizedTensor &operator=(QuantizedTensor &&) = default;
+
     size_t rows() const { return nRows; }
     size_t cols() const { return nCols; }
     size_t size() const { return codes.size(); }
 
-    QCode &at(size_t r, size_t c) { return codes[r * nCols + c]; }
+    QCode &at(size_t r, size_t c)
+    {
+        dropPlanes();
+        return codes[r * nCols + c];
+    }
     QCode at(size_t r, size_t c) const { return codes[r * nCols + c]; }
 
-    QCode *row(size_t r) { return codes.data() + r * nCols; }
+    QCode *row(size_t r)
+    {
+        dropPlanes();
+        return codes.data() + r * nCols;
+    }
     const QCode *row(size_t r) const { return codes.data() + r * nCols; }
 
     const std::vector<QCode> &raw() const { return codes; }
-    std::vector<QCode> &raw() { return codes; }
+    std::vector<QCode> &raw()
+    {
+        dropPlanes();
+        return codes;
+    }
 
     const TensorDictionary &dictionary() const { return dict; }
+
+    /**
+     * The dense-plane + outlier-sidecar view, built on first use and
+     * cached until the codes are next mutated (any non-const
+     * accessor drops the cache). Concurrent const callers are safe
+     * (the build is single-flight behind atomics); mutating the
+     * tensor while another thread reads planes() is not.
+     */
+    const CodePlanes &planes() const;
 
     /** Expand every code back to its centroid value. */
     Tensor decode() const;
@@ -93,6 +204,22 @@ class QuantizedTensor
     size_t nCols;
     std::vector<QCode> codes;
     TensorDictionary dict;
+
+    /**
+     * Lazily built planes view. shared_ptr so copies of the tensor
+     * share the (immutable) cache; a copy that later mutates its own
+     * codes only resets its own pointer. Accessed only through the
+     * std::atomic_* shared_ptr functions so concurrent const readers
+     * are safe.
+     */
+    mutable std::shared_ptr<const CodePlanes> planesCache;
+
+    void dropPlanes()
+    {
+        std::atomic_store_explicit(
+            &planesCache, std::shared_ptr<const CodePlanes>(),
+            std::memory_order_release);
+    }
 };
 
 } // namespace mokey

@@ -1,8 +1,10 @@
 #include "quant/quantizer.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 
 namespace mokey
 {
@@ -27,9 +29,15 @@ QuantizedTensor
 Quantizer::encode(const Tensor &t, const TensorDictionary &dict) const
 {
     QuantizedTensor q(t.rows(), t.cols(), dict);
-    for (size_t r = 0; r < t.rows(); ++r)
-        for (size_t c = 0; c < t.cols(); ++c)
-            q.at(r, c) = encodeValue(t.at(r, c), dict);
+    const size_t cols = t.cols();
+    QCode *codes = q.raw().data();
+    parallelFor(0, t.rows(), std::max<size_t>(1, 2048 / (cols + 1)),
+                [&](size_t r) {
+                    const float *src = t.row(r);
+                    QCode *dst = codes + r * cols;
+                    for (size_t c = 0; c < cols; ++c)
+                        dst[c] = encodeValue(src[c], dict);
+                });
     return q;
 }
 
@@ -58,14 +66,16 @@ Quantizer::encodeComparatorLadder(double v,
     // Fig. 7: the value is compared against every (sorted) centroid;
     // the comparator outputs form a run of 0s then 1s. The leading-1
     // position selects centroid CH; the entry before it is CL. Two
-    // subtractions pick the closer one.
-    size_t leading_one = lad.size(); // index of first centroid >= v
-    for (size_t i = 0; i < lad.size(); ++i) {
-        if (lad[i].value >= v) {
-            leading_one = i;
-            break;
-        }
-    }
+    // subtractions pick the closer one. The ladder is sorted, so the
+    // leading-one detect is a binary search rather than a linear
+    // sweep of all h + |OT| comparators.
+    const auto it = std::lower_bound(
+        lad.begin(), lad.end(), v,
+        [](const TensorDictionary::LadderEntry &e, double x) {
+            return e.value < x;
+        });
+    const size_t leading_one =
+        static_cast<size_t>(it - lad.begin());
 
     size_t pick;
     if (leading_one == lad.size()) {

@@ -4,9 +4,26 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
+#include "common/simd.hh"
 
 namespace mokey
 {
+
+namespace
+{
+
+/**
+ * Row grain that keeps tiny GEMMs on the calling thread: only fan
+ * out when a chunk carries at least ~32k multiply-adds.
+ */
+size_t
+rowGrain(size_t flops_per_row)
+{
+    return std::max<size_t>(1, (size_t{1} << 15) / (flops_per_row + 1));
+}
+
+} // anonymous namespace
 
 Tensor
 matmul(const Tensor &a, const Tensor &b)
@@ -16,7 +33,7 @@ matmul(const Tensor &a, const Tensor &b)
                  b.cols());
     Tensor c(a.rows(), b.cols());
     const size_t m = a.rows(), k = a.cols(), n = b.cols();
-    for (size_t i = 0; i < m; ++i) {
+    parallelFor(0, m, rowGrain(n * k), [&](size_t i) {
         float *crow = c.row(i);
         const float *arow = a.row(i);
         for (size_t p = 0; p < k; ++p) {
@@ -25,7 +42,7 @@ matmul(const Tensor &a, const Tensor &b)
             for (size_t j = 0; j < n; ++j)
                 crow[j] += av * brow[j];
         }
-    }
+    });
     return c;
 }
 
@@ -35,16 +52,23 @@ matmulTransB(const Tensor &a, const Tensor &b)
     MOKEY_ASSERT(a.cols() == b.cols(), "matmulTransB shape mismatch");
     Tensor c(a.rows(), b.rows());
     const size_t m = a.rows(), k = a.cols(), n = b.rows();
-    for (size_t i = 0; i < m; ++i) {
+    // Column pairs share the A-row stream (one load/convert feeds
+    // two accumulations); which function handles an output depends
+    // only on (j, n), never on threading, so results stay
+    // bit-identical across thread counts.
+    parallelFor(0, m, rowGrain(n * k), [&](size_t i) {
         const float *arow = a.row(i);
-        for (size_t j = 0; j < n; ++j) {
-            const float *brow = b.row(j);
-            double acc = 0.0;
-            for (size_t p = 0; p < k; ++p)
-                acc += static_cast<double>(arow[p]) * brow[p];
-            c.at(i, j) = static_cast<float>(acc);
+        float *crow = c.row(i);
+        size_t j = 0;
+        for (; j + 2 <= n; j += 2) {
+            double r0, r1;
+            dotFD2(arow, b.row(j), b.row(j + 1), k, &r0, &r1);
+            crow[j] = static_cast<float>(r0);
+            crow[j + 1] = static_cast<float>(r1);
         }
-    }
+        if (j < n)
+            crow[j] = static_cast<float>(dotFD(arow, b.row(j), k));
+    });
     return c;
 }
 

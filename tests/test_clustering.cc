@@ -192,6 +192,34 @@ TEST(Kmeans1d, SeedSensitivity)
         EXPECT_DOUBLE_EQ(a.centroids[i], b.centroids[i]);
 }
 
+TEST(Kmeans1d, ConvergesWellBeforeIterationCap)
+{
+    // Regression: the convergence check used an exact float compare
+    // (mean != centroid), which needs ~230 sweeps to hit the exact
+    // fixed point on this workload — past the default 100-iteration
+    // cap, so every such run burned the cap. The span-relative
+    // tolerance must terminate far earlier for both init schemes,
+    // with a cap high enough that we measure convergence, not
+    // clipping.
+    Rng rng(59);
+    const auto v = rng.gaussianVector(20000, 0.0, 1.0);
+    const size_t cap = 1000;
+    for (const uint64_t seed : {0ull, 7ull, 1234ull}) {
+        const auto r = kmeans1d(v, 16, cap, seed);
+        EXPECT_LT(r.iterations, 150u) << "seed " << seed;
+        EXPECT_GE(r.iterations, 1u);
+    }
+}
+
+TEST(Kmeans1d, IterationCapStillRespected)
+{
+    Rng rng(61);
+    const auto v = rng.gaussianVector(5000, 0.0, 1.0);
+    const auto r = kmeans1d(v, 32, 3);
+    EXPECT_LE(r.iterations, 3u);
+    ASSERT_EQ(r.centroids.size(), 32u);
+}
+
 TEST(Kmeans1d, InertiaNoWorseThanAgglomerativeStart)
 {
     // Lloyd refinement should land near (often below) the

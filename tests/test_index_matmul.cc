@@ -12,6 +12,7 @@
 #include <cmath>
 #include <gtest/gtest.h>
 
+#include "common/parallel.hh"
 #include "common/rng.hh"
 #include "quant/fixed_pipeline.hh"
 #include "quant/index_matmul.hh"
@@ -87,6 +88,173 @@ INSTANTIATE_TEST_SUITE_P(
         Shape{1, 1, 256, 0.1, 1.5, -0.3, 0.02, 0.04},
         Shape{8, 16, 96, 3.0, 2.0, -1.5, 1.0, 0.02},
         Shape{12, 12, 48, 0.0, 0.01, 0.0, 10.0, 0.03}));
+
+/**
+ * Engine-specific coverage: the tiled/parallel kernel must be
+ * bit-identical to its scalar path at every thread count, track the
+ * seed reference algorithm, and keep its pair statistics invariant
+ * under threading — all on deliberately outlier-heavy operands so
+ * the OPP sidecar path is exercised hard.
+ */
+class EngineParity : public ::testing::TestWithParam<Shape>
+{
+  protected:
+    EngineParity() : exp(1.179, -0.977, 8), quantizer(exp) {}
+
+    QuantizedTensor
+    makeOperand(size_t rows, size_t cols, double mean, double stddev,
+                double tail_frac, uint64_t seed)
+    {
+        Rng rng(seed);
+        std::vector<float> v =
+            rng.gaussianVector(rows * cols, mean, stddev);
+        const auto n_tail = static_cast<size_t>(
+            tail_frac * static_cast<double>(v.size()));
+        for (size_t i = 0; i < n_tail; ++i)
+            v[rng.uniformInt(v.size())] = static_cast<float>(
+                rng.gaussian(mean, 5.0 * stddev));
+        Tensor t(rows, cols, v);
+        const auto dict = quantizer.buildDictionary(t);
+        return quantizer.encode(t, dict);
+    }
+
+    ExpDictionary exp;
+    Quantizer quantizer;
+};
+
+TEST_P(EngineParity, TiledParallelBitIdenticalToScalar)
+{
+    const Shape s = GetParam();
+    const auto a = makeOperand(s.m, s.k, s.mean_a, s.std_a,
+                               s.tail_frac, 5000 + s.m);
+    const auto wt = makeOperand(s.n, s.k, s.mean_w, s.std_w,
+                                s.tail_frac, 6000 + s.n);
+
+    IndexMatmulStats scalar_stats;
+    const Tensor scalar =
+        indexMatmulTransBScalar(a, wt, &scalar_stats);
+
+    const size_t original = threadCount();
+    for (const size_t t : {1u, 2u, 5u}) {
+        setThreadCount(t);
+        IndexMatmulStats stats;
+        const Tensor par = indexMatmulTransB(a, wt, &stats);
+        // Bit-identical, not merely close: EXPECT_EQ on every float.
+        for (size_t i = 0; i < scalar.size(); ++i)
+            EXPECT_EQ(scalar.raw()[i], par.raw()[i])
+                << "threads=" << t << " elem=" << i;
+        EXPECT_EQ(stats.gaussianPairs, scalar_stats.gaussianPairs)
+            << "threads=" << t;
+        EXPECT_EQ(stats.outlierPairs, scalar_stats.outlierPairs)
+            << "threads=" << t;
+    }
+    setThreadCount(original);
+}
+
+TEST_P(EngineParity, TracksSeedReferenceAlgorithm)
+{
+    const Shape s = GetParam();
+    const auto a = makeOperand(s.m, s.k, s.mean_a, s.std_a,
+                               s.tail_frac, 5000 + s.m);
+    const auto wt = makeOperand(s.n, s.k, s.mean_w, s.std_w,
+                                s.tail_frac, 6000 + s.n);
+
+    IndexMatmulStats ref_stats, eng_stats;
+    const Tensor ref = indexMatmulTransBReference(a, wt, &ref_stats);
+    const Tensor eng = indexMatmulTransB(a, wt, &eng_stats);
+
+    const double tol =
+        1e-9 * std::max(1.0, frobeniusNorm(ref)) + 1e-6;
+    EXPECT_LT(maxAbsDiff(eng, ref), tol);
+    // The engine routes exactly the same pairs to GPE vs OPP as the
+    // seed per-element branch did.
+    EXPECT_EQ(eng_stats.gaussianPairs, ref_stats.gaussianPairs);
+    EXPECT_EQ(eng_stats.outlierPairs, ref_stats.outlierPairs);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OutlierHeavyShapes, EngineParity,
+    ::testing::Values(
+        Shape{16, 16, 64, 0.0, 1.0, 0.0, 0.05, 0.15},
+        Shape{33, 17, 96, 0.4, 0.8, -0.2, 0.1, 0.25},
+        Shape{8, 64, 128, -1.0, 2.0, 0.5, 0.5, 0.40},
+        Shape{64, 8, 48, 0.0, 0.3, 0.0, 0.02, 0.0},
+        Shape{5, 3, 300, 2.0, 1.0, -2.0, 0.7, 0.33}));
+
+TEST(EngineDeterminism, StatsInvariantAcrossThreadCounts)
+{
+    ExpDictionary exp(1.179, -0.977, 8);
+    Quantizer quantizer(exp);
+    Rng rng(977);
+    Tensor ta(40, 120, rng.gaussianVector(4800, 0.0, 1.0));
+    Tensor tw(24, 120, rng.gaussianVector(2880, 0.0, 1.0));
+    const auto qa = quantizer.encode(ta, quantizer.buildDictionary(ta));
+    const auto qw = quantizer.encode(tw, quantizer.buildDictionary(tw));
+
+    const size_t original = threadCount();
+    IndexMatmulStats first;
+    indexMatmulTransB(qa, qw, &first);
+    EXPECT_EQ(first.gaussianPairs + first.outlierPairs,
+              40u * 24u * 120u);
+    for (const size_t t : {1u, 3u, 8u}) {
+        setThreadCount(t);
+        IndexMatmulStats stats;
+        indexMatmulTransB(qa, qw, &stats);
+        EXPECT_EQ(stats.gaussianPairs, first.gaussianPairs);
+        EXPECT_EQ(stats.outlierPairs, first.outlierPairs);
+    }
+    setThreadCount(original);
+}
+
+TEST(CodePlanesView, MatchesCodes)
+{
+    ExpDictionary exp(1.179, -0.977, 8);
+    Quantizer quantizer(exp);
+    Rng rng(983);
+    Tensor t(13, 57, rng.gaussianVector(13 * 57, 0.0, 1.5));
+    auto q = quantizer.encode(t, quantizer.buildDictionary(t));
+
+    // Const view only: a non-const accessor would (correctly) drop
+    // the cached planes out from under the reference.
+    const QuantizedTensor &cq = q;
+    const CodePlanes &p = cq.planes();
+    ASSERT_EQ(p.rows, cq.rows());
+    ASSERT_EQ(p.cols, cq.cols());
+    size_t outliers = 0;
+    for (size_t r = 0; r < cq.rows(); ++r) {
+        const auto *ot = p.outlierRow(r);
+        size_t seen = 0;
+        for (size_t c = 0; c < cq.cols(); ++c) {
+            const QCode code = cq.at(r, c);
+            if (code.isOutlier()) {
+                EXPECT_EQ(p.thetaRow(r)[c], 0);
+                ASSERT_LT(seen, p.outlierCount(r));
+                EXPECT_EQ(ot[seen].col, c);
+                EXPECT_DOUBLE_EQ(ot[seen].value, cq.decodeAt(r, c));
+                ++seen;
+            } else {
+                EXPECT_EQ(p.indexRow(r)[c], code.index());
+                EXPECT_EQ(p.thetaRow(r)[c], code.theta());
+            }
+        }
+        EXPECT_EQ(seen, p.outlierCount(r));
+        outliers += seen;
+    }
+    EXPECT_EQ(outliers, p.outliers.size());
+
+    // Mutating the codes must invalidate the cached view.
+    const size_t before = p.outliers.size();
+    bool flipped = false;
+    for (auto &c : q.raw()) {
+        if (c.isOutlier()) {
+            c = QCode::gaussian(false, 0);
+            flipped = true;
+            break;
+        }
+    }
+    if (flipped)
+        EXPECT_EQ(q.planes().outliers.size(), before - 1);
+}
 
 class IndexDotFixture : public ::testing::Test
 {

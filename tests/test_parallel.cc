@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tests for the thread-pool substrate: full coverage of the
+ * iteration space, nesting safety, determinism, and reconfiguration.
+ */
+
+#include <atomic>
+#include <gtest/gtest.h>
+#include <vector>
+
+#include "common/parallel.hh"
+
+namespace mokey
+{
+namespace
+{
+
+TEST(Parallel, CoversEveryIndexExactlyOnce)
+{
+    for (const size_t n : {0u, 1u, 7u, 64u, 1000u, 4097u}) {
+        std::vector<std::atomic<int>> hits(n);
+        parallelFor(0, n, 1, [&](size_t i) { hits[i]++; });
+        for (size_t i = 0; i < n; ++i)
+            EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+}
+
+TEST(Parallel, RangeChunksPartitionTheRange)
+{
+    const size_t n = 1234;
+    std::vector<std::atomic<int>> hits(n);
+    parallelForRange(5, n, 10, [&](size_t lo, size_t hi) {
+        ASSERT_LT(lo, hi);
+        for (size_t i = lo; i < hi; ++i)
+            hits[i]++;
+    });
+    for (size_t i = 0; i < 5; ++i)
+        EXPECT_EQ(hits[i].load(), 0);
+    for (size_t i = 5; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(Parallel, NestedLoopsRunInline)
+{
+    // Regression: the calling thread drains chunks of the outer loop
+    // itself, and a nested parallelFor() from inside its chunk used
+    // to re-enter the pool and clobber the in-flight job (segfault
+    // under MOKEY_THREADS>1). Nested loops — whether reached on a
+    // worker or on the caller — must degrade to serial execution.
+    const size_t original = threadCount();
+    for (const size_t t : {1u, 4u}) {
+        setThreadCount(t);
+        std::atomic<uint64_t> total{0};
+        parallelFor(0, 32, 1, [&](size_t) {
+            parallelFor(0, 100, 1,
+                        [&](size_t j) { total += j; });
+        });
+        EXPECT_EQ(total.load(), 32u * (99u * 100u / 2u))
+            << "threads=" << t;
+    }
+    setThreadCount(original);
+}
+
+TEST(Parallel, ThreadCountSweepIsDeterministic)
+{
+    // A float reduction per index (all writes disjoint) must give
+    // bit-identical output for every pool size.
+    const size_t n = 513;
+    const auto run = [&] {
+        std::vector<double> out(n);
+        parallelFor(0, n, 1, [&](size_t i) {
+            double acc = 0.0;
+            for (size_t p = 0; p < 100; ++p)
+                acc += static_cast<double>(i * 31 + p) * 1e-3;
+            out[i] = acc;
+        });
+        return out;
+    };
+
+    const size_t original = threadCount();
+    setThreadCount(1);
+    const auto serial = run();
+    for (const size_t t : {2u, 5u, 16u}) {
+        setThreadCount(t);
+        const auto par = run();
+        for (size_t i = 0; i < n; ++i)
+            EXPECT_EQ(serial[i], par[i]) << "threads=" << t;
+    }
+    setThreadCount(original);
+}
+
+TEST(Parallel, SetThreadCountClampsToOne)
+{
+    const size_t original = threadCount();
+    setThreadCount(0);
+    EXPECT_EQ(threadCount(), 1u);
+    std::atomic<int> hits{0};
+    parallelFor(0, 10, 1, [&](size_t) { hits++; });
+    EXPECT_EQ(hits.load(), 10);
+    setThreadCount(original);
+}
+
+} // anonymous namespace
+} // namespace mokey
