@@ -99,23 +99,31 @@ QuantizedTransformer::encodeAct(const TensorId &id,
 QuantizedTensor
 QuantizedTransformer::countActCodes(QuantizedTensor q) const
 {
+    // Count privately, publish once: attention jobs of concurrent
+    // batched forwards all feed these two counters.
+    uint64_t ot = 0;
     for (const QCode c : q.raw())
-        actOtCodes += c.isOutlier();
-    actTotalCodes += q.size();
+        ot += c.isOutlier();
+    actOtCodes.fetch_add(ot, std::memory_order_relaxed);
+    actTotalCodes.fetch_add(q.size(), std::memory_order_relaxed);
     return q;
 }
 
 Tensor
-QuantizedTransformer::forwardLayerQuantized(size_t l,
-                                            const Tensor &input) const
+QuantizedTransformer::forwardLayerQuantized(
+    size_t l, const Tensor &input,
+    const std::vector<size_t> &starts) const
 {
     const ModelConfig &cfg = model.config();
     const EncoderWeights &w = model.weights()[l];
     const QuantizedLayer &ql = layers[l];
-    const size_t seq = input.rows();
+    const size_t total = input.rows();
     const size_t hd = cfg.headDim();
+    const size_t batch = starts.size() - 1;
 
-    // QKV projections in the index domain.
+    // QKV projections in the index domain: the whole batch is
+    // re-quantized at once (encode() is parallel over the stacked
+    // rows) and multiplied in one engine call per weight matrix.
     const QuantizedTensor qx = encodeAct({l, "x"}, input);
     Tensor q = indexMatmulTransB(qx, ql.wq, &mmStats);
     Tensor k = indexMatmulTransB(qx, ql.wk, &mmStats);
@@ -130,16 +138,24 @@ QuantizedTransformer::forwardLayerQuantized(size_t l,
     const auto &dv = activationDict({l, "v"});
     const auto &dp = activationDict({l, "p"});
 
-    Tensor ctx(seq, cfg.hidden);
+    // One job per (sequence, head) pair: attention never crosses a
+    // sequence boundary, and every job writes a disjoint block of
+    // ctx — with the stats counters atomic the jobs finally fan out
+    // over the pool.
+    Tensor ctx(total, cfg.hidden);
     const auto inv_sqrt =
         static_cast<float>(1.0 / std::sqrt(static_cast<double>(hd)));
-    for (size_t h = 0; h < cfg.heads; ++h) {
+    parallelFor(0, batch * cfg.heads, 1, [&](size_t job) {
+        const size_t b = job / cfg.heads;
+        const size_t h = job % cfg.heads;
+        const size_t r0 = starts[b];
+        const size_t seq = starts[b + 1] - r0;
         Tensor qh(seq, hd), kh(seq, hd), vht(hd, seq);
         for (size_t r = 0; r < seq; ++r) {
             for (size_t c = 0; c < hd; ++c) {
-                qh.at(r, c) = q.at(r, h * hd + c);
-                kh.at(r, c) = k.at(r, h * hd + c);
-                vht.at(c, r) = v.at(r, h * hd + c);
+                qh.at(r, c) = q.at(r0 + r, h * hd + c);
+                kh.at(r, c) = k.at(r0 + r, h * hd + c);
+                vht.at(c, r) = v.at(r0 + r, h * hd + c);
             }
         }
         Tensor scores = indexMatmulTransB(
@@ -152,8 +168,8 @@ QuantizedTransformer::forwardLayerQuantized(size_t l,
             countActCodes(quantizer.encode(vht, dv)), &mmStats);
         for (size_t r = 0; r < seq; ++r)
             for (size_t c = 0; c < hd; ++c)
-                ctx.at(r, h * hd + c) = out.at(r, c);
-    }
+                ctx.at(r0 + r, h * hd + c) = out.at(r, c);
+    });
 
     Tensor attn = indexMatmulTransB(encodeAct({l, "ctx"}, ctx),
                                     ql.wo, &mmStats);
@@ -185,9 +201,35 @@ QuantizedTransformer::forward(const Tensor &input, QuantMode mode) const
                  "profileActivations() must run before full "
                  "quantized inference");
     Tensor x = input;
+    const std::vector<size_t> starts{0, input.rows()};
     for (size_t l = 0; l < model.config().layers; ++l)
-        x = forwardLayerQuantized(l, x);
+        x = forwardLayerQuantized(l, x, starts);
     return x;
+}
+
+std::vector<Tensor>
+QuantizedTransformer::forwardBatch(const std::vector<Tensor> &inputs,
+                                   QuantMode mode) const
+{
+    MOKEY_ASSERT(!layers.empty(),
+                 "quantizeWeights() must run before forwardBatch()");
+    if (inputs.empty())
+        return {};
+    if (mode == QuantMode::WeightsOnly)
+        return dequantized->forwardBatch(inputs);
+
+    MOKEY_ASSERT(!actDicts.empty(),
+                 "profileActivations() must run before full "
+                 "quantized inference");
+    return mapStackedBatch(
+        inputs,
+        [this](const Tensor &stacked,
+               const std::vector<size_t> &starts) {
+            Tensor x = stacked;
+            for (size_t l = 0; l < model.config().layers; ++l)
+                x = forwardLayerQuantized(l, x, starts);
+            return x;
+        });
 }
 
 double
@@ -209,10 +251,13 @@ QuantizedTransformer::weightOutlierFraction() const
 double
 QuantizedTransformer::activationOutlierFraction() const
 {
-    if (actTotalCodes == 0)
+    const uint64_t total =
+        actTotalCodes.load(std::memory_order_relaxed);
+    if (total == 0)
         return 0.0;
-    return static_cast<double>(actOtCodes) /
-        static_cast<double>(actTotalCodes);
+    return static_cast<double>(
+               actOtCodes.load(std::memory_order_relaxed)) /
+        static_cast<double>(total);
 }
 
 } // namespace mokey

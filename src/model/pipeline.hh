@@ -18,6 +18,7 @@
 #ifndef MOKEY_MODEL_PIPELINE_HH
 #define MOKEY_MODEL_PIPELINE_HH
 
+#include <atomic>
 #include <map>
 #include <memory>
 
@@ -36,7 +37,11 @@ enum class QuantMode
     WeightsAndActivations,
 };
 
-/** Aggregate quantization statistics for reporting. */
+/**
+ * Aggregate quantization statistics for reporting. The embedded
+ * matmul counters are atomic (see IndexMatmulStats), so snapshots
+ * taken while batched forwards are in flight are safe.
+ */
 struct PipelineStats
 {
     double weightOutlierFraction = 0.0;
@@ -75,6 +80,18 @@ class QuantizedTransformer
      */
     Tensor forward(const Tensor &input, QuantMode mode) const;
 
+    /**
+     * Batched forward over several (possibly ragged-length)
+     * sequences: activations of the whole batch are re-quantized
+     * batch-at-once through the batched encode(), every row-space
+     * GEMM runs on the stacked B x T rows (one weight-side
+     * CodePlanes derivation per GEMM), and attention heads of all
+     * requests fan out over the pool together. Each output is
+     * bit-identical to forward() on that sequence alone.
+     */
+    std::vector<Tensor> forwardBatch(const std::vector<Tensor> &inputs,
+                                     QuantMode mode) const;
+
     /** Fraction of weight values that are outliers. */
     double weightOutlierFraction() const;
 
@@ -100,10 +117,17 @@ class QuantizedTransformer
     std::map<std::string, TensorDictionary> actDicts;
     std::unique_ptr<Transformer> dequantized; ///< weight-only model
     mutable IndexMatmulStats mmStats;
-    mutable size_t actOtCodes = 0;
-    mutable size_t actTotalCodes = 0;
+    mutable std::atomic<uint64_t> actOtCodes{0};
+    mutable std::atomic<uint64_t> actTotalCodes{0};
 
-    Tensor forwardLayerQuantized(size_t l, const Tensor &input) const;
+    /**
+     * One quantized encoder layer over a stacked row space; @p starts
+     * holds B+1 row offsets delimiting the sequences. forward() is
+     * the B=1 case.
+     */
+    Tensor forwardLayerQuantized(size_t l, const Tensor &input,
+                                 const std::vector<size_t> &starts)
+        const;
 
     /** Encode an activation against its profiled dictionary. */
     QuantizedTensor encodeAct(const TensorId &id,

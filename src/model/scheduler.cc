@@ -1,0 +1,150 @@
+#include "model/scheduler.hh"
+
+#include "common/logging.hh"
+
+namespace mokey
+{
+
+BatchScheduler::BatchScheduler(const QuantizedTransformer &eng,
+                               QuantMode m, BatchSchedulerConfig c)
+    : engine(eng), mode(m), cfg(c)
+{
+    MOKEY_ASSERT(cfg.maxBatch >= 1, "maxBatch must be >= 1");
+    MOKEY_ASSERT(cfg.maxTokens >= 1, "maxTokens must be >= 1");
+    dispatcher = std::thread([this] { dispatchLoop(); });
+}
+
+BatchScheduler::~BatchScheduler()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        stopping = true;
+    }
+    cvWork.notify_all();
+    dispatcher.join();
+}
+
+std::future<Tensor>
+BatchScheduler::submit(Tensor input)
+{
+    MOKEY_ASSERT(input.rows() > 0, "empty request");
+    std::future<Tensor> fut;
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        MOKEY_ASSERT(!stopping, "submit() on a stopping scheduler");
+        queue.push_back(Request{std::move(input), {},
+                                std::chrono::steady_clock::now()});
+        fut = queue.back().result.get_future();
+        queuedRows += queue.back().input.rows();
+        ++st.requests;
+    }
+    cvWork.notify_all();
+    return fut;
+}
+
+bool
+BatchScheduler::batchReady() const
+{
+    return queue.size() >= cfg.maxBatch || queuedRows >= cfg.maxTokens;
+}
+
+void
+BatchScheduler::drain()
+{
+    // While any drain() waits, the dispatcher flushes partial
+    // batches immediately — including requests submitted
+    // concurrently with the drain — instead of sitting out the
+    // flush timeout.
+    std::unique_lock<std::mutex> lk(mu);
+    ++drainWaiters;
+    cvWork.notify_all();
+    cvDone.wait(lk, [this] {
+        return queue.empty() && inFlight == 0;
+    });
+    --drainWaiters;
+}
+
+BatchSchedulerStats
+BatchScheduler::stats() const
+{
+    std::lock_guard<std::mutex> lk(mu);
+    return st;
+}
+
+std::vector<size_t>
+BatchScheduler::batchSizes() const
+{
+    std::lock_guard<std::mutex> lk(mu);
+    return sizes;
+}
+
+void
+BatchScheduler::dispatchLoop()
+{
+    std::unique_lock<std::mutex> lk(mu);
+    for (;;) {
+        cvWork.wait(lk, [this] { return stopping || !queue.empty(); });
+        if (queue.empty()) {
+            if (stopping)
+                return;
+            continue; // spurious wake
+        }
+
+        // Coalesce: wait for the batch to fill, but never keep the
+        // oldest request waiting beyond the flush timeout; drain()
+        // and shutdown flush a partial batch immediately.
+        const auto deadline = queue.front().arrival + cfg.flushTimeout;
+        bool timed_out = false;
+        while (!batchReady() && !stopping && drainWaiters == 0) {
+            if (cvWork.wait_until(lk, deadline) ==
+                std::cv_status::timeout) {
+                timed_out = true;
+                break;
+            }
+        }
+
+        const bool was_full = batchReady();
+
+        // Pop FIFO up to the capacity caps. A single request larger
+        // than maxTokens still dispatches alone rather than
+        // starving.
+        std::vector<Request> batch;
+        size_t rows = 0;
+        while (!queue.empty() && batch.size() < cfg.maxBatch &&
+               (batch.empty() ||
+                rows + queue.front().input.rows() <= cfg.maxTokens)) {
+            rows += queue.front().input.rows();
+            queuedRows -= queue.front().input.rows();
+            batch.push_back(std::move(queue.front()));
+            queue.pop_front();
+        }
+
+        ++st.batches;
+        st.batchedRows += rows;
+        if (was_full)
+            ++st.capacityFlushes;
+        else if (timed_out)
+            ++st.timeoutFlushes;
+        else
+            ++st.drainFlushes;
+        sizes.push_back(batch.size());
+        inFlight += batch.size();
+
+        // Run the batch outside the lock: submitters keep queueing
+        // while forwardBatch() fans out over the pool.
+        lk.unlock();
+        std::vector<Tensor> inputs;
+        inputs.reserve(batch.size());
+        for (Request &r : batch)
+            inputs.push_back(std::move(r.input));
+        std::vector<Tensor> outs = engine.forwardBatch(inputs, mode);
+        for (size_t i = 0; i < batch.size(); ++i)
+            batch[i].result.set_value(std::move(outs[i]));
+        lk.lock();
+
+        inFlight -= batch.size();
+        cvDone.notify_all();
+    }
+}
+
+} // namespace mokey

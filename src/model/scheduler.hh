@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Multi-request batch scheduler — the serving front end of the
+ * quantized pipeline.
+ *
+ * Requests (one embedded sequence each) are queued FIFO and
+ * coalesced into micro-batches that QuantizedTransformer::
+ * forwardBatch() executes in one stacked pass, so per-request costs
+ * (activation re-quantization, CodePlanes derivation, pool fan-out)
+ * are paid once per batch. A batch is dispatched as soon as it is
+ * full — maxBatch requests or maxTokens stacked rows — or when the
+ * oldest queued request has waited flushTimeout (the classic
+ * latency/throughput knob of batched serving systems).
+ *
+ * One dispatcher thread runs the batches; the heavy lifting inside
+ * forwardBatch() fans out over the process-wide pool (sized by
+ * MOKEY_THREADS), so the scheduler adds one thread, not a second
+ * pool. Batching never changes results: each response is
+ * bit-identical to an unbatched forward() of that request.
+ */
+
+#ifndef MOKEY_MODEL_SCHEDULER_HH
+#define MOKEY_MODEL_SCHEDULER_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "model/pipeline.hh"
+
+namespace mokey
+{
+
+/** Coalescing knobs. */
+struct BatchSchedulerConfig
+{
+    /** Maximum requests per micro-batch. */
+    size_t maxBatch = 8;
+
+    /** Maximum stacked rows (tokens) per micro-batch. */
+    size_t maxTokens = 2048;
+
+    /**
+     * Maximum time the oldest queued request waits for the batch to
+     * fill before it is flushed anyway.
+     */
+    std::chrono::microseconds flushTimeout{2000};
+};
+
+/** Counters exposed for tests and monitoring. */
+struct BatchSchedulerStats
+{
+    uint64_t requests = 0;        ///< submitted
+    uint64_t batches = 0;         ///< dispatched micro-batches
+    uint64_t batchedRows = 0;     ///< total rows across batches
+    uint64_t capacityFlushes = 0; ///< dispatched full (batch/tokens)
+    uint64_t timeoutFlushes = 0;  ///< dispatched on flushTimeout
+    uint64_t drainFlushes = 0;    ///< dispatched by drain()/shutdown
+};
+
+/** FIFO request queue + micro-batch dispatcher for one pipeline. */
+class BatchScheduler
+{
+  public:
+    /**
+     * @param engine quantized pipeline (must be ready() for the
+     *               requested mode and outlive the scheduler)
+     * @param mode   quantization mode every batch runs under
+     * @param cfg    coalescing knobs
+     */
+    BatchScheduler(const QuantizedTransformer &engine, QuantMode mode,
+                   BatchSchedulerConfig cfg = {});
+
+    /** Flushes the queue, finishes in-flight work, joins. */
+    ~BatchScheduler();
+
+    BatchScheduler(const BatchScheduler &) = delete;
+    BatchScheduler &operator=(const BatchScheduler &) = delete;
+
+    /**
+     * Queue one request (seq x hidden embedded input). The future
+     * resolves to the forward result when its batch completes.
+     */
+    std::future<Tensor> submit(Tensor input);
+
+    /** Block until every submitted request has completed. */
+    void drain();
+
+    BatchSchedulerStats stats() const;
+
+    /** Size of every dispatched batch, in dispatch order. */
+    std::vector<size_t> batchSizes() const;
+
+  private:
+    struct Request
+    {
+        Tensor input;
+        std::promise<Tensor> result;
+        std::chrono::steady_clock::time_point arrival;
+    };
+
+    void dispatchLoop();
+
+    /** Queue holds a full batch (call with mu held). */
+    bool batchReady() const;
+
+    const QuantizedTransformer &engine;
+    const QuantMode mode;
+    const BatchSchedulerConfig cfg;
+
+    mutable std::mutex mu;
+    std::condition_variable cvWork; ///< queue grew / stopping
+    std::condition_variable cvDone; ///< batch finished
+    std::deque<Request> queue;
+    size_t queuedRows = 0;
+    size_t inFlight = 0;
+    bool stopping = false;
+    size_t drainWaiters = 0; ///< drain() calls wanting instant flush
+    BatchSchedulerStats st;
+    std::vector<size_t> sizes;
+
+    std::thread dispatcher;
+};
+
+} // namespace mokey
+
+#endif // MOKEY_MODEL_SCHEDULER_HH

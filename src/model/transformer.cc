@@ -91,6 +91,13 @@ Transformer::forwardLayer(size_t layer, const Tensor &input,
                           const ActivationHook &hook,
                           const ActivationTransform &transform) const
 {
+    // The unobserved pass is the batched pass with one sequence —
+    // one shared implementation keeps forward() and forwardBatch()
+    // bit-identical by construction. Observers need the serial path
+    // below, which visits per-head tensors in deterministic order.
+    if (!hook && !transform)
+        return forwardLayerBatch(layer, input, {0, input.rows()});
+
     MOKEY_ASSERT(layer < enc.size(), "layer %zu out of range", layer);
     MOKEY_ASSERT(input.cols() == cfg.hidden, "input width mismatch");
     const EncoderWeights &w = enc[layer];
@@ -117,14 +124,14 @@ Transformer::forwardLayer(size_t layer, const Tensor &input,
     observe({layer, "k"}, k);
     observe({layer, "v"}, v);
 
-    // Per-head scaled dot-product attention. Heads are independent
-    // and write disjoint column slices of ctx, so they fan out across
-    // the pool — except when an observer is attached, which must see
-    // the per-head score tensors in deterministic order.
+    // Per-head scaled dot-product attention, serial on purpose: the
+    // attached observer must see the per-head score tensors in
+    // deterministic order. (The unobserved pass took the parallel
+    // forwardLayerBatch() route above.)
     Tensor ctx(seq, cfg.hidden);
     const auto inv_sqrt =
         static_cast<float>(1.0 / std::sqrt(static_cast<double>(hd)));
-    const auto head = [&](size_t h) {
+    for (size_t h = 0; h < cfg.heads; ++h) {
         Tensor qh(seq, hd), kh(seq, hd), vh(seq, hd);
         for (size_t r = 0; r < seq; ++r) {
             for (size_t c = 0; c < hd; ++c) {
@@ -141,12 +148,6 @@ Transformer::forwardLayer(size_t layer, const Tensor &input,
         for (size_t r = 0; r < seq; ++r)
             for (size_t c = 0; c < hd; ++c)
                 ctx.at(r, h * hd + c) = out.at(r, c);
-    };
-    if (hook || transform) {
-        for (size_t h = 0; h < cfg.heads; ++h)
-            head(h);
-    } else {
-        parallelFor(0, cfg.heads, 1, head);
     }
     observe({layer, "ctx"}, ctx);
 
@@ -175,6 +176,83 @@ Transformer::forward(const Tensor &input, const ActivationHook &hook,
     for (size_t l = 0; l < cfg.layers; ++l)
         x = forwardLayer(l, x, hook, transform);
     return x;
+}
+
+Tensor
+Transformer::forwardLayerBatch(size_t layer, const Tensor &input,
+                               const std::vector<size_t> &starts) const
+{
+    MOKEY_ASSERT(layer < enc.size(), "layer %zu out of range", layer);
+    MOKEY_ASSERT(input.cols() == cfg.hidden, "input width mismatch");
+    const EncoderWeights &w = enc[layer];
+    const size_t total = input.rows();
+    const size_t hd = cfg.headDim();
+    const size_t batch = starts.size() - 1;
+
+    // Row-space GEMMs run on the whole stacked batch: one weight
+    // stream, one pool fan-out, per-row results identical to the
+    // single-sequence pass.
+    Tensor q = matmulTransB(input, w.wq);
+    Tensor k = matmulTransB(input, w.wk);
+    Tensor v = matmulTransB(input, w.wv);
+    addBias(q, w.bq);
+    addBias(k, w.bk);
+    addBias(v, w.bv);
+
+    // Attention never crosses a sequence boundary: one job per
+    // (sequence, head) pair, each writing a disjoint block of ctx.
+    Tensor ctx(total, cfg.hidden);
+    const auto inv_sqrt =
+        static_cast<float>(1.0 / std::sqrt(static_cast<double>(hd)));
+    parallelFor(0, batch * cfg.heads, 1, [&](size_t job) {
+        const size_t b = job / cfg.heads;
+        const size_t h = job % cfg.heads;
+        const size_t r0 = starts[b];
+        const size_t seq = starts[b + 1] - r0;
+        Tensor qh(seq, hd), kh(seq, hd), vh(seq, hd);
+        for (size_t r = 0; r < seq; ++r) {
+            for (size_t c = 0; c < hd; ++c) {
+                qh.at(r, c) = q.at(r0 + r, h * hd + c);
+                kh.at(r, c) = k.at(r0 + r, h * hd + c);
+                vh.at(r, c) = v.at(r0 + r, h * hd + c);
+            }
+        }
+        Tensor scores = matmulTransB(qh, kh);
+        scale(scores, inv_sqrt);
+        softmaxRows(scores);
+        const Tensor out = matmul(scores, vh);
+        for (size_t r = 0; r < seq; ++r)
+            for (size_t c = 0; c < hd; ++c)
+                ctx.at(r0 + r, h * hd + c) = out.at(r, c);
+    });
+
+    Tensor attn = matmulTransB(ctx, w.wo);
+    addBias(attn, w.bo);
+    Tensor res1 = add(attn, input);
+    layerNormRows(res1);
+
+    Tensor mid = matmulTransB(res1, w.w1);
+    addBias(mid, w.b1);
+    gelu(mid);
+    Tensor out = matmulTransB(mid, w.w2);
+    addBias(out, w.b2);
+    Tensor res2 = add(out, res1);
+    layerNormRows(res2);
+    return res2;
+}
+
+std::vector<Tensor>
+Transformer::forwardBatch(const std::vector<Tensor> &inputs) const
+{
+    return mapStackedBatch(
+        inputs,
+        [this](const Tensor &stacked,
+               const std::vector<size_t> &starts) {
+            Tensor x = stacked;
+            for (size_t l = 0; l < cfg.layers; ++l)
+                x = forwardLayerBatch(l, x, starts);
+            return x;
+        });
 }
 
 Tensor

@@ -99,6 +99,17 @@ class Transformer
                        nullptr) const;
 
     /**
+     * Batched FP32 forward over several (possibly ragged-length)
+     * sequences at once: all row-space GEMMs run on the stacked
+     * B x T row space; attention stays per-sequence. Each output is
+     * bit-identical to forward() on that sequence alone. Hooks are
+     * not supported — this is the serving path, profiling uses
+     * forward().
+     */
+    std::vector<Tensor>
+    forwardBatch(const std::vector<Tensor> &inputs) const;
+
+    /**
      * Forward pass for one encoder layer (used by the quantized
      * pipeline to share the non-GEMM plumbing).
      */
@@ -113,6 +124,14 @@ class Transformer
   private:
     ModelConfig cfg;
     std::vector<EncoderWeights> enc;
+
+    /**
+     * One encoder layer over a stacked row space; @p starts holds
+     * B+1 row offsets delimiting the sequences (attention must not
+     * mix rows of different requests).
+     */
+    Tensor forwardLayerBatch(size_t layer, const Tensor &input,
+                             const std::vector<size_t> &starts) const;
 };
 
 } // namespace mokey

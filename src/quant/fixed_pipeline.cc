@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 
 namespace mokey
 {
@@ -188,10 +189,8 @@ FixedIndexEngine::dotRaw(const QCode *a, const QCode *w, size_t k,
     acc += term(static_cast<int64_t>(k), 0, cMm);
     acc += roundShift(ot_acc, frac_a + frac_w - accFmt.fracBits);
 
-    if (stats) {
-        stats->gaussianPairs += g_pairs;
-        stats->outlierPairs += ot_pairs;
-    }
+    if (stats)
+        stats->add(g_pairs, ot_pairs);
 
     // Land in the output activation's 16 b format, saturating.
     const int64_t out =
@@ -208,28 +207,85 @@ FixedIndexEngine::dot(const QCode *a, const QCode *w, size_t k,
     return fromFixedRaw(dotRaw(a, w, k, ca, cw, stats), outFmt);
 }
 
+namespace
+{
+
+/** Weight-tile width mirroring the float/index engines. */
+constexpr size_t kFixedTileN = 32;
+
 Tensor
-fixedIndexMatmulTransB(const QuantizedTensor &a,
-                       const QuantizedTensor &wt, FixedFormat out_fmt,
-                       IndexMatmulStats *stats)
+fixedEngineMatmul(const QuantizedTensor &a, const QuantizedTensor &wt,
+                  FixedFormat out_fmt, IndexMatmulStats *stats,
+                  bool parallel)
 {
     MOKEY_ASSERT(a.cols() == wt.cols(), "shape mismatch");
     const size_t m = a.rows(), n = wt.rows(), k = a.cols();
 
     FixedIndexEngine eng(a.dictionary(), wt.dictionary(), out_fmt);
+
+    // Vector constants are exact integers, so parallel computation
+    // changes nothing; the scalar path stays serial to honour its
+    // never-touch-the-pool contract.
     std::vector<FixedVectorConstants> row_c(m), col_c(n);
-    for (size_t i = 0; i < m; ++i)
+    const auto fold_row = [&](size_t i) {
         row_c[i] = eng.vectorConstants(a.row(i), k);
-    for (size_t j = 0; j < n; ++j)
+    };
+    const auto fold_col = [&](size_t j) {
         col_c[j] = eng.vectorConstants(wt.row(j), k);
+    };
+    if (parallel) {
+        parallelFor(0, m, 16, fold_row);
+        parallelFor(0, n, 16, fold_col);
+    } else {
+        for (size_t i = 0; i < m; ++i)
+            fold_row(i);
+        for (size_t j = 0; j < n; ++j)
+            fold_col(j);
+    }
 
     Tensor out(m, n);
-    for (size_t i = 0; i < m; ++i)
-        for (size_t j = 0; j < n; ++j)
-            out.at(i, j) = static_cast<float>(
-                eng.dot(a.row(i), wt.row(j), k, row_c[i], col_c[j],
-                        stats));
+    const auto band = [&](size_t lo, size_t hi) {
+        // Pair counts accumulate privately per band and publish once
+        // so the shared stats atomics stay off the inner loop.
+        IndexMatmulStats local;
+        IndexMatmulStats *acc = stats ? &local : nullptr;
+        for (size_t jb = 0; jb < n; jb += kFixedTileN) {
+            const size_t jhi = std::min(jb + kFixedTileN, n);
+            for (size_t i = lo; i < hi; ++i) {
+                float *orow = out.row(i);
+                for (size_t j = jb; j < jhi; ++j)
+                    orow[j] = static_cast<float>(
+                        eng.dot(a.row(i), wt.row(j), k, row_c[i],
+                                col_c[j], acc));
+            }
+        }
+        if (stats)
+            stats->merge(local);
+    };
+    if (parallel)
+        parallelForRange(0, m, 1, band);
+    else
+        band(0, m);
     return out;
+}
+
+} // anonymous namespace
+
+Tensor
+fixedIndexMatmulTransB(const QuantizedTensor &a,
+                       const QuantizedTensor &wt, FixedFormat out_fmt,
+                       IndexMatmulStats *stats)
+{
+    return fixedEngineMatmul(a, wt, out_fmt, stats, true);
+}
+
+Tensor
+fixedIndexMatmulTransBScalar(const QuantizedTensor &a,
+                             const QuantizedTensor &wt,
+                             FixedFormat out_fmt,
+                             IndexMatmulStats *stats)
+{
+    return fixedEngineMatmul(a, wt, out_fmt, stats, false);
 }
 
 } // namespace mokey

@@ -119,11 +119,26 @@ class FixedIndexEngine
 /**
  * Integer-only GEMM: out = A (M x K) * Wt^T, Wt (N x K); the result
  * tensor holds the decoded doubles of the 16 b fixed outputs.
+ *
+ * Engine construction and the per-column constants run once per
+ * call; output row bands then fan out across the thread pool like
+ * the float/index engines. Every output element is an independent
+ * integer computation, so results are bit-identical for any thread
+ * count — pinned against fixedIndexMatmulTransBScalar().
  */
 Tensor fixedIndexMatmulTransB(const QuantizedTensor &a,
                               const QuantizedTensor &wt,
                               FixedFormat out_fmt,
                               IndexMatmulStats *stats = nullptr);
+
+/**
+ * The same per-element kernel run entirely on the calling thread;
+ * exists so parity tests can pin the parallel path bit-for-bit.
+ */
+Tensor fixedIndexMatmulTransBScalar(const QuantizedTensor &a,
+                                    const QuantizedTensor &wt,
+                                    FixedFormat out_fmt,
+                                    IndexMatmulStats *stats = nullptr);
 
 } // namespace mokey
 

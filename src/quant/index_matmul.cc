@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
-#include <mutex>
+#include <cstring>
 
 #include "common/logging.hh"
 #include "common/parallel.hh"
@@ -20,21 +20,28 @@ CrfState::clear()
     pom1 = 0;
 }
 
+void
+IndexMatmulStats::add(uint64_t gaussian, uint64_t outlier)
+{
+    gaussianPairs.fetch_add(gaussian, std::memory_order_relaxed);
+    outlierPairs.fetch_add(outlier, std::memory_order_relaxed);
+}
+
 double
 IndexMatmulStats::outlierPairFraction() const
 {
-    const uint64_t total = gaussianPairs + outlierPairs;
-    if (total == 0)
+    const uint64_t g = gaussianPairs.load(std::memory_order_relaxed);
+    const uint64_t ot = outlierPairs.load(std::memory_order_relaxed);
+    if (g + ot == 0)
         return 0.0;
-    return static_cast<double>(outlierPairs) /
-        static_cast<double>(total);
+    return static_cast<double>(ot) / static_cast<double>(g + ot);
 }
 
 void
 IndexMatmulStats::merge(const IndexMatmulStats &o)
 {
-    gaussianPairs += o.gaussianPairs;
-    outlierPairs += o.outlierPairs;
+    add(o.gaussianPairs.load(std::memory_order_relaxed),
+        o.outlierPairs.load(std::memory_order_relaxed));
 }
 
 VectorConstants
@@ -142,10 +149,8 @@ indexDot(const QCode *a, const TensorDictionary &dict_a,
         static_cast<double>(k) * m_a * m_w +
         ot_acc;
 
-    if (stats) {
-        stats->gaussianPairs += g_pairs;
-        stats->outlierPairs += ot_pairs;
-    }
+    if (stats)
+        stats->add(g_pairs, ot_pairs);
     if (crf_out)
         *crf_out = crf;
     return result;
@@ -340,7 +345,6 @@ engineMatmul(const QuantizedTensor &a, const QuantizedTensor &wt,
     }
 
     Tensor out(m, n);
-    std::mutex stats_mu;
     const auto band = [&](size_t lo, size_t hi) {
         uint64_t ot_pairs = 0;
         // Tile over the weight rows so a kTileN-row plane block is
@@ -361,11 +365,9 @@ engineMatmul(const QuantizedTensor &a, const QuantizedTensor &wt,
             }
         }
         if (stats) {
-            std::lock_guard<std::mutex> lk(stats_mu);
             const uint64_t pairs =
                 static_cast<uint64_t>(hi - lo) * n * k;
-            stats->outlierPairs += ot_pairs;
-            stats->gaussianPairs += pairs - ot_pairs;
+            stats->add(pairs - ot_pairs, ot_pairs);
         }
     };
 
@@ -391,6 +393,35 @@ indexMatmulTransBScalar(const QuantizedTensor &a,
                         IndexMatmulStats *stats)
 {
     return engineMatmul(a, wt, stats, false);
+}
+
+std::vector<Tensor>
+indexMatmulTransBBatched(const std::vector<const QuantizedTensor *> &as,
+                         const QuantizedTensor &wt,
+                         IndexMatmulStats *stats)
+{
+    if (as.empty())
+        return {};
+    if (as.size() == 1)
+        return {indexMatmulTransB(*as[0], wt, stats)};
+
+    const QuantizedTensor stacked = concatQuantizedRows(as);
+    const Tensor out = indexMatmulTransB(stacked, wt, stats);
+
+    // Split the stacked output back into per-request tensors. Each
+    // output row was produced by exactly the codes of its own
+    // request, so the rows equal the standalone results bit for bit.
+    std::vector<Tensor> parts;
+    parts.reserve(as.size());
+    size_t r0 = 0;
+    for (const QuantizedTensor *a : as) {
+        Tensor t(a->rows(), out.cols());
+        std::memcpy(t.data(), out.row(r0),
+                    a->rows() * out.cols() * sizeof(float));
+        parts.push_back(std::move(t));
+        r0 += a->rows();
+    }
+    return parts;
 }
 
 Tensor

@@ -30,7 +30,9 @@
 #define MOKEY_QUANT_INDEX_MATMUL_HH
 
 #include <array>
+#include <atomic>
 #include <cstdint>
+#include <vector>
 
 #include "quant/quantized_tensor.hh"
 #include "tensor/tensor.hh"
@@ -66,11 +68,43 @@ struct VectorConstants
     double pom2 = 0.0; ///< sum of theta over Gaussian codes
 };
 
-/** Aggregate counters reported by a matmul run. */
+/**
+ * Aggregate counters reported by a matmul run.
+ *
+ * The counters are atomic so several GEMMs may accumulate into one
+ * shared stats object concurrently — the batched serving path runs
+ * attention heads of independent requests on the pool, all feeding
+ * the pipeline's single accumulator. Kernels accumulate privately
+ * and publish once per band via add()/merge(), so the atomics stay
+ * off the per-pair hot path.
+ */
 struct IndexMatmulStats
 {
-    uint64_t gaussianPairs = 0;
-    uint64_t outlierPairs = 0;
+    std::atomic<uint64_t> gaussianPairs{0};
+    std::atomic<uint64_t> outlierPairs{0};
+
+    IndexMatmulStats() = default;
+    IndexMatmulStats(const IndexMatmulStats &o)
+        : gaussianPairs(o.gaussianPairs.load(std::memory_order_relaxed)),
+          outlierPairs(o.outlierPairs.load(std::memory_order_relaxed))
+    {
+    }
+    IndexMatmulStats &
+    operator=(const IndexMatmulStats &o)
+    {
+        if (this != &o) {
+            gaussianPairs.store(
+                o.gaussianPairs.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+            outlierPairs.store(
+                o.outlierPairs.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+        }
+        return *this;
+    }
+
+    /** Thread-safe accumulation of a privately counted band. */
+    void add(uint64_t gaussian, uint64_t outlier);
 
     /** Fraction of multiply pairs routed to the OPP. */
     double outlierPairFraction() const;
@@ -119,6 +153,24 @@ double indexDot(const QCode *a, const TensorDictionary &dict_a,
  * identical to indexMatmulTransBScalar().
  */
 Tensor indexMatmulTransB(const QuantizedTensor &a,
+                         const QuantizedTensor &wt,
+                         IndexMatmulStats *stats = nullptr);
+
+/**
+ * Batched index-domain GEMM for multi-request serving: every
+ * activation block multiplies the same weight tensor, so the row
+ * spaces are stacked into one engine invocation (B x T rows) that
+ * shares a single weight-side CodePlanes derivation, one per-column
+ * constant fold, and one pool fan-out — the per-request costs the
+ * batch scheduler exists to amortize.
+ *
+ * All blocks must share the activation dictionary (one serving
+ * dictionary per tensor id). Returns one output tensor per block, in
+ * order, each bit-identical to indexMatmulTransB() on that block
+ * alone.
+ */
+std::vector<Tensor>
+indexMatmulTransBBatched(const std::vector<const QuantizedTensor *> &as,
                          const QuantizedTensor &wt,
                          IndexMatmulStats *stats = nullptr);
 

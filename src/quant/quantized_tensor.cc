@@ -1,5 +1,6 @@
 #include "quant/quantized_tensor.hh"
 
+#include <algorithm>
 #include <mutex>
 
 #include "common/logging.hh"
@@ -116,6 +117,46 @@ QuantizedTensor::outlierFraction() const
     for (const QCode q : codes)
         n += q.isOutlier();
     return static_cast<double>(n) / static_cast<double>(codes.size());
+}
+
+namespace
+{
+
+/** Same decode behaviour, i.e. safe to mix in one batched GEMM. */
+bool
+sameDictionary(const TensorDictionary &a, const TensorDictionary &b)
+{
+    return a.exp().a() == b.exp().a() && a.exp().b() == b.exp().b() &&
+        a.exp().indexCount() == b.exp().indexCount() &&
+        a.mean() == b.mean() && a.scale() == b.scale() &&
+        a.outlierCentroids() == b.outlierCentroids();
+}
+
+} // anonymous namespace
+
+QuantizedTensor
+concatQuantizedRows(const std::vector<const QuantizedTensor *> &parts)
+{
+    MOKEY_ASSERT(!parts.empty(), "concat of zero quantized tensors");
+    const size_t cols = parts[0]->cols();
+    size_t rows = 0;
+    for (const QuantizedTensor *p : parts) {
+        MOKEY_ASSERT(p->cols() == cols,
+                     "concat width mismatch: %zu vs %zu", p->cols(),
+                     cols);
+        MOKEY_ASSERT(sameDictionary(p->dictionary(),
+                                    parts[0]->dictionary()),
+                     "concat of tensors with different dictionaries");
+        rows += p->rows();
+    }
+
+    QuantizedTensor out(rows, cols, parts[0]->dictionary());
+    QCode *dst = out.raw().data();
+    for (const QuantizedTensor *p : parts) {
+        std::copy(p->raw().begin(), p->raw().end(), dst);
+        dst += p->size();
+    }
+    return out;
 }
 
 size_t

@@ -222,6 +222,16 @@ class QuantizedTensor
     }
 };
 
+/**
+ * Stack several quantized matrices into one tall matrix (the batched
+ * serving row space). All parts must have the same width and be
+ * encoded against the same dictionary — the whole point of batching
+ * is that one dictionary's setup is shared, so mismatched parts are
+ * a logic error and panic.
+ */
+QuantizedTensor
+concatQuantizedRows(const std::vector<const QuantizedTensor *> &parts);
+
 } // namespace mokey
 
 #endif // MOKEY_QUANT_QUANTIZED_TENSOR_HH

@@ -179,4 +179,65 @@ frobeniusNorm(const Tensor &a)
     return std::sqrt(sum);
 }
 
+Tensor
+concatRows(const std::vector<const Tensor *> &parts)
+{
+    MOKEY_ASSERT(!parts.empty(), "concat of zero tensors");
+    const size_t cols = parts[0]->cols();
+    size_t rows = 0;
+    for (const Tensor *p : parts) {
+        MOKEY_ASSERT(p->cols() == cols,
+                     "concat width mismatch: %zu vs %zu", p->cols(),
+                     cols);
+        rows += p->rows();
+    }
+    Tensor out(rows, cols);
+    float *dst = out.data();
+    for (const Tensor *p : parts) {
+        std::copy(p->raw().begin(), p->raw().end(), dst);
+        dst += p->size();
+    }
+    return out;
+}
+
+std::vector<Tensor>
+splitRows(const Tensor &stacked, const std::vector<size_t> &row_counts)
+{
+    std::vector<Tensor> parts;
+    parts.reserve(row_counts.size());
+    size_t r0 = 0;
+    for (const size_t rows : row_counts) {
+        MOKEY_ASSERT(r0 + rows <= stacked.rows(),
+                     "split exceeds stacked rows");
+        Tensor t(rows, stacked.cols());
+        std::copy(stacked.row(r0), stacked.row(r0) + rows *
+                  stacked.cols(), t.data());
+        parts.push_back(std::move(t));
+        r0 += rows;
+    }
+    MOKEY_ASSERT(r0 == stacked.rows(),
+                 "split row counts sum %zu != %zu", r0,
+                 stacked.rows());
+    return parts;
+}
+
+std::vector<Tensor>
+mapStackedBatch(const std::vector<Tensor> &inputs,
+                const std::function<Tensor(
+                    const Tensor &, const std::vector<size_t> &)> &fn)
+{
+    if (inputs.empty())
+        return {};
+    std::vector<const Tensor *> parts;
+    std::vector<size_t> starts{0}, counts;
+    parts.reserve(inputs.size());
+    for (const Tensor &in : inputs) {
+        MOKEY_ASSERT(in.rows() > 0, "empty sequence in batch");
+        parts.push_back(&in);
+        counts.push_back(in.rows());
+        starts.push_back(starts.back() + in.rows());
+    }
+    return splitRows(fn(concatRows(parts), starts), counts);
+}
+
 } // namespace mokey

@@ -10,6 +10,9 @@
 #ifndef MOKEY_TENSOR_OPS_HH
 #define MOKEY_TENSOR_OPS_HH
 
+#include <functional>
+#include <vector>
+
 #include "tensor/tensor.hh"
 
 namespace mokey
@@ -47,6 +50,31 @@ double meanAbsDiff(const Tensor &a, const Tensor &b);
 
 /** Frobenius norm of @p a. */
 double frobeniusNorm(const Tensor &a);
+
+/**
+ * Stack matrices of equal width into one tall matrix — the batched
+ * serving row space (B x T rows). Row order follows @p parts order.
+ */
+Tensor concatRows(const std::vector<const Tensor *> &parts);
+
+/**
+ * Split a stacked matrix back into blocks of @p row_counts rows
+ * (must sum to stacked.rows()).
+ */
+std::vector<Tensor> splitRows(const Tensor &stacked,
+                              const std::vector<size_t> &row_counts);
+
+/**
+ * Run @p fn over the stacked row space of a ragged batch: stack the
+ * (non-empty) inputs, call fn(stacked, starts) where @p starts holds
+ * the B+1 row offsets delimiting the sequences, and split fn's
+ * result back into per-input tensors. The shared plumbing of every
+ * batched forward pass.
+ */
+std::vector<Tensor> mapStackedBatch(
+    const std::vector<Tensor> &inputs,
+    const std::function<Tensor(const Tensor &,
+                               const std::vector<size_t> &)> &fn);
 
 } // namespace mokey
 

@@ -172,6 +172,88 @@ TEST_P(EngineParity, TracksSeedReferenceAlgorithm)
     EXPECT_EQ(eng_stats.outlierPairs, ref_stats.outlierPairs);
 }
 
+TEST_P(EngineParity, FixedEngineBitIdenticalToScalar)
+{
+    // The fixed-point GEMM now fans out over row bands like the
+    // float/index engines; being integer arithmetic, any reordering
+    // bug would show up as an exact mismatch immediately.
+    const Shape s = GetParam();
+    const auto a = makeOperand(s.m, s.k, s.mean_a, s.std_a,
+                               s.tail_frac, 7000 + s.m);
+    const auto wt = makeOperand(s.n, s.k, s.mean_w, s.std_w,
+                                s.tail_frac, 8000 + s.n);
+    const FixedFormat fmt{16, 8};
+
+    IndexMatmulStats scalar_stats;
+    const Tensor scalar =
+        fixedIndexMatmulTransBScalar(a, wt, fmt, &scalar_stats);
+
+    const size_t original = threadCount();
+    for (const size_t t : {1u, 2u, 5u}) {
+        setThreadCount(t);
+        IndexMatmulStats stats;
+        const Tensor par = fixedIndexMatmulTransB(a, wt, fmt, &stats);
+        for (size_t i = 0; i < scalar.size(); ++i)
+            EXPECT_EQ(scalar.raw()[i], par.raw()[i])
+                << "threads=" << t << " elem=" << i;
+        EXPECT_EQ(stats.gaussianPairs, scalar_stats.gaussianPairs)
+            << "threads=" << t;
+        EXPECT_EQ(stats.outlierPairs, scalar_stats.outlierPairs)
+            << "threads=" << t;
+    }
+    setThreadCount(original);
+}
+
+TEST_P(EngineParity, BatchedGemmBitIdenticalToPerRequestCalls)
+{
+    // The serving entry point: stacking B activation blocks into one
+    // engine invocation must reproduce each standalone product bit
+    // for bit, and route exactly the same pair counts.
+    const Shape s = GetParam();
+    const auto wt = makeOperand(s.n, s.k, s.mean_w, s.std_w,
+                                s.tail_frac, 6000 + s.n);
+
+    // Ragged batch: four requests of different row counts sharing
+    // one dictionary (encoded from one stacked tensor, then split).
+    const size_t lens[] = {s.m, 1, std::max<size_t>(1, s.m / 2),
+                           s.m + 3};
+    size_t total = 0;
+    for (const size_t l : lens)
+        total += l;
+    const auto stacked = makeOperand(total, s.k, s.mean_a, s.std_a,
+                                     s.tail_frac, 5000 + s.m);
+    std::vector<QuantizedTensor> blocks;
+    size_t r0 = 0;
+    for (const size_t l : lens) {
+        QuantizedTensor b(l, s.k, stacked.dictionary());
+        for (size_t r = 0; r < l; ++r)
+            for (size_t c = 0; c < s.k; ++c)
+                b.at(r, c) = stacked.at(r0 + r, c);
+        blocks.push_back(std::move(b));
+        r0 += l;
+    }
+
+    std::vector<const QuantizedTensor *> parts;
+    for (const auto &b : blocks)
+        parts.push_back(&b);
+    IndexMatmulStats batch_stats;
+    const auto outs =
+        indexMatmulTransBBatched(parts, wt, &batch_stats);
+    ASSERT_EQ(outs.size(), blocks.size());
+
+    IndexMatmulStats seq_stats;
+    for (size_t b = 0; b < blocks.size(); ++b) {
+        const Tensor one =
+            indexMatmulTransB(blocks[b], wt, &seq_stats);
+        ASSERT_EQ(outs[b].rows(), one.rows());
+        for (size_t i = 0; i < one.size(); ++i)
+            EXPECT_EQ(one.raw()[i], outs[b].raw()[i])
+                << "block=" << b << " elem=" << i;
+    }
+    EXPECT_EQ(batch_stats.gaussianPairs, seq_stats.gaussianPairs);
+    EXPECT_EQ(batch_stats.outlierPairs, seq_stats.outlierPairs);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     OutlierHeavyShapes, EngineParity,
     ::testing::Values(

@@ -407,5 +407,81 @@ TEST_F(CodecFixture, AllGaussianGroupHasEmptyPointers)
         EXPECT_FALSE(back.raw()[i].isOutlier());
 }
 
+TEST_F(CodecFixture, RoundTripRandomShapesAndOutlierDensities)
+{
+    // Property: pack/unpack is the identity on the 5 b codes for any
+    // shape (group-aligned or not) and any outlier density from 0 %
+    // to 100 % — including the corner rows the encoder never emits
+    // in practice: rows that are entirely outliers and rows with
+    // none while the rest of the tensor has plenty.
+    Rng rng(20260730);
+    const auto dict =
+        makeQuantized(4, 64, 20260731, 0.05).dictionary();
+
+    const double densities[] = {0.0, 0.02, 0.37, 1.0};
+    for (int iter = 0; iter < 32; ++iter) {
+        const size_t rows = 1 + rng.uniformInt(9);
+        const size_t cols = 1 + rng.uniformInt(131);
+        const double density = densities[iter % 4];
+
+        QuantizedTensor q(rows, cols, dict);
+        size_t outliers = 0;
+        for (size_t r = 0; r < rows; ++r) {
+            // First row all-outlier, second row zero-outlier, rest
+            // at the sweep density.
+            const double row_density =
+                (r == 0 && rows > 2) ? 1.0 :
+                (r == 1 && rows > 2) ? 0.0 : density;
+            for (size_t c = 0; c < cols; ++c) {
+                QCode code;
+                if (rng.uniform() < row_density) {
+                    code = QCode::outlier(static_cast<uint8_t>(
+                        rng.uniformInt(16)));
+                    ++outliers;
+                } else {
+                    code = QCode::gaussian(
+                        rng.uniform() < 0.5,
+                        static_cast<uint8_t>(rng.uniformInt(8)));
+                }
+                q.at(r, c) = code;
+            }
+        }
+
+        const auto packed = packTensor(q);
+        EXPECT_EQ(packed.count, rows * cols);
+        // Dense stream: exactly 4 b per value, byte-padded.
+        EXPECT_EQ(packed.values.size(), (rows * cols * 4 + 7) / 8);
+        // Pointer stream: 7 b per group + 6 b per outlier.
+        const size_t groups = (rows * cols + 63) / 64;
+        EXPECT_EQ(packed.otPointers.size(),
+                  (groups * 7 + outliers * 6 + 7) / 8);
+
+        const auto back = unpackTensor(packed, dict);
+        ASSERT_EQ(back.rows(), rows);
+        ASSERT_EQ(back.cols(), cols);
+        for (size_t i = 0; i < q.size(); ++i)
+            ASSERT_EQ(back.raw()[i].raw, q.raw()[i].raw)
+                << "iter=" << iter << " i=" << i;
+    }
+}
+
+TEST_F(CodecFixture, RoundTripFullyOutlierGroup)
+{
+    // A full group of 64 outliers exercises the widest count field
+    // (64 needs all 7 bits of the group header).
+    const auto dict =
+        makeQuantized(2, 64, 20260733, 0.05).dictionary();
+    QuantizedTensor q(2, 64, dict);
+    for (size_t c = 0; c < 64; ++c) {
+        q.at(0, c) = QCode::outlier(static_cast<uint8_t>(c % 16));
+        q.at(1, c) = QCode::gaussian(c % 2 == 0,
+                                     static_cast<uint8_t>(c % 8));
+    }
+    const auto packed = packTensor(q);
+    const auto back = unpackTensor(packed, dict);
+    for (size_t i = 0; i < q.size(); ++i)
+        EXPECT_EQ(back.raw()[i].raw, q.raw()[i].raw) << "i=" << i;
+}
+
 } // anonymous namespace
 } // namespace mokey

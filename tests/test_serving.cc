@@ -1,0 +1,344 @@
+/**
+ * @file
+ * Serving-engine tests: the batched forward pass must be
+ * bit-identical to sequential forwards for every quantization mode,
+ * thread count, and ragged mix of sequence lengths — batching is a
+ * throughput optimization, never a numerics change — and the batch
+ * scheduler must coalesce, cap, and timeout-flush exactly as
+ * configured.
+ */
+
+#include <chrono>
+#include <future>
+#include <thread>
+#include <gtest/gtest.h>
+
+#include "common/parallel.hh"
+#include "model/config.hh"
+#include "model/pipeline.hh"
+#include "model/scheduler.hh"
+#include "tensor/ops.hh"
+
+namespace mokey
+{
+namespace
+{
+
+ModelConfig
+tinyConfig()
+{
+    return ModelConfig{"tiny", 2, 32, 2, 128, 256};
+}
+
+void
+expectBitIdentical(const Tensor &a, const Tensor &b,
+                   const std::string &what)
+{
+    ASSERT_EQ(a.rows(), b.rows()) << what;
+    ASSERT_EQ(a.cols(), b.cols()) << what;
+    for (size_t i = 0; i < a.size(); ++i)
+        ASSERT_EQ(a.raw()[i], b.raw()[i]) << what << " elem=" << i;
+}
+
+class ServingFixture : public ::testing::Test
+{
+  protected:
+    ServingFixture()
+        : model(tinyConfig(), 23),
+          exp(1.179, -0.977, 8),
+          quantizer(exp),
+          pipeline(model, quantizer)
+    {
+        pipeline.quantizeWeights();
+        std::vector<Tensor> batch;
+        for (int i = 0; i < 4; ++i)
+            batch.push_back(model.makeInput(16, 100 + i));
+        pipeline.profileActivations(batch);
+    }
+
+    /** Ragged serving batch: wildly different sequence lengths. */
+    std::vector<Tensor>
+    raggedInputs() const
+    {
+        std::vector<Tensor> inputs;
+        const size_t lens[] = {7, 16, 1, 12, 3};
+        for (size_t i = 0; i < 5; ++i)
+            inputs.push_back(model.makeInput(lens[i], 700 + i));
+        return inputs;
+    }
+
+    Transformer model;
+    ExpDictionary exp;
+    Quantizer quantizer;
+    QuantizedTransformer pipeline;
+};
+
+TEST_F(ServingFixture, BatchedForwardBitIdenticalAllModesAndThreads)
+{
+    const auto inputs = raggedInputs();
+    const size_t original = threadCount();
+    for (const QuantMode mode : {QuantMode::WeightsOnly,
+                                 QuantMode::WeightsAndActivations}) {
+        // Sequential references, computed single-threaded.
+        setThreadCount(1);
+        std::vector<Tensor> refs;
+        for (const Tensor &in : inputs)
+            refs.push_back(pipeline.forward(in, mode));
+
+        for (const size_t t : {1u, 2u, 5u}) {
+            setThreadCount(t);
+            const auto outs = pipeline.forwardBatch(inputs, mode);
+            ASSERT_EQ(outs.size(), inputs.size());
+            for (size_t i = 0; i < outs.size(); ++i)
+                expectBitIdentical(
+                    refs[i], outs[i],
+                    "mode=" +
+                        std::to_string(static_cast<int>(mode)) +
+                        " threads=" + std::to_string(t) +
+                        " req=" + std::to_string(i));
+        }
+    }
+    setThreadCount(original);
+}
+
+TEST_F(ServingFixture, SingleSequenceBatchMatchesForward)
+{
+    const Tensor in = model.makeInput(9, 42);
+    const auto outs = pipeline.forwardBatch(
+        {in}, QuantMode::WeightsAndActivations);
+    ASSERT_EQ(outs.size(), 1u);
+    expectBitIdentical(
+        pipeline.forward(in, QuantMode::WeightsAndActivations),
+        outs[0], "single");
+}
+
+TEST_F(ServingFixture, BatchedStatsMatchSequentialStats)
+{
+    // The pair counters are atomics fed by concurrent head jobs;
+    // batching must route exactly the same pairs as N sequential
+    // forwards (determinism of the counters, not just the outputs).
+    const auto inputs = raggedInputs();
+
+    const uint64_t g0 = pipeline.matmulStats().gaussianPairs;
+    const uint64_t o0 = pipeline.matmulStats().outlierPairs;
+    for (const Tensor &in : inputs)
+        pipeline.forward(in, QuantMode::WeightsAndActivations);
+    const uint64_t g_seq =
+        pipeline.matmulStats().gaussianPairs - g0;
+    const uint64_t o_seq = pipeline.matmulStats().outlierPairs - o0;
+
+    pipeline.forwardBatch(inputs, QuantMode::WeightsAndActivations);
+    const uint64_t g_batch =
+        pipeline.matmulStats().gaussianPairs - g0 - g_seq;
+    const uint64_t o_batch =
+        pipeline.matmulStats().outlierPairs - o0 - o_seq;
+
+    EXPECT_EQ(g_batch, g_seq);
+    EXPECT_EQ(o_batch, o_seq);
+}
+
+TEST_F(ServingFixture, FloatBatchedForwardBitIdentical)
+{
+    const auto inputs = raggedInputs();
+    const auto outs = model.forwardBatch(inputs);
+    ASSERT_EQ(outs.size(), inputs.size());
+    for (size_t i = 0; i < inputs.size(); ++i)
+        expectBitIdentical(model.forward(inputs[i]), outs[i],
+                           "float req=" + std::to_string(i));
+}
+
+TEST_F(ServingFixture, EmptyBatchIsEmpty)
+{
+    EXPECT_TRUE(pipeline
+                    .forwardBatch({}, QuantMode::WeightsAndActivations)
+                    .empty());
+}
+
+// ---- scheduler ------------------------------------------------------
+
+TEST_F(ServingFixture, SchedulerResultsBitIdenticalToDirectForward)
+{
+    const auto inputs = raggedInputs();
+    std::vector<Tensor> refs;
+    for (const Tensor &in : inputs)
+        refs.push_back(
+            pipeline.forward(in, QuantMode::WeightsAndActivations));
+
+    BatchSchedulerConfig cfg;
+    cfg.maxBatch = 3;
+    cfg.flushTimeout = std::chrono::microseconds(5000);
+    BatchScheduler sched(pipeline, QuantMode::WeightsAndActivations,
+                         cfg);
+    std::vector<std::future<Tensor>> futs;
+    for (const Tensor &in : inputs)
+        futs.push_back(sched.submit(in));
+    for (size_t i = 0; i < futs.size(); ++i)
+        expectBitIdentical(refs[i], futs[i].get(),
+                           "sched req=" + std::to_string(i));
+
+    const auto st = sched.stats();
+    EXPECT_EQ(st.requests, inputs.size());
+    EXPECT_GE(st.batches, 2u); // 5 requests, max 3 per batch
+    EXPECT_EQ(st.batchedRows, 7u + 16u + 1u + 12u + 3u);
+}
+
+TEST_F(ServingFixture, SchedulerCoalescesUpToMaxBatch)
+{
+    BatchSchedulerConfig cfg;
+    cfg.maxBatch = 3;
+    // Generous timeout: the only way a batch dispatches quickly is
+    // by filling up, so the exact counts below are robust even on a
+    // heavily loaded CI runner.
+    cfg.flushTimeout = std::chrono::seconds(2);
+    BatchScheduler sched(pipeline, QuantMode::WeightsAndActivations,
+                         cfg);
+
+    std::vector<std::future<Tensor>> futs;
+    for (int i = 0; i < 6; ++i)
+        futs.push_back(sched.submit(model.makeInput(4, 800 + i)));
+    for (auto &f : futs)
+        f.get();
+
+    const auto st = sched.stats();
+    EXPECT_EQ(st.requests, 6u);
+    EXPECT_EQ(st.batches, 2u);
+    EXPECT_EQ(st.capacityFlushes, 2u);
+    EXPECT_EQ(st.timeoutFlushes, 0u);
+    for (const size_t s : sched.batchSizes())
+        EXPECT_EQ(s, 3u);
+}
+
+TEST_F(ServingFixture, SchedulerTimeoutFlushesPartialBatch)
+{
+    BatchSchedulerConfig cfg;
+    cfg.maxBatch = 8;
+    // Long enough that both submits land inside the window even
+    // when the test thread gets descheduled on a busy runner.
+    cfg.flushTimeout = std::chrono::milliseconds(200);
+    BatchScheduler sched(pipeline, QuantMode::WeightsAndActivations,
+                         cfg);
+
+    auto f1 = sched.submit(model.makeInput(4, 810));
+    auto f2 = sched.submit(model.makeInput(4, 811));
+    f1.get();
+    f2.get();
+
+    const auto st = sched.stats();
+    EXPECT_EQ(st.batches, 1u);
+    EXPECT_EQ(st.timeoutFlushes, 1u);
+    EXPECT_EQ(st.capacityFlushes, 0u);
+    ASSERT_EQ(sched.batchSizes().size(), 1u);
+    EXPECT_EQ(sched.batchSizes()[0], 2u);
+}
+
+TEST_F(ServingFixture, SchedulerRespectsMaxTokens)
+{
+    BatchSchedulerConfig cfg;
+    cfg.maxBatch = 8;
+    cfg.maxTokens = 20; // requests are 8 rows: 2 per batch
+    cfg.flushTimeout = std::chrono::milliseconds(100);
+    BatchScheduler sched(pipeline, QuantMode::WeightsAndActivations,
+                         cfg);
+
+    std::vector<std::future<Tensor>> futs;
+    for (int i = 0; i < 4; ++i)
+        futs.push_back(sched.submit(model.makeInput(8, 820 + i)));
+    for (auto &f : futs)
+        f.get();
+
+    for (const size_t s : sched.batchSizes())
+        EXPECT_LE(s, 2u);
+    EXPECT_GE(sched.stats().batches, 2u);
+}
+
+TEST_F(ServingFixture, SchedulerDrainFlushesImmediately)
+{
+    BatchSchedulerConfig cfg;
+    cfg.maxBatch = 8;
+    // Without drain() this would sit for a second before flushing.
+    cfg.flushTimeout = std::chrono::seconds(1);
+    BatchScheduler sched(pipeline, QuantMode::WeightsAndActivations,
+                         cfg);
+
+    const Tensor in = model.makeInput(5, 830);
+    auto f = sched.submit(in);
+    const auto t0 = std::chrono::steady_clock::now();
+    sched.drain();
+    const auto elapsed =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    EXPECT_EQ(f.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    EXPECT_LT(elapsed, 0.9); // did not wait out the flush timeout
+    expectBitIdentical(
+        pipeline.forward(in, QuantMode::WeightsAndActivations),
+        f.get(), "drain");
+}
+
+TEST_F(ServingFixture, SchedulerDestructorFlushesQueue)
+{
+    std::future<Tensor> f;
+    {
+        BatchSchedulerConfig cfg;
+        cfg.maxBatch = 8;
+        cfg.flushTimeout = std::chrono::seconds(1);
+        BatchScheduler sched(pipeline,
+                             QuantMode::WeightsAndActivations, cfg);
+        f = sched.submit(model.makeInput(6, 840));
+        // Destructor must flush and complete the pending request.
+    }
+    EXPECT_EQ(f.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    expectBitIdentical(
+        pipeline.forward(model.makeInput(6, 840),
+                         QuantMode::WeightsAndActivations),
+        f.get(), "dtor");
+}
+
+TEST_F(ServingFixture, SchedulerWeightsOnlyMode)
+{
+    BatchSchedulerConfig cfg;
+    cfg.maxBatch = 4;
+    cfg.flushTimeout = std::chrono::milliseconds(10);
+    BatchScheduler sched(pipeline, QuantMode::WeightsOnly, cfg);
+    const Tensor in = model.makeInput(8, 850);
+    auto f = sched.submit(in);
+    expectBitIdentical(pipeline.forward(in, QuantMode::WeightsOnly),
+                       f.get(), "weights-only");
+}
+
+TEST_F(ServingFixture, ConcurrentSubmittersAllServed)
+{
+    BatchSchedulerConfig cfg;
+    cfg.maxBatch = 4;
+    cfg.flushTimeout = std::chrono::milliseconds(5);
+    BatchScheduler sched(pipeline, QuantMode::WeightsAndActivations,
+                         cfg);
+
+    // Several client threads race submissions; every future must
+    // resolve to its own request's exact result.
+    std::vector<std::thread> clients;
+    std::vector<int> ok(4, 0);
+    for (int t = 0; t < 4; ++t) {
+        clients.emplace_back([&, t] {
+            const Tensor in =
+                model.makeInput(3 + t, 860 + t);
+            const Tensor ref = pipeline.forward(
+                in, QuantMode::WeightsAndActivations);
+            auto f = sched.submit(in);
+            const Tensor out = f.get();
+            if (out.rows() == ref.rows() &&
+                out.raw() == ref.raw())
+                ok[t] = 1;
+        });
+    }
+    for (auto &c : clients)
+        c.join();
+    for (int t = 0; t < 4; ++t)
+        EXPECT_EQ(ok[t], 1) << "client " << t;
+    EXPECT_EQ(sched.stats().requests, 4u);
+}
+
+} // anonymous namespace
+} // namespace mokey

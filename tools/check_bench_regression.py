@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Fail CI when a recorded kernel speedup regresses.
+
+Usage: check_bench_regression.py <committed.json> <fresh.json>
+
+Compares every record of the freshly measured BENCH_*.json against
+the committed baseline, keyed on (kernel, m, n, k). A record fails
+when its measured speedup drops more than the allowed fraction
+(default 20%) below the committed speedup. Records with a zero
+speedup field are raw timings, not comparisons, and are skipped;
+records present on only one side are reported but never fatal (new
+kernels appear, old ones retire).
+
+Absolute ns/op is machine-dependent, but the speedup columns are
+ratios measured on the same machine in the same run, which makes
+them comparable across hosts to first order — that is what the gate
+checks. The ratios still shift some with the host ISA (the engine
+kernels carry AVX2/AVX-512 target_clones, the seed replicas are
+scalar), so the allowed envelope can be widened for a heterogeneous
+runner pool via BENCH_ALLOWED_REGRESSION (fraction, default 0.20).
+"""
+
+import json
+import os
+import sys
+
+ALLOWED_REGRESSION = float(
+    os.environ.get("BENCH_ALLOWED_REGRESSION", "0.20"))
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    records = {}
+    for r in doc.get("records", []):
+        key = (r["kernel"], r["m"], r["n"], r["k"])
+        records[key] = r
+    return records
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__.strip())
+        return 2
+    baseline = load(sys.argv[1])
+    fresh = load(sys.argv[2])
+
+    failures = []
+    for key, base in sorted(baseline.items()):
+        base_speedup = base.get("speedup_vs_seed", 0.0)
+        if base_speedup <= 0.0:
+            continue  # raw timing row, not a comparison
+        if key not in fresh:
+            print(f"note: {key} missing from fresh run (skipped)")
+            continue
+        got = fresh[key].get("speedup_vs_seed", 0.0)
+        floor = base_speedup * (1.0 - ALLOWED_REGRESSION)
+        status = "ok" if got >= floor else "REGRESSED"
+        print(f"{key[0]} {key[1]}x{key[2]}x{key[3]}: "
+              f"committed {base_speedup:.2f}x, measured {got:.2f}x, "
+              f"floor {floor:.2f}x -> {status}")
+        if got < floor:
+            failures.append(key)
+
+    for key in sorted(set(fresh) - set(baseline)):
+        if fresh[key].get("speedup_vs_seed", 0.0) > 0.0:
+            print(f"note: new record {key} "
+                  f"({fresh[key]['speedup_vs_seed']:.2f}x) has no "
+                  f"committed baseline yet")
+
+    if failures:
+        print(f"FAIL: {len(failures)} kernel speedup(s) regressed "
+              f">{ALLOWED_REGRESSION:.0%} vs the committed baseline")
+        return 1
+    print("all recorded speedups within the allowed envelope")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
