@@ -1,8 +1,12 @@
 #include "common/parallel.hh"
 
+#include <algorithm>
+#include <array>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -15,71 +19,139 @@ namespace mokey
 namespace
 {
 
-/** True while the current thread is executing pool work. */
+/** True while the current thread is executing executor work. */
 thread_local bool in_worker = false;
 
 /**
- * The process-wide pool. Workers park on a condition variable and
- * wake per loop; chunks are claimed with an atomic cursor so load
- * balances while chunk *boundaries* stay deterministic.
+ * One in-flight loop. Heap-allocated per top-level submission and
+ * held by shared_ptr: workers keep draining a snapshot safely even
+ * while the lane moves on to its next loop, because an exhausted
+ * job's cursor simply stops handing out chunks. The body pointer is
+ * only dereferenced after a successful chunk claim, and a claim can
+ * only succeed while the owner is still blocked in run() — so the
+ * caller-owned closure is always alive when called.
  */
-class ThreadPool
+struct Job
+{
+    const RangeBody *body = nullptr;
+    size_t end = 0;
+    size_t chunk = 1;
+    size_t lane = 0;
+    std::atomic<size_t> cursor{0};    ///< next index to claim
+    std::atomic<size_t> remaining{0}; ///< iterations not yet executed
+    bool done = false;                ///< guarded by Executor::mu
+};
+
+/**
+ * The process-wide multi-lane executor. Each lane owns a submit
+ * mutex (serializing same-lane loops) and a job slot; one shared
+ * worker set round-robins chunks across every active slot. Chunks
+ * are claimed with per-job atomic cursors, so load balances while
+ * chunk *boundaries* stay deterministic.
+ */
+class Executor
 {
   public:
-    static ThreadPool &global()
+    static Executor &global()
     {
-        static ThreadPool pool;
-        return pool;
+        static Executor exec;
+        return exec;
     }
 
+    /**
+     * Lock-free thread count for the dispatch hot path (the mirror
+     * only changes inside resize(), which excludes in-flight loops
+     * by holding every submit mutex).
+     */
     size_t threads()
     {
-        std::lock_guard<std::mutex> lk(mu);
-        return workers.size() + 1; // calling thread participates
+        return threadsAtomic.load(std::memory_order_relaxed);
     }
 
     void resize(size_t n)
     {
         if (n < 1)
             n = 1;
-        std::lock_guard<std::mutex> run_lk(run_mu); // no loop in flight
+        // Take every lane's submit mutex (in index order — submitters
+        // only ever hold one, so there is no ordering cycle): with all
+        // of them held, no loop is in flight anywhere.
+        for (auto &l : lanes)
+            l.submit_mu.lock();
         stopWorkers();
-        std::lock_guard<std::mutex> lk(mu);
-        spawnLocked(n - 1);
+        {
+            std::lock_guard<std::mutex> lk(mu);
+            spawnLocked(n - 1);
+        }
+        for (size_t i = lanes.size(); i-- > 0;)
+            lanes[i].submit_mu.unlock();
     }
 
-    void run(size_t begin, size_t end, size_t grain,
+    void run(size_t lane, size_t begin, size_t end, size_t chunk,
              const RangeBody &body)
     {
-        // One top-level loop at a time: a second outer thread would
-        // otherwise clobber the in-flight job state.
-        std::lock_guard<std::mutex> run_lk(run_mu);
+        LaneState &ls = lanes[lane];
+        // Same-lane loops run one at a time, in submission order.
+        std::lock_guard<std::mutex> lane_lk(ls.submit_mu);
+
+        auto job = std::make_shared<Job>();
+        job->body = &body;
+        job->end = end;
+        job->chunk = chunk;
+        job->lane = lane;
+        job->cursor.store(begin, std::memory_order_relaxed);
+        job->remaining.store(end - begin, std::memory_order_relaxed);
         {
-            std::unique_lock<std::mutex> lk(mu);
-            job = &body;
-            job_end = end;
-            job_grain = grain;
-            cursor.store(begin, std::memory_order_relaxed);
-            pending = workers.size();
-            ++generation;
+            std::lock_guard<std::mutex> lk(mu);
+            ls.job = job;
+            ++activeJobs;
+            activeAtomic.store(activeJobs, std::memory_order_relaxed);
         }
+        ls.loops.fetch_add(1, std::memory_order_relaxed);
         cv_work.notify_all();
 
-        // The calling thread pulls chunks too. It must count as a
-        // worker while it does: a nested parallelFor() issued from
-        // inside its chunk would otherwise re-enter run() and
-        // overwrite the job the workers are still draining.
+        // The owner drains its own lane. It must count as a worker
+        // while it does: a nested parallelFor() issued from inside
+        // its chunk must degrade to inline execution. Crucially the
+        // loop is complete as soon as remaining hits zero — if the
+        // owner claims every chunk before a parked worker wakes, it
+        // returns without waiting for any worker acknowledgement.
         in_worker = true;
-        drain(body);
+        while (runOneChunk(*job)) {
+        }
         in_worker = false;
 
         std::unique_lock<std::mutex> lk(mu);
-        cv_done.wait(lk, [this] { return pending == 0; });
-        job = nullptr;
+        cv_done.wait(lk, [&] { return job->done; });
+    }
+
+    void setSpin(size_t micros)
+    {
+        spinMicros.store(micros, std::memory_order_relaxed);
+    }
+
+    size_t spin() const
+    {
+        return spinMicros.load(std::memory_order_relaxed);
+    }
+
+    LaneStats stats(size_t lane)
+    {
+        LaneStats s;
+        s.loops = lanes[lane].loops.load(std::memory_order_relaxed);
+        s.chunks = lanes[lane].chunks.load(std::memory_order_relaxed);
+        return s;
     }
 
   private:
-    ThreadPool()
+    struct LaneState
+    {
+        std::mutex submit_mu; ///< serializes same-lane submitters
+        std::shared_ptr<Job> job; ///< guarded by Executor::mu
+        std::atomic<uint64_t> loops{0};
+        std::atomic<uint64_t> chunks{0};
+    };
+
+    Executor()
     {
         size_t n = std::thread::hardware_concurrency();
         if (const char *env = std::getenv("MOKEY_THREADS")) {
@@ -91,23 +163,26 @@ class ThreadPool
         }
         if (n < 1)
             n = 1;
+        if (const char *env = std::getenv("MOKEY_WAVE_US")) {
+            const long v = std::atol(env);
+            if (v >= 0)
+                spinMicros.store(static_cast<size_t>(v),
+                                 std::memory_order_relaxed);
+            else
+                warn("ignoring invalid MOKEY_WAVE_US='%s'", env);
+        }
         std::lock_guard<std::mutex> lk(mu);
         spawnLocked(n - 1);
     }
 
-    ~ThreadPool() { stopWorkers(); }
+    ~Executor() { stopWorkers(); }
 
     void spawnLocked(size_t n)
     {
-        // Each worker starts already caught up to the current
-        // generation: a fresh worker seeded with 0 would sail
-        // through its first wait (generation is monotonically
-        // bumped), find no job, and decrement the *next* loop's
-        // pending count without having drained anything.
-        const uint64_t gen = generation;
         workers.reserve(n);
         for (size_t t = 0; t < n; ++t)
-            workers.emplace_back([this, gen] { workerLoop(gen); });
+            workers.emplace_back([this] { workerLoop(); });
+        threadsAtomic.store(n + 1, std::memory_order_relaxed);
     }
 
     void stopWorkers()
@@ -115,7 +190,7 @@ class ThreadPool
         {
             std::lock_guard<std::mutex> lk(mu);
             stopping = true;
-            ++generation;
+            stoppingAtomic.store(true, std::memory_order_relaxed);
         }
         cv_work.notify_all();
         for (auto &w : workers)
@@ -123,78 +198,187 @@ class ThreadPool
         std::lock_guard<std::mutex> lk(mu);
         workers.clear();
         stopping = false;
+        stoppingAtomic.store(false, std::memory_order_relaxed);
     }
 
-    /** Claim and execute chunks until the loop's range is exhausted. */
-    void drain(const RangeBody &body)
+    /**
+     * Claim and execute one chunk of @p job. Returns false once the
+     * job's range is exhausted (safe to call on a stale job: the
+     * cursor just reports exhaustion and the body is never touched).
+     */
+    bool runOneChunk(Job &job)
     {
-        const size_t end = job_end, grain = job_grain;
-        for (;;) {
-            const size_t lo =
-                cursor.fetch_add(grain, std::memory_order_relaxed);
-            if (lo >= end)
-                break;
-            const size_t hi = std::min(lo + grain, end);
-            body(lo, hi);
-        }
+        const size_t lo =
+            job.cursor.fetch_add(job.chunk, std::memory_order_relaxed);
+        if (lo >= job.end)
+            return false;
+        const size_t hi = std::min(lo + job.chunk, job.end);
+        (*job.body)(lo, hi);
+        lanes[job.lane].chunks.fetch_add(1, std::memory_order_relaxed);
+        // acq_rel: the finisher that observes zero must also observe
+        // every other chunk's writes, so the owner (woken under mu)
+        // sees the loop's complete output.
+        const size_t left =
+            job.remaining.fetch_sub(hi - lo,
+                                    std::memory_order_acq_rel) -
+            (hi - lo);
+        if (left == 0)
+            finishJob(job);
+        return true;
     }
 
-    void workerLoop(uint64_t seen)
+    /** Last chunk of @p job executed: retire it and wake its owner. */
+    void finishJob(Job &job)
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        job.done = true;
+        LaneState &ls = lanes[job.lane];
+        if (ls.job.get() == &job)
+            ls.job.reset();
+        --activeJobs;
+        activeAtomic.store(activeJobs, std::memory_order_relaxed);
+        cv_done.notify_all();
+    }
+
+    /**
+     * A lane has work this worker could claim (call with mu held).
+     * An exhausted-but-unfinished job (last chunks still running on
+     * other threads) is NOT claimable: cursors only advance, so a
+     * worker that finds nothing claimable can park — the threads
+     * holding the final chunks retire the job themselves.
+     */
+    bool claimableLocked() const
+    {
+        for (const auto &l : lanes)
+            if (l.job &&
+                l.job->cursor.load(std::memory_order_relaxed) <
+                    l.job->end)
+                return true;
+        return false;
+    }
+
+    void workerLoop()
     {
         in_worker = true;
+        std::unique_lock<std::mutex> lk(mu);
         for (;;) {
-            const RangeBody *body;
-            {
-                std::unique_lock<std::mutex> lk(mu);
-                cv_work.wait(lk, [this, seen] {
-                    return generation != seen;
-                });
-                seen = generation;
-                if (stopping)
-                    return;
-                body = job;
+            cv_work.wait(lk, [this] {
+                return stopping || claimableLocked();
+            });
+            if (stopping)
+                return;
+
+            // Snapshot the claimable slots, then drain them without
+            // the lock, one chunk per lane per pass so concurrent
+            // lanes interleave fairly instead of FIFO-starving.
+            std::array<std::shared_ptr<Job>, kLaneCount> snap;
+            size_t n = 0;
+            for (auto &l : lanes)
+                if (l.job &&
+                    l.job->cursor.load(std::memory_order_relaxed) <
+                        l.job->end)
+                    snap[n++] = l.job;
+            if (n > 0) {
+                lk.unlock();
+                // A false return means the job is exhausted for
+                // good — drop it so later passes stop hammering its
+                // dead cursor cache line.
+                size_t live = n;
+                while (live > 0) {
+                    for (size_t i = 0; i < n; ++i) {
+                        if (snap[i] && !runOneChunk(*snap[i])) {
+                            snap[i].reset();
+                            --live;
+                        }
+                    }
+                }
+                lk.lock();
             }
-            if (body)
-                drain(*body);
-            {
-                std::lock_guard<std::mutex> lk(mu);
-                if (pending > 0 && --pending == 0)
-                    cv_done.notify_all();
+
+            // Persistent-wave: spin briefly for the next loop before
+            // parking, trading idle CPU for pick-up latency in
+            // many-small-loop phases.
+            const size_t spin_us = spin();
+            if (spin_us > 0) {
+                lk.unlock();
+                const auto deadline =
+                    std::chrono::steady_clock::now() +
+                    std::chrono::microseconds(spin_us);
+                while (activeAtomic.load(std::memory_order_relaxed) ==
+                           0 &&
+                       !stoppingAtomic.load(
+                           std::memory_order_relaxed) &&
+                       std::chrono::steady_clock::now() < deadline)
+                    std::this_thread::yield();
+                lk.lock();
             }
         }
     }
 
-    std::mutex run_mu; ///< serializes top-level run()/resize()
     std::mutex mu;
     std::condition_variable cv_work;
     std::condition_variable cv_done;
     std::vector<std::thread> workers;
+    std::array<LaneState, kLaneCount> lanes;
 
-    const RangeBody *job = nullptr;
-    size_t job_end = 0, job_grain = 1; ///< cursor seeds the begin
-    std::atomic<size_t> cursor{0};
-    size_t pending = 0;
-    uint64_t generation = 0;
-    bool stopping = false;
+    size_t activeJobs = 0;              ///< guarded by mu
+    std::atomic<size_t> activeAtomic{0}; ///< lock-free mirror for spins
+    std::atomic<size_t> threadsAtomic{1}; ///< workers + caller
+    bool stopping = false;              ///< guarded by mu
+    std::atomic<bool> stoppingAtomic{false};
+    std::atomic<size_t> spinMicros{0};
 };
 
 } // anonymous namespace
 
+Lane
+Lane::acquire()
+{
+    static std::atomic<size_t> next{0};
+    return Lane(1 + next.fetch_add(1, std::memory_order_relaxed) %
+                        (kLaneCount - 1));
+}
+
+Lane
+Lane::ofIndex(size_t i)
+{
+    return Lane(1 + i % (kLaneCount - 1));
+}
+
+LaneStats
+laneStats(Lane lane)
+{
+    return Executor::global().stats(lane.id());
+}
+
 size_t
 threadCount()
 {
-    return ThreadPool::global().threads();
+    return Executor::global().threads();
 }
 
 void
 setThreadCount(size_t n)
 {
-    MOKEY_ASSERT(!in_worker, "setThreadCount() from inside the pool");
-    ThreadPool::global().resize(n);
+    MOKEY_ASSERT(!in_worker,
+                 "setThreadCount() from inside the executor");
+    Executor::global().resize(n);
 }
 
 void
-parallelForRange(size_t begin, size_t end, size_t grain,
+setWaveSpin(size_t micros)
+{
+    Executor::global().setSpin(micros);
+}
+
+size_t
+waveSpin()
+{
+    return Executor::global().spin();
+}
+
+void
+parallelForRange(Lane lane, size_t begin, size_t end, size_t grain,
                  const RangeBody &body)
 {
     if (begin >= end)
@@ -203,32 +387,48 @@ parallelForRange(size_t begin, size_t end, size_t grain,
         grain = 1;
     const size_t range = end - begin;
     // Check the thread_local first: nested loops (the common case in
-    // the hot kernels) must not touch the pool mutex at all.
+    // the hot kernels) must not touch the executor mutexes at all.
     if (in_worker || range <= grain) {
         body(begin, end);
         return;
     }
-    ThreadPool &pool = ThreadPool::global();
-    const size_t threads = pool.threads();
+    Executor &exec = Executor::global();
+    const size_t threads = exec.threads();
     if (threads == 1) {
         body(begin, end);
         return;
     }
     // Deterministic chunk size: split into ~4 chunks per thread for
-    // load balance, but never below the caller's grain.
+    // load balance, but never below the caller's grain. A pure
+    // function of (range, grain, thread count) — lanes never affect
+    // chunk boundaries, only when each chunk runs.
     const size_t target = (range + threads * 4 - 1) / (threads * 4);
-    pool.run(begin, end, std::max(grain, target), body);
+    exec.run(lane.id(), begin, end, std::max(grain, target), body);
+}
+
+void
+parallelForRange(size_t begin, size_t end, size_t grain,
+                 const RangeBody &body)
+{
+    parallelForRange(Lane{}, begin, end, grain, body);
+}
+
+void
+parallelFor(Lane lane, size_t begin, size_t end, size_t grain,
+            const std::function<void(size_t)> &body)
+{
+    parallelForRange(lane, begin, end, grain,
+                     [&body](size_t lo, size_t hi) {
+                         for (size_t i = lo; i < hi; ++i)
+                             body(i);
+                     });
 }
 
 void
 parallelFor(size_t begin, size_t end, size_t grain,
             const std::function<void(size_t)> &body)
 {
-    parallelForRange(begin, end, grain,
-                     [&body](size_t lo, size_t hi) {
-                         for (size_t i = lo; i < hi; ++i)
-                             body(i);
-                     });
+    parallelFor(Lane{}, begin, end, grain, body);
 }
 
 } // namespace mokey

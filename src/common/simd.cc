@@ -7,7 +7,11 @@ namespace mokey
 // plain -O3 code elsewhere. The loop bodies below are written so the
 // compiler's vectorizer can pick the widest profitable vectors per
 // clone while the lane-to-accumulator mapping stays fixed.
-#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__)
+// Sanitizer builds get the plain code: ifunc resolvers run during
+// relocation, before the sanitizer runtime is initialized, and
+// crash the process pre-main (the TSan CI job hit exactly this).
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__) && \
+    !defined(__SANITIZE_THREAD__) && !defined(__SANITIZE_ADDRESS__)
 #define MOKEY_SIMD_CLONES                                             \
     __attribute__((target_clones("default", "avx2,fma", "avx512f")))
 #else

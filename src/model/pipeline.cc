@@ -49,6 +49,11 @@ QuantizedTransformer::quantizeWeights()
         const auto dict = quantizer.buildDictionary(*job.src, dictCfg);
         *job.dst = quantizer.encode(*job.src, dict);
         *job.deq = job.dst->decode();
+        // Weights are read-only from here and every forward GEMM
+        // streams their planes: derive and pin them now so no lane
+        // pays the first-use build (or its single-flight lock) on
+        // the serving path.
+        job.dst->pinPlanes();
     });
 }
 
@@ -90,10 +95,11 @@ QuantizedTransformer::activationDict(const TensorId &id) const
 }
 
 QuantizedTensor
-QuantizedTransformer::encodeAct(const TensorId &id,
-                                const Tensor &t) const
+QuantizedTransformer::encodeAct(const TensorId &id, const Tensor &t,
+                                Lane lane) const
 {
-    return countActCodes(quantizer.encode(t, activationDict(id)));
+    return countActCodes(
+        quantizer.encode(t, activationDict(id), lane));
 }
 
 QuantizedTensor
@@ -111,8 +117,8 @@ QuantizedTransformer::countActCodes(QuantizedTensor q) const
 
 Tensor
 QuantizedTransformer::forwardLayerQuantized(
-    size_t l, const Tensor &input,
-    const std::vector<size_t> &starts) const
+    size_t l, const Tensor &input, const std::vector<size_t> &starts,
+    Lane lane) const
 {
     const ModelConfig &cfg = model.config();
     const EncoderWeights &w = model.weights()[l];
@@ -124,10 +130,10 @@ QuantizedTransformer::forwardLayerQuantized(
     // QKV projections in the index domain: the whole batch is
     // re-quantized at once (encode() is parallel over the stacked
     // rows) and multiplied in one engine call per weight matrix.
-    const QuantizedTensor qx = encodeAct({l, "x"}, input);
-    Tensor q = indexMatmulTransB(qx, ql.wq, &mmStats);
-    Tensor k = indexMatmulTransB(qx, ql.wk, &mmStats);
-    Tensor v = indexMatmulTransB(qx, ql.wv, &mmStats);
+    const QuantizedTensor qx = encodeAct({l, "x"}, input, lane);
+    Tensor q = indexMatmulTransB(qx, ql.wq, &mmStats, lane);
+    Tensor k = indexMatmulTransB(qx, ql.wk, &mmStats, lane);
+    Tensor v = indexMatmulTransB(qx, ql.wv, &mmStats, lane);
     addBias(q, w.bq);
     addBias(k, w.bk);
     addBias(v, w.bv);
@@ -145,7 +151,7 @@ QuantizedTransformer::forwardLayerQuantized(
     Tensor ctx(total, cfg.hidden);
     const auto inv_sqrt =
         static_cast<float>(1.0 / std::sqrt(static_cast<double>(hd)));
-    parallelFor(0, batch * cfg.heads, 1, [&](size_t job) {
+    parallelFor(lane, 0, batch * cfg.heads, 1, [&](size_t job) {
         const size_t b = job / cfg.heads;
         const size_t h = job % cfg.heads;
         const size_t r0 = starts[b];
@@ -171,18 +177,18 @@ QuantizedTransformer::forwardLayerQuantized(
                 ctx.at(r0 + r, h * hd + c) = out.at(r, c);
     });
 
-    Tensor attn = indexMatmulTransB(encodeAct({l, "ctx"}, ctx),
-                                    ql.wo, &mmStats);
+    Tensor attn = indexMatmulTransB(encodeAct({l, "ctx"}, ctx, lane),
+                                    ql.wo, &mmStats, lane);
     addBias(attn, w.bo);
     Tensor res1 = add(attn, input);
     layerNormRows(res1);
 
-    Tensor mid = indexMatmulTransB(encodeAct({l, "mid_in"}, res1),
-                                   ql.w1, &mmStats);
+    Tensor mid = indexMatmulTransB(
+        encodeAct({l, "mid_in"}, res1, lane), ql.w1, &mmStats, lane);
     addBias(mid, w.b1);
     gelu(mid);
-    Tensor out = indexMatmulTransB(encodeAct({l, "mid"}, mid), ql.w2,
-                                   &mmStats);
+    Tensor out = indexMatmulTransB(encodeAct({l, "mid"}, mid, lane),
+                                   ql.w2, &mmStats, lane);
     addBias(out, w.b2);
     Tensor res2 = add(out, res1);
     layerNormRows(res2);
@@ -190,12 +196,13 @@ QuantizedTransformer::forwardLayerQuantized(
 }
 
 Tensor
-QuantizedTransformer::forward(const Tensor &input, QuantMode mode) const
+QuantizedTransformer::forward(const Tensor &input, QuantMode mode,
+                              Lane lane) const
 {
     MOKEY_ASSERT(!layers.empty(),
                  "quantizeWeights() must run before forward()");
     if (mode == QuantMode::WeightsOnly)
-        return dequantized->forward(input);
+        return dequantized->forward(input, nullptr, nullptr, lane);
 
     MOKEY_ASSERT(!actDicts.empty(),
                  "profileActivations() must run before full "
@@ -203,31 +210,31 @@ QuantizedTransformer::forward(const Tensor &input, QuantMode mode) const
     Tensor x = input;
     const std::vector<size_t> starts{0, input.rows()};
     for (size_t l = 0; l < model.config().layers; ++l)
-        x = forwardLayerQuantized(l, x, starts);
+        x = forwardLayerQuantized(l, x, starts, lane);
     return x;
 }
 
 std::vector<Tensor>
 QuantizedTransformer::forwardBatch(const std::vector<Tensor> &inputs,
-                                   QuantMode mode) const
+                                   QuantMode mode, Lane lane) const
 {
     MOKEY_ASSERT(!layers.empty(),
                  "quantizeWeights() must run before forwardBatch()");
     if (inputs.empty())
         return {};
     if (mode == QuantMode::WeightsOnly)
-        return dequantized->forwardBatch(inputs);
+        return dequantized->forwardBatch(inputs, lane);
 
     MOKEY_ASSERT(!actDicts.empty(),
                  "profileActivations() must run before full "
                  "quantized inference");
     return mapStackedBatch(
         inputs,
-        [this](const Tensor &stacked,
-               const std::vector<size_t> &starts) {
+        [this, lane](const Tensor &stacked,
+                     const std::vector<size_t> &starts) {
             Tensor x = stacked;
             for (size_t l = 0; l < model.config().layers; ++l)
-                x = forwardLayerQuantized(l, x, starts);
+                x = forwardLayerQuantized(l, x, starts, lane);
             return x;
         });
 }

@@ -77,8 +77,10 @@ class QuantizedTransformer
      *
      * @param input seq x hidden embedded input
      * @param mode  which tensors are quantized
+     * @param lane  executor lane the pass's loops occupy
      */
-    Tensor forward(const Tensor &input, QuantMode mode) const;
+    Tensor forward(const Tensor &input, QuantMode mode,
+                   Lane lane = {}) const;
 
     /**
      * Batched forward over several (possibly ragged-length)
@@ -87,10 +89,13 @@ class QuantizedTransformer
      * GEMM runs on the stacked B x T rows (one weight-side
      * CodePlanes derivation per GEMM), and attention heads of all
      * requests fan out over the pool together. Each output is
-     * bit-identical to forward() on that sequence alone.
+     * bit-identical to forward() on that sequence alone. The pass
+     * runs on @p lane, so independent micro-batches dispatched on
+     * different lanes execute concurrently over one worker set.
      */
     std::vector<Tensor> forwardBatch(const std::vector<Tensor> &inputs,
-                                     QuantMode mode) const;
+                                     QuantMode mode,
+                                     Lane lane = {}) const;
 
     /** Fraction of weight values that are outliers. */
     double weightOutlierFraction() const;
@@ -126,12 +131,12 @@ class QuantizedTransformer
      * the B=1 case.
      */
     Tensor forwardLayerQuantized(size_t l, const Tensor &input,
-                                 const std::vector<size_t> &starts)
-        const;
+                                 const std::vector<size_t> &starts,
+                                 Lane lane) const;
 
     /** Encode an activation against its profiled dictionary. */
-    QuantizedTensor encodeAct(const TensorId &id,
-                              const Tensor &t) const;
+    QuantizedTensor encodeAct(const TensorId &id, const Tensor &t,
+                              Lane lane) const;
 
     /** Fold a quantized activation into the outlier-rate counters. */
     QuantizedTensor countActCodes(QuantizedTensor q) const;

@@ -11,7 +11,16 @@ BatchScheduler::BatchScheduler(const QuantizedTransformer &eng,
 {
     MOKEY_ASSERT(cfg.maxBatch >= 1, "maxBatch must be >= 1");
     MOKEY_ASSERT(cfg.maxTokens >= 1, "maxTokens must be >= 1");
-    dispatcher = std::thread([this] { dispatchLoop(); });
+    const size_t n = cfg.laneCount < 1 ? 1 : cfg.laneCount;
+    usage.resize(n);
+    lanes.reserve(n);
+    dispatchers.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        lanes.push_back(Lane::acquire());
+        usage[i].laneId = lanes[i].id();
+    }
+    for (size_t i = 0; i < n; ++i)
+        dispatchers.emplace_back([this, i] { dispatchLoop(i); });
 }
 
 BatchScheduler::~BatchScheduler()
@@ -21,7 +30,8 @@ BatchScheduler::~BatchScheduler()
         stopping = true;
     }
     cvWork.notify_all();
-    dispatcher.join();
+    for (auto &d : dispatchers)
+        d.join();
 }
 
 std::future<Tensor>
@@ -51,7 +61,7 @@ BatchScheduler::batchReady() const
 void
 BatchScheduler::drain()
 {
-    // While any drain() waits, the dispatcher flushes partial
+    // While any drain() waits, the dispatchers flush partial
     // batches immediately — including requests submitted
     // concurrently with the drain — instead of sitting out the
     // flush timeout.
@@ -78,9 +88,17 @@ BatchScheduler::batchSizes() const
     return sizes;
 }
 
-void
-BatchScheduler::dispatchLoop()
+std::vector<SchedulerLaneUsage>
+BatchScheduler::laneUsage() const
 {
+    std::lock_guard<std::mutex> lk(mu);
+    return usage;
+}
+
+void
+BatchScheduler::dispatchLoop(size_t laneIdx)
+{
+    const Lane lane = lanes[laneIdx];
     std::unique_lock<std::mutex> lk(mu);
     for (;;) {
         cvWork.wait(lk, [this] { return stopping || !queue.empty(); });
@@ -92,16 +110,22 @@ BatchScheduler::dispatchLoop()
 
         // Coalesce: wait for the batch to fill, but never keep the
         // oldest request waiting beyond the flush timeout; drain()
-        // and shutdown flush a partial batch immediately.
-        const auto deadline = queue.front().arrival + cfg.flushTimeout;
+        // and shutdown flush a partial batch immediately. The front
+        // (and with it the deadline) is re-read every iteration —
+        // another lane may have dispatched it while we waited.
         bool timed_out = false;
-        while (!batchReady() && !stopping && drainWaiters == 0) {
+        while (!queue.empty() && !batchReady() && !stopping &&
+               drainWaiters == 0) {
+            const auto deadline =
+                queue.front().arrival + cfg.flushTimeout;
             if (cvWork.wait_until(lk, deadline) ==
                 std::cv_status::timeout) {
                 timed_out = true;
                 break;
             }
         }
+        if (queue.empty())
+            continue; // another lane took the whole queue
 
         const bool was_full = batchReady();
 
@@ -130,18 +154,33 @@ BatchScheduler::dispatchLoop()
         sizes.push_back(batch.size());
         inFlight += batch.size();
 
-        // Run the batch outside the lock: submitters keep queueing
-        // while forwardBatch() fans out over the pool.
+        // If requests remain, wake another lane to start forming the
+        // next batch while this one computes.
+        if (!queue.empty())
+            cvWork.notify_all();
+
+        // Run the batch outside the lock on this dispatcher's own
+        // executor lane: submitters keep queueing, and other lanes'
+        // batches run concurrently over the shared worker set.
         lk.unlock();
         std::vector<Tensor> inputs;
         inputs.reserve(batch.size());
         for (Request &r : batch)
             inputs.push_back(std::move(r.input));
-        std::vector<Tensor> outs = engine.forwardBatch(inputs, mode);
+        const auto t0 = std::chrono::steady_clock::now();
+        std::vector<Tensor> outs =
+            engine.forwardBatch(inputs, mode, lane);
+        const double busy =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
         for (size_t i = 0; i < batch.size(); ++i)
             batch[i].result.set_value(std::move(outs[i]));
         lk.lock();
 
+        usage[laneIdx].batches += 1;
+        usage[laneIdx].rows += rows;
+        usage[laneIdx].busySeconds += busy;
         inFlight -= batch.size();
         cvDone.notify_all();
     }

@@ -12,11 +12,14 @@
  * oldest queued request has waited flushTimeout (the classic
  * latency/throughput knob of batched serving systems).
  *
- * One dispatcher thread runs the batches; the heavy lifting inside
- * forwardBatch() fans out over the process-wide pool (sized by
- * MOKEY_THREADS), so the scheduler adds one thread, not a second
- * pool. Batching never changes results: each response is
- * bit-identical to an unbatched forward() of that request.
+ * laneCount dispatcher threads pull from the shared queue, each
+ * owning a private executor lane (Lane::acquire()): while one lane's
+ * micro-batch computes, the next dispatcher is already forming and
+ * running the following batch on its own lane, and the multi-lane
+ * executor interleaves both batches' chunks over one worker set
+ * (sized by MOKEY_THREADS). Batching and lane placement never change
+ * results: each response is bit-identical to an unbatched forward()
+ * of that request.
  */
 
 #ifndef MOKEY_MODEL_SCHEDULER_HH
@@ -31,6 +34,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/parallel.hh"
 #include "model/pipeline.hh"
 
 namespace mokey
@@ -50,6 +54,13 @@ struct BatchSchedulerConfig
      * fill before it is flushed anyway.
      */
     std::chrono::microseconds flushTimeout{2000};
+
+    /**
+     * Concurrent batch lanes: dispatcher threads, each dispatching
+     * independent micro-batches onto its own executor lane (clamped
+     * to >= 1).
+     */
+    size_t laneCount = 1;
 };
 
 /** Counters exposed for tests and monitoring. */
@@ -61,6 +72,15 @@ struct BatchSchedulerStats
     uint64_t capacityFlushes = 0; ///< dispatched full (batch/tokens)
     uint64_t timeoutFlushes = 0;  ///< dispatched on flushTimeout
     uint64_t drainFlushes = 0;    ///< dispatched by drain()/shutdown
+};
+
+/** Per-lane dispatch accounting (one entry per dispatcher thread). */
+struct SchedulerLaneUsage
+{
+    size_t laneId = 0;      ///< executor lane the dispatcher owns
+    uint64_t batches = 0;   ///< micro-batches this lane dispatched
+    uint64_t rows = 0;      ///< stacked rows this lane processed
+    double busySeconds = 0; ///< wall time inside forwardBatch()
 };
 
 /** FIFO request queue + micro-batch dispatcher for one pipeline. */
@@ -96,6 +116,12 @@ class BatchScheduler
     /** Size of every dispatched batch, in dispatch order. */
     std::vector<size_t> batchSizes() const;
 
+    /** Per-lane dispatch counters, one entry per lane. */
+    std::vector<SchedulerLaneUsage> laneUsage() const;
+
+    /** Number of dispatcher lanes (cfg.laneCount clamped to >= 1). */
+    size_t laneCount() const { return dispatchers.size(); }
+
   private:
     struct Request
     {
@@ -104,7 +130,7 @@ class BatchScheduler
         std::chrono::steady_clock::time_point arrival;
     };
 
-    void dispatchLoop();
+    void dispatchLoop(size_t laneIdx);
 
     /** Queue holds a full batch (call with mu held). */
     bool batchReady() const;
@@ -123,8 +149,10 @@ class BatchScheduler
     size_t drainWaiters = 0; ///< drain() calls wanting instant flush
     BatchSchedulerStats st;
     std::vector<size_t> sizes;
+    std::vector<SchedulerLaneUsage> usage; ///< guarded by mu
 
-    std::thread dispatcher;
+    std::vector<Lane> lanes;
+    std::vector<std::thread> dispatchers;
 };
 
 } // namespace mokey

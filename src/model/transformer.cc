@@ -89,14 +89,17 @@ Transformer::Transformer(const ModelConfig &config, uint64_t seed,
 Tensor
 Transformer::forwardLayer(size_t layer, const Tensor &input,
                           const ActivationHook &hook,
-                          const ActivationTransform &transform) const
+                          const ActivationTransform &transform,
+                          Lane lane) const
 {
     // The unobserved pass is the batched pass with one sequence —
     // one shared implementation keeps forward() and forwardBatch()
     // bit-identical by construction. Observers need the serial path
-    // below, which visits per-head tensors in deterministic order.
+    // below (which ignores the lane), visiting per-head tensors in
+    // deterministic order.
     if (!hook && !transform)
-        return forwardLayerBatch(layer, input, {0, input.rows()});
+        return forwardLayerBatch(layer, input, {0, input.rows()},
+                                 lane);
 
     MOKEY_ASSERT(layer < enc.size(), "layer %zu out of range", layer);
     MOKEY_ASSERT(input.cols() == cfg.hidden, "input width mismatch");
@@ -170,17 +173,19 @@ Transformer::forwardLayer(size_t layer, const Tensor &input,
 
 Tensor
 Transformer::forward(const Tensor &input, const ActivationHook &hook,
-                     const ActivationTransform &transform) const
+                     const ActivationTransform &transform,
+                     Lane lane) const
 {
     Tensor x = input;
     for (size_t l = 0; l < cfg.layers; ++l)
-        x = forwardLayer(l, x, hook, transform);
+        x = forwardLayer(l, x, hook, transform, lane);
     return x;
 }
 
 Tensor
 Transformer::forwardLayerBatch(size_t layer, const Tensor &input,
-                               const std::vector<size_t> &starts) const
+                               const std::vector<size_t> &starts,
+                               Lane lane) const
 {
     MOKEY_ASSERT(layer < enc.size(), "layer %zu out of range", layer);
     MOKEY_ASSERT(input.cols() == cfg.hidden, "input width mismatch");
@@ -192,9 +197,9 @@ Transformer::forwardLayerBatch(size_t layer, const Tensor &input,
     // Row-space GEMMs run on the whole stacked batch: one weight
     // stream, one pool fan-out, per-row results identical to the
     // single-sequence pass.
-    Tensor q = matmulTransB(input, w.wq);
-    Tensor k = matmulTransB(input, w.wk);
-    Tensor v = matmulTransB(input, w.wv);
+    Tensor q = matmulTransB(input, w.wq, lane);
+    Tensor k = matmulTransB(input, w.wk, lane);
+    Tensor v = matmulTransB(input, w.wv, lane);
     addBias(q, w.bq);
     addBias(k, w.bk);
     addBias(v, w.bv);
@@ -204,7 +209,7 @@ Transformer::forwardLayerBatch(size_t layer, const Tensor &input,
     Tensor ctx(total, cfg.hidden);
     const auto inv_sqrt =
         static_cast<float>(1.0 / std::sqrt(static_cast<double>(hd)));
-    parallelFor(0, batch * cfg.heads, 1, [&](size_t job) {
+    parallelFor(lane, 0, batch * cfg.heads, 1, [&](size_t job) {
         const size_t b = job / cfg.heads;
         const size_t h = job % cfg.heads;
         const size_t r0 = starts[b];
@@ -226,15 +231,15 @@ Transformer::forwardLayerBatch(size_t layer, const Tensor &input,
                 ctx.at(r0 + r, h * hd + c) = out.at(r, c);
     });
 
-    Tensor attn = matmulTransB(ctx, w.wo);
+    Tensor attn = matmulTransB(ctx, w.wo, lane);
     addBias(attn, w.bo);
     Tensor res1 = add(attn, input);
     layerNormRows(res1);
 
-    Tensor mid = matmulTransB(res1, w.w1);
+    Tensor mid = matmulTransB(res1, w.w1, lane);
     addBias(mid, w.b1);
     gelu(mid);
-    Tensor out = matmulTransB(mid, w.w2);
+    Tensor out = matmulTransB(mid, w.w2, lane);
     addBias(out, w.b2);
     Tensor res2 = add(out, res1);
     layerNormRows(res2);
@@ -242,15 +247,16 @@ Transformer::forwardLayerBatch(size_t layer, const Tensor &input,
 }
 
 std::vector<Tensor>
-Transformer::forwardBatch(const std::vector<Tensor> &inputs) const
+Transformer::forwardBatch(const std::vector<Tensor> &inputs,
+                          Lane lane) const
 {
     return mapStackedBatch(
         inputs,
-        [this](const Tensor &stacked,
-               const std::vector<size_t> &starts) {
+        [this, lane](const Tensor &stacked,
+                     const std::vector<size_t> &starts) {
             Tensor x = stacked;
             for (size_t l = 0; l < cfg.layers; ++l)
-                x = forwardLayerBatch(l, x, starts);
+                x = forwardLayerBatch(l, x, starts, lane);
             return x;
         });
 }

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/parallel.hh"
 #include "model/config.hh"
 #include "tensor/tensor.hh"
 
@@ -95,8 +96,8 @@ class Transformer
      */
     Tensor forward(const Tensor &input,
                    const ActivationHook &hook = nullptr,
-                   const ActivationTransform &transform =
-                       nullptr) const;
+                   const ActivationTransform &transform = nullptr,
+                   Lane lane = {}) const;
 
     /**
      * Batched FP32 forward over several (possibly ragged-length)
@@ -104,10 +105,12 @@ class Transformer
      * B x T row space; attention stays per-sequence. Each output is
      * bit-identical to forward() on that sequence alone. Hooks are
      * not supported — this is the serving path, profiling uses
-     * forward().
+     * forward(). Compute fans out over the executor on @p lane, so
+     * concurrent batch lanes make progress simultaneously.
      */
     std::vector<Tensor>
-    forwardBatch(const std::vector<Tensor> &inputs) const;
+    forwardBatch(const std::vector<Tensor> &inputs,
+                 Lane lane = {}) const;
 
     /**
      * Forward pass for one encoder layer (used by the quantized
@@ -115,8 +118,8 @@ class Transformer
      */
     Tensor forwardLayer(size_t layer, const Tensor &input,
                         const ActivationHook &hook = nullptr,
-                        const ActivationTransform &transform =
-                            nullptr) const;
+                        const ActivationTransform &transform = nullptr,
+                        Lane lane = {}) const;
 
     /** Generate a plausible embedded input (seq x hidden). */
     Tensor makeInput(size_t seq, uint64_t seed) const;
@@ -131,7 +134,8 @@ class Transformer
      * mix rows of different requests).
      */
     Tensor forwardLayerBatch(size_t layer, const Tensor &input,
-                             const std::vector<size_t> &starts) const;
+                             const std::vector<size_t> &starts,
+                             Lane lane = {}) const;
 };
 
 } // namespace mokey

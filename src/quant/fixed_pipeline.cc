@@ -216,7 +216,7 @@ constexpr size_t kFixedTileN = 32;
 Tensor
 fixedEngineMatmul(const QuantizedTensor &a, const QuantizedTensor &wt,
                   FixedFormat out_fmt, IndexMatmulStats *stats,
-                  bool parallel)
+                  bool parallel, Lane lane = {})
 {
     MOKEY_ASSERT(a.cols() == wt.cols(), "shape mismatch");
     const size_t m = a.rows(), n = wt.rows(), k = a.cols();
@@ -234,8 +234,8 @@ fixedEngineMatmul(const QuantizedTensor &a, const QuantizedTensor &wt,
         col_c[j] = eng.vectorConstants(wt.row(j), k);
     };
     if (parallel) {
-        parallelFor(0, m, 16, fold_row);
-        parallelFor(0, n, 16, fold_col);
+        parallelFor(lane, 0, m, 16, fold_row);
+        parallelFor(lane, 0, n, 16, fold_col);
     } else {
         for (size_t i = 0; i < m; ++i)
             fold_row(i);
@@ -263,7 +263,7 @@ fixedEngineMatmul(const QuantizedTensor &a, const QuantizedTensor &wt,
             stats->merge(local);
     };
     if (parallel)
-        parallelForRange(0, m, 1, band);
+        parallelForRange(lane, 0, m, 1, band);
     else
         band(0, m);
     return out;
@@ -274,9 +274,9 @@ fixedEngineMatmul(const QuantizedTensor &a, const QuantizedTensor &wt,
 Tensor
 fixedIndexMatmulTransB(const QuantizedTensor &a,
                        const QuantizedTensor &wt, FixedFormat out_fmt,
-                       IndexMatmulStats *stats)
+                       IndexMatmulStats *stats, Lane lane)
 {
-    return fixedEngineMatmul(a, wt, out_fmt, stats, true);
+    return fixedEngineMatmul(a, wt, out_fmt, stats, true, lane);
 }
 
 Tensor

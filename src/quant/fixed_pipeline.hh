@@ -121,15 +121,17 @@ class FixedIndexEngine
  * tensor holds the decoded doubles of the 16 b fixed outputs.
  *
  * Engine construction and the per-column constants run once per
- * call; output row bands then fan out across the thread pool like
- * the float/index engines. Every output element is an independent
- * integer computation, so results are bit-identical for any thread
- * count — pinned against fixedIndexMatmulTransBScalar().
+ * call; output row bands then fan out across the executor on
+ * @p lane like the float/index engines. Every output element is an
+ * independent integer computation, so results are bit-identical for
+ * any thread count and lane assignment — pinned against
+ * fixedIndexMatmulTransBScalar().
  */
 Tensor fixedIndexMatmulTransB(const QuantizedTensor &a,
                               const QuantizedTensor &wt,
                               FixedFormat out_fmt,
-                              IndexMatmulStats *stats = nullptr);
+                              IndexMatmulStats *stats = nullptr,
+                              Lane lane = {});
 
 /**
  * The same per-element kernel run entirely on the calling thread;

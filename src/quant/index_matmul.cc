@@ -301,7 +301,8 @@ constexpr size_t kTileN = 32;
 
 Tensor
 engineMatmul(const QuantizedTensor &a, const QuantizedTensor &wt,
-             IndexMatmulStats *stats, bool tiled_parallel)
+             IndexMatmulStats *stats, bool tiled_parallel,
+             Lane lane = {})
 {
     MOKEY_ASSERT(a.cols() == wt.cols(),
                  "index matmul reduction mismatch: %zu vs %zu",
@@ -335,8 +336,8 @@ engineMatmul(const QuantizedTensor &a, const QuantizedTensor &wt,
         col_term[j] = ctx.sW * ctx.mA * fold(pw, j);
     };
     if (tiled_parallel) {
-        parallelFor(0, m, 16, foldRows);
-        parallelFor(0, n, 16, foldCols);
+        parallelFor(lane, 0, m, 16, foldRows);
+        parallelFor(lane, 0, n, 16, foldCols);
     } else {
         for (size_t i = 0; i < m; ++i)
             foldRows(i);
@@ -372,7 +373,7 @@ engineMatmul(const QuantizedTensor &a, const QuantizedTensor &wt,
     };
 
     if (tiled_parallel)
-        parallelForRange(0, m, 1, band);
+        parallelForRange(lane, 0, m, 1, band);
     else
         band(0, m);
     return out;
@@ -382,9 +383,9 @@ engineMatmul(const QuantizedTensor &a, const QuantizedTensor &wt,
 
 Tensor
 indexMatmulTransB(const QuantizedTensor &a, const QuantizedTensor &wt,
-                  IndexMatmulStats *stats)
+                  IndexMatmulStats *stats, Lane lane)
 {
-    return engineMatmul(a, wt, stats, true);
+    return engineMatmul(a, wt, stats, true, lane);
 }
 
 Tensor
@@ -398,15 +399,15 @@ indexMatmulTransBScalar(const QuantizedTensor &a,
 std::vector<Tensor>
 indexMatmulTransBBatched(const std::vector<const QuantizedTensor *> &as,
                          const QuantizedTensor &wt,
-                         IndexMatmulStats *stats)
+                         IndexMatmulStats *stats, Lane lane)
 {
     if (as.empty())
         return {};
     if (as.size() == 1)
-        return {indexMatmulTransB(*as[0], wt, stats)};
+        return {indexMatmulTransB(*as[0], wt, stats, lane)};
 
     const QuantizedTensor stacked = concatQuantizedRows(as);
-    const Tensor out = indexMatmulTransB(stacked, wt, stats);
+    const Tensor out = indexMatmulTransB(stacked, wt, stats, lane);
 
     // Split the stacked output back into per-request tensors. Each
     // output row was produced by exactly the codes of its own

@@ -34,6 +34,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/parallel.hh"
 #include "quant/quantized_tensor.hh"
 #include "tensor/tensor.hh"
 
@@ -148,13 +149,15 @@ double indexDot(const QCode *a, const TensorDictionary &dict_a,
  * This is the production engine: it streams the dense Gaussian code
  * planes branch-free (GPE), merge-iterates the per-row outlier
  * sidecars (OPP), tiles the output for cache reuse, and splits row
- * bands across the thread pool. Per-output-element arithmetic order
- * is fixed, so results are bit-identical for every thread count and
- * identical to indexMatmulTransBScalar().
+ * bands across the executor on @p lane. Per-output-element
+ * arithmetic order is fixed, so results are bit-identical for every
+ * thread count and lane assignment, and identical to
+ * indexMatmulTransBScalar().
  */
 Tensor indexMatmulTransB(const QuantizedTensor &a,
                          const QuantizedTensor &wt,
-                         IndexMatmulStats *stats = nullptr);
+                         IndexMatmulStats *stats = nullptr,
+                         Lane lane = {});
 
 /**
  * Batched index-domain GEMM for multi-request serving: every
@@ -172,7 +175,8 @@ Tensor indexMatmulTransB(const QuantizedTensor &a,
 std::vector<Tensor>
 indexMatmulTransBBatched(const std::vector<const QuantizedTensor *> &as,
                          const QuantizedTensor &wt,
-                         IndexMatmulStats *stats = nullptr);
+                         IndexMatmulStats *stats = nullptr,
+                         Lane lane = {});
 
 /**
  * The engine's scalar path: the same per-element kernel as

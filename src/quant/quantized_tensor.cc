@@ -38,15 +38,19 @@ QuantizedTensor::planes() const
 {
     // Concurrent const readers (two threads GEMMing with one shared
     // weight tensor) may race to build: the cache pointer is only
-    // touched through atomic loads/stores, and a process-wide mutex
-    // makes the build itself single-flight. Mutation during a
-    // concurrent planes() call remains the caller's bug.
+    // touched through atomic loads/stores, and a mutex makes the
+    // build itself single-flight. The mutexes are striped by tensor
+    // address so concurrent lanes building planes of *different*
+    // tensors do not serialize on one process-wide lock. Mutation
+    // during a concurrent planes() call remains the caller's bug.
     auto cached = std::atomic_load_explicit(
         &planesCache, std::memory_order_acquire);
     if (cached)
         return *cached;
 
-    static std::mutex build_mu;
+    static std::mutex build_mus[8];
+    std::mutex &build_mu =
+        build_mus[(reinterpret_cast<uintptr_t>(this) >> 4) & 7];
     std::lock_guard<std::mutex> lk(build_mu);
     cached = std::atomic_load_explicit(&planesCache,
                                        std::memory_order_acquire);
@@ -87,6 +91,42 @@ QuantizedTensor::planes() const
                                std::shared_ptr<const CodePlanes>(p),
                                std::memory_order_release);
     return *p;
+}
+
+const CodePlanes &
+QuantizedTensor::pinPlanes() const
+{
+    pinnedFlag.store(true, std::memory_order_relaxed);
+    return planes();
+}
+
+void
+QuantizedTensor::unpinPlanes() const
+{
+    pinnedFlag.store(false, std::memory_order_relaxed);
+    dropPlanes();
+}
+
+PlanesFootprint
+QuantizedTensor::planesFootprint() const
+{
+    PlanesFootprint f;
+    f.pinned = planesPinned();
+    f.codeBytes = codes.size() * sizeof(QCode);
+    f.deriveElements = codes.size();
+    const auto cached = std::atomic_load_explicit(
+        &planesCache, std::memory_order_acquire);
+    if (!cached)
+        return f;
+    f.resident = true;
+    f.outlierEntries = cached->outliers.size();
+    f.planeBytes =
+        cached->index.size() * sizeof(uint8_t) +
+        cached->theta.size() * sizeof(int8_t) +
+        cached->mag.size() * sizeof(double) +
+        cached->rowStart.size() * sizeof(uint32_t) +
+        cached->outliers.size() * sizeof(CodePlanes::Outlier);
+    return f;
 }
 
 Tensor

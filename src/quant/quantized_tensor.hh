@@ -16,6 +16,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "quant/tensor_dictionary.hh"
@@ -115,6 +116,30 @@ struct CodePlanes
     }
 };
 
+/**
+ * Byte accounting for a tensor's CodePlanes view: what the derived
+ * planes cost to keep resident versus what re-deriving them costs —
+ * the trade pinPlanes() exists to decide explicitly.
+ */
+struct PlanesFootprint
+{
+    bool pinned = false;   ///< pin flag set on this tensor
+    bool resident = false; ///< planes currently materialized
+    size_t codeBytes = 0;  ///< expanded 5 b codes (1 B each)
+    size_t planeBytes = 0; ///< index+theta+mag planes + sidecars
+    size_t outlierEntries = 0; ///< sidecar entries across all rows
+    size_t deriveElements = 0; ///< codes walked by one rebuild
+
+    /** Plane memory per code byte (the cost of keeping them). */
+    double expansionRatio() const
+    {
+        return codeBytes != 0
+            ? static_cast<double>(planeBytes) /
+                static_cast<double>(codeBytes)
+            : 0.0;
+    }
+};
+
 /** A quantized matrix: codes plus the dictionary that decodes them. */
 class QuantizedTensor
 {
@@ -132,7 +157,8 @@ class QuantizedTensor
         : nRows(o.nRows), nCols(o.nCols), codes(o.codes),
           dict(o.dict),
           planesCache(std::atomic_load_explicit(
-              &o.planesCache, std::memory_order_acquire))
+              &o.planesCache, std::memory_order_acquire)),
+          pinnedFlag(o.pinnedFlag.load(std::memory_order_relaxed))
     {
     }
     QuantizedTensor &
@@ -145,11 +171,38 @@ class QuantizedTensor
             dict = o.dict;
             planesCache = std::atomic_load_explicit(
                 &o.planesCache, std::memory_order_acquire);
+            pinnedFlag.store(
+                o.pinnedFlag.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
         }
         return *this;
     }
-    QuantizedTensor(QuantizedTensor &&) = default;
-    QuantizedTensor &operator=(QuantizedTensor &&) = default;
+    // Moves are mutations (never safe under concurrent readers), so
+    // they may handle the cache and pin flag non-atomically; they
+    // are spelled out only because the atomic pin flag suppresses
+    // the defaults.
+    QuantizedTensor(QuantizedTensor &&o) noexcept
+        : nRows(o.nRows), nCols(o.nCols), codes(std::move(o.codes)),
+          dict(std::move(o.dict)),
+          planesCache(std::move(o.planesCache)),
+          pinnedFlag(o.pinnedFlag.load(std::memory_order_relaxed))
+    {
+    }
+    QuantizedTensor &
+    operator=(QuantizedTensor &&o) noexcept
+    {
+        if (this != &o) {
+            nRows = o.nRows;
+            nCols = o.nCols;
+            codes = std::move(o.codes);
+            dict = std::move(o.dict);
+            planesCache = std::move(o.planesCache);
+            pinnedFlag.store(
+                o.pinnedFlag.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+        }
+        return *this;
+    }
 
     size_t rows() const { return nRows; }
     size_t cols() const { return nCols; }
@@ -187,6 +240,37 @@ class QuantizedTensor
      */
     const CodePlanes &planes() const;
 
+    /**
+     * Build the planes now (if absent) and pin them: an explicit
+     * statement that this tensor's planes should stay resident —
+     * weights that every forward pass multiplies against. The pin
+     * (and the built planes) survives copies; mutation still drops
+     * the stale planes (correctness first), and the retained pin
+     * makes the next planes() rebuild them. Returns the planes.
+     */
+    const CodePlanes &pinPlanes() const;
+
+    /**
+     * Clear the pin and release this tensor's cached planes so the
+     * memory can be reclaimed (copies keep their own references).
+     * Like mutation, not safe while another thread holds a planes()
+     * reference into this object.
+     */
+    void unpinPlanes() const;
+
+    /** True after pinPlanes() (copies inherit the flag). */
+    bool planesPinned() const
+    {
+        return pinnedFlag.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Byte accounting: resident plane memory versus the re-derive
+     * cost unpinning trades it for. resident/planeBytes reflect the
+     * current cache state; pass counts are exact either way.
+     */
+    PlanesFootprint planesFootprint() const;
+
     /** Expand every code back to its centroid value. */
     Tensor decode() const;
 
@@ -214,7 +298,15 @@ class QuantizedTensor
      */
     mutable std::shared_ptr<const CodePlanes> planesCache;
 
-    void dropPlanes()
+    /**
+     * Sticky "keep planes resident" intent (travels with copies).
+     * Orthogonal to the cache itself: mutation drops stale planes
+     * regardless, and the flag only promises an eager rebuild was
+     * requested once.
+     */
+    mutable std::atomic<bool> pinnedFlag{false};
+
+    void dropPlanes() const
     {
         std::atomic_store_explicit(
             &planesCache, std::shared_ptr<const CodePlanes>(),

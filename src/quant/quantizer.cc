@@ -26,12 +26,14 @@ Quantizer::buildDictionaryFromSamples(const std::vector<float> &samples,
 }
 
 QuantizedTensor
-Quantizer::encode(const Tensor &t, const TensorDictionary &dict) const
+Quantizer::encode(const Tensor &t, const TensorDictionary &dict,
+                  Lane lane) const
 {
     QuantizedTensor q(t.rows(), t.cols(), dict);
     const size_t cols = t.cols();
     QCode *codes = q.raw().data();
-    parallelFor(0, t.rows(), std::max<size_t>(1, 2048 / (cols + 1)),
+    parallelFor(lane, 0, t.rows(),
+                std::max<size_t>(1, 2048 / (cols + 1)),
                 [&](size_t r) {
                     const float *src = t.row(r);
                     QCode *dst = codes + r * cols;

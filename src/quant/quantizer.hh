@@ -18,6 +18,7 @@
 #ifndef MOKEY_QUANT_QUANTIZER_HH
 #define MOKEY_QUANT_QUANTIZER_HH
 
+#include "common/parallel.hh"
 #include "quant/quantized_tensor.hh"
 #include "tensor/tensor.hh"
 
@@ -48,9 +49,14 @@ class Quantizer
         const std::vector<float> &samples,
         const TensorDictConfig &cfg = {}) const;
 
-    /** Encode a full tensor against a prepared dictionary. */
+    /**
+     * Encode a full tensor against a prepared dictionary. Rows fan
+     * out over the executor on @p lane; results are lane- and
+     * thread-count-independent.
+     */
     QuantizedTensor encode(const Tensor &t,
-                           const TensorDictionary &dict) const;
+                           const TensorDictionary &dict,
+                           Lane lane = {}) const;
 
     /** Encode one value by nearest-centroid search (reference). */
     QCode encodeValue(double v, const TensorDictionary &dict) const;

@@ -26,14 +26,14 @@ rowGrain(size_t flops_per_row)
 } // anonymous namespace
 
 Tensor
-matmul(const Tensor &a, const Tensor &b)
+matmul(const Tensor &a, const Tensor &b, Lane lane)
 {
     MOKEY_ASSERT(a.cols() == b.rows(), "matmul shape mismatch "
                  "%zux%zu * %zux%zu", a.rows(), a.cols(), b.rows(),
                  b.cols());
     Tensor c(a.rows(), b.cols());
     const size_t m = a.rows(), k = a.cols(), n = b.cols();
-    parallelFor(0, m, rowGrain(n * k), [&](size_t i) {
+    parallelFor(lane, 0, m, rowGrain(n * k), [&](size_t i) {
         float *crow = c.row(i);
         const float *arow = a.row(i);
         for (size_t p = 0; p < k; ++p) {
@@ -47,7 +47,7 @@ matmul(const Tensor &a, const Tensor &b)
 }
 
 Tensor
-matmulTransB(const Tensor &a, const Tensor &b)
+matmulTransB(const Tensor &a, const Tensor &b, Lane lane)
 {
     MOKEY_ASSERT(a.cols() == b.cols(), "matmulTransB shape mismatch");
     Tensor c(a.rows(), b.rows());
@@ -56,7 +56,7 @@ matmulTransB(const Tensor &a, const Tensor &b)
     // two accumulations); which function handles an output depends
     // only on (j, n), never on threading, so results stay
     // bit-identical across thread counts.
-    parallelFor(0, m, rowGrain(n * k), [&](size_t i) {
+    parallelFor(lane, 0, m, rowGrain(n * k), [&](size_t i) {
         const float *arow = a.row(i);
         float *crow = c.row(i);
         size_t j = 0;

@@ -13,16 +13,20 @@
 #include <functional>
 #include <vector>
 
+#include "common/parallel.hh"
 #include "tensor/tensor.hh"
 
 namespace mokey
 {
 
+// The GEMMs fan out over the multi-lane executor; @p lane selects
+// which lane the loop occupies (results are lane-independent).
+
 /** C = A (m x k) * B (k x n). */
-Tensor matmul(const Tensor &a, const Tensor &b);
+Tensor matmul(const Tensor &a, const Tensor &b, Lane lane = {});
 
 /** C = A (m x k) * B^T where B is (n x k). */
-Tensor matmulTransB(const Tensor &a, const Tensor &b);
+Tensor matmulTransB(const Tensor &a, const Tensor &b, Lane lane = {});
 
 /** In place: add a per-column bias vector to every row. */
 void addBias(Tensor &t, const std::vector<float> &bias);

@@ -1,11 +1,13 @@
 /**
  * @file
- * Tests for the thread-pool substrate: full coverage of the
- * iteration space, nesting safety, determinism, and reconfiguration.
+ * Tests for the multi-lane executor: full coverage of the iteration
+ * space, nesting safety, determinism, lane concurrency, wave mode,
+ * and reconfiguration.
  */
 
 #include <atomic>
 #include <gtest/gtest.h>
+#include <thread>
 #include <vector>
 
 #include "common/parallel.hh"
@@ -87,6 +89,153 @@ TEST(Parallel, ThreadCountSweepIsDeterministic)
             EXPECT_EQ(serial[i], par[i]) << "threads=" << t;
     }
     setThreadCount(original);
+}
+
+TEST(Parallel, AcquiredLanesArePairwiseDistinct)
+{
+    // Round-robin over lanes 1..kLaneCount-1: any window of
+    // kLaneCount-1 successive acquires is collision-free, and the
+    // shared default lane 0 is never handed out.
+    std::vector<size_t> ids;
+    for (size_t i = 0; i < kLaneCount - 1; ++i)
+        ids.push_back(Lane::acquire().id());
+    for (size_t i = 0; i < ids.size(); ++i) {
+        EXPECT_NE(ids[i], 0u);
+        EXPECT_LT(ids[i], kLaneCount);
+        for (size_t j = i + 1; j < ids.size(); ++j)
+            EXPECT_NE(ids[i], ids[j]);
+    }
+}
+
+TEST(Parallel, ConcurrentLanesCoverEveryIndexExactlyOnce)
+{
+    // The tentpole scenario: several top-level callers in flight at
+    // once, each on its own lane, all sharing one worker set. Every
+    // lane's loop must cover exactly its own indexes.
+    const size_t original = threadCount();
+    setThreadCount(4);
+    constexpr size_t kLanes = 4, kN = 2048, kLoops = 8;
+    std::vector<std::atomic<int>> hits(kLanes * kN);
+    std::vector<std::thread> callers;
+    for (size_t c = 0; c < kLanes; ++c) {
+        callers.emplace_back([&, c] {
+            const Lane lane = Lane::ofIndex(c);
+            for (size_t rep = 0; rep < kLoops; ++rep)
+                parallelFor(lane, 0, kN, 1, [&](size_t i) {
+                    hits[c * kN + i]++;
+                });
+        });
+    }
+    for (auto &t : callers)
+        t.join();
+    for (size_t i = 0; i < hits.size(); ++i)
+        ASSERT_EQ(hits[i].load(), static_cast<int>(kLoops))
+            << "slot " << i;
+    setThreadCount(original);
+}
+
+TEST(Parallel, ConcurrentLanesStayBitIdentical)
+{
+    // Determinism is per-loop, not per-pool: a lane's result must be
+    // bit-identical to the serial run even while other lanes hammer
+    // the same workers — across pool sizes and both wave modes.
+    const size_t n = 513;
+    const auto run = [&](Lane lane) {
+        std::vector<double> out(n);
+        parallelFor(lane, 0, n, 1, [&](size_t i) {
+            double acc = 0.0;
+            for (size_t p = 0; p < 100; ++p)
+                acc += static_cast<double>(i * 31 + p) * 1e-3;
+            out[i] = acc;
+        });
+        return out;
+    };
+
+    const size_t original = threadCount();
+    const size_t original_spin = waveSpin();
+    setThreadCount(1);
+    const auto serial = run(Lane{});
+
+    for (const size_t t : {2u, 8u}) {
+        for (const size_t spin_us : {0u, 200u}) {
+            setThreadCount(t);
+            setWaveSpin(spin_us);
+            std::vector<std::vector<double>> got(3);
+            std::vector<std::thread> callers;
+            for (size_t c = 0; c < got.size(); ++c)
+                callers.emplace_back([&, c] {
+                    for (int rep = 0; rep < 4; ++rep)
+                        got[c] = run(Lane::ofIndex(c));
+                });
+            for (auto &th : callers)
+                th.join();
+            for (size_t c = 0; c < got.size(); ++c)
+                ASSERT_EQ(serial, got[c])
+                    << "lane caller " << c << " threads=" << t
+                    << " spin=" << spin_us;
+        }
+    }
+    setWaveSpin(original_spin);
+    setThreadCount(original);
+}
+
+TEST(Parallel, SameLaneSubmittersSerializeCorrectly)
+{
+    // Two threads on one lane: loops queue FIFO on the lane and each
+    // still covers its range exactly once.
+    const size_t original = threadCount();
+    setThreadCount(3);
+    const Lane lane = Lane::acquire();
+    std::atomic<uint64_t> sum{0};
+    std::vector<std::thread> callers;
+    for (int c = 0; c < 2; ++c)
+        callers.emplace_back([&] {
+            for (int rep = 0; rep < 16; ++rep)
+                parallelFor(lane, 0, 100, 1,
+                            [&](size_t i) { sum += i; });
+        });
+    for (auto &t : callers)
+        t.join();
+    EXPECT_EQ(sum.load(), 2u * 16u * (99u * 100u / 2u));
+    setThreadCount(original);
+}
+
+TEST(Parallel, NestedLoopInsideLaneRunsInline)
+{
+    const size_t original = threadCount();
+    setThreadCount(4);
+    const Lane lane = Lane::acquire();
+    std::atomic<uint64_t> total{0};
+    parallelFor(lane, 0, 16, 1, [&](size_t) {
+        parallelFor(Lane::acquire(), 0, 50, 1,
+                    [&](size_t j) { total += j; });
+    });
+    EXPECT_EQ(total.load(), 16u * (49u * 50u / 2u));
+    setThreadCount(original);
+}
+
+TEST(Parallel, LaneStatsCountLoopsAndChunks)
+{
+    const size_t original = threadCount();
+    setThreadCount(4);
+    const Lane lane = Lane::acquire();
+    const LaneStats before = laneStats(lane);
+    std::atomic<int> hits{0};
+    for (int rep = 0; rep < 3; ++rep)
+        parallelFor(lane, 0, 512, 1, [&](size_t) { hits++; });
+    const LaneStats after = laneStats(lane);
+    EXPECT_EQ(hits.load(), 3 * 512);
+    EXPECT_EQ(after.loops - before.loops, 3u);
+    EXPECT_GE(after.chunks - before.chunks, 3u);
+    setThreadCount(original);
+}
+
+TEST(Parallel, WaveSpinKnobRoundTrips)
+{
+    const size_t original = waveSpin();
+    setWaveSpin(150);
+    EXPECT_EQ(waveSpin(), 150u);
+    setWaveSpin(original);
 }
 
 TEST(Parallel, SetThreadCountClampsToOne)

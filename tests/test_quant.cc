@@ -483,5 +483,90 @@ TEST_F(CodecFixture, RoundTripFullyOutlierGroup)
         EXPECT_EQ(back.raw()[i].raw, q.raw()[i].raw) << "i=" << i;
 }
 
+// ---- CodePlanes pin API ---------------------------------------------
+
+/** A small quantized tensor with a few outliers. */
+QuantizedTensor
+pinFixtureTensor()
+{
+    Rng rng(4242);
+    const ExpDictionary exp(1.179, -0.977, 8);
+    const Quantizer quantizer(exp);
+    Tensor t(8, 32, rng.gaussianVector(8 * 32, 0.0, 1.0));
+    t.at(0, 0) = 9.0f; // force an outlier or two
+    t.at(5, 17) = -8.5f;
+    return quantizer.encode(t, quantizer.buildDictionary(t));
+}
+
+TEST(QuantizedTensorPin, PinBuildsAndSurvivesCopies)
+{
+    const QuantizedTensor q = pinFixtureTensor();
+    EXPECT_FALSE(q.planesPinned());
+    EXPECT_FALSE(q.planesFootprint().resident);
+
+    q.pinPlanes();
+    EXPECT_TRUE(q.planesPinned());
+    EXPECT_TRUE(q.planesFootprint().resident);
+
+    // Copies inherit both the pin and the already-built planes —
+    // no rebuild, no lazy first-use cost on the copy.
+    const QuantizedTensor copy = q;
+    EXPECT_TRUE(copy.planesPinned());
+    EXPECT_TRUE(copy.planesFootprint().resident);
+    QuantizedTensor assigned;
+    assigned = q;
+    EXPECT_TRUE(assigned.planesPinned());
+    EXPECT_TRUE(assigned.planesFootprint().resident);
+
+    // Unpinning one copy releases only that copy's reference.
+    assigned.unpinPlanes();
+    EXPECT_FALSE(assigned.planesPinned());
+    EXPECT_FALSE(assigned.planesFootprint().resident);
+    EXPECT_TRUE(q.planesFootprint().resident);
+}
+
+TEST(QuantizedTensorPin, MutationDropsPlanesButKeepsPin)
+{
+    QuantizedTensor q = pinFixtureTensor();
+    const Tensor before = q.decode();
+    q.pinPlanes();
+
+    q.at(2, 3) = QCode::gaussian(false, 1); // mutation
+    EXPECT_TRUE(q.planesPinned());
+    EXPECT_FALSE(q.planesFootprint().resident); // stale planes gone
+
+    // The retained pin is an intent: the next planes() rebuilds, and
+    // the rebuilt view decodes the *mutated* codes.
+    const CodePlanes &p = q.pinPlanes();
+    EXPECT_TRUE(q.planesFootprint().resident);
+    EXPECT_EQ(p.rows, q.rows());
+    const Tensor after = q.decode();
+    EXPECT_NE(before.at(2, 3), after.at(2, 3));
+}
+
+TEST(QuantizedTensorPin, FootprintAccountsPlaneBytes)
+{
+    const QuantizedTensor q = pinFixtureTensor();
+    const size_t n = q.rows() * q.cols();
+
+    PlanesFootprint f = q.planesFootprint();
+    EXPECT_EQ(f.codeBytes, n);
+    EXPECT_EQ(f.deriveElements, n);
+    EXPECT_EQ(f.planeBytes, 0u); // not resident yet
+
+    q.pinPlanes();
+    f = q.planesFootprint();
+    const size_t expected =
+        n * (sizeof(uint8_t) + sizeof(int8_t) + sizeof(double)) +
+        (q.rows() + 1) * sizeof(uint32_t) +
+        f.outlierEntries * sizeof(CodePlanes::Outlier);
+    EXPECT_EQ(f.planeBytes, expected);
+    EXPECT_GT(f.outlierEntries, 0u);
+    // Keeping planes costs ~10x the code bytes — the number the
+    // pin-vs-rederive decision weighs for large models.
+    EXPECT_GT(f.expansionRatio(), 9.0);
+    EXPECT_LT(f.expansionRatio(), 12.0);
+}
+
 } // anonymous namespace
 } // namespace mokey

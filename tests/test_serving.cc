@@ -8,8 +8,10 @@
  * configured.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <future>
+#include <memory>
 #include <thread>
 #include <gtest/gtest.h>
 
@@ -306,6 +308,124 @@ TEST_F(ServingFixture, SchedulerWeightsOnlyMode)
     auto f = sched.submit(in);
     expectBitIdentical(pipeline.forward(in, QuantMode::WeightsOnly),
                        f.get(), "weights-only");
+}
+
+TEST_F(ServingFixture, SchedulerLaneCountClampsAndReports)
+{
+    BatchSchedulerConfig cfg;
+    cfg.laneCount = 0; // invalid: clamped to one dispatcher lane
+    BatchScheduler sched(pipeline, QuantMode::WeightsAndActivations,
+                         cfg);
+    EXPECT_EQ(sched.laneCount(), 1u);
+    ASSERT_EQ(sched.laneUsage().size(), 1u);
+    EXPECT_NE(sched.laneUsage()[0].laneId, 0u); // private lane
+}
+
+TEST_F(ServingFixture, TwoLanesDispatchConcurrentBatches)
+{
+    BatchSchedulerConfig cfg;
+    cfg.maxBatch = 1; // every request is its own micro-batch
+    cfg.laneCount = 2;
+    cfg.flushTimeout = std::chrono::microseconds(100);
+    BatchScheduler sched(pipeline, QuantMode::WeightsAndActivations,
+                         cfg);
+
+    constexpr int kReqs = 24;
+    std::vector<std::future<Tensor>> futs;
+    std::vector<Tensor> ins;
+    for (int i = 0; i < kReqs; ++i)
+        ins.push_back(model.makeInput(2 + i % 3, 900 + i));
+    for (const Tensor &in : ins)
+        futs.push_back(sched.submit(in));
+    for (int i = 0; i < kReqs; ++i)
+        expectBitIdentical(
+            pipeline.forward(ins[i],
+                             QuantMode::WeightsAndActivations),
+            futs[i].get(), "lane req=" + std::to_string(i));
+    // Futures resolve before the dispatcher publishes its lane
+    // accounting; drain() synchronizes with that publication.
+    sched.drain();
+
+    const auto st = sched.stats();
+    const auto usage = sched.laneUsage();
+    EXPECT_EQ(st.requests, static_cast<uint64_t>(kReqs));
+    ASSERT_EQ(usage.size(), 2u);
+    EXPECT_NE(usage[0].laneId, usage[1].laneId);
+    EXPECT_EQ(usage[0].batches + usage[1].batches, st.batches);
+    EXPECT_EQ(usage[0].rows + usage[1].rows, st.batchedRows);
+    // With 24 single-request batches, the second dispatcher forms
+    // batches while the first computes; both lanes should see work.
+    EXPECT_GT(usage[0].batches, 0u);
+    EXPECT_GT(usage[1].batches, 0u);
+}
+
+TEST_F(ServingFixture, MultiSchedulerMultiLaneStressBitIdentical)
+{
+    // The tentpole acceptance scenario: M concurrent schedulers x N
+    // lanes each, hammered by racing clients, across pool sizes
+    // (setThreadCount is the test hook for MOKEY_THREADS). Every
+    // response must stay bit-identical to an unbatched sequential
+    // forward of that request.
+    constexpr size_t kSchedulers = 2;
+    constexpr size_t kClients = 4;
+    constexpr size_t kReqsPerClient = 3;
+
+    // References computed single-threaded up front; the engine
+    // guarantees bit-parity across thread counts and lanes.
+    const size_t original = threadCount();
+    setThreadCount(1);
+    std::vector<Tensor> ins;
+    std::vector<Tensor> refs;
+    for (size_t c = 0; c < kClients; ++c) {
+        for (size_t r = 0; r < kReqsPerClient; ++r) {
+            ins.push_back(
+                model.makeInput(1 + (c * kReqsPerClient + r) % 5,
+                                1000 + c * 100 + r));
+            refs.push_back(pipeline.forward(
+                ins.back(), QuantMode::WeightsAndActivations));
+        }
+    }
+
+    const size_t hw = std::max<size_t>(
+        1, std::thread::hardware_concurrency());
+    for (const size_t t : {size_t{1}, size_t{2}, hw}) {
+        setThreadCount(t);
+        BatchSchedulerConfig cfg;
+        cfg.maxBatch = 3;
+        cfg.laneCount = 2;
+        cfg.flushTimeout = std::chrono::microseconds(500);
+        std::vector<std::unique_ptr<BatchScheduler>> scheds;
+        for (size_t s = 0; s < kSchedulers; ++s)
+            scheds.push_back(std::make_unique<BatchScheduler>(
+                pipeline, QuantMode::WeightsAndActivations, cfg));
+
+        std::vector<std::thread> clients;
+        std::vector<int> ok(kClients, 0);
+        for (size_t c = 0; c < kClients; ++c) {
+            clients.emplace_back([&, c] {
+                bool good = true;
+                for (size_t r = 0; r < kReqsPerClient; ++r) {
+                    const size_t i = c * kReqsPerClient + r;
+                    auto f =
+                        scheds[c % kSchedulers]->submit(ins[i]);
+                    const Tensor out = f.get();
+                    good = good && out.rows() == refs[i].rows() &&
+                        out.raw() == refs[i].raw();
+                }
+                ok[c] = good ? 1 : 0;
+            });
+        }
+        for (auto &cl : clients)
+            cl.join();
+        for (size_t c = 0; c < kClients; ++c)
+            EXPECT_EQ(ok[c], 1)
+                << "client " << c << " threads=" << t;
+        uint64_t reqs = 0;
+        for (const auto &s : scheds)
+            reqs += s->stats().requests;
+        EXPECT_EQ(reqs, kClients * kReqsPerClient);
+    }
+    setThreadCount(original);
 }
 
 TEST_F(ServingFixture, ConcurrentSubmittersAllServed)

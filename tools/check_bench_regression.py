@@ -1,11 +1,19 @@
 #!/usr/bin/env python3
 """Fail CI when a recorded kernel speedup regresses.
 
-Usage: check_bench_regression.py <committed.json> <fresh.json>
+Usage:
+  check_bench_regression.py <committed.json> <fresh.json>
+  check_bench_regression.py <committed_dir> <fresh_dir>
 
-Compares every record of the freshly measured BENCH_*.json against
-the committed baseline, keyed on (kernel, m, n, k). A record fails
-when its measured speedup drops more than the allowed fraction
+In directory mode every BENCH_*.json in <committed_dir> is compared
+against the same-named file in <fresh_dir>; a committed baseline
+whose fresh counterpart is missing fails the gate (a bench that
+silently stopped running is a regression too). File mode compares
+exactly one pair, as before.
+
+Within a pair, every record of the freshly measured file is compared
+against the committed baseline, keyed on (kernel, m, n, k). A record
+fails when its measured speedup drops more than the allowed fraction
 (default 20%) below the committed speedup. Records with a zero
 speedup field are raw timings, not comparisons, and are skipped;
 records present on only one side are reported but never fatal (new
@@ -14,17 +22,22 @@ kernels appear, old ones retire).
 Absolute ns/op is machine-dependent, but the speedup columns are
 ratios measured on the same machine in the same run, which makes
 them comparable across hosts to first order — that is what the gate
-checks. The ratios still shift some with the host ISA (the engine
-kernels carry AVX2/AVX-512 target_clones, the seed replicas are
-scalar), so the allowed envelope can be widened for a heterogeneous
-runner pool via BENCH_ALLOWED_REGRESSION (fraction, default 0.20).
+checks. The ratios still shift some with the host ISA and core count
+(the engine kernels carry AVX2/AVX-512 target_clones, the seed
+replicas are scalar, and the multi-lane dispatch ratios depend on
+how many cores service the lanes), so the allowed envelope can be
+widened via BENCH_ALLOWED_REGRESSION (fraction, default 0.20) — or
+per bench via BENCH_ALLOWED_REGRESSION_<bench> keyed on the file's
+"bench" name, e.g. BENCH_ALLOWED_REGRESSION_multilane=0.40 for a
+heterogeneous runner pool.
 """
 
+import glob
 import json
 import os
 import sys
 
-ALLOWED_REGRESSION = float(
+DEFAULT_ALLOWED = float(
     os.environ.get("BENCH_ALLOWED_REGRESSION", "0.20"))
 
 
@@ -35,15 +48,19 @@ def load(path):
     for r in doc.get("records", []):
         key = (r["kernel"], r["m"], r["n"], r["k"])
         records[key] = r
-    return records
+    return doc.get("bench", ""), records
 
 
-def main():
-    if len(sys.argv) != 3:
-        print(__doc__.strip())
-        return 2
-    baseline = load(sys.argv[1])
-    fresh = load(sys.argv[2])
+def allowed_for(bench_name):
+    env = os.environ.get(f"BENCH_ALLOWED_REGRESSION_{bench_name}")
+    return float(env) if env is not None else DEFAULT_ALLOWED
+
+
+def check_pair(committed_path, fresh_path):
+    """Compare one committed/fresh file pair; returns failed keys."""
+    bench_name, baseline = load(committed_path)
+    _, fresh = load(fresh_path)
+    allowed = allowed_for(bench_name)
 
     failures = []
     for key, base in sorted(baseline.items()):
@@ -54,7 +71,7 @@ def main():
             print(f"note: {key} missing from fresh run (skipped)")
             continue
         got = fresh[key].get("speedup_vs_seed", 0.0)
-        floor = base_speedup * (1.0 - ALLOWED_REGRESSION)
+        floor = base_speedup * (1.0 - allowed)
         status = "ok" if got >= floor else "REGRESSED"
         print(f"{key[0]} {key[1]}x{key[2]}x{key[3]}: "
               f"committed {base_speedup:.2f}x, measured {got:.2f}x, "
@@ -67,10 +84,51 @@ def main():
             print(f"note: new record {key} "
                   f"({fresh[key]['speedup_vs_seed']:.2f}x) has no "
                   f"committed baseline yet")
+    return failures
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__.strip())
+        return 2
+    committed, fresh = sys.argv[1], sys.argv[2]
+
+    if os.path.isdir(committed):
+        pairs = []
+        missing = []
+        for path in sorted(
+                glob.glob(os.path.join(committed, "BENCH_*.json"))):
+            other = os.path.join(fresh, os.path.basename(path))
+            if os.path.exists(other):
+                pairs.append((path, other))
+            else:
+                missing.append(other)
+        if missing:
+            for m in missing:
+                print(f"FAIL: committed baseline has no fresh "
+                      f"measurement at {m}")
+            return 1
+        if not pairs:
+            print(f"FAIL: no BENCH_*.json baselines in {committed}")
+            return 1
+        committed_names = {os.path.basename(p) for p, _ in pairs}
+        for path in sorted(
+                glob.glob(os.path.join(fresh, "BENCH_*.json"))):
+            if os.path.basename(path) not in committed_names:
+                print(f"note: {path} has no committed baseline — "
+                      f"commit one to gate it")
+    else:
+        pairs = [(committed, fresh)]
+
+    failures = []
+    for committed_path, fresh_path in pairs:
+        print(f"== {os.path.basename(committed_path)} ==")
+        failures += check_pair(committed_path, fresh_path)
 
     if failures:
         print(f"FAIL: {len(failures)} kernel speedup(s) regressed "
-              f">{ALLOWED_REGRESSION:.0%} vs the committed baseline")
+              f"beyond the allowed envelope vs the committed "
+              f"baseline")
         return 1
     print("all recorded speedups within the allowed envelope")
     return 0
