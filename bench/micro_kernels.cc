@@ -118,6 +118,16 @@ BM_IndexGemmScalar(benchmark::State &state)
 BENCHMARK(BM_IndexGemmScalar)->Unit(benchmark::kMillisecond);
 
 void
+BM_IndexGemmCounting(benchmark::State &state)
+{
+    auto &s = setup();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            indexMatmulTransBCounting(s.qa, s.qw));
+}
+BENCHMARK(BM_IndexGemmCounting)->Unit(benchmark::kMillisecond);
+
+void
 BM_IndexGemmReference(benchmark::State &state)
 {
     auto &s = setup();
@@ -233,8 +243,11 @@ writeBatchedServingReport(bench::BenchJson &json)
 /**
  * Time engine vs seed kernels on GEMM shapes from the transformer
  * workloads and flush BENCH_micro_kernels.json. GB/s counts operand
- * reads plus result writes at their in-memory width (1 B codes for
- * the index path, 4 B floats otherwise).
+ * reads plus result writes at their in-memory width: 4 B floats for
+ * the float path, 1 B codes for the seed index path, and the planes
+ * the two index engines actually stream — 8 B/element mag planes
+ * for index_gemm_mag versus 2 B/element byte planes for
+ * index_gemm_count (the counting engine's whole point).
  */
 void
 writeSpeedupReport()
@@ -263,6 +276,12 @@ writeSpeedupReport()
         const double ibytes =
             static_cast<double>(m * k + n * k) * 1.0 +
             static_cast<double>(m * n) * 4.0;
+        const double mag_bytes =
+            static_cast<double>(m * k + n * k) * 8.0 +
+            static_cast<double>(m * n) * 4.0;
+        const double count_bytes =
+            static_cast<double>(m * k + n * k) * 2.0 +
+            static_cast<double>(m * n) * 4.0;
 
         const double seed_f = bench::timeKernelNs(
             [&] { seedMatmulTransB(a, w); });
@@ -271,7 +290,9 @@ writeSpeedupReport()
         const double seed_i = bench::timeKernelNs(
             [&] { indexMatmulTransBReference(qa, qw); });
         const double fast_i = bench::timeKernelNs(
-            [&] { indexMatmulTransB(qa, qw); });
+            [&] { indexMatmulTransBMag(qa, qw); });
+        const double fast_c = bench::timeKernelNs(
+            [&] { indexMatmulTransBCounting(qa, qw); });
 
         json.add({"float_gemm_seed", m, n, k, seed_f,
                   fbytes / seed_f, 0.0});
@@ -279,13 +300,15 @@ writeSpeedupReport()
                   fbytes / fast_f, seed_f / fast_f});
         json.add({"index_gemm_seed", m, n, k, seed_i,
                   ibytes / seed_i, 0.0});
-        json.add({"index_gemm_engine", m, n, k, fast_i,
-                  ibytes / fast_i, seed_i / fast_i});
+        json.add({"index_gemm_mag", m, n, k, fast_i,
+                  mag_bytes / fast_i, seed_i / fast_i});
+        json.add({"index_gemm_count", m, n, k, fast_c,
+                  count_bytes / fast_c, seed_i / fast_c});
 
-        std::printf("shape %zux%zux%zu: float %.2fx, index %.2fx "
-                    "(threads=%zu)\n",
+        std::printf("shape %zux%zux%zu: float %.2fx, index mag "
+                    "%.2fx, index count %.2fx (threads=%zu)\n",
                     m, n, k, seed_f / fast_f, seed_i / fast_i,
-                    threadCount());
+                    seed_i / fast_c, threadCount());
     }
     writeBatchedServingReport(json);
     json.write();

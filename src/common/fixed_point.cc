@@ -88,17 +88,20 @@ saturate(int64_t v, const FixedFormat &fmt)
     return std::clamp(v, fmt.rawMin(), fmt.rawMax());
 }
 
-/** Shift right with round-to-nearest; shift may be negative (left). */
+} // anonymous namespace
+
 int64_t
 roundShift(int64_t v, int shift)
 {
-    if (shift <= 0)
-        return v << (-shift);
+    if (shift <= 0) {
+        // Two's-complement left shift via uint64_t: shifting a
+        // negative int64_t is UB even when the result fits.
+        return static_cast<int64_t>(static_cast<uint64_t>(v)
+                                    << (-shift));
+    }
     const int64_t half = int64_t{1} << (shift - 1);
     return (v + (v >= 0 ? half : half - 1)) >> shift;
 }
-
-} // anonymous namespace
 
 int64_t
 fixedMul(int64_t a, const FixedFormat &fa,

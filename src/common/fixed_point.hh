@@ -86,6 +86,14 @@ int64_t fixedMul(int64_t a, const FixedFormat &fa,
 int64_t fixedRescale(int64_t raw, const FixedFormat &from,
                      const FixedFormat &to);
 
+/**
+ * Round-to-nearest right shift; @p shift may be negative (a
+ * two's-complement left shift). The single rounding primitive every
+ * fixed-point path shares — callers must not grow private copies,
+ * or their rounding semantics will drift.
+ */
+int64_t roundShift(int64_t v, int shift);
+
 } // namespace mokey
 
 #endif // MOKEY_COMMON_FIXED_POINT_HH

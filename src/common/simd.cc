@@ -1,5 +1,12 @@
 #include "common/simd.hh"
 
+#include <algorithm>
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define MOKEY_SIMD_X86_DISPATCH 1
+#include <immintrin.h>
+#endif
+
 namespace mokey
 {
 
@@ -84,6 +91,263 @@ dotFD2(const float *x, const float *y0, const float *y1, size_t n,
     }
     *r0 = s0;
     *r1 = s1;
+}
+
+// ---- byte-plane histogram kernels (counting engine) -----------------
+//
+// All variants produce bit-identical integer histograms (integer
+// adds commute exactly), so unlike the FP dots the runtime dispatch
+// below is free to pick any body on any call. The bucket scatter is
+// split across two interleaved histograms to break the
+// store-to-load dependency when neighbouring codes hit one bucket;
+// merging them is an exact integer sum.
+
+namespace
+{
+
+MOKEY_SIMD_CLONES void
+pairHistogramGeneric(const uint8_t *ia, const int8_t *ta,
+                     const uint8_t *iw, const int8_t *tw, size_t n,
+                     int32_t *hist)
+{
+    int32_t h0[64] = {};
+    int32_t h1[64] = {};
+    // Tile the key/sign precompute so it auto-vectorizes; only the
+    // scatter stays scalar.
+    constexpr size_t kTile = 256;
+    uint8_t key[kTile];
+    int8_t sg[kTile];
+    for (size_t base = 0; base < n; base += kTile) {
+        const size_t len = std::min(kTile, n - base);
+        for (size_t c = 0; c < len; ++c) {
+            key[c] = static_cast<uint8_t>(
+                ((ia[base + c] & 7u) << 3) | (iw[base + c] & 7u));
+            sg[c] = static_cast<int8_t>(ta[base + c] * tw[base + c]);
+        }
+        size_t c = 0;
+        for (; c + 2 <= len; c += 2) {
+            h0[key[c]] += sg[c];
+            h1[key[c + 1]] += sg[c + 1];
+        }
+        if (c < len)
+            h0[key[c]] += sg[c];
+    }
+    for (int b = 0; b < 64; ++b)
+        hist[b] = h0[b] + h1[b];
+}
+
+MOKEY_SIMD_CLONES void
+signedIndexHistogramGeneric(const uint8_t *idx, const int8_t *th,
+                            size_t n, int32_t *hist)
+{
+    int32_t h0[8] = {};
+    int32_t h1[8] = {};
+    size_t c = 0;
+    for (; c + 2 <= n; c += 2) {
+        h0[idx[c] & 7u] += th[c];
+        h1[idx[c + 1] & 7u] += th[c + 1];
+    }
+    if (c < n)
+        h0[idx[c] & 7u] += th[c];
+    for (int b = 0; b < 8; ++b)
+        hist[b] = h0[b] + h1[b];
+}
+
+#ifdef MOKEY_SIMD_X86_DISPATCH
+
+// Explicit target attributes + __builtin_cpu_supports dispatch, not
+// target_clones: no ifunc resolver, so these stay enabled under the
+// sanitizers (and under clang, which lacks the clones attribute
+// here) and the sanitizer CI jobs actually instrument them.
+
+__attribute__((target("avx2"))) void
+pairHistogramAvx2(const uint8_t *ia, const int8_t *ta,
+                  const uint8_t *iw, const int8_t *tw, size_t n,
+                  int32_t *hist)
+{
+    int32_t h0[64] = {};
+    int32_t h1[64] = {};
+    alignas(32) uint8_t key[32];
+    alignas(32) int8_t sg[32];
+    const __m256i low3 = _mm256_set1_epi8(0x07);
+    const __m256i hi3 = _mm256_set1_epi8(0x38);
+    size_t p = 0;
+    for (; p + 32 <= n; p += 32) {
+        const __m256i via = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(ia + p));
+        const __m256i viw = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(iw + p));
+        const __m256i vta = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(ta + p));
+        const __m256i vtw = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(tw + p));
+        // key = (ia << 3) | iw, per byte (the 16 b shift never
+        // crosses a byte because indexes are 3 b and masked).
+        const __m256i vkey = _mm256_or_si256(
+            _mm256_and_si256(_mm256_slli_epi16(via, 3), hi3),
+            _mm256_and_si256(viw, low3));
+        // theta product over {-1, 0, +1} is exactly vpsignb.
+        const __m256i vsg = _mm256_sign_epi8(vta, vtw);
+        _mm256_store_si256(reinterpret_cast<__m256i *>(key), vkey);
+        _mm256_store_si256(reinterpret_cast<__m256i *>(sg), vsg);
+        for (size_t c = 0; c < 32; c += 2) {
+            h0[key[c]] += sg[c];
+            h1[key[c + 1]] += sg[c + 1];
+        }
+    }
+    for (; p < n; ++p)
+        h0[((ia[p] & 7u) << 3) | (iw[p] & 7u)] +=
+            static_cast<int32_t>(ta[p]) * tw[p];
+    for (int b = 0; b < 64; ++b)
+        hist[b] = h0[b] + h1[b];
+}
+
+__attribute__((target("avx512f,avx512bw"))) void
+pairHistogramAvx512(const uint8_t *ia, const int8_t *ta,
+                    const uint8_t *iw, const int8_t *tw, size_t n,
+                    int32_t *hist)
+{
+    int32_t h0[64] = {};
+    int32_t h1[64] = {};
+    alignas(64) uint8_t key[64];
+    alignas(64) int8_t sg[64];
+    const __m512i low3 = _mm512_set1_epi8(0x07);
+    const __m512i hi3 = _mm512_set1_epi8(0x38);
+    size_t p = 0;
+    for (; p + 64 <= n; p += 64) {
+        const __m512i via = _mm512_loadu_si512(ia + p);
+        const __m512i viw = _mm512_loadu_si512(iw + p);
+        const __m512i vta = _mm512_loadu_si512(ta + p);
+        const __m512i vtw = _mm512_loadu_si512(tw + p);
+        const __m512i vkey = _mm512_or_si512(
+            _mm512_and_si512(_mm512_slli_epi16(via, 3), hi3),
+            _mm512_and_si512(viw, low3));
+        // No EVEX vpsignb: negate ta under the tw<0 mask, zero it
+        // under the tw==0 mask — same {-1,0,+1} product.
+        const __mmask64 negm = _mm512_movepi8_mask(vtw);
+        const __mmask64 nzm = _mm512_test_epi8_mask(vtw, vtw);
+        __m512i vsg = _mm512_mask_sub_epi8(
+            vta, negm, _mm512_setzero_si512(), vta);
+        vsg = _mm512_maskz_mov_epi8(nzm, vsg);
+        _mm512_store_si512(key, vkey);
+        _mm512_store_si512(sg, vsg);
+        for (size_t c = 0; c < 64; c += 2) {
+            h0[key[c]] += sg[c];
+            h1[key[c + 1]] += sg[c + 1];
+        }
+    }
+    for (; p < n; ++p)
+        h0[((ia[p] & 7u) << 3) | (iw[p] & 7u)] +=
+            static_cast<int32_t>(ta[p]) * tw[p];
+    for (int b = 0; b < 64; ++b)
+        hist[b] = h0[b] + h1[b];
+}
+
+__attribute__((target("avx2"))) void
+signedIndexHistogramAvx2(const uint8_t *idx, const int8_t *th,
+                         size_t n, int32_t *hist)
+{
+    int32_t h[8] = {};
+    const __m256i low3 = _mm256_set1_epi8(0x07);
+    const __m256i zero = _mm256_setzero_si256();
+    size_t p = 0;
+    for (; p + 32 <= n; p += 32) {
+        const __m256i vi = _mm256_and_si256(
+            _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(idx + p)),
+            low3);
+        const __m256i vt = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(th + p));
+        // Compare-masked popcount: per bucket, count +1 thetas minus
+        // -1 thetas among the codes whose index matches.
+        const auto neg = static_cast<uint32_t>(
+            _mm256_movemask_epi8(vt));
+        const auto nz = ~static_cast<uint32_t>(
+            _mm256_movemask_epi8(_mm256_cmpeq_epi8(vt, zero)));
+        for (int b = 0; b < 8; ++b) {
+            const auto m = static_cast<uint32_t>(
+                _mm256_movemask_epi8(_mm256_cmpeq_epi8(
+                    vi, _mm256_set1_epi8(static_cast<char>(b)))));
+            h[b] += __builtin_popcount(m & nz & ~neg) -
+                __builtin_popcount(m & neg);
+        }
+    }
+    for (; p < n; ++p)
+        h[idx[p] & 7u] += th[p];
+    for (int b = 0; b < 8; ++b)
+        hist[b] = h[b];
+}
+
+__attribute__((target("avx512f,avx512bw"))) void
+signedIndexHistogramAvx512(const uint8_t *idx, const int8_t *th,
+                           size_t n, int32_t *hist)
+{
+    int32_t h[8] = {};
+    const __m512i low3 = _mm512_set1_epi8(0x07);
+    size_t p = 0;
+    for (; p + 64 <= n; p += 64) {
+        const __m512i vi = _mm512_and_si512(
+            _mm512_loadu_si512(idx + p), low3);
+        const __m512i vt = _mm512_loadu_si512(th + p);
+        const __mmask64 neg = _mm512_movepi8_mask(vt);
+        const __mmask64 nz = _mm512_test_epi8_mask(vt, vt);
+        for (int b = 0; b < 8; ++b) {
+            const __mmask64 m = _mm512_cmpeq_epi8_mask(
+                vi, _mm512_set1_epi8(static_cast<char>(b)));
+            h[b] += __builtin_popcountll(m & nz & ~neg) -
+                __builtin_popcountll(m & neg);
+        }
+    }
+    for (; p < n; ++p)
+        h[idx[p] & 7u] += th[p];
+    for (int b = 0; b < 8; ++b)
+        hist[b] = h[b];
+}
+
+/** 2 = AVX-512BW, 1 = AVX2, 0 = generic; resolved once. */
+int
+x86HistogramIsa()
+{
+    static const int isa = [] {
+        if (__builtin_cpu_supports("avx512bw"))
+            return 2;
+        if (__builtin_cpu_supports("avx2"))
+            return 1;
+        return 0;
+    }();
+    return isa;
+}
+
+#endif // MOKEY_SIMD_X86_DISPATCH
+
+} // anonymous namespace
+
+void
+pairHistogram(const uint8_t *ia, const int8_t *ta, const uint8_t *iw,
+              const int8_t *tw, size_t n, int32_t *hist)
+{
+#ifdef MOKEY_SIMD_X86_DISPATCH
+    const int isa = x86HistogramIsa();
+    if (isa == 2)
+        return pairHistogramAvx512(ia, ta, iw, tw, n, hist);
+    if (isa == 1)
+        return pairHistogramAvx2(ia, ta, iw, tw, n, hist);
+#endif
+    pairHistogramGeneric(ia, ta, iw, tw, n, hist);
+}
+
+void
+signedIndexHistogram(const uint8_t *idx, const int8_t *th, size_t n,
+                     int32_t *hist)
+{
+#ifdef MOKEY_SIMD_X86_DISPATCH
+    const int isa = x86HistogramIsa();
+    if (isa == 2)
+        return signedIndexHistogramAvx512(idx, th, n, hist);
+    if (isa == 1)
+        return signedIndexHistogramAvx2(idx, th, n, hist);
+#endif
+    signedIndexHistogramGeneric(idx, th, n, hist);
 }
 
 } // namespace mokey

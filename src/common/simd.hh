@@ -18,6 +18,7 @@
 #define MOKEY_COMMON_SIMD_HH
 
 #include <cstddef>
+#include <cstdint>
 
 namespace mokey
 {
@@ -37,6 +38,41 @@ double dotFD(const float *x, const float *y, size_t n);
  */
 void dotFD2(const float *x, const float *y0, const float *y1,
             size_t n, double *r0, double *r1);
+
+// ---- byte-plane histogram kernels (counting engine) -----------------
+//
+// These two kernels are the GPE of the counting engine: they stream
+// the 1 B index / 1 B theta planes and accumulate *integer* signed
+// histograms, so their results are exactly identical on every ISA —
+// unlike the FP dots above, the dispatch may pick any variant at any
+// time without breaking determinism. On x86-64 they dispatch at
+// runtime (via __builtin_cpu_supports, no ifunc, sanitizer-safe) to
+// AVX-512BW / AVX2 bodies that compute bucket keys and sign products
+// 64/32 codes at a time (_mm*_sign_epi8 sign products, shifted-index
+// bucket keys, compare-masked popcounts); elsewhere they fall back to
+// a multi-versioned generic loop.
+
+/**
+ * Signed joint-index pair histogram over two byte-plane rows:
+ *
+ *   hist[(ia[c] & 7) << 3 | (iw[c] & 7)] += ta[c] * tw[c]
+ *
+ * for c in [0, n). Outlier slots carry theta 0, so their pairs add
+ * nothing — exactly the "outlier contributions vanish" invariant of
+ * the dense planes. @p hist must hold 64 entries; it is overwritten.
+ */
+void pairHistogram(const uint8_t *ia, const int8_t *ta,
+                   const uint8_t *iw, const int8_t *tw, size_t n,
+                   int32_t *hist);
+
+/**
+ * Signed per-index histogram of one byte-plane row:
+ * hist[idx[c] & 7] += th[c] for c in [0, n). @p hist must hold 8
+ * entries; it is overwritten. Collapsing it against the magnitude
+ * table yields the row's pairing-independent SoA2 + b*PoM2 term.
+ */
+void signedIndexHistogram(const uint8_t *idx, const int8_t *th,
+                          size_t n, int32_t *hist);
 
 } // namespace mokey
 

@@ -52,8 +52,10 @@ QuantizedTransformer::quantizeWeights()
         // Weights are read-only from here and every forward GEMM
         // streams their planes: derive and pin them now so no lane
         // pays the first-use build (or its single-flight lock) on
-        // the serving path.
-        job.dst->pinPlanes();
+        // the serving path. Pin exactly the plane set the active
+        // engine streams — 2 B/element for the counting engine, 8
+        // for mag; a later engine switch upgrades on first use.
+        job.dst->pinPlanes(enginePlaneSet(indexEngine()));
     });
 }
 

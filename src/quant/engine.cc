@@ -1,0 +1,67 @@
+#include "quant/engine.hh"
+
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
+#include "common/logging.hh"
+
+namespace mokey
+{
+
+namespace
+{
+
+IndexEngine
+engineFromEnv()
+{
+    const char *env = std::getenv("MOKEY_ENGINE");
+    if (env == nullptr || *env == '\0')
+        return IndexEngine::Mag;
+    std::string s(env);
+    for (char &c : s)
+        c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    if (s == "mag")
+        return IndexEngine::Mag;
+    if (s == "count" || s == "counting")
+        return IndexEngine::Count;
+    fatal("MOKEY_ENGINE must be 'mag' or 'count', got '%s'", env);
+}
+
+std::atomic<IndexEngine> &
+engineSlot()
+{
+    static std::atomic<IndexEngine> slot{engineFromEnv()};
+    return slot;
+}
+
+} // anonymous namespace
+
+IndexEngine
+indexEngine()
+{
+    return engineSlot().load(std::memory_order_relaxed);
+}
+
+void
+setIndexEngine(IndexEngine engine)
+{
+    engineSlot().store(engine, std::memory_order_relaxed);
+}
+
+const char *
+indexEngineName(IndexEngine engine)
+{
+    return engine == IndexEngine::Mag ? "mag" : "count";
+}
+
+PlaneSet
+enginePlaneSet(IndexEngine engine)
+{
+    return engine == IndexEngine::Mag ? PlaneSet::Mag
+                                      : PlaneSet::Bytes;
+}
+
+} // namespace mokey

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Runtime selection of the index-domain GEMM execution engine.
+ *
+ * Two engines realize the paper's index-domain algebra over the same
+ * CodePlanes outlier sidecars but different dense-plane encodings:
+ *
+ *  - Mag   : streams the 8-byte-per-element signed magnitude plane;
+ *            the whole GPE histogram algebra collapses into one
+ *            vectorized double dot product. Fastest when the planes
+ *            are cache-resident.
+ *  - Count : the paper-faithful counting dataflow — streams the
+ *            2-byte-per-element (uint8 index, int8 theta) byte
+ *            planes, SIMD-accumulates a signed histogram over the
+ *            joint index space per output element, then collapses it
+ *            with one short dot against the decoded dictionary
+ *            products. 4x fewer streamed bytes per element; the
+ *            histogram phase is exact integer arithmetic.
+ *
+ * The active engine is chosen once per process from the MOKEY_ENGINE
+ * environment variable ("mag" or "count"; default "mag") and can be
+ * switched at runtime with setIndexEngine(). indexMatmulTransB() and
+ * indexMatmulTransBScalar() dispatch on it, so the whole pipeline —
+ * serving stack included — switches engines without a rebuild.
+ */
+
+#ifndef MOKEY_QUANT_ENGINE_HH
+#define MOKEY_QUANT_ENGINE_HH
+
+#include "quant/quantized_tensor.hh"
+
+namespace mokey
+{
+
+/** Selectable index-domain GEMM backends. */
+enum class IndexEngine
+{
+    Mag,   ///< magnitude-plane dot-product engine
+    Count, ///< byte-plane histogram (counting) engine
+};
+
+/**
+ * The engine indexMatmulTransB() currently dispatches to.
+ * Initialized once from MOKEY_ENGINE (unset -> Mag; anything other
+ * than "mag"/"count"/"counting" is a fatal config error).
+ */
+IndexEngine indexEngine();
+
+/** Switch the process-wide engine (tests restore the prior value). */
+void setIndexEngine(IndexEngine engine);
+
+/** Human-readable engine name ("mag" / "count"). */
+const char *indexEngineName(IndexEngine engine);
+
+/**
+ * The CodePlanes subset an engine streams: Mag reads the magnitude
+ * plane, Count reads the index/theta byte planes. Both share the
+ * outlier sidecars, which planes() always derives. Used to pin (and
+ * account) exactly the bytes the active engine will touch.
+ */
+PlaneSet enginePlaneSet(IndexEngine engine);
+
+} // namespace mokey
+
+#endif // MOKEY_QUANT_ENGINE_HH

@@ -9,21 +9,6 @@
 namespace mokey
 {
 
-namespace
-{
-
-/** Round-to-nearest right shift for possibly negative shift counts. */
-int64_t
-roundShift(int64_t v, int shift)
-{
-    if (shift <= 0)
-        return v << (-shift);
-    const int64_t half = int64_t{1} << (shift - 1);
-    return (v + (v >= 0 ? half : half - 1)) >> shift;
-}
-
-} // anonymous namespace
-
 FixedIndexEngine::FixedIndexEngine(const TensorDictionary &dict_a,
                                    const TensorDictionary &dict_w,
                                    FixedFormat out_fmt)

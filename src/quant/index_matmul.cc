@@ -310,9 +310,13 @@ engineMatmul(const QuantizedTensor &a, const QuantizedTensor &wt,
     const size_t m = a.rows(), n = wt.rows(), k = a.cols();
     const EngineContext ctx = makeContext(a, wt);
 
-    // Materialize both plane views on this thread before fanning out.
-    const CodePlanes &pa = a.planes();
-    const CodePlanes &pw = wt.planes();
+    // Materialize both plane views on this thread before fanning
+    // out; hold the owning pointers so a concurrent plane-set
+    // upgrade on a shared tensor cannot free them mid-GEMM.
+    const auto pa_sp = a.planesShared(PlaneSet::Mag);
+    const auto pw_sp = wt.planesShared(PlaneSet::Mag);
+    const CodePlanes &pa = *pa_sp;
+    const CodePlanes &pw = *pw_sp;
 
     // Pairing-independent sums folded straight into per-row/-column
     // scalar terms of the reconstruction. The seed's SoA2 + b*PoM2
@@ -379,12 +383,201 @@ engineMatmul(const QuantizedTensor &a, const QuantizedTensor &wt,
     return out;
 }
 
+/**
+ * Counting-engine constants: the shared EngineContext plus the
+ * decoded dictionary tables the histograms collapse against.
+ */
+struct CountingContext
+{
+    EngineContext base;
+    /** Unscaled magnitudes a^i + b, zero beyond indexCount(). */
+    std::array<double, kMaxGaussianIndexes> mags{};
+    /** prod[(ia << 3) | iw] = mags[ia] * mags[iw]. */
+    std::array<double, kMaxGaussianIndexes * kMaxGaussianIndexes>
+        prod{};
+};
+
+CountingContext
+makeCountingContext(const QuantizedTensor &a,
+                    const QuantizedTensor &wt)
+{
+    CountingContext cc;
+    cc.base = makeContext(a, wt);
+    const ExpDictionary &exp = a.dictionary().exp();
+    const size_t h = exp.indexCount();
+    for (size_t i = 0; i < h; ++i)
+        cc.mags[i] = exp.magnitude(i);
+    for (size_t ia = 0; ia < kMaxGaussianIndexes; ++ia)
+        for (size_t iw = 0; iw < kMaxGaussianIndexes; ++iw)
+            cc.prod[(ia << 3) | iw] = cc.mags[ia] * cc.mags[iw];
+    return cc;
+}
+
+/**
+ * One counting-engine dot product over the byte planes and outlier
+ * sidecars — the paper's GPE/OPP dataflow run literally:
+ *
+ * GPE: accumulate the signed 64-bin histogram of joint (ia, iw)
+ * index counts (pairHistogram: 3 b index adds + theta-XOR signs in
+ * hardware; SIMD bucket adds here), then post-process with ONE
+ * multiply per dictionary pair — the 64-entry dot against the
+ * decoded magnitude products. Because theta is 0 at outlier slots,
+ * outlier pairs vanish from the histogram by construction (the
+ * convention planes() asserts). The histogram phase is exact
+ * integer arithmetic; the collapse is a fixed-order loop, so every
+ * output element is a deterministic function of the codes alone.
+ *
+ * OPP: identical sidecar merge to the mag engine, with the Gaussian
+ * partner decoded from its byte planes (theta * mags[idx] * s + m).
+ *
+ * noinline for the same reason as engineDot: one instantiation =
+ * one FP contraction order for every caller.
+ */
+__attribute__((noinline)) double
+countingDot(const CountingContext &cc, const uint8_t *ia,
+            const int8_t *ta, const CodePlanes::Outlier *oa,
+            size_t na, const uint8_t *iw, const int8_t *tw,
+            const CodePlanes::Outlier *ow, size_t nw,
+            double row_term, double col_term, uint64_t &ot_pairs)
+{
+    const EngineContext &ctx = cc.base;
+
+    int32_t hist[kMaxGaussianIndexes * kMaxGaussianIndexes];
+    pairHistogram(ia, ta, iw, tw, ctx.k, hist);
+    double gsum = 0.0;
+    for (size_t b = 0; b < cc.prod.size(); ++b)
+        gsum += hist[b] * cc.prod[b];
+    const double gpe = ctx.c0 * gsum;
+
+    double ot_acc = 0.0;
+    size_t x = 0, y = 0;
+    uint64_t both = 0;
+    while (x < na && y < nw) {
+        if (oa[x].col == ow[y].col) {
+            ot_acc += oa[x].value * ow[y].value - ctx.mA * ctx.mW;
+            ++both;
+            ++x;
+            ++y;
+        } else if (oa[x].col < ow[y].col) {
+            const uint32_t c = oa[x].col;
+            const double wv =
+                tw[c] * cc.mags[iw[c]] * ctx.sW + ctx.mW;
+            ot_acc += (oa[x].value - ctx.mA) * wv;
+            ++x;
+        } else {
+            const uint32_t c = ow[y].col;
+            const double av =
+                ta[c] * cc.mags[ia[c]] * ctx.sA + ctx.mA;
+            ot_acc += (ow[y].value - ctx.mW) * av;
+            ++y;
+        }
+    }
+    for (; x < na; ++x) {
+        const uint32_t c = oa[x].col;
+        const double wv = tw[c] * cc.mags[iw[c]] * ctx.sW + ctx.mW;
+        ot_acc += (oa[x].value - ctx.mA) * wv;
+    }
+    for (; y < nw; ++y) {
+        const uint32_t c = ow[y].col;
+        const double av = ta[c] * cc.mags[ia[c]] * ctx.sA + ctx.mA;
+        ot_acc += (ow[y].value - ctx.mW) * av;
+    }
+    ot_pairs += na + nw - both;
+
+    return gpe + row_term + col_term + ctx.constTerm + ot_acc;
+}
+
+Tensor
+countingMatmul(const QuantizedTensor &a, const QuantizedTensor &wt,
+               IndexMatmulStats *stats, bool tiled_parallel,
+               Lane lane = {})
+{
+    MOKEY_ASSERT(a.cols() == wt.cols(),
+                 "index matmul reduction mismatch: %zu vs %zu",
+                 a.cols(), wt.cols());
+    const size_t m = a.rows(), n = wt.rows(), k = a.cols();
+    const CountingContext cc = makeCountingContext(a, wt);
+    const EngineContext &ctx = cc.base;
+
+    // Byte planes only: 2 B per element resident, never the 8 B mag
+    // plane. Owning pointers guard against concurrent upgrades.
+    const auto pa_sp = a.planesShared(PlaneSet::Bytes);
+    const auto pw_sp = wt.planesShared(PlaneSet::Bytes);
+    const CodePlanes &pa = *pa_sp;
+    const CodePlanes &pw = *pw_sp;
+
+    // Pairing-independent row/column terms from the per-row signed
+    // index histogram: sum theta (a^i + b) = sum_i h[i] * mags[i].
+    std::vector<double> row_term(m), col_term(n);
+    const auto fold = [&cc, k](const CodePlanes &p, size_t r) {
+        int32_t h[kMaxGaussianIndexes];
+        signedIndexHistogram(p.indexRow(r), p.thetaRow(r), k, h);
+        double sum = 0.0;
+        for (size_t i = 0; i < kMaxGaussianIndexes; ++i)
+            sum += h[i] * cc.mags[i];
+        return sum;
+    };
+    const auto foldRows = [&](size_t i) {
+        row_term[i] = ctx.sA * ctx.mW * fold(pa, i);
+    };
+    const auto foldCols = [&](size_t j) {
+        col_term[j] = ctx.sW * ctx.mA * fold(pw, j);
+    };
+    if (tiled_parallel) {
+        parallelFor(lane, 0, m, 16, foldRows);
+        parallelFor(lane, 0, n, 16, foldCols);
+    } else {
+        for (size_t i = 0; i < m; ++i)
+            foldRows(i);
+        for (size_t j = 0; j < n; ++j)
+            foldCols(j);
+    }
+
+    Tensor out(m, n);
+    const auto band = [&](size_t lo, size_t hi) {
+        uint64_t ot_pairs = 0;
+        // Same weight-row tiling as the mag engine; a kTileN-row
+        // byte-plane block is 2*kTileN*k bytes — 4x more rows stay
+        // cache-resident than with mag planes.
+        for (size_t jb = 0; jb < n; jb += kTileN) {
+            const size_t jhi = std::min(jb + kTileN, n);
+            for (size_t i = lo; i < hi; ++i) {
+                const uint8_t *ia = pa.indexRow(i);
+                const int8_t *ta = pa.thetaRow(i);
+                const CodePlanes::Outlier *oa = pa.outlierRow(i);
+                const size_t na = pa.outlierCount(i);
+                float *orow = out.row(i);
+                for (size_t j = jb; j < jhi; ++j) {
+                    orow[j] = static_cast<float>(countingDot(
+                        cc, ia, ta, oa, na, pw.indexRow(j),
+                        pw.thetaRow(j), pw.outlierRow(j),
+                        pw.outlierCount(j), row_term[i],
+                        col_term[j], ot_pairs));
+                }
+            }
+        }
+        if (stats) {
+            const uint64_t pairs =
+                static_cast<uint64_t>(hi - lo) * n * k;
+            stats->add(pairs - ot_pairs, ot_pairs);
+        }
+    };
+
+    if (tiled_parallel)
+        parallelForRange(lane, 0, m, 1, band);
+    else
+        band(0, m);
+    return out;
+}
+
 } // anonymous namespace
 
 Tensor
 indexMatmulTransB(const QuantizedTensor &a, const QuantizedTensor &wt,
                   IndexMatmulStats *stats, Lane lane)
 {
+    if (indexEngine() == IndexEngine::Count)
+        return countingMatmul(a, wt, stats, true, lane);
     return engineMatmul(a, wt, stats, true, lane);
 }
 
@@ -393,7 +586,41 @@ indexMatmulTransBScalar(const QuantizedTensor &a,
                         const QuantizedTensor &wt,
                         IndexMatmulStats *stats)
 {
+    if (indexEngine() == IndexEngine::Count)
+        return countingMatmul(a, wt, stats, false);
     return engineMatmul(a, wt, stats, false);
+}
+
+Tensor
+indexMatmulTransBMag(const QuantizedTensor &a,
+                     const QuantizedTensor &wt,
+                     IndexMatmulStats *stats, Lane lane)
+{
+    return engineMatmul(a, wt, stats, true, lane);
+}
+
+Tensor
+indexMatmulTransBMagScalar(const QuantizedTensor &a,
+                           const QuantizedTensor &wt,
+                           IndexMatmulStats *stats)
+{
+    return engineMatmul(a, wt, stats, false);
+}
+
+Tensor
+indexMatmulTransBCounting(const QuantizedTensor &a,
+                          const QuantizedTensor &wt,
+                          IndexMatmulStats *stats, Lane lane)
+{
+    return countingMatmul(a, wt, stats, true, lane);
+}
+
+Tensor
+indexMatmulTransBCountingScalar(const QuantizedTensor &a,
+                                const QuantizedTensor &wt,
+                                IndexMatmulStats *stats)
+{
+    return countingMatmul(a, wt, stats, false);
 }
 
 std::vector<Tensor>

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "common/parallel.hh"
+#include "quant/engine.hh"
 #include "quant/quantized_tensor.hh"
 #include "tensor/tensor.hh"
 
@@ -146,18 +147,56 @@ double indexDot(const QCode *a, const TensorDictionary &dict_a,
  * Both operands are quantized; the result is the full-precision
  * output activation tensor ready for on-the-fly re-quantization.
  *
- * This is the production engine: it streams the dense Gaussian code
- * planes branch-free (GPE), merge-iterates the per-row outlier
- * sidecars (OPP), tiles the output for cache reuse, and splits row
- * bands across the executor on @p lane. Per-output-element
- * arithmetic order is fixed, so results are bit-identical for every
- * thread count and lane assignment, and identical to
- * indexMatmulTransBScalar().
+ * This is the production entry point: it dispatches to the engine
+ * selected by indexEngine() (MOKEY_ENGINE / setIndexEngine()):
+ *
+ *  - indexMatmulTransBMag(): streams the dense double magnitude
+ *    planes branch-free (GPE collapses to one vectorized dot);
+ *  - indexMatmulTransBCounting(): streams the 2-byte index/theta
+ *    planes and SIMD-accumulates per-pair signed histograms — the
+ *    paper's counting dataflow, 4x fewer streamed bytes/element.
+ *
+ * Both merge-iterate the per-row outlier sidecars (OPP), tile the
+ * output for cache reuse, and split row bands across the executor
+ * on @p lane. Per-output-element arithmetic order is fixed within
+ * an engine, so results are bit-identical for every thread count
+ * and lane assignment, and identical to indexMatmulTransBScalar()
+ * under the same engine selection.
  */
 Tensor indexMatmulTransB(const QuantizedTensor &a,
                          const QuantizedTensor &wt,
                          IndexMatmulStats *stats = nullptr,
                          Lane lane = {});
+
+/** The magnitude-plane engine, explicitly (ignores the selector). */
+Tensor indexMatmulTransBMag(const QuantizedTensor &a,
+                            const QuantizedTensor &wt,
+                            IndexMatmulStats *stats = nullptr,
+                            Lane lane = {});
+
+/**
+ * The counting engine, explicitly (ignores the selector): for each
+ * (activation row, weight row) pair the GPE accumulates a signed
+ * integer histogram over the joint 3 b x 3 b index space from the
+ * uint8 index / int8 theta byte planes (simd.hh pairHistogram), then
+ * collapses it with one 64-entry dot against the decoded dictionary
+ * products — one multiply per dictionary pair instead of one per
+ * element, exactly the paper's multiplier-free dataflow. The
+ * histogram phase is exact integer arithmetic, so it is identical
+ * on every ISA; only the fixed-order collapse is FP. Streams 2 B
+ * per element where the mag engine streams 8 B, and only requires
+ * the byte planes (PlaneSet::Bytes) to be materialized.
+ */
+Tensor indexMatmulTransBCounting(const QuantizedTensor &a,
+                                 const QuantizedTensor &wt,
+                                 IndexMatmulStats *stats = nullptr,
+                                 Lane lane = {});
+
+/** Counting-engine scalar path (single thread, bit-parity pin). */
+Tensor indexMatmulTransBCountingScalar(const QuantizedTensor &a,
+                                       const QuantizedTensor &wt,
+                                       IndexMatmulStats *stats =
+                                           nullptr);
 
 /**
  * Batched index-domain GEMM for multi-request serving: every
@@ -179,13 +218,19 @@ indexMatmulTransBBatched(const std::vector<const QuantizedTensor *> &as,
                          Lane lane = {});
 
 /**
- * The engine's scalar path: the same per-element kernel as
- * indexMatmulTransB() run entirely on the calling thread. Exists so
- * parity tests can pin the parallel path bit-for-bit.
+ * The selected engine's scalar path: the same per-element kernel as
+ * indexMatmulTransB() run entirely on the calling thread (dispatches
+ * on indexEngine() like the parallel entry point). Exists so parity
+ * tests can pin the parallel path bit-for-bit under either engine.
  */
 Tensor indexMatmulTransBScalar(const QuantizedTensor &a,
                                const QuantizedTensor &wt,
                                IndexMatmulStats *stats = nullptr);
+
+/** Magnitude-engine scalar path (bit-parity pin for Mag). */
+Tensor indexMatmulTransBMagScalar(const QuantizedTensor &a,
+                                  const QuantizedTensor &wt,
+                                  IndexMatmulStats *stats = nullptr);
 
 /**
  * The seed scalar algorithm — one indexDot() per output element,

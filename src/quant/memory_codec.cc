@@ -1,6 +1,9 @@
 #include "quant/memory_codec.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
+#include "common/parallel.hh"
 
 namespace mokey
 {
@@ -18,6 +21,28 @@ BitWriter::put(uint64_t value, unsigned bits)
             buf[bit / 8] |= static_cast<uint8_t>(1u << (bit % 8));
     }
     nBits += bits;
+}
+
+void
+BitWriter::append(const BitWriter &o)
+{
+    if (o.nBits == 0)
+        return;
+    if (nBits % 8 == 0) {
+        // Aligned: the other stream's bytes drop in verbatim (its
+        // final partial byte is zero-padded, exactly what put()
+        // would leave behind).
+        buf.insert(buf.end(), o.buf.begin(), o.buf.end());
+        nBits += o.nBits;
+        return;
+    }
+    size_t remaining = o.nBits;
+    for (size_t i = 0; remaining > 0; ++i) {
+        const unsigned bits =
+            remaining >= 8 ? 8u : static_cast<unsigned>(remaining);
+        put(o.buf[i], bits);
+        remaining -= bits;
+    }
 }
 
 BitReader::BitReader(const std::vector<uint8_t> &bytes)
@@ -41,6 +66,14 @@ BitReader::get(unsigned bits)
     return v;
 }
 
+void
+BitReader::skip(size_t bits)
+{
+    MOKEY_ASSERT(pos + bits <= buf.size() * 8,
+                 "bit stream underrun at %zu", pos);
+    pos += bits;
+}
+
 size_t
 PackedTensor::totalBits() const
 {
@@ -56,14 +89,24 @@ PackedTensor::compressionRatio(size_t baseline_bits_per_value) const
         static_cast<double>(totalBits());
 }
 
-PackedTensor
-packTensor(const QuantizedTensor &q)
+namespace
 {
-    BitWriter values, pointers;
 
-    const auto &codes = q.raw();
+/**
+ * Groups per parallel band. A band is 64 * 64 = 4096 codes — large
+ * enough that the per-band writer/stitch overhead disappears, small
+ * enough that bands outnumber workers on real tensors.
+ */
+constexpr size_t kCodecBandGroups = 64;
+
+/** Encode groups [g_from, g_to) of @p codes into the two streams. */
+void
+packGroups(const std::vector<QCode> &codes, size_t g_from,
+           size_t g_to, BitWriter &values, BitWriter &pointers)
+{
     const size_t n = codes.size();
-    for (size_t g = 0; g < n; g += kCodecGroupSize) {
+    for (size_t g = g_from * kCodecGroupSize;
+         g < g_to * kCodecGroupSize && g < n; g += kCodecGroupSize) {
         const size_t end = std::min(g + kCodecGroupSize, n);
         // First pass: collect outlier positions in the group.
         std::vector<uint8_t> positions;
@@ -86,28 +129,17 @@ packTensor(const QuantizedTensor &q)
             values.put(nibble, 4);
         }
     }
-
-    PackedTensor out;
-    out.values = values.bytes();
-    out.otPointers = pointers.bytes();
-    out.count = n;
-    out.rows = q.rows();
-    out.cols = q.cols();
-    return out;
 }
 
-QuantizedTensor
-unpackTensor(const PackedTensor &p, const TensorDictionary &dict)
+/** Decode groups [g_from, g_to) from the two streams into @p codes. */
+void
+unpackGroups(std::vector<QCode> &codes, size_t count, size_t g_from,
+             size_t g_to, BitReader &values, BitReader &pointers)
 {
-    QuantizedTensor q(p.rows, p.cols, dict);
-    MOKEY_ASSERT(q.size() == p.count, "packed shape mismatch");
-
-    BitReader values(p.values), pointers(p.otPointers);
-    // One raw() call up front: the non-const accessor drops the
-    // planes cache with an atomic store, far too heavy per element.
-    std::vector<QCode> &codes = q.raw();
-    for (size_t g = 0; g < p.count; g += kCodecGroupSize) {
-        const size_t end = std::min(g + kCodecGroupSize, p.count);
+    for (size_t g = g_from * kCodecGroupSize;
+         g < g_to * kCodecGroupSize && g < count;
+         g += kCodecGroupSize) {
+        const size_t end = std::min(g + kCodecGroupSize, count);
         const auto ot_count =
             static_cast<size_t>(pointers.get(kCodecCountBits));
         std::vector<bool> is_ot(end - g, false);
@@ -127,6 +159,127 @@ unpackTensor(const PackedTensor &p, const TensorDictionary &dict)
                                   static_cast<uint8_t>(nibble & 7));
         }
     }
+}
+
+} // anonymous namespace
+
+PackedTensor
+packTensorScalar(const QuantizedTensor &q)
+{
+    BitWriter values, pointers;
+    const auto &codes = q.raw();
+    const size_t n_groups =
+        (codes.size() + kCodecGroupSize - 1) / kCodecGroupSize;
+    packGroups(codes, 0, n_groups, values, pointers);
+
+    PackedTensor out;
+    out.values = values.bytes();
+    out.otPointers = pointers.bytes();
+    out.count = codes.size();
+    out.rows = q.rows();
+    out.cols = q.cols();
+    return out;
+}
+
+PackedTensor
+packTensor(const QuantizedTensor &q, Lane lane)
+{
+    const auto &codes = q.raw();
+    const size_t n_groups =
+        (codes.size() + kCodecGroupSize - 1) / kCodecGroupSize;
+    const size_t n_bands =
+        (n_groups + kCodecBandGroups - 1) / kCodecBandGroups;
+    if (n_bands <= 1)
+        return packTensorScalar(q);
+
+    // Each band encodes its own groups into private streams; every
+    // group's encoding depends only on its own codes, so stitching
+    // the bands in order reproduces the sequential bit stream
+    // exactly, independent of how the executor ran the bands.
+    std::vector<BitWriter> band_values(n_bands);
+    std::vector<BitWriter> band_pointers(n_bands);
+    parallelFor(lane, 0, n_bands, 1, [&](size_t b) {
+        const size_t g_from = b * kCodecBandGroups;
+        const size_t g_to =
+            std::min(g_from + kCodecBandGroups, n_groups);
+        packGroups(codes, g_from, g_to, band_values[b],
+                   band_pointers[b]);
+    });
+
+    BitWriter values, pointers;
+    for (size_t b = 0; b < n_bands; ++b) {
+        values.append(band_values[b]);
+        pointers.append(band_pointers[b]);
+    }
+
+    PackedTensor out;
+    out.values = values.bytes();
+    out.otPointers = pointers.bytes();
+    out.count = codes.size();
+    out.rows = q.rows();
+    out.cols = q.cols();
+    return out;
+}
+
+QuantizedTensor
+unpackTensorScalar(const PackedTensor &p, const TensorDictionary &dict)
+{
+    QuantizedTensor q(p.rows, p.cols, dict);
+    MOKEY_ASSERT(q.size() == p.count, "packed shape mismatch");
+
+    BitReader values(p.values), pointers(p.otPointers);
+    // One raw() call up front: the non-const accessor drops the
+    // planes cache with an atomic store, far too heavy per element.
+    std::vector<QCode> &codes = q.raw();
+    const size_t n_groups =
+        (p.count + kCodecGroupSize - 1) / kCodecGroupSize;
+    unpackGroups(codes, p.count, 0, n_groups, values, pointers);
+    return q;
+}
+
+QuantizedTensor
+unpackTensor(const PackedTensor &p, const TensorDictionary &dict,
+             Lane lane)
+{
+    const size_t n_groups =
+        (p.count + kCodecGroupSize - 1) / kCodecGroupSize;
+    const size_t n_bands =
+        (n_groups + kCodecBandGroups - 1) / kCodecBandGroups;
+    if (n_bands <= 1)
+        return unpackTensorScalar(p, dict);
+
+    QuantizedTensor q(p.rows, p.cols, dict);
+    MOKEY_ASSERT(q.size() == p.count, "packed shape mismatch");
+
+    // The value stream is trivially seekable (every group before the
+    // last holds exactly 64 * 4 bits), but the pointer stream is
+    // variable-length — a cheap sequential prescan over the 7 b
+    // group counts yields each band's start bit, after which bands
+    // decode concurrently into disjoint code ranges.
+    std::vector<size_t> ptr_start(n_bands);
+    {
+        BitReader pointers(p.otPointers);
+        for (size_t g = 0; g < n_groups; ++g) {
+            if (g % kCodecBandGroups == 0)
+                ptr_start[g / kCodecBandGroups] =
+                    pointers.position();
+            const auto ot_count = static_cast<size_t>(
+                pointers.get(kCodecCountBits));
+            pointers.skip(ot_count * kCodecPosBits);
+        }
+    }
+
+    std::vector<QCode> &codes = q.raw();
+    parallelFor(lane, 0, n_bands, 1, [&](size_t b) {
+        const size_t g_from = b * kCodecBandGroups;
+        const size_t g_to =
+            std::min(g_from + kCodecBandGroups, n_groups);
+        BitReader values(p.values);
+        values.skip(g_from * kCodecGroupSize * 4);
+        BitReader pointers(p.otPointers);
+        pointers.skip(ptr_start[b]);
+        unpackGroups(codes, p.count, g_from, g_to, values, pointers);
+    });
     return q;
 }
 

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/parallel.hh"
 #include "quant/quantized_tensor.hh"
 
 namespace mokey
@@ -28,6 +29,14 @@ class BitWriter
   public:
     /** Append the low @p bits bits of @p value. */
     void put(uint64_t value, unsigned bits);
+
+    /**
+     * Append another writer's whole stream at the current bit
+     * position (byte-aligned appends are a bulk copy). This is what
+     * lets the parallel codec pack independent group bands into
+     * private writers and stitch them into one bit-exact stream.
+     */
+    void append(const BitWriter &o);
 
     /** Finished byte vector (final partial byte zero-padded). */
     const std::vector<uint8_t> &bytes() const { return buf; }
@@ -48,6 +57,9 @@ class BitReader
 
     /** Read @p bits bits; reading past the end is a panic. */
     uint64_t get(unsigned bits);
+
+    /** Advance @p bits without decoding (band-start seeks). */
+    void skip(size_t bits);
 
     /** Bits consumed so far. */
     size_t position() const { return pos; }
@@ -82,18 +94,40 @@ constexpr unsigned kCodecCountBits = 7;
 /** Bits for an in-group outlier position (0..63). */
 constexpr unsigned kCodecPosBits = 6;
 
-/** Pack a quantized tensor into the DRAM container. */
-PackedTensor packTensor(const QuantizedTensor &q);
+/**
+ * Pack a quantized tensor into the DRAM container.
+ *
+ * Bands of whole pointer-stream groups are encoded concurrently on
+ * the executor (each band into private bit streams) and stitched in
+ * group order, so the output is bit-identical to packTensorScalar()
+ * for every thread count and lane — each group's encoding depends
+ * only on its own 64 codes. Small tensors run inline.
+ */
+PackedTensor packTensor(const QuantizedTensor &q, Lane lane = {});
 
 /**
  * Unpack a DRAM container back into 5 b codes.
+ *
+ * A sequential prescan of the (count, positions) stream finds each
+ * band's bit offset — the per-group counts make the pointer stream
+ * self-delimiting — then bands decode concurrently into disjoint
+ * code ranges. Bit-identical to unpackTensorScalar() for every
+ * thread count and lane.
  *
  * @param p    the packed streams
  * @param dict the dictionary the codes decode under (copied into the
  *             result tensor)
  */
 QuantizedTensor unpackTensor(const PackedTensor &p,
-                             const TensorDictionary &dict);
+                             const TensorDictionary &dict,
+                             Lane lane = {});
+
+/** Single-threaded pack (the bit-parity pin for packTensor). */
+PackedTensor packTensorScalar(const QuantizedTensor &q);
+
+/** Single-threaded unpack (the bit-parity pin for unpackTensor). */
+QuantizedTensor unpackTensorScalar(const PackedTensor &p,
+                                   const TensorDictionary &dict);
 
 } // namespace mokey
 

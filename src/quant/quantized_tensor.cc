@@ -33,8 +33,8 @@ QuantizedTensor::QuantizedTensor(size_t rows, size_t cols,
 {
 }
 
-const CodePlanes &
-QuantizedTensor::planes() const
+std::shared_ptr<const CodePlanes>
+QuantizedTensor::planesShared(PlaneSet need) const
 {
     // Concurrent const readers (two threads GEMMing with one shared
     // weight tensor) may race to build: the cache pointer is only
@@ -45,8 +45,8 @@ QuantizedTensor::planes() const
     // during a concurrent planes() call remains the caller's bug.
     auto cached = std::atomic_load_explicit(
         &planesCache, std::memory_order_acquire);
-    if (cached)
-        return *cached;
+    if (cached && planeSetCovers(cached->sets, need))
+        return cached;
 
     static std::mutex build_mus[8];
     std::mutex &build_mu =
@@ -54,50 +54,101 @@ QuantizedTensor::planes() const
     std::lock_guard<std::mutex> lk(build_mu);
     cached = std::atomic_load_explicit(&planesCache,
                                        std::memory_order_acquire);
-    if (cached)
-        return *cached;
+    if (cached && planeSetCovers(cached->sets, need))
+        return cached;
+
+    // Upgrade, never downgrade: a rebuild keeps every plane set the
+    // displaced cache already carried, so alternating engines on one
+    // tensor converges to the union instead of thrashing rebuilds.
+    const PlaneSet sets =
+        cached ? (cached->sets | need) : need;
+    const bool want_bytes = planeSetCovers(sets, PlaneSet::Bytes);
+    const bool want_mag = planeSetCovers(sets, PlaneSet::Mag);
 
     auto p = std::make_shared<CodePlanes>();
     p->rows = nRows;
     p->cols = nCols;
-    p->index.resize(codes.size());
-    p->theta.resize(codes.size());
-    p->mag.resize(codes.size());
+    p->sets = sets;
+    // Keep the view we displace alive: references handed out by
+    // planes() before this upgrade must survive until the codes are
+    // mutated (dropPlanes releases the chain).
+    p->displaced = cached;
+    if (want_bytes) {
+        p->index.resize(codes.size());
+        p->theta.resize(codes.size());
+    }
+    if (want_mag)
+        p->mag.resize(codes.size());
     p->rowStart.assign(nRows + 1, 0);
     for (size_t r = 0; r < nRows; ++r) {
         const QCode *src = codes.data() + r * nCols;
-        uint8_t *idx = p->index.data() + r * nCols;
-        int8_t *th = p->theta.data() + r * nCols;
-        double *mg = p->mag.data() + r * nCols;
+        uint8_t *idx = want_bytes ? p->index.data() + r * nCols
+                                  : nullptr;
+        int8_t *th = want_bytes ? p->theta.data() + r * nCols
+                                : nullptr;
+        double *mg = want_mag ? p->mag.data() + r * nCols : nullptr;
         for (size_t c = 0; c < nCols; ++c) {
             const QCode q = src[c];
             if (q.isOutlier()) {
-                idx[c] = 0;
-                th[c] = 0;
-                mg[c] = 0.0;
+                if (want_bytes) {
+                    idx[c] = 0;
+                    th[c] = 0;
+                }
+                if (want_mag)
+                    mg[c] = 0.0;
                 p->outliers.push_back(
                     {static_cast<uint32_t>(c),
                      dict.outlierValue(q.outlierIndex())});
             } else {
-                idx[c] = q.index();
-                th[c] = static_cast<int8_t>(q.theta());
-                mg[c] = q.theta() * dict.exp().magnitude(q.index());
+                if (want_bytes) {
+                    idx[c] = q.index();
+                    th[c] = static_cast<int8_t>(q.theta());
+                }
+                if (want_mag)
+                    mg[c] =
+                        q.theta() * dict.exp().magnitude(q.index());
             }
         }
         p->rowStart[r + 1] =
             static_cast<uint32_t>(p->outliers.size());
+#ifndef NDEBUG
+        // The branch-free counting loop depends on outlier slots
+        // carrying (index 0, theta 0) so their sign product — and
+        // with it every histogram contribution — vanishes. Enforce
+        // the convention where the planes are derived instead of
+        // assuming it downstream.
+        if (want_bytes) {
+            for (size_t c = 0; c < nCols; ++c) {
+                if (src[c].isOutlier())
+                    MOKEY_ASSERT(idx[c] == 0 && th[c] == 0,
+                                 "outlier slot (%zu, %zu) violates "
+                                 "the zero-index/zero-sign plane "
+                                 "convention", r, c);
+            }
+        }
+#endif
     }
     std::atomic_store_explicit(&planesCache,
                                std::shared_ptr<const CodePlanes>(p),
                                std::memory_order_release);
-    return *p;
+    return p;
 }
 
 const CodePlanes &
-QuantizedTensor::pinPlanes() const
+QuantizedTensor::planes(PlaneSet need) const
+{
+    // The reference stays valid until the codes are next mutated:
+    // the cache keeps the view alive, and a concurrent plane-set
+    // upgrade retains the view it displaces (CodePlanes::displaced)
+    // rather than freeing it under outstanding references.
+    return *planesShared(need);
+}
+
+const CodePlanes &
+QuantizedTensor::pinPlanes(PlaneSet need) const
 {
     pinnedFlag.store(true, std::memory_order_relaxed);
-    return planes();
+    return planes(need);
 }
 
 void
@@ -118,14 +169,22 @@ QuantizedTensor::planesFootprint() const
         &planesCache, std::memory_order_acquire);
     if (!cached)
         return f;
+    const auto bytes_of = [](const CodePlanes &p) {
+        return p.index.size() * sizeof(uint8_t) +
+            p.theta.size() * sizeof(int8_t) +
+            p.mag.size() * sizeof(double) +
+            p.rowStart.size() * sizeof(uint32_t) +
+            p.outliers.size() * sizeof(CodePlanes::Outlier);
+    };
     f.resident = true;
+    f.bytesResident = planeSetCovers(cached->sets, PlaneSet::Bytes);
+    f.magResident = planeSetCovers(cached->sets, PlaneSet::Mag);
     f.outlierEntries = cached->outliers.size();
-    f.planeBytes =
-        cached->index.size() * sizeof(uint8_t) +
-        cached->theta.size() * sizeof(int8_t) +
-        cached->mag.size() * sizeof(double) +
-        cached->rowStart.size() * sizeof(uint32_t) +
-        cached->outliers.size() * sizeof(CodePlanes::Outlier);
+    f.planeBytes = bytes_of(*cached);
+    // Views displaced by upgrades stay resident for reference
+    // safety; report them so engine-switch memory cost is visible.
+    for (auto d = cached->displaced; d; d = d->displaced)
+        f.retiredBytes += bytes_of(*d);
     return f;
 }
 

@@ -58,20 +58,56 @@ struct QCode
 };
 
 /**
+ * Which dense planes of a CodePlanes view are materialized. The two
+ * engines stream different encodings of the same codes: the counting
+ * engine reads the 2-byte (index, theta) byte planes, the magnitude
+ * engine reads the 8-byte mag plane. Deriving only what the active
+ * engine touches is the difference between 2 B and 10 B of resident
+ * plane memory per element (see planesFootprint()).
+ */
+enum class PlaneSet : unsigned
+{
+    Bytes = 1u,       ///< uint8 index + int8 theta planes
+    Mag = 2u,         ///< double signed-magnitude plane
+    All = Bytes | Mag ///< everything (tests, mixed-engine use)
+};
+
+constexpr PlaneSet
+operator|(PlaneSet a, PlaneSet b)
+{
+    return static_cast<PlaneSet>(static_cast<unsigned>(a) |
+                                 static_cast<unsigned>(b));
+}
+
+/** True when @p have covers every plane in @p need. */
+constexpr bool
+planeSetCovers(PlaneSet have, PlaneSet need)
+{
+    return (static_cast<unsigned>(have) &
+            static_cast<unsigned>(need)) ==
+        static_cast<unsigned>(need);
+}
+
+/**
  * The execution-friendly view of a quantized matrix: the GPE/OPP
  * split of Fig. 6 made structural.
  *
  * The dense planes cover *every* element: Gaussian codes carry their
  * 3 b index and a +/-1 sign; outlier positions carry index 0 and
  * sign 0, so a branch-free inner loop can stream them and have their
- * histogram contributions vanish. The outlier pairs themselves live
- * in a per-row sidecar of (column, decoded centroid) entries sorted
- * by column — short lists the OPP path merge-iterates.
+ * histogram contributions vanish — the counting engine's inner loop
+ * relies on that invariant (it is asserted when planes are derived
+ * in debug builds, see quantized_tensor.cc). Only the planes named
+ * by @c sets are materialized; the outlier sidecar is always built.
+ * The outlier pairs live in a per-row sidecar of (column, decoded
+ * centroid) entries sorted by column — short lists the OPP path
+ * merge-iterates.
  */
 struct CodePlanes
 {
     size_t rows = 0;
     size_t cols = 0;
+    PlaneSet sets = PlaneSet::All; ///< planes actually materialized
 
     std::vector<uint8_t> index; ///< Gaussian index plane (0 at outliers)
     std::vector<int8_t> theta;  ///< +1/-1 sign plane (0 at outliers)
@@ -93,6 +129,15 @@ struct CodePlanes
     };
     std::vector<Outlier> outliers;  ///< all rows, concatenated
     std::vector<uint32_t> rowStart; ///< rows+1 offsets into outliers
+
+    /**
+     * The view this one replaced on a plane-set upgrade. Keeping it
+     * alive means a planes() reference taken before a concurrent
+     * upgrade stays valid until the codes are next mutated (which
+     * drops the whole chain). Upgrades converge to the union after
+     * one step, so at most one stale view is ever retained.
+     */
+    std::shared_ptr<const CodePlanes> displaced;
 
     const uint8_t *indexRow(size_t r) const
     {
@@ -125,8 +170,18 @@ struct PlanesFootprint
 {
     bool pinned = false;   ///< pin flag set on this tensor
     bool resident = false; ///< planes currently materialized
+    bool bytesResident = false; ///< index/theta byte planes built
+    bool magResident = false;   ///< double mag plane built
     size_t codeBytes = 0;  ///< expanded 5 b codes (1 B each)
-    size_t planeBytes = 0; ///< index+theta+mag planes + sidecars
+    size_t planeBytes = 0; ///< resident planes + sidecars
+    /**
+     * Bytes held by views displaced by plane-set upgrades and kept
+     * alive for outstanding references (CodePlanes::displaced).
+     * Nonzero after an engine switch on a never-mutated (e.g.
+     * pinned-weight) tensor; unpinPlanes() + pinPlanes() reclaims
+     * it once no stale references remain.
+     */
+    size_t retiredBytes = 0;
     size_t outlierEntries = 0; ///< sidecar entries across all rows
     size_t deriveElements = 0; ///< codes walked by one rebuild
 
@@ -234,21 +289,36 @@ class QuantizedTensor
     /**
      * The dense-plane + outlier-sidecar view, built on first use and
      * cached until the codes are next mutated (any non-const
-     * accessor drops the cache). Concurrent const callers are safe
-     * (the build is single-flight behind atomics); mutating the
-     * tensor while another thread reads planes() is not.
+     * accessor drops the cache). Only the planes in @p need are
+     * guaranteed materialized: an engine that streams byte planes
+     * never pays for (or keeps) the 8 B/element mag plane. A request
+     * for planes the cache lacks rebuilds it as the union of old and
+     * new sets, so repeated mixed-engine use converges instead of
+     * thrashing. Concurrent const callers are safe (the build is
+     * single-flight behind atomics); mutating the tensor while
+     * another thread reads planes() is not.
      */
-    const CodePlanes &planes() const;
+    const CodePlanes &planes(PlaneSet need = PlaneSet::All) const;
+
+    /**
+     * Like planes(), but returns the owning pointer. Engines hold
+     * this for the duration of a GEMM so a concurrent plane-set
+     * upgrade (which swaps the cache pointer) can never free the
+     * view mid-kernel.
+     */
+    std::shared_ptr<const CodePlanes>
+    planesShared(PlaneSet need = PlaneSet::All) const;
 
     /**
      * Build the planes now (if absent) and pin them: an explicit
      * statement that this tensor's planes should stay resident —
-     * weights that every forward pass multiplies against. The pin
-     * (and the built planes) survives copies; mutation still drops
-     * the stale planes (correctness first), and the retained pin
-     * makes the next planes() rebuild them. Returns the planes.
+     * weights that every forward pass multiplies against. Pass the
+     * active engine's enginePlaneSet() to keep only what it streams.
+     * The pin (and the built planes) survives copies; mutation still
+     * drops the stale planes (correctness first), and the retained
+     * pin makes the next planes() rebuild them. Returns the planes.
      */
-    const CodePlanes &pinPlanes() const;
+    const CodePlanes &pinPlanes(PlaneSet need = PlaneSet::All) const;
 
     /**
      * Clear the pin and release this tensor's cached planes so the

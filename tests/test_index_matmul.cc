@@ -10,6 +10,7 @@
  */
 
 #include <cmath>
+#include <thread>
 #include <gtest/gtest.h>
 
 #include "common/parallel.hh"
@@ -18,6 +19,7 @@
 #include "quant/index_matmul.hh"
 #include "quant/quantizer.hh"
 #include "tensor/ops.hh"
+#include "test_util.hh"
 
 namespace mokey
 {
@@ -236,22 +238,120 @@ TEST_P(EngineParity, BatchedGemmBitIdenticalToPerRequestCalls)
     std::vector<const QuantizedTensor *> parts;
     for (const auto &b : blocks)
         parts.push_back(&b);
-    IndexMatmulStats batch_stats;
-    const auto outs =
-        indexMatmulTransBBatched(parts, wt, &batch_stats);
-    ASSERT_EQ(outs.size(), blocks.size());
 
-    IndexMatmulStats seq_stats;
-    for (size_t b = 0; b < blocks.size(); ++b) {
-        const Tensor one =
-            indexMatmulTransB(blocks[b], wt, &seq_stats);
-        ASSERT_EQ(outs[b].rows(), one.rows());
-        for (size_t i = 0; i < one.size(); ++i)
-            EXPECT_EQ(one.raw()[i], outs[b].raw()[i])
-                << "block=" << b << " elem=" << i;
+    // The batched entry point dispatches on the engine selector like
+    // the plain one; the stacking property must hold for both.
+    const EngineGuard engine_guard;
+    for (const IndexEngine engine :
+         {IndexEngine::Mag, IndexEngine::Count}) {
+        setIndexEngine(engine);
+        IndexMatmulStats batch_stats;
+        const auto outs =
+            indexMatmulTransBBatched(parts, wt, &batch_stats);
+        ASSERT_EQ(outs.size(), blocks.size());
+
+        IndexMatmulStats seq_stats;
+        for (size_t b = 0; b < blocks.size(); ++b) {
+            const Tensor one =
+                indexMatmulTransB(blocks[b], wt, &seq_stats);
+            ASSERT_EQ(outs[b].rows(), one.rows());
+            for (size_t i = 0; i < one.size(); ++i)
+                EXPECT_EQ(one.raw()[i], outs[b].raw()[i])
+                    << "engine=" << indexEngineName(engine)
+                    << " block=" << b << " elem=" << i;
+        }
+        EXPECT_EQ(batch_stats.gaussianPairs, seq_stats.gaussianPairs);
+        EXPECT_EQ(batch_stats.outlierPairs, seq_stats.outlierPairs);
     }
-    EXPECT_EQ(batch_stats.gaussianPairs, seq_stats.gaussianPairs);
-    EXPECT_EQ(batch_stats.outlierPairs, seq_stats.outlierPairs);
+}
+
+TEST_P(EngineParity, CountingBitIdenticalToScalarThreadsAndLanes)
+{
+    // The counting engine's load-bearing parity: for every thread
+    // count (1, 2, hardware) and lane assignment, the byte-plane
+    // histogram engine is bit-identical to indexMatmulTransBScalar
+    // under the Count selection — per-output-element arithmetic
+    // order is fixed, and the histogram phase is exact integers.
+    const Shape s = GetParam();
+    const auto a = makeOperand(s.m, s.k, s.mean_a, s.std_a,
+                               s.tail_frac, 5000 + s.m);
+    const auto wt = makeOperand(s.n, s.k, s.mean_w, s.std_w,
+                                s.tail_frac, 6000 + s.n);
+
+    const EngineGuard engine_guard;
+    const ThreadCountGuard thread_guard;
+    setIndexEngine(IndexEngine::Count);
+
+    IndexMatmulStats scalar_stats;
+    const Tensor scalar =
+        indexMatmulTransBScalar(a, wt, &scalar_stats);
+
+    // The selector-routed scalar path IS the counting scalar kernel.
+    const Tensor explicit_scalar =
+        indexMatmulTransBCountingScalar(a, wt);
+    for (size_t i = 0; i < scalar.size(); ++i)
+        ASSERT_EQ(scalar.raw()[i], explicit_scalar.raw()[i]);
+
+    const size_t hw = std::max<size_t>(
+        1, std::thread::hardware_concurrency());
+    for (const size_t t : {size_t{1}, size_t{2}, hw}) {
+        setThreadCount(t);
+        for (const Lane lane : {Lane{}, Lane::acquire()}) {
+            IndexMatmulStats stats;
+            const Tensor par = indexMatmulTransB(a, wt, &stats, lane);
+            for (size_t i = 0; i < scalar.size(); ++i)
+                ASSERT_EQ(scalar.raw()[i], par.raw()[i])
+                    << "threads=" << t << " lane=" << lane.id()
+                    << " elem=" << i;
+            EXPECT_EQ(stats.gaussianPairs,
+                      scalar_stats.gaussianPairs)
+                << "threads=" << t;
+            EXPECT_EQ(stats.outlierPairs, scalar_stats.outlierPairs)
+                << "threads=" << t;
+        }
+    }
+}
+
+TEST_P(EngineParity, CountingMatchesDecodedReference)
+{
+    const Shape s = GetParam();
+    const auto a = makeOperand(s.m, s.k, s.mean_a, s.std_a,
+                               s.tail_frac, 5000 + s.m);
+    const auto wt = makeOperand(s.n, s.k, s.mean_w, s.std_w,
+                                s.tail_frac, 6000 + s.n);
+
+    IndexMatmulStats stats;
+    const Tensor count = indexMatmulTransBCounting(a, wt, &stats);
+    const Tensor ref = decodedMatmulTransB(a, wt);
+
+    const double tol =
+        1e-9 * std::max(1.0, frobeniusNorm(ref)) + 1e-6;
+    EXPECT_LT(maxAbsDiff(count, ref), tol);
+    EXPECT_EQ(stats.gaussianPairs + stats.outlierPairs,
+              static_cast<uint64_t>(s.m) * s.n * s.k);
+}
+
+TEST_P(EngineParity, CountingRoutesPairsLikeMagEngine)
+{
+    // Same algebra, different dataflow: both engines must route
+    // exactly the same pairs to GPE vs OPP and agree numerically to
+    // FP rounding.
+    const Shape s = GetParam();
+    const auto a = makeOperand(s.m, s.k, s.mean_a, s.std_a,
+                               s.tail_frac, 5000 + s.m);
+    const auto wt = makeOperand(s.n, s.k, s.mean_w, s.std_w,
+                                s.tail_frac, 6000 + s.n);
+
+    IndexMatmulStats mag_stats, count_stats;
+    const Tensor mag = indexMatmulTransBMag(a, wt, &mag_stats);
+    const Tensor count =
+        indexMatmulTransBCounting(a, wt, &count_stats);
+
+    EXPECT_EQ(count_stats.gaussianPairs, mag_stats.gaussianPairs);
+    EXPECT_EQ(count_stats.outlierPairs, mag_stats.outlierPairs);
+    const double tol =
+        1e-9 * std::max(1.0, frobeniusNorm(mag)) + 1e-6;
+    EXPECT_LT(maxAbsDiff(count, mag), tol);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -262,6 +362,63 @@ INSTANTIATE_TEST_SUITE_P(
         Shape{8, 64, 128, -1.0, 2.0, 0.5, 0.5, 0.40},
         Shape{64, 8, 48, 0.0, 0.3, 0.0, 0.02, 0.0},
         Shape{5, 3, 300, 2.0, 1.0, -2.0, 0.7, 0.33}));
+
+TEST(EngineSelector, DispatchesBothEntryPoints)
+{
+    ExpDictionary exp(1.179, -0.977, 8);
+    Quantizer quantizer(exp);
+    Rng rng(661);
+    Tensor ta(9, 80, rng.gaussianVector(720, 0.0, 1.0));
+    Tensor tw(7, 80, rng.gaussianVector(560, 0.2, 0.7));
+    const auto qa =
+        quantizer.encode(ta, quantizer.buildDictionary(ta));
+    const auto qw =
+        quantizer.encode(tw, quantizer.buildDictionary(tw));
+
+    const EngineGuard engine_guard;
+
+    setIndexEngine(IndexEngine::Count);
+    EXPECT_EQ(indexEngine(), IndexEngine::Count);
+    const Tensor via_selector = indexMatmulTransB(qa, qw);
+    const Tensor direct = indexMatmulTransBCounting(qa, qw);
+    for (size_t i = 0; i < direct.size(); ++i)
+        ASSERT_EQ(via_selector.raw()[i], direct.raw()[i]);
+
+    setIndexEngine(IndexEngine::Mag);
+    const Tensor mag_sel = indexMatmulTransB(qa, qw);
+    const Tensor mag_direct = indexMatmulTransBMag(qa, qw);
+    for (size_t i = 0; i < mag_direct.size(); ++i)
+        ASSERT_EQ(mag_sel.raw()[i], mag_direct.raw()[i]);
+
+    EXPECT_STREQ(indexEngineName(IndexEngine::Mag), "mag");
+    EXPECT_STREQ(indexEngineName(IndexEngine::Count), "count");
+    EXPECT_EQ(enginePlaneSet(IndexEngine::Mag), PlaneSet::Mag);
+    EXPECT_EQ(enginePlaneSet(IndexEngine::Count), PlaneSet::Bytes);
+}
+
+TEST(EngineSelector, CountingStreamsOnlyBytePlanes)
+{
+    // The counting engine must not materialize the 8 B/element mag
+    // plane — byte-traffic is its reason to exist.
+    ExpDictionary exp(1.179, -0.977, 8);
+    Quantizer quantizer(exp);
+    Rng rng(663);
+    Tensor ta(12, 128, rng.gaussianVector(12 * 128, 0.0, 1.0));
+    Tensor tw(10, 128, rng.gaussianVector(10 * 128, 0.0, 1.0));
+    const auto qa =
+        quantizer.encode(ta, quantizer.buildDictionary(ta));
+    const auto qw =
+        quantizer.encode(tw, quantizer.buildDictionary(tw));
+
+    indexMatmulTransBCounting(qa, qw);
+    for (const QuantizedTensor *q : {&qa, &qw}) {
+        const PlanesFootprint f = q->planesFootprint();
+        EXPECT_TRUE(f.resident);
+        EXPECT_TRUE(f.bytesResident);
+        EXPECT_FALSE(f.magResident);
+        EXPECT_LT(f.expansionRatio(), 4.0);
+    }
+}
 
 TEST(EngineDeterminism, StatsInvariantAcrossThreadCounts)
 {

@@ -6,14 +6,17 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 #include <gtest/gtest.h>
 
+#include "common/parallel.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "quant/exp_dictionary.hh"
 #include "quant/golden_dictionary.hh"
 #include "quant/memory_codec.hh"
 #include "quant/quantizer.hh"
+#include "test_util.hh"
 
 namespace mokey
 {
@@ -481,6 +484,154 @@ TEST_F(CodecFixture, RoundTripFullyOutlierGroup)
     const auto back = unpackTensor(packed, dict);
     for (size_t i = 0; i < q.size(); ++i)
         EXPECT_EQ(back.raw()[i].raw, q.raw()[i].raw) << "i=" << i;
+}
+
+TEST_F(CodecFixture, ParallelCodecBitIdenticalToScalar)
+{
+    // The band-parallel codec must reproduce the sequential bit
+    // streams *exactly* — same bytes, same padding — for every
+    // thread count and lane, on tensors large enough for many bands
+    // (70x997 = 1091 groups) and small enough for the inline path.
+    const ThreadCountGuard thread_guard;
+    for (const auto &shape :
+         {std::pair<size_t, size_t>{70, 997},
+          std::pair<size_t, size_t>{3, 40},
+          std::pair<size_t, size_t>{129, 64}}) {
+        const auto q = makeQuantized(shape.first, shape.second,
+                                     7000 + shape.first, 0.08);
+        const auto scalar = packTensorScalar(q);
+
+        for (const size_t t : {1u, 2u, 5u}) {
+            setThreadCount(t);
+            for (const Lane lane : {Lane{}, Lane::acquire()}) {
+                const auto par = packTensor(q, lane);
+                EXPECT_EQ(par.count, scalar.count);
+                ASSERT_EQ(par.values, scalar.values)
+                    << "rows=" << shape.first << " threads=" << t;
+                ASSERT_EQ(par.otPointers, scalar.otPointers)
+                    << "rows=" << shape.first << " threads=" << t;
+
+                const auto seq_back =
+                    unpackTensorScalar(scalar, q.dictionary());
+                const auto par_back =
+                    unpackTensor(scalar, q.dictionary(), lane);
+                ASSERT_EQ(par_back.size(), q.size());
+                for (size_t i = 0; i < q.size(); ++i) {
+                    ASSERT_EQ(par_back.raw()[i].raw,
+                              seq_back.raw()[i].raw)
+                        << "i=" << i << " threads=" << t;
+                    ASSERT_EQ(par_back.raw()[i].raw, q.raw()[i].raw)
+                        << "i=" << i << " threads=" << t;
+                }
+            }
+        }
+    }
+}
+
+TEST_F(CodecFixture, ParallelCodecHandlesDenseOutliers)
+{
+    // Outlier-heavy streams make the pointer stream long and oddly
+    // aligned, stressing the bit-level band stitch and the prescan.
+    const auto dict = makeQuantized(4, 64, 9100, 0.05).dictionary();
+    Rng rng(9101);
+    QuantizedTensor q(64, 150, dict); // 9600 codes, 150 groups
+    for (size_t r = 0; r < q.rows(); ++r)
+        for (size_t c = 0; c < q.cols(); ++c)
+            q.at(r, c) = rng.uniform() < 0.45
+                ? QCode::outlier(
+                      static_cast<uint8_t>(rng.uniformInt(16)))
+                : QCode::gaussian(rng.uniform() < 0.5,
+                                  static_cast<uint8_t>(
+                                      rng.uniformInt(8)));
+
+    const auto scalar = packTensorScalar(q);
+    const auto par = packTensor(q);
+    ASSERT_EQ(par.values, scalar.values);
+    ASSERT_EQ(par.otPointers, scalar.otPointers);
+    const auto back = unpackTensor(par, dict);
+    for (size_t i = 0; i < q.size(); ++i)
+        ASSERT_EQ(back.raw()[i].raw, q.raw()[i].raw) << "i=" << i;
+}
+
+// ---- CodePlanes plane sets ------------------------------------------
+
+TEST_F(CodecFixture, BytePlanesBuildWithoutMag)
+{
+    // The counting engine's contract: byte planes on demand, never
+    // paying for (or keeping) the 8 B/element mag plane.
+    const QuantizedTensor q = makeQuantized(24, 96, 515, 0.05);
+    const QuantizedTensor &cq = q;
+
+    const CodePlanes &p = cq.planes(PlaneSet::Bytes);
+    EXPECT_EQ(p.index.size(), q.size());
+    EXPECT_EQ(p.theta.size(), q.size());
+    EXPECT_TRUE(p.mag.empty());
+
+    PlanesFootprint f = q.planesFootprint();
+    EXPECT_TRUE(f.resident);
+    EXPECT_TRUE(f.bytesResident);
+    EXPECT_FALSE(f.magResident);
+    // 2 B of planes per code byte plus sidecars: nowhere near the
+    // 10x of the full view.
+    EXPECT_LT(f.expansionRatio(), 4.0);
+
+    // Outlier slots follow the zero-index/zero-sign convention the
+    // branch-free counting loop relies on.
+    size_t outliers = 0;
+    for (size_t r = 0; r < q.rows(); ++r) {
+        for (size_t c = 0; c < q.cols(); ++c) {
+            if (cq.at(r, c).isOutlier()) {
+                EXPECT_EQ(p.indexRow(r)[c], 0);
+                EXPECT_EQ(p.thetaRow(r)[c], 0);
+                ++outliers;
+            }
+        }
+    }
+    EXPECT_GT(outliers, 0u);
+
+    // Requesting the mag plane upgrades to the union without losing
+    // the byte planes.
+    const CodePlanes &up = cq.planes(PlaneSet::Mag);
+    EXPECT_EQ(up.mag.size(), q.size());
+    EXPECT_EQ(up.index.size(), q.size());
+    f = q.planesFootprint();
+    EXPECT_TRUE(f.bytesResident);
+    EXPECT_TRUE(f.magResident);
+    EXPECT_GT(f.expansionRatio(), 9.0);
+}
+
+TEST_F(CodecFixture, MagPlanesBuildWithoutBytes)
+{
+    const QuantizedTensor q = makeQuantized(8, 64, 517, 0.03);
+    q.planes(PlaneSet::Mag);
+    const PlanesFootprint f = q.planesFootprint();
+    EXPECT_TRUE(f.magResident);
+    EXPECT_FALSE(f.bytesResident);
+    EXPECT_GT(f.expansionRatio(), 7.0);
+}
+
+TEST_F(CodecFixture, UpgradeRetainsDisplacedViewUntilRepin)
+{
+    // A plane-set upgrade keeps the displaced view alive so
+    // outstanding planes() references stay valid; the footprint
+    // must report that retained memory, and an explicit unpin+repin
+    // (the engine-switch recipe) must reclaim it.
+    const QuantizedTensor q = makeQuantized(16, 64, 519, 0.03);
+    q.pinPlanes(PlaneSet::Mag);
+    EXPECT_EQ(q.planesFootprint().retiredBytes, 0u);
+
+    q.planes(PlaneSet::Bytes); // upgrade: displaces the mag-only view
+    PlanesFootprint f = q.planesFootprint();
+    EXPECT_GT(f.retiredBytes, 0u);
+    EXPECT_TRUE(f.bytesResident);
+    EXPECT_TRUE(f.magResident);
+
+    q.unpinPlanes();
+    q.pinPlanes(PlaneSet::Bytes);
+    f = q.planesFootprint();
+    EXPECT_EQ(f.retiredBytes, 0u);
+    EXPECT_TRUE(f.bytesResident);
+    EXPECT_FALSE(f.magResident);
 }
 
 // ---- CodePlanes pin API ---------------------------------------------

@@ -20,6 +20,7 @@
 #include "model/pipeline.hh"
 #include "model/scheduler.hh"
 #include "tensor/ops.hh"
+#include "test_util.hh"
 
 namespace mokey
 {
@@ -101,6 +102,54 @@ TEST_F(ServingFixture, BatchedForwardBitIdenticalAllModesAndThreads)
         }
     }
     setThreadCount(original);
+}
+
+TEST_F(ServingFixture, EngineSelectorForwardBitIdenticalBothModes)
+{
+    // Switching the index-domain GEMM backend (MOKEY_ENGINE /
+    // setIndexEngine) must never change results within an engine:
+    // for each engine and each QuantMode, forward passes are
+    // bit-identical across thread counts {1, 2, hw} and lanes —
+    // the engines fix per-output-element arithmetic order, and
+    // everything above them is already order-invariant.
+    const Tensor in = model.makeInput(11, 919);
+    const EngineGuard engine_guard;
+    const ThreadCountGuard thread_guard;
+    const size_t hw = std::max<size_t>(
+        1, std::thread::hardware_concurrency());
+
+    for (const IndexEngine engine :
+         {IndexEngine::Mag, IndexEngine::Count}) {
+        setIndexEngine(engine);
+        for (const QuantMode mode :
+             {QuantMode::WeightsOnly,
+              QuantMode::WeightsAndActivations}) {
+            setThreadCount(1);
+            const Tensor ref = pipeline.forward(in, mode);
+            for (const size_t t : {size_t{1}, size_t{2}, hw}) {
+                setThreadCount(t);
+                for (const Lane lane : {Lane{}, Lane::acquire()}) {
+                    expectBitIdentical(
+                        ref, pipeline.forward(in, mode, lane),
+                        std::string("engine=") +
+                            indexEngineName(engine) + " mode=" +
+                            std::to_string(static_cast<int>(mode)) +
+                            " threads=" + std::to_string(t) +
+                            " lane=" + std::to_string(lane.id()));
+                }
+                // Batched serving path under the same engine.
+                const auto outs =
+                    pipeline.forwardBatch({in, in}, mode);
+                ASSERT_EQ(outs.size(), 2u);
+                for (const Tensor &out : outs)
+                    expectBitIdentical(
+                        ref, out,
+                        std::string("batched engine=") +
+                            indexEngineName(engine) +
+                            " threads=" + std::to_string(t));
+            }
+        }
+    }
 }
 
 TEST_F(ServingFixture, SingleSequenceBatchMatchesForward)

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Shared RAII guards for tests that mutate process-wide knobs: the
+ * destructors restore the prior value even when an ASSERT_* bails
+ * out of the test body mid-sweep, so one failing parity test cannot
+ * leak an engine selection or pool size into every later test in
+ * the binary.
+ */
+
+#ifndef MOKEY_TESTS_TEST_UTIL_HH
+#define MOKEY_TESTS_TEST_UTIL_HH
+
+#include "common/parallel.hh"
+#include "quant/engine.hh"
+
+namespace mokey
+{
+
+/** Restores the pool size even when an assertion fails out. */
+struct ThreadCountGuard
+{
+    size_t prior = threadCount();
+    ~ThreadCountGuard() { setThreadCount(prior); }
+};
+
+/** Restores the engine selection even when an assertion fails out. */
+struct EngineGuard
+{
+    IndexEngine prior = indexEngine();
+    ~EngineGuard() { setIndexEngine(prior); }
+};
+
+} // namespace mokey
+
+#endif // MOKEY_TESTS_TEST_UTIL_HH
