@@ -158,6 +158,16 @@ BM_Encode(benchmark::State &state)
 BENCHMARK(BM_Encode)->Unit(benchmark::kMicrosecond);
 
 void
+BM_EncodeFused(benchmark::State &state)
+{
+    auto &s = setup();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            s.quantizer.encodeToPlanes(s.a, s.da));
+}
+BENCHMARK(BM_EncodeFused)->Unit(benchmark::kMicrosecond);
+
+void
 BM_PackUnpack(benchmark::State &state)
 {
     auto &s = setup();
@@ -241,6 +251,107 @@ writeBatchedServingReport(bench::BenchJson &json)
 }
 
 /**
+ * Frozen replica of the seed activation-quantization path: a scalar
+ * per-element nearest-centroid encode into a full QCode tensor
+ * (pass 1), then the complete derivePlanes walk building the
+ * index/theta/mag planes and the outlier sidecars from those codes
+ * (passes 2-3). This is exactly what the serving path paid per
+ * activation tensor before the fused encoder; it stays frozen here
+ * so act_encode_fused speedups remain comparable across PRs.
+ */
+void
+seedEncodeToPlanes(const Tensor &t, const TensorDictionary &dict,
+                   const Quantizer &quantizer)
+{
+    const size_t rows = t.rows(), cols = t.cols();
+    std::vector<QCode> codes(rows * cols);
+    for (size_t r = 0; r < rows; ++r) {
+        const float *src = t.row(r);
+        QCode *dst = codes.data() + r * cols;
+        for (size_t c = 0; c < cols; ++c)
+            dst[c] = quantizer.encodeValue(src[c], dict);
+    }
+    // The derivePlanes pass the engines forced before every GEMM.
+    std::vector<uint8_t> index(rows * cols);
+    std::vector<int8_t> theta(rows * cols);
+    std::vector<double> mag(rows * cols);
+    std::vector<std::pair<uint32_t, double>> outliers;
+    std::vector<uint32_t> row_start(rows + 1, 0);
+    for (size_t r = 0; r < rows; ++r) {
+        const QCode *src = codes.data() + r * cols;
+        for (size_t c = 0; c < cols; ++c) {
+            const QCode q = src[c];
+            const size_t i = r * cols + c;
+            if (q.isOutlier()) {
+                index[i] = 0;
+                theta[i] = 0;
+                mag[i] = 0.0;
+                outliers.emplace_back(
+                    static_cast<uint32_t>(c),
+                    dict.outlierValue(q.outlierIndex()));
+            } else {
+                index[i] = q.index();
+                theta[i] = static_cast<int8_t>(q.theta());
+                mag[i] =
+                    q.theta() * dict.exp().magnitude(q.index());
+            }
+        }
+        row_start[r + 1] = static_cast<uint32_t>(outliers.size());
+    }
+    benchmark::DoNotOptimize(mag.data());
+    benchmark::DoNotOptimize(outliers.data());
+}
+
+/**
+ * The tentpole claim of the fused activation path: encoding straight
+ * into planes in one SIMD walk beats the seed's three passes (scalar
+ * encode, code materialization, derivePlanes) by >= 3x single
+ * threaded. Activation-shaped tensor (a BERT-base hidden GEMM input
+ * slab) with a realistic outlier tail. GB/s counts the float source
+ * read plus the 10 B/element plane writes; the seed row additionally
+ * pays the 1 B/element code store + reload.
+ */
+void
+writeActEncodeReport(bench::BenchJson &json)
+{
+    constexpr size_t kRows = 128, kCols = 768;
+    Rng rng(515151);
+    ExpDictionary exp(1.179, -0.977, 8);
+    Quantizer quantizer(exp);
+    std::vector<float> v =
+        rng.gaussianVector(kRows * kCols, 0.0, 1.0);
+    for (size_t i = 0; i < v.size() / 64; ++i)
+        v[rng.uniformInt(v.size())] =
+            static_cast<float>(rng.gaussian(0.0, 6.0));
+    Tensor t(kRows, kCols, v);
+    const auto dict = quantizer.buildDictionary(t);
+
+    // The seed replica is strictly serial, so pin the pool to one
+    // thread for the fused side too: the recorded (and CI-gated)
+    // ratio must measure the kernel, not the host's core count.
+    const size_t prior_threads = threadCount();
+    setThreadCount(1);
+    const double seed_ns = bench::timeKernelNs(
+        [&] { seedEncodeToPlanes(t, dict, quantizer); });
+    const double fused_ns = bench::timeKernelNs([&] {
+        benchmark::DoNotOptimize(
+            quantizer.encodeToPlanes(t, dict, PlaneSet::All));
+    });
+    setThreadCount(prior_threads);
+
+    const double n = static_cast<double>(kRows * kCols);
+    const double seed_bytes = n * (4.0 + 2.0 * 1.0 + 10.0);
+    const double fused_bytes = n * (4.0 + 10.0);
+    json.add({"act_encode_seed", kRows, kCols, 0, seed_ns,
+              seed_bytes / seed_ns, 0.0});
+    json.add({"act_encode_fused", kRows, kCols, 0, fused_ns,
+              fused_bytes / fused_ns, seed_ns / fused_ns});
+    std::printf("act encode %zux%zu: fused %.2fx vs seed three-pass "
+                "(threads=%zu)\n",
+                kRows, kCols, seed_ns / fused_ns, threadCount());
+}
+
+/**
  * Time engine vs seed kernels on GEMM shapes from the transformer
  * workloads and flush BENCH_micro_kernels.json. GB/s counts operand
  * reads plus result writes at their in-memory width: 4 B floats for
@@ -310,6 +421,7 @@ writeSpeedupReport()
                     m, n, k, seed_f / fast_f, seed_i / fast_i,
                     seed_i / fast_c, threadCount());
     }
+    writeActEncodeReport(json);
     writeBatchedServingReport(json);
     json.write();
 }

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Tiny shared helpers for environment-variable knobs, so every knob
+ * parses the same way (case-insensitive, fatal on junk) instead of
+ * each site growing its own getenv/tolower/fatal block.
+ */
+
+#ifndef MOKEY_COMMON_ENV_HH
+#define MOKEY_COMMON_ENV_HH
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
+#include "common/logging.hh"
+
+namespace mokey
+{
+
+/** Lowercased value of @p name; empty when unset or empty. */
+inline std::string
+lowercasedEnv(const char *name)
+{
+    const char *env = std::getenv(name);
+    if (env == nullptr)
+        return {};
+    std::string s(env);
+    for (char &c : s)
+        c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    return s;
+}
+
+/**
+ * Boolean env knob: unset/empty -> @p fallback; 1/on/true and
+ * 0/off/false (any case) select; anything else is a fatal config
+ * error naming the variable.
+ */
+inline bool
+envFlag(const char *name, bool fallback)
+{
+    const std::string s = lowercasedEnv(name);
+    if (s.empty())
+        return fallback;
+    if (s == "1" || s == "on" || s == "true")
+        return true;
+    if (s == "0" || s == "off" || s == "false")
+        return false;
+    fatal("%s must be 0/off or 1/on, got '%s'", name, s.c_str());
+}
+
+} // namespace mokey
+
+#endif // MOKEY_COMMON_ENV_HH

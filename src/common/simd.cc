@@ -1,6 +1,7 @@
 #include "common/simd.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #if defined(__x86_64__) && defined(__GNUC__)
 #define MOKEY_SIMD_X86_DISPATCH 1
@@ -320,6 +321,195 @@ x86HistogramIsa()
 
 #endif // MOKEY_SIMD_X86_DISPATCH
 
+// ---- fused comparator-ladder encode ---------------------------------
+//
+// Every per-element decision is an exact double comparison and the
+// one division is the correctly-rounded IEEE op, so — like the
+// histogram kernels — all bodies below emit bit-identical planes and
+// the runtime dispatch may pick any of them on any call.
+//
+// The branchless index select rests on the nesting of the boundary
+// predicates P_i = (|u| - mags[i-1] > mags[i] - |u|): for a sorted
+// ladder, P_i true implies P_j true for every j < i (for i below the
+// straddle point the two operands have opposite signs, making the
+// comparison exact), so the predicate *count* equals the index the
+// scalar lower_bound + two-subtraction tie pick computes — including
+// the exact-tie case, where P_i evaluates the very same expression
+// ExpDictionary::nearestIndex() branches on.
+
+/** One element of the ladder encode; shared by every tail loop. */
+inline size_t
+encodeLadderOne(float v_f, const double *mags, size_t h, double mean,
+                double scale, double cut, uint8_t *idx, int8_t *theta,
+                double *mag, size_t c)
+{
+    const double v = v_f;
+    const double d = v - mean;
+    const bool is_ot = std::abs(d) > cut;
+    const double u = d / scale;
+    const double au = std::abs(u);
+    unsigned k = 0;
+    for (size_t i = 1; i < h; ++i)
+        k += (au - mags[i - 1] > mags[i] - au) ? 1u : 0u;
+    const bool neg = u < 0.0;
+    if (idx)
+        idx[c] = is_ot ? 0 : static_cast<uint8_t>(k);
+    if (theta)
+        theta[c] = is_ot ? 0 : (neg ? -1 : 1);
+    if (mag)
+        mag[c] = is_ot ? 0.0 : (neg ? -mags[k] : mags[k]);
+    return is_ot ? 1 : 0;
+}
+
+MOKEY_SIMD_CLONES size_t
+encodeLadderGeneric(const float *src, size_t n, const double *mags,
+                    size_t h, double mean, double scale, double cut,
+                    uint8_t *idx, int8_t *theta, double *mag)
+{
+    size_t outliers = 0;
+    for (size_t c = 0; c < n; ++c)
+        outliers += encodeLadderOne(src[c], mags, h, mean, scale,
+                                    cut, idx, theta, mag, c);
+    return outliers;
+}
+
+#ifdef MOKEY_SIMD_X86_DISPATCH
+
+__attribute__((target("avx2"))) size_t
+encodeLadderAvx2(const float *src, size_t n, const double *mags,
+                 size_t h, double mean, double scale, double cut,
+                 uint8_t *idx, int8_t *theta, double *mag)
+{
+    const __m256d vmean = _mm256_set1_pd(mean);
+    const __m256d vscale = _mm256_set1_pd(scale);
+    const __m256d vcut = _mm256_set1_pd(cut);
+    const __m256d absmask = _mm256_castsi256_pd(
+        _mm256_set1_epi64x(0x7fffffffffffffffLL));
+    const __m256d signmask = _mm256_castsi256_pd(_mm256_set1_epi64x(
+        static_cast<long long>(0x8000000000000000ULL)));
+    const __m256i one64 = _mm256_set1_epi64x(1);
+    const __m256i two64 = _mm256_set1_epi64x(2);
+    size_t outliers = 0;
+    size_t p = 0;
+    for (; p + 4 <= n; p += 4) {
+        const __m256d v = _mm256_cvtps_pd(_mm_loadu_ps(src + p));
+        const __m256d d = _mm256_sub_pd(v, vmean);
+        const __m256d ad = _mm256_and_pd(d, absmask);
+        const __m256d otm = _mm256_cmp_pd(ad, vcut, _CMP_GT_OQ);
+        const __m256d u = _mm256_div_pd(d, vscale);
+        const __m256d au = _mm256_and_pd(u, absmask);
+        // Count crossed boundaries: subtracting the all-ones compare
+        // mask adds one per true predicate.
+        __m256i k = _mm256_setzero_si256();
+        for (size_t i = 1; i < h; ++i) {
+            const __m256d lo =
+                _mm256_sub_pd(au, _mm256_set1_pd(mags[i - 1]));
+            const __m256d hi =
+                _mm256_sub_pd(_mm256_set1_pd(mags[i]), au);
+            k = _mm256_sub_epi64(
+                k, _mm256_castpd_si256(
+                       _mm256_cmp_pd(lo, hi, _CMP_GT_OQ)));
+        }
+        const __m256d negm =
+            _mm256_cmp_pd(u, _mm256_setzero_pd(), _CMP_LT_OQ);
+        const __m256i otm64 = _mm256_castpd_si256(otm);
+        if (mag) {
+            // mags is padded to 8 entries, so the gather stays in
+            // bounds for every k <= h-1. Sign flip is an exact xor;
+            // outlier lanes collapse to +0.0.
+            __m256d mg = _mm256_i64gather_pd(mags, k, 8);
+            mg = _mm256_xor_pd(mg, _mm256_and_pd(negm, signmask));
+            mg = _mm256_andnot_pd(otm, mg);
+            _mm256_storeu_pd(mag + p, mg);
+        }
+        if (idx || theta) {
+            const __m256i ki = _mm256_andnot_si256(otm64, k);
+            // theta = 1 - 2*[negative], zeroed at outliers.
+            __m256i th = _mm256_sub_epi64(
+                one64,
+                _mm256_and_si256(_mm256_castpd_si256(negm), two64));
+            th = _mm256_andnot_si256(otm64, th);
+            alignas(32) int64_t kb[4], tb[4];
+            _mm256_store_si256(reinterpret_cast<__m256i *>(kb), ki);
+            _mm256_store_si256(reinterpret_cast<__m256i *>(tb), th);
+            for (int l = 0; l < 4; ++l) {
+                if (idx)
+                    idx[p + l] = static_cast<uint8_t>(kb[l]);
+                if (theta)
+                    theta[p + l] = static_cast<int8_t>(tb[l]);
+            }
+        }
+        outliers += static_cast<unsigned>(
+            __builtin_popcount(_mm256_movemask_pd(otm)));
+    }
+    for (; p < n; ++p)
+        outliers += encodeLadderOne(src[p], mags, h, mean, scale,
+                                    cut, idx, theta, mag, p);
+    return outliers;
+}
+
+__attribute__((target("avx512f"))) size_t
+encodeLadderAvx512(const float *src, size_t n, const double *mags,
+                   size_t h, double mean, double scale, double cut,
+                   uint8_t *idx, int8_t *theta, double *mag)
+{
+    const __m512d vmean = _mm512_set1_pd(mean);
+    const __m512d vscale = _mm512_set1_pd(scale);
+    const __m512d vcut = _mm512_set1_pd(cut);
+    const __m512d magtab = _mm512_loadu_pd(mags); // 8 padded entries
+    const __m512i one64 = _mm512_set1_epi64(1);
+    size_t outliers = 0;
+    size_t p = 0;
+    for (; p + 8 <= n; p += 8) {
+        const __m512d v = _mm512_cvtps_pd(_mm256_loadu_ps(src + p));
+        const __m512d d = _mm512_sub_pd(v, vmean);
+        const __mmask8 otm = _mm512_cmp_pd_mask(
+            _mm512_abs_pd(d), vcut, _CMP_GT_OQ);
+        const __mmask8 keep = static_cast<__mmask8>(~otm);
+        const __m512d u = _mm512_div_pd(d, vscale);
+        const __m512d au = _mm512_abs_pd(u);
+        __m512i k = _mm512_setzero_si512();
+        for (size_t i = 1; i < h; ++i) {
+            const __mmask8 m = _mm512_cmp_pd_mask(
+                _mm512_sub_pd(au, _mm512_set1_pd(mags[i - 1])),
+                _mm512_sub_pd(_mm512_set1_pd(mags[i]), au),
+                _CMP_GT_OQ);
+            k = _mm512_mask_add_epi64(k, m, k, one64);
+        }
+        const __mmask8 negm = _mm512_cmp_pd_mask(
+            u, _mm512_setzero_pd(), _CMP_LT_OQ);
+        if (mag) {
+            // Table permute instead of a gather; 0 - x is the exact
+            // negation for the strictly positive ladder entries.
+            __m512d mg = _mm512_permutexvar_pd(k, magtab);
+            mg = _mm512_mask_sub_pd(mg, negm, _mm512_setzero_pd(),
+                                    mg);
+            mg = _mm512_maskz_mov_pd(keep, mg);
+            _mm512_storeu_pd(mag + p, mg);
+        }
+        if (idx)
+            _mm_storel_epi64(
+                reinterpret_cast<__m128i *>(idx + p),
+                _mm512_cvtepi64_epi8(
+                    _mm512_maskz_mov_epi64(keep, k)));
+        if (theta) {
+            __m512i th = _mm512_mask_sub_epi64(
+                one64, negm, _mm512_setzero_si512(), one64);
+            th = _mm512_maskz_mov_epi64(keep, th);
+            _mm_storel_epi64(reinterpret_cast<__m128i *>(theta + p),
+                             _mm512_cvtepi64_epi8(th));
+        }
+        outliers +=
+            static_cast<unsigned>(__builtin_popcount(otm));
+    }
+    for (; p < n; ++p)
+        outliers += encodeLadderOne(src[p], mags, h, mean, scale,
+                                    cut, idx, theta, mag, p);
+    return outliers;
+}
+
+#endif // MOKEY_SIMD_X86_DISPATCH
+
 } // anonymous namespace
 
 void
@@ -348,6 +538,26 @@ signedIndexHistogram(const uint8_t *idx, const int8_t *th, size_t n,
         return signedIndexHistogramAvx2(idx, th, n, hist);
 #endif
     signedIndexHistogramGeneric(idx, th, n, hist);
+}
+
+size_t
+encodeLadder(const float *src, size_t n, const double *mags, size_t h,
+             double mean, double scale, double cut, uint8_t *idx,
+             int8_t *theta, double *mag)
+{
+#ifdef MOKEY_SIMD_X86_DISPATCH
+    // The AVX-512 body only needs the F subset, so reusing the BW
+    // resolver is conservative; results are bit-identical either way.
+    const int isa = x86HistogramIsa();
+    if (isa == 2)
+        return encodeLadderAvx512(src, n, mags, h, mean, scale, cut,
+                                  idx, theta, mag);
+    if (isa == 1)
+        return encodeLadderAvx2(src, n, mags, h, mean, scale, cut,
+                                idx, theta, mag);
+#endif
+    return encodeLadderGeneric(src, n, mags, h, mean, scale, cut,
+                               idx, theta, mag);
 }
 
 } // namespace mokey

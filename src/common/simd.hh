@@ -74,6 +74,49 @@ void pairHistogram(const uint8_t *ia, const int8_t *ta,
 void signedIndexHistogram(const uint8_t *idx, const int8_t *th,
                           size_t n, int32_t *hist);
 
+// ---- fused comparator-ladder encode (activation quantizer) ----------
+//
+// The vectorized model of the Fig. 7 output-activation quantizer:
+// normalize a float row to sigma units, run the branchless
+// nearest-centroid select over the sorted magnitude ladder, and write
+// the code planes directly — no intermediate code tensor. Every
+// decision is an exact double comparison (the division is the single
+// correctly-rounded IEEE op), so the AVX-512 / AVX2 / generic bodies
+// produce bit-identical planes on every ISA and, like the histogram
+// kernels, dispatch at runtime via __builtin_cpu_supports (no ifunc,
+// sanitizer-safe).
+
+/**
+ * Encode one row of @p n floats against a Gaussian magnitude ladder.
+ *
+ * Per element v (promoted to double):
+ *  - outlier when |v - mean| > cut: the element's planes get the
+ *    zero-index/zero-sign/zero-magnitude convention (idx 0, theta 0,
+ *    mag 0.0) and only the count is reported — the caller resolves
+ *    the outlier-dictionary code in its sidecar pass;
+ *  - otherwise u = (v - mean) / scale, theta = sign, and the index is
+ *    the nearest entry of @p mags to |u|, ties to the lower index —
+ *    bit-identical to ExpDictionary::nearestIndex() because every
+ *    boundary evaluates the exact scalar tie expression
+ *    (|u| - mags[i-1] > mags[i] - |u|).
+ *
+ * @param src   the float row
+ * @param n     elements in the row
+ * @param mags  ascending magnitudes, padded to 8 entries (unused
+ *              tail arbitrary); @p h in [1, 8] real entries
+ * @param mean  dictionary mean
+ * @param scale dictionary scale (> 0)
+ * @param cut   outlier threshold on |v - mean|; pass +infinity when
+ *              the dictionary has no outlier table
+ * @param idx   uint8 index plane row, or nullptr to skip
+ * @param theta int8 +1/-1 sign plane row, or nullptr to skip
+ * @param mag   double signed-magnitude plane row, or nullptr to skip
+ * @return number of outlier elements in the row
+ */
+size_t encodeLadder(const float *src, size_t n, const double *mags,
+                    size_t h, double mean, double scale, double cut,
+                    uint8_t *idx, int8_t *theta, double *mag);
+
 } // namespace mokey
 
 #endif // MOKEY_COMMON_SIMD_HH

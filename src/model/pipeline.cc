@@ -1,13 +1,40 @@
 #include "model/pipeline.hh"
 
+#include <atomic>
 #include <cmath>
 
+#include "common/env.hh"
 #include "common/logging.hh"
 #include "common/parallel.hh"
 #include "tensor/ops.hh"
 
 namespace mokey
 {
+
+namespace
+{
+
+std::atomic<bool> &
+fusedEncodeSlot()
+{
+    static std::atomic<bool> slot{
+        envFlag("MOKEY_FUSED_ENCODE", true)};
+    return slot;
+}
+
+} // anonymous namespace
+
+bool
+fusedActEncode()
+{
+    return fusedEncodeSlot().load(std::memory_order_relaxed);
+}
+
+void
+setFusedActEncode(bool fused)
+{
+    fusedEncodeSlot().store(fused, std::memory_order_relaxed);
+}
 
 QuantizedTransformer::QuantizedTransformer(const Transformer &m,
                                            const Quantizer &q,
@@ -54,8 +81,11 @@ QuantizedTransformer::quantizeWeights()
         // pays the first-use build (or its single-flight lock) on
         // the serving path. Pin exactly the plane set the active
         // engine streams — 2 B/element for the counting engine, 8
-        // for mag; a later engine switch upgrades on first use.
-        job.dst->pinPlanes(enginePlaneSet(indexEngine()));
+        // for mag; under Auto, per weight by size (the residency
+        // the per-GEMM heuristic then reads back); a later engine
+        // switch upgrades on first use.
+        job.dst->pinPlanes(weightPlaneSet(
+            indexEngine(), job.dst->rows(), job.dst->cols()));
     });
 }
 
@@ -98,10 +128,40 @@ QuantizedTransformer::activationDict(const TensorId &id) const
 
 QuantizedTensor
 QuantizedTransformer::encodeAct(const TensorId &id, const Tensor &t,
+                                const QuantizedTensor *partner,
                                 Lane lane) const
 {
-    return countActCodes(
-        quantizer.encode(t, activationDict(id), lane));
+    return encodeActDict(activationDict(id), t, partner, lane);
+}
+
+QuantizedTensor
+QuantizedTransformer::encodeActDict(const TensorDictionary &dict,
+                                    const Tensor &t,
+                                    const QuantizedTensor *partner,
+                                    Lane lane) const
+{
+    if (!fusedActEncode())
+        return countActCodes(quantizer.encode(t, dict, lane));
+
+    // Fused path: emit exactly the planes the downstream GEMM will
+    // stream, in one walk. Under Auto the engine is resolved here
+    // with the same inputs resolveIndexEngine() will see at GEMM
+    // time (shape + weight-side residency), so the encode never
+    // materializes a plane the GEMM ignores.
+    IndexEngine engine = indexEngine();
+    if (engine == IndexEngine::Auto)
+        engine = partner
+            ? autoEngineChoice(t.rows(), partner->rows(), t.cols(),
+                               partner->planesFootprint())
+            : IndexEngine::Count; // act x act: both sides cold
+    QuantizedTensor q = quantizer.encodeToPlanes(
+        t, dict, enginePlaneSet(engine), lane);
+    // Outlier-rate counters straight from the sidecar — the fused
+    // path has no code array to walk.
+    actOtCodes.fetch_add(q.planesFootprint().outlierEntries,
+                         std::memory_order_relaxed);
+    actTotalCodes.fetch_add(q.size(), std::memory_order_relaxed);
+    return q;
 }
 
 QuantizedTensor
@@ -130,9 +190,12 @@ QuantizedTransformer::forwardLayerQuantized(
     const size_t batch = starts.size() - 1;
 
     // QKV projections in the index domain: the whole batch is
-    // re-quantized at once (encode() is parallel over the stacked
-    // rows) and multiplied in one engine call per weight matrix.
-    const QuantizedTensor qx = encodeAct({l, "x"}, input, lane);
+    // re-quantized at once (the fused encode is parallel over the
+    // stacked rows and emits planes directly) and multiplied in one
+    // engine call per weight matrix. wq stands in for wk/wv as the
+    // Auto partner — all three share shape and pinned plane set.
+    const QuantizedTensor qx =
+        encodeAct({l, "x"}, input, &ql.wq, lane);
     Tensor q = indexMatmulTransB(qx, ql.wq, &mmStats, lane);
     Tensor k = indexMatmulTransB(qx, ql.wk, &mmStats, lane);
     Tensor v = indexMatmulTransB(qx, ql.wv, &mmStats, lane);
@@ -167,30 +230,33 @@ QuantizedTransformer::forwardLayerQuantized(
             }
         }
         Tensor scores = indexMatmulTransB(
-            countActCodes(quantizer.encode(qh, dq)),
-            countActCodes(quantizer.encode(kh, dk)), &mmStats);
+            encodeActDict(dq, qh, nullptr, lane),
+            encodeActDict(dk, kh, nullptr, lane), &mmStats, lane);
         scale(scores, inv_sqrt);
         softmaxRows(scores);
         const Tensor out = indexMatmulTransB(
-            countActCodes(quantizer.encode(scores, dp)),
-            countActCodes(quantizer.encode(vht, dv)), &mmStats);
+            encodeActDict(dp, scores, nullptr, lane),
+            encodeActDict(dv, vht, nullptr, lane), &mmStats, lane);
         for (size_t r = 0; r < seq; ++r)
             for (size_t c = 0; c < hd; ++c)
                 ctx.at(r0 + r, h * hd + c) = out.at(r, c);
     });
 
-    Tensor attn = indexMatmulTransB(encodeAct({l, "ctx"}, ctx, lane),
-                                    ql.wo, &mmStats, lane);
+    Tensor attn = indexMatmulTransB(
+        encodeAct({l, "ctx"}, ctx, &ql.wo, lane), ql.wo, &mmStats,
+        lane);
     addBias(attn, w.bo);
     Tensor res1 = add(attn, input);
     layerNormRows(res1);
 
     Tensor mid = indexMatmulTransB(
-        encodeAct({l, "mid_in"}, res1, lane), ql.w1, &mmStats, lane);
+        encodeAct({l, "mid_in"}, res1, &ql.w1, lane), ql.w1,
+        &mmStats, lane);
     addBias(mid, w.b1);
     gelu(mid);
-    Tensor out = indexMatmulTransB(encodeAct({l, "mid"}, mid, lane),
-                                   ql.w2, &mmStats, lane);
+    Tensor out = indexMatmulTransB(
+        encodeAct({l, "mid"}, mid, &ql.w2, lane), ql.w2, &mmStats,
+        lane);
     addBias(out, w.b2);
     Tensor res2 = add(out, res1);
     layerNormRows(res2);

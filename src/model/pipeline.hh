@@ -38,6 +38,19 @@ enum class QuantMode
 };
 
 /**
+ * Whether activation re-quantization uses the fused single-pass
+ * encodeToPlanes() path (the default) or the seed two-pass
+ * encode() + derivePlanes path. Process-wide, initialized from
+ * MOKEY_FUSED_ENCODE (unset/1/on -> fused; 0/off -> seed path).
+ * Outputs are bit-identical either way — the knob exists for parity
+ * tests, benchmarking, and as a rollback lever.
+ */
+bool fusedActEncode();
+
+/** Flip the activation-encode path (tests restore the prior value). */
+void setFusedActEncode(bool fused);
+
+/**
  * Aggregate quantization statistics for reporting. The embedded
  * matmul counters are atomic (see IndexMatmulStats), so snapshots
  * taken while batched forwards are in flight are safe.
@@ -134,9 +147,26 @@ class QuantizedTransformer
                                  const std::vector<size_t> &starts,
                                  Lane lane) const;
 
-    /** Encode an activation against its profiled dictionary. */
+    /**
+     * Encode an activation against its profiled dictionary, folding
+     * it into the outlier-rate counters. On the fused path the
+     * planes the downstream GEMM streams are emitted directly
+     * (encodeToPlanes); @p partner is that GEMM's other operand —
+     * the weight tensor whose plane residency the Auto engine
+     * heuristic consults — or nullptr for activation x activation
+     * GEMMs (attention), which always resolve to byte planes under
+     * Auto because both sides start cold.
+     */
     QuantizedTensor encodeAct(const TensorId &id, const Tensor &t,
+                              const QuantizedTensor *partner,
                               Lane lane) const;
+
+    /** encodeAct() for a pre-resolved dictionary (attention inner
+     * loops, where the map lookup would run once per head job). */
+    QuantizedTensor encodeActDict(const TensorDictionary &dict,
+                                  const Tensor &t,
+                                  const QuantizedTensor *partner,
+                                  Lane lane) const;
 
     /** Fold a quantized activation into the outlier-rate counters. */
     QuantizedTensor countActCodes(QuantizedTensor q) const;

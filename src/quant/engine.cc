@@ -1,10 +1,9 @@
 #include "quant/engine.hh"
 
 #include <atomic>
-#include <cctype>
-#include <cstdlib>
 #include <string>
 
+#include "common/env.hh"
 #include "common/logging.hh"
 
 namespace mokey
@@ -16,18 +15,17 @@ namespace
 IndexEngine
 engineFromEnv()
 {
-    const char *env = std::getenv("MOKEY_ENGINE");
-    if (env == nullptr || *env == '\0')
+    const std::string s = lowercasedEnv("MOKEY_ENGINE");
+    if (s.empty())
         return IndexEngine::Mag;
-    std::string s(env);
-    for (char &c : s)
-        c = static_cast<char>(
-            std::tolower(static_cast<unsigned char>(c)));
     if (s == "mag")
         return IndexEngine::Mag;
     if (s == "count" || s == "counting")
         return IndexEngine::Count;
-    fatal("MOKEY_ENGINE must be 'mag' or 'count', got '%s'", env);
+    if (s == "auto")
+        return IndexEngine::Auto;
+    fatal("MOKEY_ENGINE must be 'mag', 'count' or 'auto', got '%s'",
+          s.c_str());
 }
 
 std::atomic<IndexEngine> &
@@ -54,7 +52,15 @@ setIndexEngine(IndexEngine engine)
 const char *
 indexEngineName(IndexEngine engine)
 {
-    return engine == IndexEngine::Mag ? "mag" : "count";
+    switch (engine) {
+    case IndexEngine::Mag:
+        return "mag";
+    case IndexEngine::Count:
+        return "count";
+    case IndexEngine::Auto:
+        return "auto";
+    }
+    return "?";
 }
 
 PlaneSet
@@ -62,6 +68,43 @@ enginePlaneSet(IndexEngine engine)
 {
     return engine == IndexEngine::Mag ? PlaneSet::Mag
                                       : PlaneSet::Bytes;
+}
+
+IndexEngine
+autoEngineChoice(size_t aRows, size_t wRows, size_t k,
+                 const PlanesFootprint &weight)
+{
+    const size_t mag_stream_bytes =
+        (aRows + wRows) * k * sizeof(double);
+    if (mag_stream_bytes > kAutoMagBudgetBytes)
+        return IndexEngine::Count;
+    if (weight.resident && weight.magResident)
+        return IndexEngine::Mag;
+    return IndexEngine::Count;
+}
+
+IndexEngine
+resolveIndexEngine(const QuantizedTensor &a, const QuantizedTensor &wt)
+{
+    const IndexEngine e = indexEngine();
+    if (e != IndexEngine::Auto)
+        return e;
+    return autoEngineChoice(a.rows(), wt.rows(), a.cols(),
+                            wt.planesFootprint());
+}
+
+PlaneSet
+weightPlaneSet(IndexEngine engine, size_t wRows, size_t k)
+{
+    if (engine != IndexEngine::Auto)
+        return enginePlaneSet(engine);
+    // Pin mag only when this weight's own plane leaves room for an
+    // activation-side stream of similar K inside the budget;
+    // otherwise serving GEMMs will route to counting anyway, so the
+    // byte planes are the right residents.
+    return wRows * k * sizeof(double) * 2 <= kAutoMagBudgetBytes
+        ? PlaneSet::Mag
+        : PlaneSet::Bytes;
 }
 
 } // namespace mokey

@@ -576,7 +576,7 @@ Tensor
 indexMatmulTransB(const QuantizedTensor &a, const QuantizedTensor &wt,
                   IndexMatmulStats *stats, Lane lane)
 {
-    if (indexEngine() == IndexEngine::Count)
+    if (resolveIndexEngine(a, wt) == IndexEngine::Count)
         return countingMatmul(a, wt, stats, true, lane);
     return engineMatmul(a, wt, stats, true, lane);
 }
@@ -586,7 +586,7 @@ indexMatmulTransBScalar(const QuantizedTensor &a,
                         const QuantizedTensor &wt,
                         IndexMatmulStats *stats)
 {
-    if (indexEngine() == IndexEngine::Count)
+    if (resolveIndexEngine(a, wt) == IndexEngine::Count)
         return countingMatmul(a, wt, stats, false);
     return engineMatmul(a, wt, stats, false);
 }

@@ -148,7 +148,9 @@ double indexDot(const QCode *a, const TensorDictionary &dict_a,
  * output activation tensor ready for on-the-fly re-quantization.
  *
  * This is the production entry point: it dispatches to the engine
- * selected by indexEngine() (MOKEY_ENGINE / setIndexEngine()):
+ * selected by resolveIndexEngine() — the fixed MOKEY_ENGINE /
+ * setIndexEngine() choice, or, under MOKEY_ENGINE=auto, a per-GEMM
+ * decision from K and the weight-side plane residency:
  *
  *  - indexMatmulTransBMag(): streams the dense double magnitude
  *    planes branch-free (GPE collapses to one vectorized dot);
@@ -220,8 +222,9 @@ indexMatmulTransBBatched(const std::vector<const QuantizedTensor *> &as,
 /**
  * The selected engine's scalar path: the same per-element kernel as
  * indexMatmulTransB() run entirely on the calling thread (dispatches
- * on indexEngine() like the parallel entry point). Exists so parity
- * tests can pin the parallel path bit-for-bit under either engine.
+ * on resolveIndexEngine() like the parallel entry point). Exists so
+ * parity tests can pin the parallel path bit-for-bit under either
+ * engine.
  */
 Tensor indexMatmulTransBScalar(const QuantizedTensor &a,
                                const QuantizedTensor &wt,

@@ -1,6 +1,7 @@
 #include "quant/quantized_tensor.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <mutex>
 
 #include "common/logging.hh"
@@ -33,6 +34,81 @@ QuantizedTensor::QuantizedTensor(size_t rows, size_t cols,
 {
 }
 
+QuantizedTensor
+QuantizedTensor::fromPlanes(std::shared_ptr<const CodePlanes> planes,
+                            TensorDictionary d)
+{
+    MOKEY_ASSERT(planes != nullptr, "fromPlanes with no planes");
+    MOKEY_ASSERT(!planes->index.empty() || !planes->mag.empty() ||
+                     planes->rows * planes->cols == 0,
+                 "fromPlanes needs at least one dense plane to "
+                 "materialize codes from");
+    QuantizedTensor q;
+    q.nRows = planes->rows;
+    q.nCols = planes->cols;
+    q.dict = std::move(d);
+    std::atomic_store_explicit(
+        &q.planesCache,
+        std::shared_ptr<const CodePlanes>(std::move(planes)),
+        std::memory_order_release);
+    q.codesReady.store(false, std::memory_order_relaxed);
+    return q;
+}
+
+void
+QuantizedTensor::materializeCodes() const
+{
+    // Single-flight like the planes build, with its own stripe set
+    // so a planes upgrade that needs the codes (planesShared ->
+    // ensureCodes) can never self-deadlock on one mutex.
+    static std::mutex code_mus[8];
+    std::mutex &mu =
+        code_mus[(reinterpret_cast<uintptr_t>(this) >> 4) & 7];
+    std::lock_guard<std::mutex> lk(mu);
+    if (codesReady.load(std::memory_order_acquire))
+        return;
+
+    const auto p = std::atomic_load_explicit(
+        &planesCache, std::memory_order_acquire);
+    MOKEY_ASSERT(p != nullptr,
+                 "planes-first tensor lost its planes view");
+    const bool from_bytes = planeSetCovers(p->sets, PlaneSet::Bytes);
+    std::vector<QCode> out(nRows * nCols, QCode{0});
+    for (size_t r = 0; r < nRows; ++r) {
+        QCode *dst = out.data() + r * nCols;
+        if (from_bytes) {
+            const uint8_t *ix = p->indexRow(r);
+            const int8_t *th = p->thetaRow(r);
+            for (size_t c = 0; c < nCols; ++c)
+                dst[c] = QCode::gaussian(th[c] < 0, ix[c]);
+        } else {
+            // Invert the mag plane: entries are exact copies of
+            // +/- dictionary magnitudes, so the nearest-index lookup
+            // recovers the original index bit-exactly (the table is
+            // strictly increasing, distance zero wins).
+            const double *mg = p->magRow(r);
+            for (size_t c = 0; c < nCols; ++c) {
+                if (mg[c] == 0.0)
+                    continue; // outlier slot, sidecar fills it below
+                const bool neg = mg[c] < 0.0;
+                const size_t i =
+                    dict.exp().nearestIndex(std::abs(mg[c]));
+                MOKEY_ASSERT(dict.exp().magnitude(i) ==
+                                 std::abs(mg[c]),
+                             "mag plane entry (%zu, %zu) is not a "
+                             "dictionary magnitude", r, c);
+                dst[c] = QCode::gaussian(neg, static_cast<uint8_t>(i));
+            }
+        }
+        const CodePlanes::Outlier *ot = p->outlierRow(r);
+        const size_t n_ot = p->outlierCount(r);
+        for (size_t i = 0; i < n_ot; ++i)
+            dst[ot[i].col] = QCode::outlier(ot[i].index);
+    }
+    codes = std::move(out);
+    codesReady.store(true, std::memory_order_release);
+}
+
 std::shared_ptr<const CodePlanes>
 QuantizedTensor::planesShared(PlaneSet need) const
 {
@@ -60,6 +136,10 @@ QuantizedTensor::planesShared(PlaneSet need) const
     // Upgrade, never downgrade: a rebuild keeps every plane set the
     // displaced cache already carried, so alternating engines on one
     // tensor converges to the union instead of thrashing rebuilds.
+    // The rebuild walks the code array, which a planes-first tensor
+    // materializes here first (its own single-flight lock; never the
+    // one held now).
+    ensureCodes();
     const PlaneSet sets =
         cached ? (cached->sets | need) : need;
     const bool want_bytes = planeSetCovers(sets, PlaneSet::Bytes);
@@ -97,7 +177,7 @@ QuantizedTensor::planesShared(PlaneSet need) const
                 if (want_mag)
                     mg[c] = 0.0;
                 p->outliers.push_back(
-                    {static_cast<uint32_t>(c),
+                    {static_cast<uint32_t>(c), q.outlierIndex(),
                      dict.outlierValue(q.outlierIndex())});
             } else {
                 if (want_bytes) {
@@ -154,6 +234,9 @@ QuantizedTensor::pinPlanes(PlaneSet need) const
 void
 QuantizedTensor::unpinPlanes() const
 {
+    // For a planes-first tensor the cached planes are the source of
+    // truth: rescue the codes before releasing the view.
+    ensureCodes();
     pinnedFlag.store(false, std::memory_order_relaxed);
     dropPlanes();
 }
@@ -163,8 +246,15 @@ QuantizedTensor::planesFootprint() const
 {
     PlanesFootprint f;
     f.pinned = planesPinned();
-    f.codeBytes = codes.size() * sizeof(QCode);
-    f.deriveElements = codes.size();
+    // Resident code bytes: zero for a planes-first tensor whose
+    // codes were never materialized (the planes are its only
+    // storage); the rebuild pass count is shape-based either way.
+    // The ready flag gates the read — a concurrent const reader may
+    // be materializing (move-assigning) the vector right now.
+    f.codeBytes = codesReady.load(std::memory_order_acquire)
+        ? codes.size() * sizeof(QCode)
+        : 0;
+    f.deriveElements = size();
     const auto cached = std::atomic_load_explicit(
         &planesCache, std::memory_order_acquire);
     if (!cached)
@@ -210,12 +300,21 @@ QuantizedTensor::decodeAt(size_t r, size_t c) const
 double
 QuantizedTensor::outlierFraction() const
 {
-    if (codes.empty())
+    if (size() == 0)
         return 0.0;
+    // The resident sidecar already knows the count; only a tensor
+    // with neither planes nor codes has to materialize.
+    const auto cached = std::atomic_load_explicit(
+        &planesCache, std::memory_order_acquire);
     size_t n = 0;
-    for (const QCode q : codes)
-        n += q.isOutlier();
-    return static_cast<double>(n) / static_cast<double>(codes.size());
+    if (cached) {
+        n = cached->outliers.size();
+    } else {
+        ensureCodes();
+        for (const QCode q : codes)
+            n += q.isOutlier();
+    }
+    return static_cast<double>(n) / static_cast<double>(size());
 }
 
 namespace
@@ -262,12 +361,20 @@ size_t
 QuantizedTensor::packedFootprintBits() const
 {
     // Fig. 5: 4 b per value plus, per group of 64 values, a 7 b
-    // outlier count and 6 b per outlier position.
-    const size_t groups = (codes.size() + 63) / 64;
+    // outlier count and 6 b per outlier position. Accounting only —
+    // the sidecar count is enough, no need to materialize codes.
+    const size_t groups = (size() + 63) / 64;
+    const auto cached = std::atomic_load_explicit(
+        &planesCache, std::memory_order_acquire);
     size_t ot = 0;
-    for (const QCode q : codes)
-        ot += q.isOutlier();
-    return codes.size() * 4 + groups * 7 + ot * 6;
+    if (cached) {
+        ot = cached->outliers.size();
+    } else {
+        ensureCodes();
+        for (const QCode q : codes)
+            ot += q.isOutlier();
+    }
+    return size() * 4 + groups * 7 + ot * 6;
 }
 
 } // namespace mokey

@@ -121,10 +121,16 @@ struct CodePlanes
      */
     std::vector<double> mag;
 
-    /** One sidecar entry: an outlier's column and decoded value. */
+    /**
+     * One sidecar entry: an outlier's column, its outlier-dictionary
+     * code index, and its decoded centroid value. The engines read
+     * only (col, value); the index is what lets a planes-first
+     * tensor (fromPlanes) materialize exact 5 b codes on demand.
+     */
     struct Outlier
     {
         uint32_t col;
+        uint8_t index;
         double value;
     };
     std::vector<Outlier> outliers;  ///< all rows, concatenated
@@ -202,19 +208,32 @@ class QuantizedTensor
     QuantizedTensor();
     QuantizedTensor(size_t rows, size_t cols, TensorDictionary dict);
 
+    /**
+     * Planes-first construction: adopt an already-derived CodePlanes
+     * view (the fused activation encoder's output) without ever
+     * materializing the 5 b code array. The codes stay lazy — they
+     * are rebuilt exactly (from the byte planes, or by inverting the
+     * mag plane, plus the sidecar's outlier indexes) only when a
+     * code-domain consumer (pack, decode, raw(), mutation) asks.
+     * The execution engines stream planes, so the serving path never
+     * pays for codes it does not read.
+     */
+    static QuantizedTensor
+    fromPlanes(std::shared_ptr<const CodePlanes> planes,
+               TensorDictionary dict);
+
     // Copying is a const read of the source, so callers may copy a
-    // shared tensor while another thread builds its planes(): the
-    // cache pointer must travel through the same atomics the build
-    // uses. Declaring these suppresses the implicit moves; moves are
-    // mutations (never safe under concurrent readers) and stay
-    // defaulted.
-    QuantizedTensor(const QuantizedTensor &o)
-        : nRows(o.nRows), nCols(o.nCols), codes(o.codes),
-          dict(o.dict),
-          planesCache(std::atomic_load_explicit(
-              &o.planesCache, std::memory_order_acquire)),
-          pinnedFlag(o.pinnedFlag.load(std::memory_order_relaxed))
+    // shared tensor while another thread builds its planes() or
+    // materializes its lazy codes: the cache pointer travels through
+    // the same atomics the build uses, and the codes are copied only
+    // when the source's ready flag says they are stable (otherwise
+    // the copy re-materializes from the shared planes on first use).
+    // Declaring these suppresses the implicit moves; moves are
+    // mutations (never safe under concurrent readers) and are
+    // spelled out below.
+    QuantizedTensor(const QuantizedTensor &o) : QuantizedTensor()
     {
+        *this = o;
     }
     QuantizedTensor &
     operator=(const QuantizedTensor &o)
@@ -222,25 +241,32 @@ class QuantizedTensor
         if (this != &o) {
             nRows = o.nRows;
             nCols = o.nCols;
-            codes = o.codes;
             dict = o.dict;
             planesCache = std::atomic_load_explicit(
                 &o.planesCache, std::memory_order_acquire);
             pinnedFlag.store(
                 o.pinnedFlag.load(std::memory_order_relaxed),
                 std::memory_order_relaxed);
+            if (o.codesReady.load(std::memory_order_acquire)) {
+                codes = o.codes;
+                codesReady.store(true, std::memory_order_relaxed);
+            } else {
+                codes.clear();
+                codesReady.store(false, std::memory_order_relaxed);
+            }
         }
         return *this;
     }
     // Moves are mutations (never safe under concurrent readers), so
-    // they may handle the cache and pin flag non-atomically; they
-    // are spelled out only because the atomic pin flag suppresses
-    // the defaults.
+    // they may handle the cache and flags non-atomically; they are
+    // spelled out only because the atomic members suppress the
+    // defaults.
     QuantizedTensor(QuantizedTensor &&o) noexcept
         : nRows(o.nRows), nCols(o.nCols), codes(std::move(o.codes)),
           dict(std::move(o.dict)),
           planesCache(std::move(o.planesCache)),
-          pinnedFlag(o.pinnedFlag.load(std::memory_order_relaxed))
+          pinnedFlag(o.pinnedFlag.load(std::memory_order_relaxed)),
+          codesReady(o.codesReady.load(std::memory_order_relaxed))
     {
     }
     QuantizedTensor &
@@ -255,33 +281,58 @@ class QuantizedTensor
             pinnedFlag.store(
                 o.pinnedFlag.load(std::memory_order_relaxed),
                 std::memory_order_relaxed);
+            codesReady.store(
+                o.codesReady.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
         }
         return *this;
     }
 
     size_t rows() const { return nRows; }
     size_t cols() const { return nCols; }
-    size_t size() const { return codes.size(); }
+    size_t size() const { return nRows * nCols; }
 
     QCode &at(size_t r, size_t c)
     {
+        ensureCodes();
         dropPlanes();
         return codes[r * nCols + c];
     }
-    QCode at(size_t r, size_t c) const { return codes[r * nCols + c]; }
+    QCode at(size_t r, size_t c) const
+    {
+        ensureCodes();
+        return codes[r * nCols + c];
+    }
 
     QCode *row(size_t r)
     {
+        ensureCodes();
         dropPlanes();
         return codes.data() + r * nCols;
     }
-    const QCode *row(size_t r) const { return codes.data() + r * nCols; }
+    const QCode *row(size_t r) const
+    {
+        ensureCodes();
+        return codes.data() + r * nCols;
+    }
 
-    const std::vector<QCode> &raw() const { return codes; }
+    const std::vector<QCode> &raw() const
+    {
+        ensureCodes();
+        return codes;
+    }
     std::vector<QCode> &raw()
     {
+        ensureCodes();
         dropPlanes();
         return codes;
+    }
+
+    /** True when the 5 b code array is materialized (false only for
+     * a fromPlanes() tensor no code consumer has touched yet). */
+    bool codesMaterialized() const
+    {
+        return codesReady.load(std::memory_order_acquire);
     }
 
     const TensorDictionary &dictionary() const { return dict; }
@@ -356,7 +407,8 @@ class QuantizedTensor
   private:
     size_t nRows;
     size_t nCols;
-    std::vector<QCode> codes;
+    /** 5 b codes; mutable + lazily built for fromPlanes() tensors. */
+    mutable std::vector<QCode> codes;
     TensorDictionary dict;
 
     /**
@@ -375,6 +427,24 @@ class QuantizedTensor
      * requested once.
      */
     mutable std::atomic<bool> pinnedFlag{false};
+
+    /**
+     * False only for a fromPlanes() tensor whose codes have not been
+     * materialized yet (the planes are then the source of truth).
+     * Set with release after the codes vector is fully built, read
+     * with acquire, so concurrent const readers are safe.
+     */
+    mutable std::atomic<bool> codesReady{true};
+
+    /** Materialize lazy codes if needed (cheap no-op when ready). */
+    void ensureCodes() const
+    {
+        if (!codesReady.load(std::memory_order_acquire))
+            materializeCodes();
+    }
+
+    /** Single-flight code materialization from the cached planes. */
+    void materializeCodes() const;
 
     void dropPlanes() const
     {

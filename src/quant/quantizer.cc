@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <memory>
 
 #include "common/logging.hh"
 #include "common/parallel.hh"
+#include "common/simd.hh"
 
 namespace mokey
 {
@@ -41,6 +44,112 @@ Quantizer::encode(const Tensor &t, const TensorDictionary &dict,
                         dst[c] = encodeValue(src[c], dict);
                 });
     return q;
+}
+
+QuantizedTensor
+Quantizer::encodeToPlanes(const Tensor &t,
+                          const TensorDictionary &dict, PlaneSet sets,
+                          Lane lane) const
+{
+    const size_t rows = t.rows(), cols = t.cols();
+    const bool wbytes = planeSetCovers(sets, PlaneSet::Bytes);
+    const bool wmag = planeSetCovers(sets, PlaneSet::Mag);
+    MOKEY_ASSERT(wbytes || wmag,
+                 "encodeToPlanes needs at least one dense plane set");
+
+    auto p = std::make_shared<CodePlanes>();
+    p->rows = rows;
+    p->cols = cols;
+    p->sets = sets;
+    if (wbytes) {
+        p->index.resize(rows * cols);
+        p->theta.resize(rows * cols);
+    }
+    if (wmag)
+        p->mag.resize(rows * cols);
+
+    // Ladder constants: magnitudes padded to the kernel's 8-entry
+    // table; a dictionary without an outlier table gets an infinite
+    // cut, mirroring encodeValue()'s fall-through to the Gaussian
+    // path.
+    const ExpDictionary &exp = dict.exp();
+    const size_t h = exp.indexCount();
+    MOKEY_ASSERT(h >= 1 && h <= 8,
+                 "ladder of %zu magnitudes exceeds the 8-entry "
+                 "kernel table", h);
+    double mags[8];
+    for (size_t i = 0; i < 8; ++i)
+        mags[i] = exp.magnitude(std::min(i, h - 1));
+    const bool has_ot = !dict.outlierCentroids().empty();
+    const double cut = has_ot
+        ? dict.outlierCut()
+        : std::numeric_limits<double>::infinity();
+    const double mean = dict.mean(), scale = dict.scale();
+
+    // Outliers land in per-row buffers stitched in row order below,
+    // so the sidecar is identical for every chunking. The fused walk
+    // is roughly an order of magnitude cheaper per element than the
+    // scalar encode(), hence the coarser grain.
+    std::vector<std::vector<CodePlanes::Outlier>> row_ot(rows);
+    parallelFor(
+        lane, 0, rows, std::max<size_t>(1, 8192 / (cols + 1)),
+        [&](size_t r) {
+            const float *src = t.row(r);
+            uint8_t *ix =
+                wbytes ? p->index.data() + r * cols : nullptr;
+            int8_t *th =
+                wbytes ? p->theta.data() + r * cols : nullptr;
+            double *mg = wmag ? p->mag.data() + r * cols : nullptr;
+            const size_t n_ot = encodeLadder(
+                src, cols, mags, h, mean, scale, cut, ix, th, mg);
+            if (n_ot == 0)
+                return;
+            // Resolve the rare outlier lanes scalar (the OPP side):
+            // the kernel marked them with the zero-sign / zero-mag
+            // convention, which doubles as the scan key.
+            auto &ot = row_ot[r];
+            ot.reserve(n_ot);
+            for (size_t c = 0; c < cols && ot.size() < n_ot; ++c) {
+                const bool is_ot =
+                    wbytes ? th[c] == 0 : mg[c] == 0.0;
+                if (!is_ot)
+                    continue;
+                const double v = src[c];
+                const size_t oi = dict.nearestOutlierIndex(v);
+                ot.push_back({static_cast<uint32_t>(c),
+                              static_cast<uint8_t>(oi),
+                              dict.outlierValue(oi)});
+            }
+        });
+
+    p->rowStart.assign(rows + 1, 0);
+    size_t total = 0;
+    for (size_t r = 0; r < rows; ++r) {
+        total += row_ot[r].size();
+        p->rowStart[r + 1] = static_cast<uint32_t>(total);
+    }
+    p->outliers.reserve(total);
+    for (size_t r = 0; r < rows; ++r)
+        p->outliers.insert(p->outliers.end(), row_ot[r].begin(),
+                           row_ot[r].end());
+#ifndef NDEBUG
+    // Same invariant derivePlanes() asserts: outlier slots must
+    // carry the zero-index/zero-sign convention the branch-free
+    // engines rely on.
+    if (wbytes) {
+        for (size_t r = 0; r < rows; ++r) {
+            for (size_t i = 0; i < p->outlierCount(r); ++i) {
+                const uint32_t c = p->outlierRow(r)[i].col;
+                MOKEY_ASSERT(p->indexRow(r)[c] == 0 &&
+                                 p->thetaRow(r)[c] == 0,
+                             "fused outlier slot (%zu, %u) violates "
+                             "the zero-index/zero-sign plane "
+                             "convention", r, c);
+            }
+        }
+    }
+#endif
+    return QuantizedTensor::fromPlanes(std::move(p), dict);
 }
 
 QCode

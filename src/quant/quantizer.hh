@@ -58,6 +58,26 @@ class Quantizer
                            const TensorDictionary &dict,
                            Lane lane = {}) const;
 
+    /**
+     * Fused single-pass encode for the serving path: walk each row
+     * band once and emit the index/theta/mag planes and the outlier
+     * sidecars directly — no intermediate code tensor, no separate
+     * derivePlanes walk. The comparator ladder runs vectorized
+     * (simd.hh encodeLadder) and only the planes in @p sets are
+     * materialized, so an activation headed for the counting engine
+     * costs 2 B/element of writes instead of 1 B codes + 10 B
+     * derived planes. The result is a planes-first QuantizedTensor
+     * (fromPlanes): bit-identical planes to
+     * encode(t, dict).planes(sets), with the 5 b codes themselves
+     * materialized lazily only if pack/decode/tests ask. Rows fan
+     * out over the executor on @p lane; results are lane- and
+     * thread-count-independent.
+     */
+    QuantizedTensor encodeToPlanes(const Tensor &t,
+                                   const TensorDictionary &dict,
+                                   PlaneSet sets = PlaneSet::All,
+                                   Lane lane = {}) const;
+
     /** Encode one value by nearest-centroid search (reference). */
     QCode encodeValue(double v, const TensorDictionary &dict) const;
 

@@ -420,6 +420,145 @@ TEST(EngineSelector, CountingStreamsOnlyBytePlanes)
     }
 }
 
+TEST(AutoEngine, DecisionTable)
+{
+    // The MOKEY_ENGINE=auto heuristic as a pure decision table
+    // (ROADMAP: "pick count when planes are cold or K is
+    // DRAM-bound").
+    PlanesFootprint cold; // nothing resident
+    PlanesFootprint bytes_only;
+    bytes_only.resident = true;
+    bytes_only.bytesResident = true;
+    PlanesFootprint mag_warm;
+    mag_warm.resident = true;
+    mag_warm.magResident = true;
+
+    // Cold weight planes -> counting, regardless of shape.
+    EXPECT_EQ(autoEngineChoice(16, 16, 64, cold),
+              IndexEngine::Count);
+    // Byte planes resident (a counting-engine pin) -> counting.
+    EXPECT_EQ(autoEngineChoice(16, 16, 64, bytes_only),
+              IndexEngine::Count);
+    // Warm mag plane and a cache-resident working set -> mag.
+    EXPECT_EQ(autoEngineChoice(16, 16, 64, mag_warm),
+              IndexEngine::Mag);
+    // DRAM-bound K: the streamed mag working set exceeds the budget
+    // even though the mag plane is warm -> counting.
+    const size_t huge_k =
+        kAutoMagBudgetBytes / (2 * 64 * sizeof(double)) + 1;
+    EXPECT_EQ(autoEngineChoice(64, 64, huge_k, mag_warm),
+              IndexEngine::Count);
+    // Exactly at the budget counts as resident.
+    const size_t fit_k = kAutoMagBudgetBytes / (2 * 64 * 8);
+    EXPECT_EQ(autoEngineChoice(64, 64, fit_k, mag_warm),
+              IndexEngine::Mag);
+
+    // Weight pinning policy: fixed engines pin what they stream;
+    // Auto pins by the weight's own size.
+    EXPECT_EQ(weightPlaneSet(IndexEngine::Mag, 4096, 4096),
+              PlaneSet::Mag);
+    EXPECT_EQ(weightPlaneSet(IndexEngine::Count, 16, 16),
+              PlaneSet::Bytes);
+    EXPECT_EQ(weightPlaneSet(IndexEngine::Auto, 64, 64),
+              PlaneSet::Mag);
+    const size_t big_n = kAutoMagBudgetBytes / (2 * 64 * 8) + 1;
+    EXPECT_EQ(weightPlaneSet(IndexEngine::Auto, big_n, 64),
+              PlaneSet::Bytes);
+
+    EXPECT_STREQ(indexEngineName(IndexEngine::Auto), "auto");
+    EXPECT_EQ(enginePlaneSet(IndexEngine::Auto), PlaneSet::Bytes);
+}
+
+TEST(AutoEngine, DispatchFollowsResolvedEngine)
+{
+    // Under MOKEY_ENGINE=auto the production entry point must route
+    // each GEMM exactly where the decision table says: to the mag
+    // engine when the weight's mag plane is warm, to counting when
+    // the weight is cold — verified bit-for-bit against the explicit
+    // engine entry points.
+    ExpDictionary exp(1.179, -0.977, 8);
+    Quantizer quantizer(exp);
+    Rng rng(667);
+    Tensor ta(9, 80, rng.gaussianVector(720, 0.0, 1.0));
+    Tensor tw(7, 80, rng.gaussianVector(560, 0.2, 0.7));
+    const auto qa =
+        quantizer.encode(ta, quantizer.buildDictionary(ta));
+    const auto qw =
+        quantizer.encode(tw, quantizer.buildDictionary(tw));
+
+    const EngineGuard engine_guard;
+    setIndexEngine(IndexEngine::Auto);
+
+    // Cold weight -> counting.
+    EXPECT_EQ(resolveIndexEngine(qa, qw), IndexEngine::Count);
+    const Tensor cold_out = indexMatmulTransB(qa, qw);
+    const Tensor count_ref = indexMatmulTransBCounting(qa, qw);
+    ASSERT_EQ(cold_out.raw(), count_ref.raw());
+
+    // Pin the mag plane -> the same GEMM now resolves to mag.
+    qw.pinPlanes(PlaneSet::Mag);
+    EXPECT_EQ(resolveIndexEngine(qa, qw), IndexEngine::Mag);
+    const Tensor warm_out = indexMatmulTransB(qa, qw);
+    const Tensor mag_ref = indexMatmulTransBMag(qa, qw);
+    ASSERT_EQ(warm_out.raw(), mag_ref.raw());
+
+    // The scalar pin dispatches identically.
+    ASSERT_EQ(indexMatmulTransBScalar(qa, qw).raw(),
+              warm_out.raw());
+
+    // A fixed selection bypasses the heuristic entirely.
+    setIndexEngine(IndexEngine::Count);
+    EXPECT_EQ(resolveIndexEngine(qa, qw), IndexEngine::Count);
+}
+
+TEST(FusedEncodeGemm, BitIdenticalToUnfusedPerEngine)
+{
+    // The engines consume only planes + dictionary, and the fused
+    // encoder's planes are bit-identical to the derived ones — so
+    // GEMMs over fused-encoded activations must match GEMMs over
+    // encode()d ones bit-for-bit, per engine, across thread counts
+    // and lanes.
+    ExpDictionary exp(1.179, -0.977, 8);
+    Quantizer quantizer(exp);
+    Rng rng(669);
+    Tensor ta(22, 112, rng.gaussianVector(22 * 112, 0.1, 1.2));
+    Tensor tw(17, 112, rng.gaussianVector(17 * 112, 0.0, 0.4));
+    for (size_t i = 0; i < ta.size(); i += 61)
+        ta.raw()[i] = (i % 2) ? 8.0f : -7.5f; // force outliers
+    const auto da = quantizer.buildDictionary(ta);
+    const auto dw = quantizer.buildDictionary(tw);
+    const auto qa_ref = quantizer.encode(ta, da);
+    const auto qw = quantizer.encode(tw, dw);
+
+    const EngineGuard engine_guard;
+    const ThreadCountGuard thread_guard;
+    const size_t hw = std::max<size_t>(
+        1, std::thread::hardware_concurrency());
+
+    for (const IndexEngine engine :
+         {IndexEngine::Mag, IndexEngine::Count, IndexEngine::Auto}) {
+        setIndexEngine(engine);
+        setThreadCount(1);
+        const Tensor ref = indexMatmulTransB(qa_ref, qw);
+        for (const size_t t : {size_t{1}, size_t{2}, hw}) {
+            setThreadCount(t);
+            for (const Lane lane : {Lane{}, Lane::acquire()}) {
+                const auto qa_fused = quantizer.encodeToPlanes(
+                    ta, da,
+                    enginePlaneSet(engine == IndexEngine::Auto
+                                       ? IndexEngine::Count
+                                       : engine),
+                    lane);
+                const Tensor out =
+                    indexMatmulTransB(qa_fused, qw, nullptr, lane);
+                ASSERT_EQ(out.raw(), ref.raw())
+                    << "engine=" << indexEngineName(engine)
+                    << " threads=" << t << " lane=" << lane.id();
+            }
+        }
+    }
+}
+
 TEST(EngineDeterminism, StatsInvariantAcrossThreadCounts)
 {
     ExpDictionary exp(1.179, -0.977, 8);

@@ -6,11 +6,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <thread>
 #include <utility>
 #include <gtest/gtest.h>
 
 #include "common/parallel.hh"
 #include "common/rng.hh"
+#include "common/simd.hh"
 #include "common/stats.hh"
 #include "quant/exp_dictionary.hh"
 #include "quant/golden_dictionary.hh"
@@ -632,6 +635,321 @@ TEST_F(CodecFixture, UpgradeRetainsDisplacedViewUntilRepin)
     EXPECT_EQ(f.retiredBytes, 0u);
     EXPECT_TRUE(f.bytesResident);
     EXPECT_FALSE(f.magResident);
+}
+
+// ---- fused activation-quantization path -----------------------------
+
+/** Planes equality under a given set (and sidecars always). */
+void
+expectPlanesEqual(const CodePlanes &a, const CodePlanes &b,
+                  PlaneSet sets, const std::string &what)
+{
+    ASSERT_EQ(a.rows, b.rows) << what;
+    ASSERT_EQ(a.cols, b.cols) << what;
+    if (planeSetCovers(sets, PlaneSet::Bytes)) {
+        ASSERT_EQ(a.index, b.index) << what;
+        ASSERT_EQ(a.theta, b.theta) << what;
+    }
+    if (planeSetCovers(sets, PlaneSet::Mag)) {
+        ASSERT_EQ(a.mag.size(), b.mag.size()) << what;
+        for (size_t i = 0; i < a.mag.size(); ++i)
+            ASSERT_EQ(a.mag[i], b.mag[i]) << what << " mag i=" << i;
+    }
+    ASSERT_EQ(a.rowStart, b.rowStart) << what;
+    ASSERT_EQ(a.outliers.size(), b.outliers.size()) << what;
+    for (size_t i = 0; i < a.outliers.size(); ++i) {
+        ASSERT_EQ(a.outliers[i].col, b.outliers[i].col)
+            << what << " ot i=" << i;
+        ASSERT_EQ(a.outliers[i].index, b.outliers[i].index)
+            << what << " ot i=" << i;
+        ASSERT_EQ(a.outliers[i].value, b.outliers[i].value)
+            << what << " ot i=" << i;
+    }
+}
+
+class FusedEncodeFixture : public ::testing::Test
+{
+  protected:
+    FusedEncodeFixture() : exp(1.179, -0.977, 8), quantizer(exp) {}
+
+    /** Gaussian tensor with a sprinkling of forced outliers. */
+    Tensor
+    makeTensor(size_t rows, size_t cols, uint64_t seed,
+               double tail_frac = 0.03)
+    {
+        Rng rng(seed);
+        std::vector<float> v =
+            rng.gaussianVector(rows * cols, 0.2, 1.1);
+        const size_t n_tail = static_cast<size_t>(
+            tail_frac * static_cast<double>(v.size()));
+        for (size_t i = 0; i < n_tail; ++i)
+            v[rng.uniformInt(v.size())] =
+                static_cast<float>(rng.gaussian(0.0, 6.0));
+        return Tensor(rows, cols, v);
+    }
+
+    ExpDictionary exp;
+    Quantizer quantizer;
+};
+
+TEST_F(FusedEncodeFixture, PlanesBitIdenticalAcrossSetsThreadsLanes)
+{
+    // The tentpole contract: the one-pass fused encoder emits planes
+    // bit-identical to encode() + derivePlanes for every plane set,
+    // thread count, and lane — including the lazily materialized
+    // codes.
+    const ThreadCountGuard thread_guard;
+    const size_t hw = std::max<size_t>(
+        1, std::thread::hardware_concurrency());
+    for (const auto &shape : {std::pair<size_t, size_t>{1, 1},
+                              std::pair<size_t, size_t>{3, 257},
+                              std::pair<size_t, size_t>{64, 96},
+                              std::pair<size_t, size_t>{129, 40}}) {
+        const Tensor t =
+            makeTensor(shape.first, shape.second, 600 + shape.first);
+        const auto dict = quantizer.buildDictionary(t);
+        const auto ref = quantizer.encode(t, dict);
+        const CodePlanes &rp = ref.planes(PlaneSet::All);
+
+        for (const PlaneSet sets :
+             {PlaneSet::Bytes, PlaneSet::Mag, PlaneSet::All}) {
+            for (const size_t threads : {size_t{1}, size_t{2}, hw}) {
+                setThreadCount(threads);
+                for (const Lane lane : {Lane{}, Lane::acquire()}) {
+                    const auto fused = quantizer.encodeToPlanes(
+                        t, dict, sets, lane);
+                    const std::string what =
+                        "rows=" + std::to_string(shape.first) +
+                        " sets=" +
+                        std::to_string(static_cast<unsigned>(sets)) +
+                        " threads=" + std::to_string(threads);
+                    expectPlanesEqual(fused.planes(sets), rp, sets,
+                                      what);
+                    // Codes materialize lazily and exactly.
+                    EXPECT_FALSE(fused.codesMaterialized()) << what;
+                    ASSERT_EQ(fused.raw(), ref.raw()) << what;
+                    EXPECT_TRUE(fused.codesMaterialized()) << what;
+                }
+            }
+        }
+    }
+}
+
+TEST_F(FusedEncodeFixture, AllOutlierAndOutlierFreeRows)
+{
+    // Corner rows the encoder rarely emits: a row that is entirely
+    // outliers (sidecar as long as the row) and a row with none.
+    // Profile-style dictionary from tame data (so its cut sits near
+    // 2.4 sigma and has an outlier table), then encode a probe
+    // tensor with engineered corner rows against it.
+    Rng rng(611);
+    const Tensor profile =
+        makeTensor(8, 64, 6110, 0.03); // has a tail -> OT exists
+    const auto dict = quantizer.buildDictionary(profile);
+    ASSERT_FALSE(dict.outlierCentroids().empty());
+
+    const size_t cols = 70;
+    std::vector<float> v = rng.gaussianVector(4 * cols, 0.0, 1.0);
+    for (size_t c = 0; c < cols; ++c) {
+        v[0 * cols + c] = (c % 2 ? 9.5f : -8.75f) -
+            static_cast<float>(c) * 0.01f; // row 0: all outliers
+        v[1 * cols + c] =
+            0.4f * static_cast<float>(c % 5) - 0.8f; // row 1: none
+    }
+    const Tensor t(4, cols, v);
+    const auto ref = quantizer.encode(t, dict);
+    const auto fused = quantizer.encodeToPlanes(t, dict);
+    const CodePlanes &fp = fused.planes(PlaneSet::All);
+
+    ASSERT_EQ(fp.outlierCount(0), cols);
+    ASSERT_EQ(fp.outlierCount(1), 0u);
+    expectPlanesEqual(fp, ref.planes(PlaneSet::All), PlaneSet::All,
+                      "corner rows");
+    ASSERT_EQ(fused.raw(), ref.raw());
+}
+
+TEST_F(FusedEncodeFixture, NoOutlierTableFallsBackToGaussian)
+{
+    // A dictionary built from tail-free data has no outlier table;
+    // values beyond the cut must then take the Gaussian path (the
+    // encodeValue() fall-through), clamping to the outermost index.
+    Rng rng(613);
+    Tensor base(8, 32, rng.gaussianVector(256, 0.0, 0.4));
+    // Tame the tail so no sample crosses the cut.
+    for (float &x : base.raw())
+        x = std::max(-0.9f, std::min(0.9f, x));
+    const auto dict = quantizer.buildDictionary(base);
+    ASSERT_TRUE(dict.outlierCentroids().empty());
+
+    Tensor probe = base;
+    probe.at(0, 0) = 25.0f; // far beyond any cut
+    probe.at(3, 7) = -31.5f;
+    const auto ref = quantizer.encode(probe, dict);
+    const auto fused = quantizer.encodeToPlanes(probe, dict);
+    EXPECT_FALSE(ref.at(0, 0).isOutlier());
+    expectPlanesEqual(fused.planes(PlaneSet::All),
+                      ref.planes(PlaneSet::All), PlaneSet::All,
+                      "no outlier table");
+    ASSERT_EQ(fused.raw(), ref.raw());
+}
+
+TEST(EncodeLadderKernel, ExactTiePicksLowerIndex)
+{
+    // Powers-of-two magnitudes make the bin midpoints exactly
+    // representable, so d_lo == d_hi is an exact FP tie — the case
+    // the branchless predicate must resolve identically to the
+    // scalar two-subtraction compare (ties to the lower index).
+    const ExpDictionary exp(2.0, 0.0, 8); // mags 1, 2, 4, ..., 128
+    double mags[8];
+    for (size_t i = 0; i < 8; ++i)
+        mags[i] = exp.magnitude(i);
+
+    // Ties at every midpoint, the exact centroids, off-tie probes on
+    // both sides, and enough filler to engage the vector bodies and
+    // their scalar tails.
+    std::vector<float> src;
+    for (size_t i = 0; i + 1 < 8; ++i) {
+        const float mid =
+            static_cast<float>((mags[i] + mags[i + 1]) / 2.0);
+        src.push_back(mid);
+        src.push_back(-mid);
+        src.push_back(std::nextafter(mid, 1e30f));
+        src.push_back(std::nextafter(mid, 0.0f));
+    }
+    for (size_t i = 0; i < 8; ++i)
+        src.push_back(static_cast<float>(mags[i]));
+    src.push_back(0.0f);
+    src.push_back(-0.0f);
+    src.push_back(1000.0f); // beyond the ladder: clamps to index 7
+
+    const size_t n = src.size();
+    std::vector<uint8_t> idx(n);
+    std::vector<int8_t> theta(n);
+    std::vector<double> mag(n);
+    const size_t ot = encodeLadder(
+        src.data(), n, mags, 8, 0.0, 1.0,
+        std::numeric_limits<double>::infinity(), idx.data(),
+        theta.data(), mag.data());
+    EXPECT_EQ(ot, 0u);
+
+    for (size_t c = 0; c < n; ++c) {
+        const double u = static_cast<double>(src[c]);
+        const size_t want = exp.nearestIndex(std::abs(u));
+        EXPECT_EQ(idx[c], want) << "src=" << src[c];
+        EXPECT_EQ(theta[c], u < 0.0 ? -1 : 1) << "src=" << src[c];
+        EXPECT_EQ(mag[c],
+                  (u < 0.0 ? -1.0 : 1.0) * exp.magnitude(want))
+            << "src=" << src[c];
+    }
+    // Spot-check the tie semantics directly: 1.5 sits exactly
+    // between mags 1 and 2 -> lower index wins.
+    EXPECT_EQ(exp.nearestIndex(1.5), 0u);
+    EXPECT_EQ(idx[0], 0u);
+}
+
+TEST(EncodeLadderKernel, OutlierThresholdIsStrict)
+{
+    // |v - mean| > cut is strict: a value exactly at the cut stays
+    // Gaussian, one ulp above goes to the sidecar — on both the
+    // vector body and the scalar tail.
+    const ExpDictionary exp(2.0, 0.0, 8);
+    double mags[8];
+    for (size_t i = 0; i < 8; ++i)
+        mags[i] = exp.magnitude(i);
+    const double cut = 4.0;
+    std::vector<float> src(19, 1.0f);
+    src[3] = 4.0f;                         // == cut: Gaussian
+    src[7] = std::nextafter(4.0f, 1e30f);  // > cut: outlier
+    src[18] = -5.0f;                       // tail element, outlier
+    std::vector<uint8_t> idx(src.size());
+    std::vector<int8_t> theta(src.size());
+    std::vector<double> mag(src.size());
+    const size_t ot =
+        encodeLadder(src.data(), src.size(), mags, 8, 0.0, 1.0, cut,
+                     idx.data(), theta.data(), mag.data());
+    EXPECT_EQ(ot, 2u);
+    EXPECT_EQ(theta[3], 1);
+    EXPECT_EQ(idx[3], 2u); // |4| -> index 2 (mag 4)
+    EXPECT_EQ(theta[7], 0);
+    EXPECT_EQ(idx[7], 0u);
+    EXPECT_EQ(mag[7], 0.0);
+    EXPECT_EQ(theta[18], 0);
+}
+
+TEST_F(FusedEncodeFixture, LazyCodesFromMagOnlyPlanes)
+{
+    // A mag-only fused tensor reconstructs its codes by inverting
+    // the mag plane (entries are exact dictionary magnitudes), plus
+    // the sidecar's stored outlier indexes.
+    const Tensor t = makeTensor(21, 45, 617);
+    const auto dict = quantizer.buildDictionary(t);
+    const auto ref = quantizer.encode(t, dict);
+    const auto fused =
+        quantizer.encodeToPlanes(t, dict, PlaneSet::Mag);
+    EXPECT_TRUE(fused.planes(PlaneSet::Mag).index.empty());
+    ASSERT_EQ(fused.raw(), ref.raw());
+}
+
+TEST_F(FusedEncodeFixture, FusedTensorPacksAndConcats)
+{
+    // The memory codec and row concat are code-domain consumers:
+    // they must transparently materialize a fused tensor's codes and
+    // produce byte-identical streams.
+    const Tensor t = makeTensor(37, 53, 619);
+    const auto dict = quantizer.buildDictionary(t);
+    const auto ref = quantizer.encode(t, dict);
+    const auto fused =
+        quantizer.encodeToPlanes(t, dict, PlaneSet::Bytes);
+
+    const auto p_ref = packTensor(ref);
+    const auto p_fused = packTensor(fused);
+    ASSERT_EQ(p_fused.values, p_ref.values);
+    ASSERT_EQ(p_fused.otPointers, p_ref.otPointers);
+    const auto back = unpackTensor(p_fused, dict);
+    ASSERT_EQ(back.raw(), ref.raw());
+
+    const auto cat = concatQuantizedRows({&fused, &ref});
+    ASSERT_EQ(cat.rows(), 2 * t.rows());
+    for (size_t i = 0; i < ref.size(); ++i) {
+        ASSERT_EQ(cat.raw()[i], ref.raw()[i]);
+        ASSERT_EQ(cat.raw()[ref.size() + i], ref.raw()[i]);
+    }
+}
+
+TEST_F(FusedEncodeFixture, FusedTensorSurvivesMutationAndUnpin)
+{
+    // Mutation must materialize codes first (the planes are the only
+    // source of truth), then drop the stale planes; unpinPlanes on a
+    // never-materialized tensor likewise rescues the codes before
+    // releasing the view.
+    const Tensor t = makeTensor(9, 33, 621);
+    const auto dict = quantizer.buildDictionary(t);
+    const auto ref = quantizer.encode(t, dict);
+
+    QuantizedTensor m = quantizer.encodeToPlanes(t, dict);
+    m.at(2, 3) = QCode::gaussian(true, 5);
+    EXPECT_FALSE(m.planesFootprint().resident); // stale planes gone
+    QuantizedTensor expect = ref;
+    expect.at(2, 3) = QCode::gaussian(true, 5);
+    ASSERT_EQ(m.raw(), expect.raw());
+    expectPlanesEqual(m.planes(PlaneSet::All),
+                      expect.planes(PlaneSet::All), PlaneSet::All,
+                      "post-mutation rebuild");
+
+    QuantizedTensor u = quantizer.encodeToPlanes(t, dict);
+    EXPECT_FALSE(u.codesMaterialized());
+    u.unpinPlanes();
+    EXPECT_TRUE(u.codesMaterialized());
+    EXPECT_FALSE(u.planesFootprint().resident);
+    ASSERT_EQ(u.raw(), ref.raw());
+
+    // Copies of a lazy tensor stay lazy and share the planes.
+    const QuantizedTensor lazy = quantizer.encodeToPlanes(t, dict);
+    const QuantizedTensor copy = lazy;
+    EXPECT_FALSE(copy.codesMaterialized());
+    ASSERT_EQ(copy.raw(), ref.raw());
+    EXPECT_FALSE(lazy.codesMaterialized()); // the copy materialized
+    ASSERT_EQ(lazy.outlierFraction(), ref.outlierFraction());
 }
 
 // ---- CodePlanes pin API ---------------------------------------------

@@ -11,6 +11,7 @@
 #define MOKEY_TESTS_TEST_UTIL_HH
 
 #include "common/parallel.hh"
+#include "model/pipeline.hh"
 #include "quant/engine.hh"
 
 namespace mokey
@@ -28,6 +29,13 @@ struct EngineGuard
 {
     IndexEngine prior = indexEngine();
     ~EngineGuard() { setIndexEngine(prior); }
+};
+
+/** Restores the activation-encode path selection likewise. */
+struct FusedEncodeGuard
+{
+    bool prior = fusedActEncode();
+    ~FusedEncodeGuard() { setFusedActEncode(prior); }
 };
 
 } // namespace mokey
