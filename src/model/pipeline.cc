@@ -1,6 +1,7 @@
 #include "model/pipeline.hh"
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 
 #include "common/env.hh"
@@ -22,6 +23,13 @@ fusedEncodeSlot()
     return slot;
 }
 
+std::atomic<bool> &
+graphFuseSlot()
+{
+    static std::atomic<bool> slot{envFlag("MOKEY_GRAPH_FUSE", true)};
+    return slot;
+}
+
 } // anonymous namespace
 
 bool
@@ -34,6 +42,38 @@ void
 setFusedActEncode(bool fused)
 {
     fusedEncodeSlot().store(fused, std::memory_order_relaxed);
+}
+
+bool
+graphFuse()
+{
+    return graphFuseSlot().load(std::memory_order_relaxed);
+}
+
+void
+setGraphFuse(bool fused)
+{
+    graphFuseSlot().store(fused, std::memory_order_relaxed);
+}
+
+const char *
+graphSiteName(size_t site)
+{
+    switch (site) {
+    case kSiteWq:
+        return "wq";
+    case kSiteWk:
+        return "wk";
+    case kSiteWv:
+        return "wv";
+    case kSiteWo:
+        return "wo";
+    case kSiteW1:
+        return "w1";
+    case kSiteW2:
+        return "w2";
+    }
+    return "?";
 }
 
 QuantizedTransformer::QuantizedTransformer(const Transformer &m,
@@ -87,6 +127,7 @@ QuantizedTransformer::quantizeWeights()
         job.dst->pinPlanes(weightPlaneSet(
             indexEngine(), job.dst->rows(), job.dst->cols()));
     });
+    rebuildGraphPlan();
 }
 
 void
@@ -109,6 +150,54 @@ QuantizedTransformer::profileActivations(
             quantizer.buildDictionaryFromSamples(profiler.samples(tid),
                                                  dictCfg));
     }
+    rebuildGraphPlan();
+}
+
+void
+QuantizedTransformer::rebuildGraphPlan()
+{
+    graphPlan.reset();
+    if (!ready())
+        return;
+
+    // Everything below is constant for the served model: dictionary
+    // pointers (map entries are address-stable), the per-site GEMM
+    // constants (dictionary products, scales, means), bias pointers,
+    // and the attention epilogue scale. Hoisted once here so the
+    // fused walk never re-derives them per call.
+    auto plan = std::make_unique<GraphPlan>();
+    const ModelConfig &cfg = model.config();
+    for (size_t l = 0; l < cfg.layers; ++l) {
+        LayerPlan &lp = plan->layers.emplace_back();
+        lp.dx = &activationDict({l, "x"});
+        lp.dq = &activationDict({l, "q"});
+        lp.dk = &activationDict({l, "k"});
+        lp.dv = &activationDict({l, "v"});
+        lp.dp = &activationDict({l, "p"});
+        lp.dctx = &activationDict({l, "ctx"});
+        lp.dmidIn = &activationDict({l, "mid_in"});
+        lp.dmid = &activationDict({l, "mid"});
+        lp.invSqrtHd = static_cast<float>(
+            1.0 / std::sqrt(static_cast<double>(cfg.headDim())));
+
+        const EncoderWeights &w = model.weights()[l];
+        const QuantizedLayer &ql = layers[l];
+        const auto set = [](SitePlan &s, const QuantizedTensor &wt,
+                            const std::vector<float> &b,
+                            const TensorDictionary &act_dict) {
+            s.weight = &wt;
+            s.bias = &b;
+            s.constants =
+                gemmConstants(act_dict, wt.dictionary(), wt.cols());
+        };
+        set(lp.sites[kSiteWq], ql.wq, w.bq, *lp.dx);
+        set(lp.sites[kSiteWk], ql.wk, w.bk, *lp.dx);
+        set(lp.sites[kSiteWv], ql.wv, w.bv, *lp.dx);
+        set(lp.sites[kSiteWo], ql.wo, w.bo, *lp.dctx);
+        set(lp.sites[kSiteW1], ql.w1, w.b1, *lp.dmidIn);
+        set(lp.sites[kSiteW2], ql.w2, w.b2, *lp.dmid);
+    }
+    graphPlan = std::move(plan);
 }
 
 bool
@@ -175,6 +264,159 @@ QuantizedTransformer::countActCodes(QuantizedTensor q) const
     actOtCodes.fetch_add(ot, std::memory_order_relaxed);
     actTotalCodes.fetch_add(q.size(), std::memory_order_relaxed);
     return q;
+}
+
+IndexEngine
+QuantizedTransformer::siteEngine(const SitePlan &site, size_t aRows,
+                                 uint64_t iter, bool calibrating) const
+{
+    const IndexEngine e = indexEngine();
+    if (e != IndexEngine::Auto)
+        return e;
+    const int pin = site.pinned.load(std::memory_order_relaxed);
+    if (pin >= 0)
+        return static_cast<IndexEngine>(pin);
+    if (calibrating && iter < 2)
+        return iter == 0 ? IndexEngine::Mag : IndexEngine::Count;
+    // Calibration off (or still warming): the exact decision table
+    // the layer-at-a-time path resolves through, so the two forward
+    // paths pick the same engine for every GEMM.
+    return autoEngineChoice(aRows, site.weight->rows(),
+                            site.constants.k,
+                            site.weight->planesFootprint());
+}
+
+QuantizedTensor
+QuantizedTransformer::encodeActForSite(const TensorDictionary &dict,
+                                       const Tensor &t, IndexEngine e,
+                                       Lane lane) const
+{
+    if (!fusedActEncode())
+        return countActCodes(quantizer.encode(t, dict, lane));
+    QuantizedTensor q =
+        quantizer.encodeToPlanes(t, dict, enginePlaneSet(e), lane);
+    countFusedAct(q);
+    return q;
+}
+
+void
+QuantizedTransformer::countFusedAct(const QuantizedTensor &q) const
+{
+    actOtCodes.fetch_add(q.planesFootprint().outlierEntries,
+                         std::memory_order_relaxed);
+    actTotalCodes.fetch_add(q.size(), std::memory_order_relaxed);
+}
+
+FusedGemmOut
+QuantizedTransformer::runSite(SitePlan &site,
+                              const QuantizedTensor &act,
+                              IndexEngine e, const FusedRowEpilogue &epi,
+                              const TensorDictionary *outDict,
+                              PlaneSet outSets, bool keepDense,
+                              bool calibrating, Lane lane) const
+{
+    if (!calibrating ||
+        site.pinned.load(std::memory_order_relaxed) >= 0)
+        return indexMatmulTransBFused(act, *site.weight, e, epi,
+                                      outDict, outSets, keepDense,
+                                      &site.constants, &mmStats, lane);
+
+    // Profiling iteration: keep one-time plane derivation out of the
+    // timed region so the sample reflects steady-state streaming,
+    // not the first-use build the forced engine may trigger.
+    site.weight->planesShared(enginePlaneSet(e));
+    act.planesShared(enginePlaneSet(e));
+    const auto t0 = std::chrono::steady_clock::now();
+    FusedGemmOut out = indexMatmulTransBFused(
+        act, *site.weight, e, epi, outDict, outSets, keepDense,
+        &site.constants, &mmStats, lane);
+    const int64_t ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    if (e == IndexEngine::Mag) {
+        site.magNs.fetch_add(ns, std::memory_order_relaxed);
+        site.magRuns.fetch_add(1, std::memory_order_relaxed);
+    } else {
+        site.countNs.fetch_add(ns, std::memory_order_relaxed);
+        site.countRuns.fetch_add(1, std::memory_order_relaxed);
+    }
+    return out;
+}
+
+void
+QuantizedTransformer::finalizeEnginePins() const
+{
+    for (LayerPlan &lp : graphPlan->layers) {
+        for (SitePlan &s : lp.sites) {
+            if (s.pinned.load(std::memory_order_relaxed) >= 0)
+                continue;
+            const uint64_t mr =
+                s.magRuns.load(std::memory_order_relaxed);
+            const uint64_t cr =
+                s.countRuns.load(std::memory_order_relaxed);
+            if (mr == 0 || cr == 0)
+                continue; // never saw both engines: stay undecided
+            const double mag_ns = static_cast<double>(
+                s.magNs.load(std::memory_order_relaxed)) / mr;
+            const double cnt_ns = static_cast<double>(
+                s.countNs.load(std::memory_order_relaxed)) / cr;
+            s.pinned.store(static_cast<int>(mag_ns <= cnt_ns
+                                                ? IndexEngine::Mag
+                                                : IndexEngine::Count),
+                           std::memory_order_relaxed);
+        }
+    }
+}
+
+std::vector<EnginePin>
+QuantizedTransformer::enginePins() const
+{
+    std::vector<EnginePin> pins;
+    if (!graphPlan)
+        return pins;
+    for (size_t l = 0; l < graphPlan->layers.size(); ++l) {
+        const LayerPlan &lp = graphPlan->layers[l];
+        for (size_t s = 0; s < kGraphSiteCount; ++s) {
+            const int pin =
+                lp.sites[s].pinned.load(std::memory_order_relaxed);
+            EnginePin p;
+            p.layer = l;
+            p.site = graphSiteName(s);
+            p.pinned = pin >= 0;
+            p.engine = pin >= 0 ? static_cast<IndexEngine>(pin)
+                                : indexEngine();
+            pins.push_back(std::move(p));
+        }
+    }
+    return pins;
+}
+
+void
+QuantizedTransformer::pinEngines(const std::vector<EnginePin> &pins) const
+{
+    MOKEY_ASSERT(graphPlan,
+                 "pinEngines() before the graph plan exists (run "
+                 "quantizeWeights + profileActivations first)");
+    for (const EnginePin &p : pins) {
+        MOKEY_ASSERT(p.engine != IndexEngine::Auto,
+                     "cannot pin a site to Auto");
+        MOKEY_ASSERT(p.layer < graphPlan->layers.size(),
+                     "pin for layer %zu of a %zu-layer graph",
+                     p.layer, graphPlan->layers.size());
+        LayerPlan &lp = graphPlan->layers[p.layer];
+        bool matched = false;
+        for (size_t s = 0; s < kGraphSiteCount; ++s) {
+            if (p.site == graphSiteName(s)) {
+                lp.sites[s].pinned.store(
+                    static_cast<int>(p.engine),
+                    std::memory_order_relaxed);
+                matched = true;
+            }
+        }
+        MOKEY_ASSERT(matched, "unknown graph site '%s'",
+                     p.site.c_str());
+    }
 }
 
 Tensor
@@ -264,6 +506,185 @@ QuantizedTransformer::forwardLayerQuantized(
 }
 
 Tensor
+QuantizedTransformer::forwardGraphFused(
+    const Tensor &input, const std::vector<size_t> &starts,
+    Lane lane) const
+{
+    GraphPlan &plan = *graphPlan;
+    const ModelConfig &cfg = model.config();
+    const size_t total = input.rows();
+    const size_t hd = cfg.headDim();
+    const size_t batch = starts.size() - 1;
+    // Self-calibration only makes sense when the engine choice is
+    // actually open (MOKEY_ENGINE=auto); under a fixed engine the
+    // timed iterations would just measure what is already decided.
+    const bool calib =
+        engineCalibration() && indexEngine() == IndexEngine::Auto;
+    const uint64_t iter =
+        calib ? plan.iteration.load(std::memory_order_relaxed) : 0;
+
+    // The carried state between layers: the float rows (residual
+    // input of the next attention block) and the same values already
+    // encoded as the next layer's x planes — emitted by the previous
+    // layer's w2 fused GEMM, so no float tensor is re-read for
+    // quantization between layers.
+    Tensor x = input;
+    QuantizedTensor qx;
+    bool have_qx = false;
+    for (size_t l = 0; l < cfg.layers; ++l) {
+        LayerPlan &lp = plan.layers[l];
+        SitePlan &sq = lp.sites[kSiteWq];
+        SitePlan &sk = lp.sites[kSiteWk];
+        SitePlan &sv = lp.sites[kSiteWv];
+        SitePlan &so = lp.sites[kSiteWo];
+        SitePlan &s1 = lp.sites[kSiteW1];
+        SitePlan &s2 = lp.sites[kSiteW2];
+
+        const IndexEngine eq = siteEngine(sq, total, iter, calib);
+        if (!have_qx) {
+            // Layer 0 only: the graph's entry encode. Every later
+            // layer receives its x planes from the previous w2 GEMM.
+            qx = encodeActForSite(*lp.dx, x, eq, lane);
+            have_qx = true;
+        }
+
+        // QKV: heads are gathered in float, so these three fuse the
+        // bias epilogue and read the hoisted constants/fold sums but
+        // keep dense outputs.
+        const auto bias_epi = [](const SitePlan &s) {
+            return FusedRowEpilogue(
+                [&s](size_t, float *vals, size_t n) {
+                    addBiasRow(vals, s.bias->data(), n);
+                });
+        };
+        FusedGemmOut qo = runSite(sq, qx, eq, bias_epi(sq), nullptr,
+                                  PlaneSet::Bytes, true, calib, lane);
+        FusedGemmOut ko = runSite(sk, qx,
+                                  siteEngine(sk, total, iter, calib),
+                                  bias_epi(sk), nullptr,
+                                  PlaneSet::Bytes, true, calib, lane);
+        FusedGemmOut vo = runSite(sv, qx,
+                                  siteEngine(sv, total, iter, calib),
+                                  bias_epi(sv), nullptr,
+                                  PlaneSet::Bytes, true, calib, lane);
+        const Tensor &q = qo.dense;
+        const Tensor &k = ko.dense;
+        const Tensor &v = vo.dense;
+
+        // Attention, one job per (sequence, head) as in the unfused
+        // path; the score GEMM fuses scale + softmax + the
+        // probability re-quantization into its band walk, so the
+        // score matrix never exists as a standalone float tensor.
+        Tensor ctx(total, cfg.hidden);
+        const float inv_sqrt = lp.invSqrtHd;
+        parallelFor(lane, 0, batch * cfg.heads, 1, [&](size_t job) {
+            const size_t b = job / cfg.heads;
+            const size_t h = job % cfg.heads;
+            const size_t r0 = starts[b];
+            const size_t seq = starts[b + 1] - r0;
+            Tensor qh(seq, hd), kh(seq, hd), vht(hd, seq);
+            for (size_t r = 0; r < seq; ++r) {
+                for (size_t c = 0; c < hd; ++c) {
+                    qh.at(r, c) = q.at(r0 + r, h * hd + c);
+                    kh.at(r, c) = k.at(r0 + r, h * hd + c);
+                    vht.at(c, r) = v.at(r0 + r, h * hd + c);
+                }
+            }
+            // act x act GEMMs: K varies with seq, so no hoisted
+            // constants; engines resolve exactly as the unfused
+            // path's resolveIndexEngine() calls do.
+            const QuantizedTensor qqh =
+                encodeActDict(*lp.dq, qh, nullptr, lane);
+            const QuantizedTensor qkh =
+                encodeActDict(*lp.dk, kh, nullptr, lane);
+            const IndexEngine ep = indexEngine() == IndexEngine::Auto
+                ? IndexEngine::Count
+                : indexEngine();
+            FusedGemmOut sc = indexMatmulTransBFused(
+                qqh, qkh, resolveIndexEngine(qqh, qkh),
+                [inv_sqrt](size_t, float *vals, size_t n) {
+                    scaleRow(vals, n, inv_sqrt);
+                    softmaxRow(vals, n);
+                },
+                lp.dp, enginePlaneSet(ep), false, nullptr, &mmStats,
+                lane);
+            countFusedAct(sc.planes);
+            const QuantizedTensor qvht =
+                encodeActDict(*lp.dv, vht, nullptr, lane);
+            const FusedGemmOut out = indexMatmulTransBFused(
+                sc.planes, qvht, resolveIndexEngine(sc.planes, qvht),
+                nullptr, nullptr, PlaneSet::Bytes, true, nullptr,
+                &mmStats, lane);
+            for (size_t r = 0; r < seq; ++r)
+                for (size_t c = 0; c < hd; ++c)
+                    ctx.at(r0 + r, h * hd + c) = out.dense.at(r, c);
+        });
+
+        // wo: bias + residual + layer-norm fused, output emitted
+        // straight as the w1 GEMM's mid_in planes (and kept dense
+        // for the second residual).
+        const IndexEngine ewo = siteEngine(so, total, iter, calib);
+        const QuantizedTensor qctx =
+            encodeActForSite(*lp.dctx, ctx, ewo, lane);
+        const IndexEngine ew1 = siteEngine(s1, total, iter, calib);
+        const Tensor &res_in = x;
+        FusedGemmOut r1 = runSite(
+            so, qctx, ewo,
+            [&so, &res_in](size_t i, float *vals, size_t n) {
+                addBiasRow(vals, so.bias->data(), n);
+                addRow(vals, vals, res_in.row(i), n);
+                layerNormRow(vals, n);
+            },
+            lp.dmidIn, enginePlaneSet(ew1), true, calib, lane);
+        countFusedAct(r1.planes);
+
+        // w1: bias + GELU fused, planes-only output — the mid float
+        // tensor is gone entirely on this path.
+        const IndexEngine ew2 = siteEngine(s2, total, iter, calib);
+        FusedGemmOut rm = runSite(
+            s1, r1.planes, ew1,
+            [&s1](size_t, float *vals, size_t n) {
+                addBiasRow(vals, s1.bias->data(), n);
+                geluRow(vals, n);
+            },
+            lp.dmid, enginePlaneSet(ew2), false, calib, lane);
+        countFusedAct(rm.planes);
+
+        // w2: bias + residual + layer-norm fused; unless this is the
+        // last layer, the output is also encoded as the next layer's
+        // x planes against that layer's dictionary and engine.
+        const bool last = l + 1 == cfg.layers;
+        const TensorDictionary *next_dx =
+            last ? nullptr : plan.layers[l + 1].dx;
+        const IndexEngine enx = last
+            ? IndexEngine::Count
+            : siteEngine(plan.layers[l + 1].sites[kSiteWq], total,
+                         iter, calib);
+        const Tensor &res1 = r1.dense;
+        FusedGemmOut r2 = runSite(
+            s2, rm.planes, ew2,
+            [&s2, &res1](size_t i, float *vals, size_t n) {
+                addBiasRow(vals, s2.bias->data(), n);
+                addRow(vals, vals, res1.row(i), n);
+                layerNormRow(vals, n);
+            },
+            next_dx, enginePlaneSet(enx), true, calib, lane);
+        if (!last)
+            countFusedAct(r2.planes);
+        x = std::move(r2.dense);
+        qx = std::move(r2.planes);
+    }
+
+    if (calib) {
+        const uint64_t done =
+            plan.iteration.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (done >= 2)
+            finalizeEnginePins();
+    }
+    return x;
+}
+
+Tensor
 QuantizedTransformer::forward(const Tensor &input, QuantMode mode,
                               Lane lane) const
 {
@@ -275,8 +696,10 @@ QuantizedTransformer::forward(const Tensor &input, QuantMode mode,
     MOKEY_ASSERT(!actDicts.empty(),
                  "profileActivations() must run before full "
                  "quantized inference");
-    Tensor x = input;
     const std::vector<size_t> starts{0, input.rows()};
+    if (graphFuse() && graphPlan)
+        return forwardGraphFused(input, starts, lane);
+    Tensor x = input;
     for (size_t l = 0; l < model.config().layers; ++l)
         x = forwardLayerQuantized(l, x, starts, lane);
     return x;
@@ -300,6 +723,8 @@ QuantizedTransformer::forwardBatch(const std::vector<Tensor> &inputs,
         inputs,
         [this, lane](const Tensor &stacked,
                      const std::vector<size_t> &starts) {
+            if (graphFuse() && graphPlan)
+                return forwardGraphFused(stacked, starts, lane);
             Tensor x = stacked;
             for (size_t l = 0; l < model.config().layers; ++l)
                 x = forwardLayerQuantized(l, x, starts, lane);

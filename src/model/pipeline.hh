@@ -22,6 +22,7 @@
 #include <map>
 #include <memory>
 
+#include "model/graph_plan.hh"
 #include "model/profiler.hh"
 #include "model/transformer.hh"
 #include "quant/index_matmul.hh"
@@ -49,6 +50,24 @@ bool fusedActEncode();
 
 /** Flip the activation-encode path (tests restore the prior value). */
 void setFusedActEncode(bool fused);
+
+/**
+ * Whether the fully-quantized forward pass runs plane-to-plane layer-
+ * graph fusion (the default) or the seed layer-at-a-time sequence.
+ * Fused: every weight-site GEMM chains its epilogue (bias, residual,
+ * norm, GELU, attention scale+softmax) and the next consumer's
+ * activation quantization into the GEMM's own row-band walk, reads
+ * the planes' precomputed fold sums, and uses the GraphPlan's hoisted
+ * per-site constants — no intermediate float tensor or per-call
+ * re-fold between chained GEMMs. Process-wide, initialized from
+ * MOKEY_GRAPH_FUSE (unset/1/on -> fused; 0/off -> layer-at-a-time).
+ * Outputs are bit-identical either way — the knob is the rollback
+ * lever and what the parity tests and the fusion benchmark flip.
+ */
+bool graphFuse();
+
+/** Flip the graph-fusion path (tests restore the prior value). */
+void setGraphFuse(bool fused);
 
 /**
  * Aggregate quantization statistics for reporting. The embedded
@@ -122,6 +141,24 @@ class QuantizedTransformer
     /** Activation dictionary for a tensor id (fatal if missing). */
     const TensorDictionary &activationDict(const TensorId &id) const;
 
+    /**
+     * The per-site engine profile of the fused graph, one entry per
+     * (layer, weight site): the pinned engine once self-calibration
+     * decided (pinned = true), or the process-wide selection while
+     * undecided. Empty before the graph plan exists.
+     */
+    std::vector<EnginePin> enginePins() const;
+
+    /**
+     * Apply an engine profile (e.g. an enginePins() snapshot from a
+     * calibrated run): each named site is pinned to the given engine
+     * and skips further calibration. Pins apply only under
+     * MOKEY_ENGINE=auto, mirroring how calibration records them.
+     * This is what makes calibrated deployments reproducible — pin
+     * once, then every forward resolves identically.
+     */
+    void pinEngines(const std::vector<EnginePin> &pins) const;
+
   private:
     const Transformer &model;
     const Quantizer &quantizer;
@@ -137,6 +174,13 @@ class QuantizedTransformer
     mutable IndexMatmulStats mmStats;
     mutable std::atomic<uint64_t> actOtCodes{0};
     mutable std::atomic<uint64_t> actTotalCodes{0};
+    /**
+     * Hoisted execution plan of the fused forward path; rebuilt by
+     * quantizeWeights()/profileActivations() once both halves exist.
+     * Mutable because calibration state (timings, pins, iteration)
+     * advances inside const forward passes.
+     */
+    mutable std::unique_ptr<GraphPlan> graphPlan;
 
     /**
      * One quantized encoder layer over a stacked row space; @p starts
@@ -170,6 +214,47 @@ class QuantizedTransformer
 
     /** Fold a quantized activation into the outlier-rate counters. */
     QuantizedTensor countActCodes(QuantizedTensor q) const;
+
+    /** Rebuild the fused-path GraphPlan (no-op until ready()). */
+    void rebuildGraphPlan();
+
+    /**
+     * The fused-path engine decision for one weight site: the fixed
+     * process engine, the site's calibration pin, a forced profiling
+     * engine during the two calibration iterations, or the same Auto
+     * decision table the layer-at-a-time path resolves through.
+     */
+    IndexEngine siteEngine(const SitePlan &site, size_t aRows,
+                           uint64_t iter, bool calibrating) const;
+
+    /** encodeActDict() with the engine pre-resolved per site (so a
+     * calibration pin controls which planes are emitted). */
+    QuantizedTensor encodeActForSite(const TensorDictionary &dict,
+                                     const Tensor &t, IndexEngine e,
+                                     Lane lane) const;
+
+    /** Fold a fused-GEMM-encoded activation into the counters. */
+    void countFusedAct(const QuantizedTensor &q) const;
+
+    /** Run one weight site's fused GEMM (timed while calibrating). */
+    FusedGemmOut runSite(SitePlan &site, const QuantizedTensor &act,
+                         IndexEngine e, const FusedRowEpilogue &epi,
+                         const TensorDictionary *outDict,
+                         PlaneSet outSets, bool keepDense,
+                         bool calibrating, Lane lane) const;
+
+    /** Pin every fully-profiled site to its measured winner. */
+    void finalizeEnginePins() const;
+
+    /**
+     * The plane-to-plane fused pass over all layers: each fused GEMM
+     * emits the next GEMM's operand planes directly; the float
+     * domain only surfaces where non-GEMM consumers need it (QKV
+     * head gather, residual rows, the final output).
+     */
+    Tensor forwardGraphFused(const Tensor &input,
+                             const std::vector<size_t> &starts,
+                             Lane lane) const;
 };
 
 } // namespace mokey

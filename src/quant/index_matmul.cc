@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <memory>
 
 #include "common/logging.hh"
 #include "common/parallel.hh"
 #include "common/simd.hh"
+#include "quant/quantizer.hh"
 
 namespace mokey
 {
@@ -190,28 +192,10 @@ indexMatmulTransBReference(const QuantizedTensor &a,
     return out;
 }
 
-namespace
+GemmConstants
+gemmConstants(const TensorDictionary &da, const TensorDictionary &dw,
+              size_t k)
 {
-
-/**
- * Per-GEMM constants: the 6-term reconstruction of indexDot() folded
- * into scalars, so the per-dot computation touches no dictionary
- * objects.
- */
-struct EngineContext
-{
-    size_t k = 0;
-    double sA = 0.0, sW = 0.0; ///< per-tensor scales
-    double mA = 0.0, mW = 0.0; ///< per-tensor means
-    double c0 = 0.0;           ///< s_a * s_w
-    double constTerm = 0.0;    ///< k * m_a * m_w
-};
-
-EngineContext
-makeContext(const QuantizedTensor &a, const QuantizedTensor &wt)
-{
-    const TensorDictionary &da = a.dictionary();
-    const TensorDictionary &dw = wt.dictionary();
     const ExpDictionary &exp = da.exp();
     MOKEY_ASSERT(exp.a() == dw.exp().a() &&
                  exp.b() == dw.exp().b(),
@@ -220,16 +204,25 @@ makeContext(const QuantizedTensor &a, const QuantizedTensor &wt)
                  "index space %zu exceeds CRF capacity",
                  exp.indexCount());
 
-    EngineContext ctx;
-    ctx.k = a.cols();
+    GemmConstants ctx;
+    ctx.k = k;
     ctx.sA = da.scale();
     ctx.sW = dw.scale();
     ctx.mA = da.mean();
     ctx.mW = dw.mean();
     ctx.c0 = ctx.sA * ctx.sW;
     ctx.constTerm = static_cast<double>(ctx.k) * ctx.mA * ctx.mW;
+    const size_t h = exp.indexCount();
+    for (size_t i = 0; i < h; ++i)
+        ctx.mags[i] = exp.magnitude(i);
+    for (size_t ia = 0; ia < kMaxGaussianIndexes; ++ia)
+        for (size_t iw = 0; iw < kMaxGaussianIndexes; ++iw)
+            ctx.prod[(ia << 3) | iw] = ctx.mags[ia] * ctx.mags[iw];
     return ctx;
 }
+
+namespace
+{
 
 /**
  * One engine dot product over the mag planes and outlier sidecars.
@@ -253,7 +246,7 @@ makeContext(const QuantizedTensor &a, const QuantizedTensor &wt)
  * (scalar == tiled == any thread count) depends on.
  */
 __attribute__((noinline)) double
-engineDot(const EngineContext &ctx, const double *ma,
+engineDot(const GemmConstants &ctx, const double *ma,
           const CodePlanes::Outlier *oa, size_t na, const double *mw,
           const CodePlanes::Outlier *ow, size_t nw, double row_term,
           double col_term, uint64_t &ot_pairs)
@@ -308,7 +301,8 @@ engineMatmul(const QuantizedTensor &a, const QuantizedTensor &wt,
                  "index matmul reduction mismatch: %zu vs %zu",
                  a.cols(), wt.cols());
     const size_t m = a.rows(), n = wt.rows(), k = a.cols();
-    const EngineContext ctx = makeContext(a, wt);
+    const GemmConstants ctx =
+        gemmConstants(a.dictionary(), wt.dictionary(), k);
 
     // Materialize both plane views on this thread before fanning
     // out; hold the owning pointers so a concurrent plane-set
@@ -322,13 +316,13 @@ engineMatmul(const QuantizedTensor &a, const QuantizedTensor &wt,
     // scalar terms of the reconstruction. The seed's SoA2 + b*PoM2
     // is exactly the mag-plane row sum:
     //   sum th (a^i) + b sum th  =  sum th (a^i + b).
+    // Folded per call on purpose — this layer-at-a-time path is the
+    // frozen baseline the fused graph walk (which reads the planes'
+    // precomputed magRowSum) is benchmarked against; the shared
+    // helper guarantees the arithmetic order matches bit for bit.
     std::vector<double> row_term(m), col_term(n);
     const auto fold = [k](const CodePlanes &p, size_t r) {
-        const double *mg = p.magRow(r);
-        double sum = 0.0;
-        for (size_t c = 0; c < k; ++c)
-            sum += mg[c];
-        return sum;
+        return magPlaneRowSum(p.magRow(r), k);
     };
     // The scalar path must honour its contract of never touching the
     // pool, so the fold loops are serial there too; per-element
@@ -384,36 +378,6 @@ engineMatmul(const QuantizedTensor &a, const QuantizedTensor &wt,
 }
 
 /**
- * Counting-engine constants: the shared EngineContext plus the
- * decoded dictionary tables the histograms collapse against.
- */
-struct CountingContext
-{
-    EngineContext base;
-    /** Unscaled magnitudes a^i + b, zero beyond indexCount(). */
-    std::array<double, kMaxGaussianIndexes> mags{};
-    /** prod[(ia << 3) | iw] = mags[ia] * mags[iw]. */
-    std::array<double, kMaxGaussianIndexes * kMaxGaussianIndexes>
-        prod{};
-};
-
-CountingContext
-makeCountingContext(const QuantizedTensor &a,
-                    const QuantizedTensor &wt)
-{
-    CountingContext cc;
-    cc.base = makeContext(a, wt);
-    const ExpDictionary &exp = a.dictionary().exp();
-    const size_t h = exp.indexCount();
-    for (size_t i = 0; i < h; ++i)
-        cc.mags[i] = exp.magnitude(i);
-    for (size_t ia = 0; ia < kMaxGaussianIndexes; ++ia)
-        for (size_t iw = 0; iw < kMaxGaussianIndexes; ++iw)
-            cc.prod[(ia << 3) | iw] = cc.mags[ia] * cc.mags[iw];
-    return cc;
-}
-
-/**
  * One counting-engine dot product over the byte planes and outlier
  * sidecars — the paper's GPE/OPP dataflow run literally:
  *
@@ -434,13 +398,13 @@ makeCountingContext(const QuantizedTensor &a,
  * one FP contraction order for every caller.
  */
 __attribute__((noinline)) double
-countingDot(const CountingContext &cc, const uint8_t *ia,
+countingDot(const GemmConstants &cc, const uint8_t *ia,
             const int8_t *ta, const CodePlanes::Outlier *oa,
             size_t na, const uint8_t *iw, const int8_t *tw,
             const CodePlanes::Outlier *ow, size_t nw,
             double row_term, double col_term, uint64_t &ot_pairs)
 {
-    const EngineContext &ctx = cc.base;
+    const GemmConstants &ctx = cc;
 
     int32_t hist[kMaxGaussianIndexes * kMaxGaussianIndexes];
     pairHistogram(ia, ta, iw, tw, ctx.k, hist);
@@ -496,8 +460,9 @@ countingMatmul(const QuantizedTensor &a, const QuantizedTensor &wt,
                  "index matmul reduction mismatch: %zu vs %zu",
                  a.cols(), wt.cols());
     const size_t m = a.rows(), n = wt.rows(), k = a.cols();
-    const CountingContext cc = makeCountingContext(a, wt);
-    const EngineContext &ctx = cc.base;
+    const GemmConstants cc =
+        gemmConstants(a.dictionary(), wt.dictionary(), k);
+    const GemmConstants &ctx = cc;
 
     // Byte planes only: 2 B per element resident, never the 8 B mag
     // plane. Owning pointers guard against concurrent upgrades.
@@ -508,14 +473,12 @@ countingMatmul(const QuantizedTensor &a, const QuantizedTensor &wt,
 
     // Pairing-independent row/column terms from the per-row signed
     // index histogram: sum theta (a^i + b) = sum_i h[i] * mags[i].
+    // Per-call folds for the same reason as the mag engine: this is
+    // the frozen baseline; the fused walk reads byteRowSum instead.
     std::vector<double> row_term(m), col_term(n);
     const auto fold = [&cc, k](const CodePlanes &p, size_t r) {
-        int32_t h[kMaxGaussianIndexes];
-        signedIndexHistogram(p.indexRow(r), p.thetaRow(r), k, h);
-        double sum = 0.0;
-        for (size_t i = 0; i < kMaxGaussianIndexes; ++i)
-            sum += h[i] * cc.mags[i];
-        return sum;
+        return bytePlaneRowSum(p.indexRow(r), p.thetaRow(r), k,
+                               cc.mags.data());
     };
     const auto foldRows = [&](size_t i) {
         row_term[i] = ctx.sA * ctx.mW * fold(pa, i);
@@ -650,6 +613,190 @@ indexMatmulTransBBatched(const std::vector<const QuantizedTensor *> &as,
         r0 += a->rows();
     }
     return parts;
+}
+
+FusedGemmOut
+indexMatmulTransBFused(const QuantizedTensor &a,
+                       const QuantizedTensor &wt, IndexEngine engine,
+                       const FusedRowEpilogue &epilogue,
+                       const TensorDictionary *outDict,
+                       PlaneSet outSets, bool keepDense,
+                       const GemmConstants *constants,
+                       IndexMatmulStats *stats, Lane lane)
+{
+    MOKEY_ASSERT(a.cols() == wt.cols(),
+                 "index matmul reduction mismatch: %zu vs %zu",
+                 a.cols(), wt.cols());
+    MOKEY_ASSERT(engine != IndexEngine::Auto,
+                 "fused GEMM needs a resolved engine "
+                 "(resolveIndexEngine per site)");
+    MOKEY_ASSERT(outDict != nullptr || keepDense,
+                 "fused GEMM would discard its output");
+    const size_t m = a.rows(), n = wt.rows(), k = a.cols();
+    const GemmConstants ctx = constants
+        ? *constants
+        : gemmConstants(a.dictionary(), wt.dictionary(), k);
+    MOKEY_ASSERT(ctx.k == k, "hoisted constants built for K=%zu, "
+                 "GEMM has K=%zu", ctx.k, k);
+
+    const bool mag_eng = engine == IndexEngine::Mag;
+    const PlaneSet need =
+        mag_eng ? PlaneSet::Mag : PlaneSet::Bytes;
+    const auto pa_sp = a.planesShared(need);
+    const auto pw_sp = wt.planesShared(need);
+    const CodePlanes &pa = *pa_sp;
+    const CodePlanes &pw = *pw_sp;
+
+    // The tentpole saving: the pairing-independent SoA2 + b*PoM2
+    // folds were computed once when these planes were encoded or
+    // derived, in this engine's own arithmetic order — here they
+    // collapse to one multiply per row/column instead of an O(k)
+    // re-fold per GEMM call (the column fold alone is ~half the
+    // work of an m=1 decode GEMM).
+    const std::vector<double> &a_sum =
+        mag_eng ? pa.magRowSum : pa.byteRowSum;
+    const std::vector<double> &w_sum =
+        mag_eng ? pw.magRowSum : pw.byteRowSum;
+    MOKEY_ASSERT(a_sum.size() == m && w_sum.size() == n,
+                 "planes lack their precomputed fold sums");
+    std::vector<double> row_term(m), col_term(n);
+    for (size_t i = 0; i < m; ++i)
+        row_term[i] = ctx.sA * ctx.mW * a_sum[i];
+    for (size_t j = 0; j < n; ++j)
+        col_term[j] = ctx.sW * ctx.mA * w_sum[j];
+
+    FusedGemmOut out;
+    if (keepDense)
+        out.dense = Tensor(m, n);
+
+    const bool obytes =
+        outDict && planeSetCovers(outSets, PlaneSet::Bytes);
+    const bool omag =
+        outDict && planeSetCovers(outSets, PlaneSet::Mag);
+    LadderSpec lad;
+    std::shared_ptr<CodePlanes> op;
+    std::vector<std::vector<CodePlanes::Outlier>> row_ot;
+    if (outDict) {
+        MOKEY_ASSERT(obytes || omag,
+                     "fused encode needs a dense plane set");
+        lad = LadderSpec::from(*outDict);
+        op = std::make_shared<CodePlanes>();
+        op->rows = m;
+        op->cols = n;
+        op->sets = outSets;
+        if (obytes) {
+            op->index.resize(m * n);
+            op->theta.resize(m * n);
+            op->byteRowSum.resize(m);
+        }
+        if (omag) {
+            op->mag.resize(m * n);
+            op->magRowSum.resize(m);
+        }
+        row_ot.resize(m);
+    }
+
+    const auto band = [&](size_t lo, size_t hi) {
+        uint64_t ot_pairs = 0;
+        // Without a dense output the band's rows live in a transient
+        // band-local buffer: encoded planes leave the band, the
+        // floats never leave this thread.
+        std::vector<float> buf;
+        if (!keepDense)
+            buf.resize((hi - lo) * n);
+        const auto rowAt = [&](size_t i) {
+            return keepDense ? out.dense.row(i)
+                             : buf.data() + (i - lo) * n;
+        };
+        // Identical tiled engine loops (and identical noinline dot
+        // kernels) to the layer-at-a-time path — only the source of
+        // the row/column terms differs, and those are bit-equal.
+        for (size_t jb = 0; jb < n; jb += kTileN) {
+            const size_t jhi = std::min(jb + kTileN, n);
+            for (size_t i = lo; i < hi; ++i) {
+                float *orow = rowAt(i);
+                const CodePlanes::Outlier *oa = pa.outlierRow(i);
+                const size_t na = pa.outlierCount(i);
+                if (mag_eng) {
+                    const double *ma = pa.magRow(i);
+                    for (size_t j = jb; j < jhi; ++j) {
+                        orow[j] = static_cast<float>(engineDot(
+                            ctx, ma, oa, na, pw.magRow(j),
+                            pw.outlierRow(j), pw.outlierCount(j),
+                            row_term[i], col_term[j], ot_pairs));
+                    }
+                } else {
+                    const uint8_t *ia = pa.indexRow(i);
+                    const int8_t *ta = pa.thetaRow(i);
+                    for (size_t j = jb; j < jhi; ++j) {
+                        orow[j] = static_cast<float>(countingDot(
+                            ctx, ia, ta, oa, na, pw.indexRow(j),
+                            pw.thetaRow(j), pw.outlierRow(j),
+                            pw.outlierCount(j), row_term[i],
+                            col_term[j], ot_pairs));
+                    }
+                }
+            }
+        }
+        // Epilogue + re-quantization while the rows are band-warm:
+        // the plane-to-plane handoff of the fused graph.
+        for (size_t i = lo; i < hi; ++i) {
+            float *vals = rowAt(i);
+            if (epilogue)
+                epilogue(i, vals, n);
+            if (outDict) {
+                uint8_t *ix =
+                    obytes ? op->index.data() + i * n : nullptr;
+                int8_t *th =
+                    obytes ? op->theta.data() + i * n : nullptr;
+                double *mg =
+                    omag ? op->mag.data() + i * n : nullptr;
+                lad.encodeRow(vals, n, ix, th, mg, row_ot[i]);
+                if (omag)
+                    op->magRowSum[i] = magPlaneRowSum(mg, n);
+                if (obytes)
+                    op->byteRowSum[i] =
+                        bytePlaneRowSum(ix, th, n, lad.foldMags);
+            }
+        }
+        if (stats) {
+            const uint64_t pairs =
+                static_cast<uint64_t>(hi - lo) * n * k;
+            stats->add(pairs - ot_pairs, ot_pairs);
+        }
+    };
+    parallelForRange(lane, 0, m, 1, band);
+
+    if (outDict) {
+        // Row-order sidecar stitch, identical to encodeToPlanes().
+        op->rowStart.assign(m + 1, 0);
+        size_t total = 0;
+        for (size_t r = 0; r < m; ++r) {
+            total += row_ot[r].size();
+            op->rowStart[r + 1] = static_cast<uint32_t>(total);
+        }
+        op->outliers.reserve(total);
+        for (size_t r = 0; r < m; ++r)
+            op->outliers.insert(op->outliers.end(),
+                                row_ot[r].begin(), row_ot[r].end());
+#ifndef NDEBUG
+        if (obytes) {
+            for (size_t r = 0; r < m; ++r) {
+                for (size_t i = 0; i < op->outlierCount(r); ++i) {
+                    const uint32_t c = op->outlierRow(r)[i].col;
+                    MOKEY_ASSERT(op->indexRow(r)[c] == 0 &&
+                                     op->thetaRow(r)[c] == 0,
+                                 "fused outlier slot (%zu, %u) "
+                                 "violates the zero-index/zero-sign "
+                                 "plane convention", r, c);
+                }
+            }
+        }
+#endif
+        out.planes =
+            QuantizedTensor::fromPlanes(std::move(op), *outDict);
+    }
+    return out;
 }
 
 Tensor

@@ -32,6 +32,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/parallel.hh"
@@ -47,6 +48,31 @@ constexpr size_t kMaxGaussianIndexes = 8;
 
 /** Maximum summed-exponent entries (a^0 .. a^14 for 4 b codes). */
 constexpr size_t kMaxSumExponents = 2 * kMaxGaussianIndexes - 1;
+
+/**
+ * Per-GEMM constants: the 6-term reconstruction of indexDot() folded
+ * into scalars plus the decoded dictionary tables the counting
+ * engine's histograms collapse against. A pure function of the two
+ * dictionaries and K, so a serving graph hoists one per weight site
+ * (GraphPlan) instead of re-deriving it on every call.
+ */
+struct GemmConstants
+{
+    size_t k = 0;
+    double sA = 0.0, sW = 0.0; ///< per-tensor scales
+    double mA = 0.0, mW = 0.0; ///< per-tensor means
+    double c0 = 0.0;           ///< s_a * s_w
+    double constTerm = 0.0;    ///< k * m_a * m_w
+    /** Unscaled magnitudes a^i + b, zero beyond indexCount(). */
+    std::array<double, kMaxGaussianIndexes> mags{};
+    /** prod[(ia << 3) | iw] = mags[ia] * mags[iw]. */
+    std::array<double, kMaxGaussianIndexes * kMaxGaussianIndexes>
+        prod{};
+};
+
+/** Derive the constants of one (dict_a, dict_w, K) GEMM site. */
+GemmConstants gemmConstants(const TensorDictionary &da,
+                            const TensorDictionary &dw, size_t k);
 
 /**
  * The per-output-activation histogram state — a software model of
@@ -247,6 +273,61 @@ Tensor indexMatmulTransBReference(const QuantizedTensor &a,
 /** Reference: decode both operands and multiply in float. */
 Tensor decodedMatmulTransB(const QuantizedTensor &a,
                            const QuantizedTensor &wt);
+
+/**
+ * Per-row epilogue of a fused GEMM: transform row @p i's @p n output
+ * values in place (bias, activation, residual, normalization, ...).
+ * Called once per output row, from pool threads; rows are disjoint,
+ * so captured state must be read-only or row-indexed.
+ */
+using FusedRowEpilogue =
+    std::function<void(size_t i, float *vals, size_t n)>;
+
+/** What a fused GEMM hands the next graph node. */
+struct FusedGemmOut
+{
+    /** The output re-encoded as planes (empty unless outDict). */
+    QuantizedTensor planes;
+    /** The float output (empty unless keepDense). */
+    Tensor dense;
+};
+
+/**
+ * Plane-to-plane fused GEMM: the engine kernel of
+ * indexMatmulTransB(), with the epilogue and the next layer's
+ * activation quantization chained into the same row-band walk.
+ *
+ * Per band: run the exact tiled engine loops (identical noinline
+ * engineDot/countingDot calls, reading the planes' precomputed
+ * per-row fold sums instead of re-folding the SoA2 + b*PoM2 terms
+ * per call), then, while the band's rows are still cache-warm, apply
+ * @p epilogue and encode each row straight into the output planes
+ * with the same comparator-ladder walk Quantizer::encodeToPlanes()
+ * runs (shared LadderSpec::encodeRow) — no intermediate float tensor
+ * unless @p keepDense asks for one.
+ *
+ * Every output value, encoded plane byte, and outlier entry is
+ * bit-identical to the unfused sequence
+ *   indexMatmulTransB* -> epilogue -> encodeToPlanes
+ * for every thread count and lane, which the graph-fusion parity
+ * tests pin.
+ *
+ * @param engine    resolved engine (Auto is a contract violation —
+ *                  resolve per site first, see resolveIndexEngine())
+ * @param epilogue  optional per-row output transform
+ * @param outDict   when set, re-encode the output against this
+ *                  dictionary into planes (the fused A->B handoff)
+ * @param outSets   plane sets to materialize for the output
+ * @param keepDense also materialize the float output tensor (needed
+ *                  when the float values feed non-GEMM consumers)
+ * @param constants optional hoisted gemmConstants() for this site
+ */
+FusedGemmOut indexMatmulTransBFused(
+    const QuantizedTensor &a, const QuantizedTensor &wt,
+    IndexEngine engine, const FusedRowEpilogue &epilogue,
+    const TensorDictionary *outDict, PlaneSet outSets,
+    bool keepDense, const GemmConstants *constants = nullptr,
+    IndexMatmulStats *stats = nullptr, Lane lane = {});
 
 } // namespace mokey
 

@@ -5,9 +5,69 @@
 #include <mutex>
 
 #include "common/logging.hh"
+#include "common/simd.hh"
 
 namespace mokey
 {
+
+double
+magPlaneRowSum(const double *mg, size_t n)
+{
+    double sum = 0.0;
+    for (size_t c = 0; c < n; ++c)
+        sum += mg[c];
+    return sum;
+}
+
+double
+bytePlaneRowSum(const uint8_t *ix, const int8_t *th, size_t n,
+                const double *mags)
+{
+    // 8-entry histogram contract of signedIndexHistogram; indexes
+    // beyond the dictionary never occur, so those buckets stay 0 and
+    // the zero-padded table contributes exact zeros.
+    int32_t h[8];
+    signedIndexHistogram(ix, th, n, h);
+    double sum = 0.0;
+    for (size_t i = 0; i < 8; ++i)
+        sum += h[i] * mags[i];
+    return sum;
+}
+
+namespace
+{
+
+/** Zero-padded 8-entry magnitude table for the byte-plane fold. */
+void
+foldMagTable(const ExpDictionary &exp, double *mags)
+{
+    for (size_t i = 0; i < 8; ++i)
+        mags[i] = 0.0;
+    for (size_t i = 0; i < exp.indexCount(); ++i)
+        mags[i] = exp.magnitude(i);
+}
+
+/** Fill the per-row fold sums for every materialized plane set. */
+void
+fillRowSums(CodePlanes &p, const ExpDictionary &exp)
+{
+    if (!p.mag.empty()) {
+        p.magRowSum.resize(p.rows);
+        for (size_t r = 0; r < p.rows; ++r)
+            p.magRowSum[r] = magPlaneRowSum(p.magRow(r), p.cols);
+    }
+    if (!p.index.empty()) {
+        double mags[8];
+        foldMagTable(exp, mags);
+        p.byteRowSum.resize(p.rows);
+        for (size_t r = 0; r < p.rows; ++r)
+            p.byteRowSum[r] =
+                bytePlaneRowSum(p.indexRow(r), p.thetaRow(r), p.cols,
+                                mags);
+    }
+}
+
+} // anonymous namespace
 
 QCode
 QCode::gaussian(bool negative, uint8_t index)
@@ -208,6 +268,7 @@ QuantizedTensor::planesShared(PlaneSet need) const
         }
 #endif
     }
+    fillRowSums(*p, dict.exp());
     std::atomic_store_explicit(&planesCache,
                                std::shared_ptr<const CodePlanes>(p),
                                std::memory_order_release);
@@ -264,7 +325,9 @@ QuantizedTensor::planesFootprint() const
             p.theta.size() * sizeof(int8_t) +
             p.mag.size() * sizeof(double) +
             p.rowStart.size() * sizeof(uint32_t) +
-            p.outliers.size() * sizeof(CodePlanes::Outlier);
+            p.outliers.size() * sizeof(CodePlanes::Outlier) +
+            (p.magRowSum.size() + p.byteRowSum.size()) *
+                sizeof(double);
     };
     f.resident = true;
     f.bytesResident = planeSetCovers(cached->sets, PlaneSet::Bytes);

@@ -137,6 +137,26 @@ struct CodePlanes
     std::vector<uint32_t> rowStart; ///< rows+1 offsets into outliers
 
     /**
+     * Precomputed pairing-independent fold terms, one per row — the
+     * SoA2 + b*PoM2 sums of the reconstruction, in each engine's own
+     * arithmetic order so consumers read instead of recompute:
+     *
+     *  - magRowSum[r]  = serial in-order sum of the mag-plane row
+     *    (present iff the mag plane is), exactly the mag engine's
+     *    per-row fold;
+     *  - byteRowSum[r] = signed-index-histogram collapse of the byte
+     *    planes against the dictionary magnitudes (present iff the
+     *    byte planes are), exactly the counting engine's fold.
+     *
+     * Every plane builder fills them (derivation, the fused
+     * activation encoder, the fused GEMM epilogue), so for pinned
+     * weights the per-column GEMM fold — O(N*K) per call in the
+     * layer-at-a-time path — collapses to one array read.
+     */
+    std::vector<double> magRowSum;
+    std::vector<double> byteRowSum;
+
+    /**
      * The view this one replaced on a plane-set upgrade. Keeping it
      * alive means a planes() reference taken before a concurrent
      * upgrade stays valid until the codes are next mutated (which
@@ -166,6 +186,25 @@ struct CodePlanes
         return rowStart[r + 1] - rowStart[r];
     }
 };
+
+/**
+ * The mag engine's pairing-independent row fold: serial in-order sum
+ * of one mag-plane row (outlier slots hold 0.0 and vanish). Kept as
+ * a plain serial loop on purpose — the precomputed CodePlanes row
+ * sums and the per-call GEMM folds must share one arithmetic order
+ * for the fused and layer-at-a-time paths to stay bit-identical.
+ */
+double magPlaneRowSum(const double *mg, size_t n);
+
+/**
+ * The counting engine's pairing-independent row fold: signed
+ * per-index histogram of one byte-plane row collapsed against the
+ * 8-entry magnitude table (@p mags zero-padded past the dictionary's
+ * indexCount). Integer histogram + fixed-order 8-term collapse, so
+ * the result is a deterministic function of the codes alone.
+ */
+double bytePlaneRowSum(const uint8_t *ix, const int8_t *th, size_t n,
+                       const double *mags);
 
 /**
  * Byte accounting for a tensor's CodePlanes view: what the derived

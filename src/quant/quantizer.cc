@@ -14,6 +14,57 @@ namespace mokey
 
 Quantizer::Quantizer(ExpDictionary exp) : expDict(std::move(exp)) {}
 
+LadderSpec
+LadderSpec::from(const TensorDictionary &dict)
+{
+    const ExpDictionary &exp = dict.exp();
+    const size_t h = exp.indexCount();
+    MOKEY_ASSERT(h >= 1 && h <= 8,
+                 "ladder of %zu magnitudes exceeds the 8-entry "
+                 "kernel table", h);
+    LadderSpec spec;
+    spec.h = h;
+    for (size_t i = 0; i < 8; ++i) {
+        spec.mags[i] = exp.magnitude(std::min(i, h - 1));
+        spec.foldMags[i] = i < h ? exp.magnitude(i) : 0.0;
+    }
+    spec.mean = dict.mean();
+    spec.scale = dict.scale();
+    spec.cut = dict.outlierCentroids().empty()
+        ? std::numeric_limits<double>::infinity()
+        : dict.outlierCut();
+    spec.dict = &dict;
+    return spec;
+}
+
+size_t
+LadderSpec::encodeRow(const float *src, size_t n, uint8_t *ix,
+                      int8_t *th, double *mg,
+                      std::vector<CodePlanes::Outlier> &ot) const
+{
+    const size_t n_ot =
+        encodeLadder(src, n, mags, h, mean, scale, cut, ix, th, mg);
+    if (n_ot == 0)
+        return 0;
+    // Resolve the rare outlier lanes scalar (the OPP side): the
+    // kernel marked them with the zero-sign / zero-mag convention,
+    // which doubles as the scan key.
+    ot.reserve(ot.size() + n_ot);
+    size_t found = 0;
+    for (size_t c = 0; c < n && found < n_ot; ++c) {
+        const bool is_ot = th ? th[c] == 0 : mg[c] == 0.0;
+        if (!is_ot)
+            continue;
+        const double v = src[c];
+        const size_t oi = dict->nearestOutlierIndex(v);
+        ot.push_back({static_cast<uint32_t>(c),
+                      static_cast<uint8_t>(oi),
+                      dict->outlierValue(oi)});
+        ++found;
+    }
+    return n_ot;
+}
+
 TensorDictionary
 Quantizer::buildDictionary(const Tensor &t,
                            const TensorDictConfig &cfg) const
@@ -68,23 +119,15 @@ Quantizer::encodeToPlanes(const Tensor &t,
     if (wmag)
         p->mag.resize(rows * cols);
 
-    // Ladder constants: magnitudes padded to the kernel's 8-entry
-    // table; a dictionary without an outlier table gets an infinite
-    // cut, mirroring encodeValue()'s fall-through to the Gaussian
-    // path.
-    const ExpDictionary &exp = dict.exp();
-    const size_t h = exp.indexCount();
-    MOKEY_ASSERT(h >= 1 && h <= 8,
-                 "ladder of %zu magnitudes exceeds the 8-entry "
-                 "kernel table", h);
-    double mags[8];
-    for (size_t i = 0; i < 8; ++i)
-        mags[i] = exp.magnitude(std::min(i, h - 1));
-    const bool has_ot = !dict.outlierCentroids().empty();
-    const double cut = has_ot
-        ? dict.outlierCut()
-        : std::numeric_limits<double>::infinity();
-    const double mean = dict.mean(), scale = dict.scale();
+    // Ladder constants hoisted once (LadderSpec): magnitudes padded
+    // to the kernel's 8-entry table; a dictionary without an outlier
+    // table gets an infinite cut, mirroring encodeValue()'s
+    // fall-through to the Gaussian path.
+    const LadderSpec lad = LadderSpec::from(dict);
+    if (wmag)
+        p->magRowSum.resize(rows);
+    if (wbytes)
+        p->byteRowSum.resize(rows);
 
     // Outliers land in per-row buffers stitched in row order below,
     // so the sidecar is identical for every chunking. The fused walk
@@ -100,26 +143,15 @@ Quantizer::encodeToPlanes(const Tensor &t,
             int8_t *th =
                 wbytes ? p->theta.data() + r * cols : nullptr;
             double *mg = wmag ? p->mag.data() + r * cols : nullptr;
-            const size_t n_ot = encodeLadder(
-                src, cols, mags, h, mean, scale, cut, ix, th, mg);
-            if (n_ot == 0)
-                return;
-            // Resolve the rare outlier lanes scalar (the OPP side):
-            // the kernel marked them with the zero-sign / zero-mag
-            // convention, which doubles as the scan key.
-            auto &ot = row_ot[r];
-            ot.reserve(n_ot);
-            for (size_t c = 0; c < cols && ot.size() < n_ot; ++c) {
-                const bool is_ot =
-                    wbytes ? th[c] == 0 : mg[c] == 0.0;
-                if (!is_ot)
-                    continue;
-                const double v = src[c];
-                const size_t oi = dict.nearestOutlierIndex(v);
-                ot.push_back({static_cast<uint32_t>(c),
-                              static_cast<uint8_t>(oi),
-                              dict.outlierValue(oi)});
-            }
+            lad.encodeRow(src, cols, ix, th, mg, row_ot[r]);
+            // Fold the pairing-independent row terms (SoA2 + b*PoM2)
+            // into the same walk, in each engine's own arithmetic
+            // order, so no GEMM ever recomputes them.
+            if (wmag)
+                p->magRowSum[r] = magPlaneRowSum(mg, cols);
+            if (wbytes)
+                p->byteRowSum[r] =
+                    bytePlaneRowSum(ix, th, cols, lad.foldMags);
         });
 
     p->rowStart.assign(rows + 1, 0);

@@ -25,6 +25,42 @@
 namespace mokey
 {
 
+/**
+ * The comparator-ladder constants of one dictionary, hoisted out of
+ * the per-row encode loop and shared by every fused encoder —
+ * Quantizer::encodeToPlanes() and the fused GEMM epilogue both run
+ * the same encodeRow(), so their planes are bit-identical by
+ * construction.
+ */
+struct LadderSpec
+{
+    /** Ascending magnitudes padded to the kernel's 8-entry table by
+     * repeating the last real entry (what encodeLadder expects). */
+    double mags[8] = {};
+    /** The same table zero-padded past indexCount — the byte-plane
+     * fold's collapse table (bytePlaneRowSum). */
+    double foldMags[8] = {};
+    size_t h = 0; ///< real magnitude entries, in [1, 8]
+    double mean = 0.0;
+    double scale = 1.0;
+    /** Outlier threshold on |v - mean|; +inf without an OT table. */
+    double cut = 0.0;
+    const TensorDictionary *dict = nullptr;
+
+    static LadderSpec from(const TensorDictionary &dict);
+
+    /**
+     * Encode one row of @p n floats: run the vectorized ladder into
+     * the requested plane slices (any of @p ix / @p th / @p mg may
+     * be null), then resolve the rare outlier lanes scalar,
+     * appending (col, OT index, centroid) entries to @p ot in column
+     * order. Returns the outlier count.
+     */
+    size_t encodeRow(const float *src, size_t n, uint8_t *ix,
+                     int8_t *th, double *mg,
+                     std::vector<CodePlanes::Outlier> &ot) const;
+};
+
 /** Quantization entry point bundling dictionary build + encode. */
 class Quantizer
 {

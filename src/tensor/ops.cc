@@ -73,68 +73,102 @@ matmulTransB(const Tensor &a, const Tensor &b, Lane lane)
 }
 
 void
+addBiasRow(float *row, const float *bias, size_t n)
+{
+    for (size_t c = 0; c < n; ++c)
+        row[c] += bias[c];
+}
+
+void
+softmaxRow(float *row, size_t n)
+{
+    const float mx = *std::max_element(row, row + n);
+    double sum = 0.0;
+    for (size_t c = 0; c < n; ++c) {
+        row[c] = std::exp(row[c] - mx);
+        sum += row[c];
+    }
+    const auto inv = static_cast<float>(1.0 / sum);
+    for (size_t c = 0; c < n; ++c)
+        row[c] *= inv;
+}
+
+void
+scaleRow(float *row, size_t n, float s)
+{
+    for (size_t c = 0; c < n; ++c)
+        row[c] *= s;
+}
+
+void
+layerNormRow(float *row, size_t n, float eps)
+{
+    double sum = 0.0;
+    for (size_t c = 0; c < n; ++c)
+        sum += row[c];
+    const double mean = sum / static_cast<double>(n);
+    double var = 0.0;
+    for (size_t c = 0; c < n; ++c) {
+        const double d = row[c] - mean;
+        var += d * d;
+    }
+    var /= static_cast<double>(n);
+    const double inv = 1.0 / std::sqrt(var + eps);
+    for (size_t c = 0; c < n; ++c)
+        row[c] = static_cast<float>((row[c] - mean) * inv);
+}
+
+void
+geluRow(float *row, size_t n)
+{
+    for (size_t c = 0; c < n; ++c) {
+        const double x = row[c];
+        row[c] = static_cast<float>(
+            0.5 * x * (1.0 + std::erf(x * M_SQRT1_2)));
+    }
+}
+
+void
+addRow(float *dst, const float *a, const float *b, size_t n)
+{
+    for (size_t c = 0; c < n; ++c)
+        dst[c] = a[c] + b[c];
+}
+
+void
 addBias(Tensor &t, const std::vector<float> &bias)
 {
     MOKEY_ASSERT(bias.size() == t.cols(), "bias length mismatch");
-    for (size_t r = 0; r < t.rows(); ++r) {
-        float *row = t.row(r);
-        for (size_t c = 0; c < t.cols(); ++c)
-            row[c] += bias[c];
-    }
+    for (size_t r = 0; r < t.rows(); ++r)
+        addBiasRow(t.row(r), bias.data(), t.cols());
 }
 
 void
 softmaxRows(Tensor &t)
 {
-    for (size_t r = 0; r < t.rows(); ++r) {
-        float *row = t.row(r);
-        const float mx = *std::max_element(row, row + t.cols());
-        double sum = 0.0;
-        for (size_t c = 0; c < t.cols(); ++c) {
-            row[c] = std::exp(row[c] - mx);
-            sum += row[c];
-        }
-        const auto inv = static_cast<float>(1.0 / sum);
-        for (size_t c = 0; c < t.cols(); ++c)
-            row[c] *= inv;
-    }
+    for (size_t r = 0; r < t.rows(); ++r)
+        softmaxRow(t.row(r), t.cols());
 }
 
 void
 scale(Tensor &t, float s)
 {
-    for (auto &v : t.raw())
-        v *= s;
+    for (size_t r = 0; r < t.rows(); ++r)
+        scaleRow(t.row(r), t.cols(), s);
 }
 
 void
 layerNormRows(Tensor &t, float eps)
 {
-    for (size_t r = 0; r < t.rows(); ++r) {
-        float *row = t.row(r);
-        double sum = 0.0;
-        for (size_t c = 0; c < t.cols(); ++c)
-            sum += row[c];
-        const double mean = sum / static_cast<double>(t.cols());
-        double var = 0.0;
-        for (size_t c = 0; c < t.cols(); ++c) {
-            const double d = row[c] - mean;
-            var += d * d;
-        }
-        var /= static_cast<double>(t.cols());
-        const double inv = 1.0 / std::sqrt(var + eps);
-        for (size_t c = 0; c < t.cols(); ++c)
-            row[c] = static_cast<float>((row[c] - mean) * inv);
-    }
+    for (size_t r = 0; r < t.rows(); ++r)
+        layerNormRow(t.row(r), t.cols(), eps);
 }
 
 void
 gelu(Tensor &t)
 {
-    for (auto &v : t.raw()) {
-        const double x = v;
-        v = static_cast<float>(0.5 * x * (1.0 + std::erf(x * M_SQRT1_2)));
-    }
+    for (size_t r = 0; r < t.rows(); ++r)
+        geluRow(t.row(r), t.cols());
 }
 
 Tensor
@@ -143,8 +177,8 @@ add(const Tensor &a, const Tensor &b)
     MOKEY_ASSERT(a.rows() == b.rows() && a.cols() == b.cols(),
                  "add shape mismatch");
     Tensor c(a.rows(), a.cols());
-    for (size_t i = 0; i < a.size(); ++i)
-        c.raw()[i] = a.raw()[i] + b.raw()[i];
+    for (size_t r = 0; r < a.rows(); ++r)
+        addRow(c.row(r), a.row(r), b.row(r), a.cols());
     return c;
 }
 

@@ -28,6 +28,30 @@ Tensor matmul(const Tensor &a, const Tensor &b, Lane lane = {});
 /** C = A (m x k) * B^T where B is (n x k). */
 Tensor matmulTransB(const Tensor &a, const Tensor &b, Lane lane = {});
 
+// Single-row kernels: the per-row bodies of the whole-tensor ops
+// below, exposed so the fused GEMM epilogues (model/pipeline) apply
+// them to one band-resident row at a time with arithmetic identical
+// to the layer-at-a-time path — bit-parity between the two forward
+// paths reduces to "same kernel, same row".
+
+/** One row of addBias(): row[c] += bias[c]. */
+void addBiasRow(float *row, const float *bias, size_t n);
+
+/** One row of softmaxRows(). */
+void softmaxRow(float *row, size_t n);
+
+/** One row of scale(): row[c] *= s. */
+void scaleRow(float *row, size_t n, float s);
+
+/** One row of layerNormRows() (gain 1, bias 0). */
+void layerNormRow(float *row, size_t n, float eps = 1e-5f);
+
+/** One row of gelu() (exact, erf-based). */
+void geluRow(float *row, size_t n);
+
+/** One row of add(): dst[c] = a[c] + b[c]; dst may alias a or b. */
+void addRow(float *dst, const float *a, const float *b, size_t n);
+
 /** In place: add a per-column bias vector to every row. */
 void addBias(Tensor &t, const std::vector<float> &bias);
 

@@ -1028,7 +1028,8 @@ TEST(QuantizedTensorPin, FootprintAccountsPlaneBytes)
     const size_t expected =
         n * (sizeof(uint8_t) + sizeof(int8_t) + sizeof(double)) +
         (q.rows() + 1) * sizeof(uint32_t) +
-        f.outlierEntries * sizeof(CodePlanes::Outlier);
+        f.outlierEntries * sizeof(CodePlanes::Outlier) +
+        q.rows() * 2 * sizeof(double); // per-row fold sums (both sets)
     EXPECT_EQ(f.planeBytes, expected);
     EXPECT_GT(f.outlierEntries, 0u);
     // Keeping planes costs ~10x the code bytes — the number the

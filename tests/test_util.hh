@@ -38,6 +38,27 @@ struct FusedEncodeGuard
     ~FusedEncodeGuard() { setFusedActEncode(prior); }
 };
 
+/** Restores the graph-fusion path selection likewise. */
+struct GraphFuseGuard
+{
+    bool prior = graphFuse();
+    ~GraphFuseGuard() { setGraphFuse(prior); }
+};
+
+/** Restores the engine self-calibration flag likewise. */
+struct CalibrateGuard
+{
+    bool prior = engineCalibration();
+    ~CalibrateGuard() { setEngineCalibration(prior); }
+};
+
+/** Restores the Auto-engine mag byte budget likewise. */
+struct MagBudgetGuard
+{
+    size_t prior = autoMagBudgetBytes();
+    ~MagBudgetGuard() { setAutoMagBudgetBytes(prior); }
+};
+
 } // namespace mokey
 
 #endif // MOKEY_TESTS_TEST_UTIL_HH
