@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Serving front-end load generator: measures what the epoll HTTP
+ * layer costs on top of direct BatchScheduler calls, and what the
+ * served latency distribution looks like under open-loop load.
+ *
+ * Three phases, one shared quantized pipeline (reduced BERT-Base):
+ *
+ *  1. Closed-loop direct baseline — C client threads submit futures
+ *     straight into a BatchScheduler and wait; measures the
+ *     scheduler's own sustainable QPS with zero network in the path.
+ *  2. Closed-loop HTTP — the same offered pattern through
+ *     InferenceServer over loopback keep-alive connections. The
+ *     ratio http_qps / direct_qps is the gated record
+ *     ("serving_http_vs_direct_qps"): it is a same-machine,
+ *     same-run ratio, so it is comparable across hosts to first
+ *     order, and it regresses when the serving layer grows
+ *     per-request overhead.
+ *  3. Open-loop arrivals — fixed-seed exponential inter-arrival
+ *     times at ~70% of the measured closed-loop HTTP capacity, with
+ *     a ragged request-length mix. Latency is measured from the
+ *     *scheduled* arrival (so queueing delay from late sends counts),
+ *     giving honest p50/p99 under load. These rows are raw timings
+ *     (speedup_vs_seed = 0): absolute latency is machine-dependent
+ *     and is tracked, not gated.
+ *
+ * Writes BENCH_serving.json for tools/check_bench_regression.py.
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hh"
+#include "model/config.hh"
+#include "model/pipeline.hh"
+#include "model/scheduler.hh"
+#include "net/http_client.hh"
+#include "net/inference_server.hh"
+
+using namespace mokey;
+using namespace mokey::bench;
+using namespace mokey::net;
+using clock_t_ = std::chrono::steady_clock;
+
+namespace
+{
+
+constexpr size_t kClients = 4;
+constexpr size_t kClosedLoopRequests = 64; // per phase, total
+constexpr size_t kOpenLoopRequests = 96;
+constexpr unsigned kSeed = 7; // fixes arrivals + request mix
+
+/** Ragged request mix: sequence lengths cycled per request. */
+constexpr size_t kLens[] = {4, 24, 8, 32, 16, 12, 28, 6};
+constexpr size_t kLenCount = sizeof(kLens) / sizeof(kLens[0]);
+
+double
+elapsedSeconds(clock_t_::time_point t0)
+{
+    return std::chrono::duration<double>(clock_t_::now() - t0)
+        .count();
+}
+
+double
+percentileMs(std::vector<double> sorted_ms, double p)
+{
+    if (sorted_ms.empty())
+        return 0.0;
+    std::sort(sorted_ms.begin(), sorted_ms.end());
+    const double idx = p * (sorted_ms.size() - 1);
+    const size_t lo = static_cast<size_t>(idx);
+    const size_t hi = std::min(lo + 1, sorted_ms.size() - 1);
+    const double frac = idx - lo;
+    return sorted_ms[lo] * (1.0 - frac) + sorted_ms[hi] * frac;
+}
+
+BatchSchedulerConfig
+schedulerConfig()
+{
+    BatchSchedulerConfig scfg;
+    scfg.maxBatch = 4;
+    scfg.maxTokens = 96;
+    scfg.flushTimeout = std::chrono::milliseconds(2);
+    return scfg;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Serving front-end: HTTP layer overhead and open-loop "
+           "latency",
+           "the serving configuration of Sec. 6 at reduced "
+           "geometry");
+
+    const ModelConfig cfg = reduced(bertBase(), 8);
+    const Transformer model(cfg, 42);
+    const Quantizer quantizer = standardQuantizer();
+    QuantizedTransformer pipe(model, quantizer);
+    pipe.quantizeWeights();
+    std::vector<Tensor> profile_batch;
+    for (int i = 0; i < 8; ++i)
+        profile_batch.push_back(model.makeInput(32, 100 + i));
+    pipe.profileActivations(profile_batch);
+
+    // One input per closed-loop request, reused across both phases
+    // so direct and HTTP see the identical offered work.
+    std::vector<Tensor> inputs;
+    size_t total_rows = 0;
+    for (size_t i = 0; i < kClosedLoopRequests; ++i) {
+        const size_t len = kLens[i % kLenCount];
+        inputs.push_back(model.makeInput(len, 900 + (int)i));
+        total_rows += len;
+    }
+
+    // ---- phase 1: closed-loop direct scheduler baseline ----------
+    double direct_qps = 0.0;
+    {
+        BatchScheduler sched(pipe,
+                             QuantMode::WeightsAndActivations,
+                             schedulerConfig());
+        std::atomic<size_t> next{0};
+        const auto t0 = clock_t_::now();
+        std::vector<std::thread> clients;
+        for (size_t c = 0; c < kClients; ++c)
+            clients.emplace_back([&] {
+                for (size_t i = next.fetch_add(1);
+                     i < kClosedLoopRequests;
+                     i = next.fetch_add(1))
+                    sched.submit(inputs[i]).get();
+            });
+        for (auto &t : clients)
+            t.join();
+        direct_qps = kClosedLoopRequests / elapsedSeconds(t0);
+        sched.drain();
+    }
+    std::printf("\nclosed-loop direct:  %6.1f req/s "
+                "(%zu clients, %zu requests)\n",
+                direct_qps, kClients, kClosedLoopRequests);
+
+    // ---- phase 2: closed-loop HTTP over loopback -----------------
+    double http_qps = 0.0;
+    double http_bytes = 0.0;
+    {
+        InferenceServerConfig icfg;
+        icfg.scheduler = schedulerConfig();
+        icfg.maxQueueDepth = 64;
+        InferenceServer server(pipe, icfg);
+        server.start();
+
+        std::atomic<size_t> next{0};
+        std::atomic<uint64_t> bytes{0};
+        const auto t0 = clock_t_::now();
+        std::vector<std::thread> clients;
+        for (size_t c = 0; c < kClients; ++c)
+            clients.emplace_back([&] {
+                HttpClient cli("127.0.0.1", server.port());
+                for (size_t i = next.fetch_add(1);
+                     i < kClosedLoopRequests;
+                     i = next.fetch_add(1)) {
+                    const std::string body =
+                        encodeTensorBody(inputs[i]);
+                    const HttpResponse rsp =
+                        cli.post("/v1/forward", body);
+                    if (rsp.status != 200) {
+                        std::fprintf(stderr,
+                                     "unexpected status %d\n",
+                                     rsp.status);
+                        std::exit(1);
+                    }
+                    bytes += body.size() + rsp.body.size();
+                }
+            });
+        for (auto &t : clients)
+            t.join();
+        const double secs = elapsedSeconds(t0);
+        http_qps = kClosedLoopRequests / secs;
+        http_bytes = double(bytes.load()) / secs;
+        server.drain();
+    }
+    const double ratio = http_qps / direct_qps;
+    std::printf("closed-loop HTTP:    %6.1f req/s  -> %.2fx of "
+                "direct (the gated ratio)\n",
+                http_qps, ratio);
+
+    // ---- phase 3: open-loop arrivals at ~70%% of capacity ---------
+    // Arrivals are scheduled up front from a fixed seed so the
+    // offered trace is identical run to run; latency counts from the
+    // scheduled arrival so send-side queueing is not hidden.
+    std::vector<double> arrival_s;
+    std::vector<size_t> open_lens;
+    {
+        std::mt19937 rng(kSeed);
+        const double rate = 0.70 * http_qps;
+        std::exponential_distribution<double> gap(rate);
+        std::uniform_int_distribution<size_t> pick(0,
+                                                   kLenCount - 1);
+        double t = 0.0;
+        for (size_t i = 0; i < kOpenLoopRequests; ++i) {
+            t += gap(rng);
+            arrival_s.push_back(t);
+            open_lens.push_back(kLens[pick(rng)]);
+        }
+    }
+
+    double open_qps = 0.0;
+    std::vector<double> latency_ms(kOpenLoopRequests, 0.0);
+    {
+        InferenceServerConfig icfg;
+        icfg.scheduler = schedulerConfig();
+        icfg.maxQueueDepth = 64;
+        InferenceServer server(pipe, icfg);
+        server.start();
+
+        std::vector<Tensor> open_inputs;
+        for (size_t i = 0; i < kOpenLoopRequests; ++i)
+            open_inputs.push_back(
+                model.makeInput(open_lens[i], 500 + (int)i));
+
+        // A worker pool large enough that sends almost never lag
+        // their scheduled arrival; any residual lag is charged to
+        // latency anyway.
+        constexpr size_t kWorkers = 8;
+        std::atomic<size_t> next{0};
+        const auto t0 = clock_t_::now();
+        std::vector<std::thread> workers;
+        for (size_t w = 0; w < kWorkers; ++w)
+            workers.emplace_back([&] {
+                HttpClient cli("127.0.0.1", server.port());
+                for (size_t i = next.fetch_add(1);
+                     i < kOpenLoopRequests;
+                     i = next.fetch_add(1)) {
+                    const auto due =
+                        t0 + std::chrono::duration_cast<
+                                 clock_t_::duration>(
+                                 std::chrono::duration<double>(
+                                     arrival_s[i]));
+                    std::this_thread::sleep_until(due);
+                    const HttpResponse rsp = cli.post(
+                        "/v1/forward",
+                        encodeTensorBody(open_inputs[i]));
+                    if (rsp.status != 200 && rsp.status != 503) {
+                        std::fprintf(stderr,
+                                     "unexpected status %d\n",
+                                     rsp.status);
+                        std::exit(1);
+                    }
+                    latency_ms[i] =
+                        std::chrono::duration<double,
+                                              std::milli>(
+                            clock_t_::now() - due)
+                            .count();
+                }
+            });
+        for (auto &t : workers)
+            t.join();
+        open_qps = kOpenLoopRequests / elapsedSeconds(t0);
+        server.drain();
+    }
+
+    const double p50 = percentileMs(latency_ms, 0.50);
+    const double p99 = percentileMs(latency_ms, 0.99);
+    std::printf("open-loop @70%% cap:  %6.1f req/s sustained, "
+                "p50 %.2f ms, p99 %.2f ms\n",
+                open_qps, p50, p99);
+
+    // ---- machine-readable records --------------------------------
+    const size_t mean_rows = total_rows / kClosedLoopRequests;
+    BenchJson json("serving");
+    // Gated ratio row: same-run, same-machine comparison.
+    json.add({"serving_http_vs_direct_qps", kClients, mean_rows,
+              cfg.hidden, 1e9 / http_qps, http_bytes * 1e-9,
+              ratio});
+    // Raw rows: tracked, not gated (machine-dependent absolutes).
+    json.add({"serving_direct_qps_closed_loop", kClients, mean_rows,
+              cfg.hidden, 1e9 / direct_qps, 0.0, 0.0});
+    json.add({"serving_http_qps_closed_loop", kClients, mean_rows,
+              cfg.hidden, 1e9 / http_qps, http_bytes * 1e-9, 0.0});
+    json.add({"serving_open_loop_p50_ms", kOpenLoopRequests,
+              mean_rows, cfg.hidden, p50 * 1e6, 0.0, 0.0});
+    json.add({"serving_open_loop_p99_ms", kOpenLoopRequests,
+              mean_rows, cfg.hidden, p99 * 1e6, 0.0, 0.0});
+    json.add({"serving_open_loop_sustained_qps", kOpenLoopRequests,
+              mean_rows, cfg.hidden, 1e9 / open_qps, 0.0, 0.0});
+    return json.write() ? 0 : 1;
+}

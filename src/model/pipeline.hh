@@ -104,6 +104,10 @@ class QuantizedTransformer
     /** True once both weight and activation dictionaries exist. */
     bool ready() const;
 
+    /** Geometry of the wrapped model (serving layers validate
+     *  request width against config().hidden before submitting). */
+    const ModelConfig &modelConfig() const { return model.config(); }
+
     /**
      * Quantized forward pass.
      *

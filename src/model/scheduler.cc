@@ -1,5 +1,7 @@
 #include "model/scheduler.hh"
 
+#include <stdexcept>
+
 #include "common/logging.hh"
 
 namespace mokey
@@ -7,10 +9,23 @@ namespace mokey
 
 BatchScheduler::BatchScheduler(const QuantizedTransformer &eng,
                                QuantMode m, BatchSchedulerConfig c)
-    : engine(eng), mode(m), cfg(c)
+    : BatchScheduler(
+          [&eng](const std::vector<Tensor> &inputs, QuantMode mode,
+                 Lane lane) {
+              return eng.forwardBatch(inputs, mode, lane);
+          },
+          m, c)
+{
+}
+
+BatchScheduler::BatchScheduler(BatchForwardFn fwd, QuantMode m,
+                               BatchSchedulerConfig c)
+    : forward(std::move(fwd)), mode(m), cfg(c)
 {
     MOKEY_ASSERT(cfg.maxBatch >= 1, "maxBatch must be >= 1");
     MOKEY_ASSERT(cfg.maxTokens >= 1, "maxTokens must be >= 1");
+    MOKEY_ASSERT(static_cast<bool>(forward),
+                 "scheduler needs a forward function");
     const size_t n = cfg.laneCount < 1 ? 1 : cfg.laneCount;
     usage.resize(n);
     lanes.reserve(n);
@@ -25,31 +40,69 @@ BatchScheduler::BatchScheduler(const QuantizedTransformer &eng,
 
 BatchScheduler::~BatchScheduler()
 {
+    stop();
+}
+
+void
+BatchScheduler::stop()
+{
     {
         std::lock_guard<std::mutex> lk(mu);
         stopping = true;
+        if (joined)
+            return;
+        joined = true;
     }
     cvWork.notify_all();
     for (auto &d : dispatchers)
         d.join();
 }
 
-std::future<Tensor>
-BatchScheduler::submit(Tensor input)
+bool
+BatchScheduler::enqueue(Request &&req)
 {
-    MOKEY_ASSERT(input.rows() > 0, "empty request");
-    std::future<Tensor> fut;
     {
         std::lock_guard<std::mutex> lk(mu);
-        MOKEY_ASSERT(!stopping, "submit() on a stopping scheduler");
-        queue.push_back(Request{std::move(input), {},
-                                std::chrono::steady_clock::now()});
-        fut = queue.back().result.get_future();
-        queuedRows += queue.back().input.rows();
+        if (stopping || req.input.rows() == 0) {
+            ++st.rejected;
+            return false;
+        }
+        queuedRows += req.input.rows();
+        queue.push_back(std::move(req));
         ++st.requests;
     }
     cvWork.notify_all();
+    return true;
+}
+
+std::future<Tensor>
+BatchScheduler::submit(Tensor input)
+{
+    const bool empty = input.rows() == 0;
+    Request req{std::move(input), {}, nullptr,
+                std::chrono::steady_clock::now()};
+    std::future<Tensor> fut = req.result.get_future();
+    if (!enqueue(std::move(req))) {
+        // Rejected: the promise is still ours (enqueue only moves
+        // the request on success), so hand the reason back through
+        // the future instead of panicking the process.
+        req.result.set_exception(std::make_exception_ptr(
+            std::runtime_error(empty
+                                   ? "BatchScheduler: empty request"
+                                   : "BatchScheduler: submit() on a "
+                                     "stopped scheduler")));
+    }
     return fut;
+}
+
+bool
+BatchScheduler::submit(Tensor input, BatchCompletion done)
+{
+    MOKEY_ASSERT(static_cast<bool>(done),
+                 "callback submit needs a callback");
+    Request req{std::move(input), {}, std::move(done),
+                std::chrono::steady_clock::now()};
+    return enqueue(std::move(req));
 }
 
 bool
@@ -74,6 +127,13 @@ BatchScheduler::drain()
     --drainWaiters;
 }
 
+size_t
+BatchScheduler::queueDepth() const
+{
+    std::lock_guard<std::mutex> lk(mu);
+    return queue.size() + inFlight;
+}
+
 BatchSchedulerStats
 BatchScheduler::stats() const
 {
@@ -93,6 +153,29 @@ BatchScheduler::laneUsage() const
 {
     std::lock_guard<std::mutex> lk(mu);
     return usage;
+}
+
+void
+BatchScheduler::complete(Request &req, Tensor &&out,
+                         const std::exception_ptr &err)
+{
+    // Completion must never take the dispatcher down: a broken
+    // promise (caller dropped the future) or a throwing callback is
+    // the caller's bug, and the other requests in the batch still
+    // deserve their results.
+    try {
+        if (req.done) {
+            req.done(std::move(out), err);
+        } else if (err) {
+            req.result.set_exception(err);
+        } else {
+            req.result.set_value(std::move(out));
+        }
+    } catch (const std::exception &e) {
+        warn("BatchScheduler: completion failed: %s", e.what());
+    } catch (...) {
+        warn("BatchScheduler: completion failed");
+    }
 }
 
 void
@@ -167,17 +250,35 @@ BatchScheduler::dispatchLoop(size_t laneIdx)
         inputs.reserve(batch.size());
         for (Request &r : batch)
             inputs.push_back(std::move(r.input));
+
+        // A throwing engine fails THIS batch, not the process: every
+        // request in it observes the exception, counters are
+        // restored below, and this dispatcher goes back to waiting
+        // for the next batch.
+        std::vector<Tensor> outs;
+        std::exception_ptr err;
         const auto t0 = std::chrono::steady_clock::now();
-        std::vector<Tensor> outs =
-            engine.forwardBatch(inputs, mode, lane);
+        try {
+            outs = forward(inputs, mode, lane);
+            if (outs.size() != batch.size())
+                throw std::runtime_error(
+                    "batched forward returned " +
+                    std::to_string(outs.size()) + " outputs for " +
+                    std::to_string(batch.size()) + " inputs");
+        } catch (...) {
+            err = std::current_exception();
+        }
         const double busy =
             std::chrono::duration<double>(
                 std::chrono::steady_clock::now() - t0)
                 .count();
         for (size_t i = 0; i < batch.size(); ++i)
-            batch[i].result.set_value(std::move(outs[i]));
+            complete(batch[i], err ? Tensor{} : std::move(outs[i]),
+                     err);
         lk.lock();
 
+        if (err)
+            ++st.failedBatches;
         usage[laneIdx].batches += 1;
         usage[laneIdx].rows += rows;
         usage[laneIdx].busySeconds += busy;

@@ -20,6 +20,17 @@
  * (sized by MOKEY_THREADS). Batching and lane placement never change
  * results: each response is bit-identical to an unbatched forward()
  * of that request.
+ *
+ * Failure semantics (what a serving deployment relies on):
+ *  - A batch whose forward throws fails *only that batch*: every
+ *    request in it observes the exception through its future (or
+ *    completion callback), the scheduler's counters are restored,
+ *    and the dispatcher keeps serving subsequent batches. The
+ *    process never terminates because an engine threw.
+ *  - submit() on a stopped/stopping scheduler is rejected
+ *    gracefully: the future carries a std::runtime_error (the
+ *    callback overload returns false) so a draining server can shed
+ *    the request with a 503 instead of crashing on the race.
  */
 
 #ifndef MOKEY_MODEL_SCHEDULER_HH
@@ -29,6 +40,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <mutex>
 #include <thread>
@@ -67,7 +79,9 @@ struct BatchSchedulerConfig
 struct BatchSchedulerStats
 {
     uint64_t requests = 0;        ///< submitted
+    uint64_t rejected = 0;        ///< submits refused (stopped/empty)
     uint64_t batches = 0;         ///< dispatched micro-batches
+    uint64_t failedBatches = 0;   ///< batches whose forward threw
     uint64_t batchedRows = 0;     ///< total rows across batches
     uint64_t capacityFlushes = 0; ///< dispatched full (batch/tokens)
     uint64_t timeoutFlushes = 0;  ///< dispatched on flushTimeout
@@ -83,6 +97,24 @@ struct SchedulerLaneUsage
     double busySeconds = 0; ///< wall time inside forwardBatch()
 };
 
+/**
+ * The batched forward a scheduler dispatches: ragged inputs in,
+ * one output per input (same order). May throw — the scheduler
+ * converts a throw into per-request failures, never a crash.
+ */
+using BatchForwardFn = std::function<std::vector<Tensor>(
+    const std::vector<Tensor> &inputs, QuantMode mode, Lane lane)>;
+
+/**
+ * Per-request completion callback (the async alternative to the
+ * future API, used by the network front-end). Invoked exactly once
+ * from a dispatcher thread: on success with the output tensor and a
+ * null exception pointer, on failure with an empty tensor and the
+ * exception that failed the batch.
+ */
+using BatchCompletion =
+    std::function<void(Tensor output, std::exception_ptr error)>;
+
 /** FIFO request queue + micro-batch dispatcher for one pipeline. */
 class BatchScheduler
 {
@@ -96,6 +128,14 @@ class BatchScheduler
     BatchScheduler(const QuantizedTransformer &engine, QuantMode mode,
                    BatchSchedulerConfig cfg = {});
 
+    /**
+     * Dispatch onto an arbitrary batched forward. Serving stacks
+     * use this to interpose (and tests to inject failures); the
+     * pipeline constructor above is the common case wrapper.
+     */
+    BatchScheduler(BatchForwardFn forward, QuantMode mode,
+                   BatchSchedulerConfig cfg = {});
+
     /** Flushes the queue, finishes in-flight work, joins. */
     ~BatchScheduler();
 
@@ -104,12 +144,41 @@ class BatchScheduler
 
     /**
      * Queue one request (seq x hidden embedded input). The future
-     * resolves to the forward result when its batch completes.
+     * resolves to the forward result when its batch completes, or
+     * carries the exception that failed its batch. A submit racing
+     * stop() (and an empty input) resolves to a std::runtime_error
+     * instead of panicking — the caller sheds, the process lives.
      */
     std::future<Tensor> submit(Tensor input);
 
+    /**
+     * Queue one request with a completion callback instead of a
+     * future (no promise/future allocation, no waiter thread — the
+     * event-loop front-end's path). Returns false without invoking
+     * @p done when the scheduler is stopped/stopping or the input
+     * is empty; otherwise @p done fires exactly once from a
+     * dispatcher thread. The callback must not block for long (it
+     * runs on the dispatcher) and must not re-enter the scheduler.
+     */
+    bool submit(Tensor input, BatchCompletion done);
+
     /** Block until every submitted request has completed. */
     void drain();
+
+    /**
+     * Stop accepting work, flush the queue, join the dispatchers.
+     * Queued requests still complete (shutdown flushes them);
+     * submits after (or racing) the stop are rejected gracefully.
+     * Idempotent; the destructor calls it.
+     */
+    void stop();
+
+    /**
+     * Requests admitted but not yet completed (queued + in-flight).
+     * The admission-control signal: a server sheds with 503 when
+     * this exceeds its queue-depth cap.
+     */
+    size_t queueDepth() const;
 
     BatchSchedulerStats stats() const;
 
@@ -120,22 +189,30 @@ class BatchScheduler
     std::vector<SchedulerLaneUsage> laneUsage() const;
 
     /** Number of dispatcher lanes (cfg.laneCount clamped to >= 1). */
-    size_t laneCount() const { return dispatchers.size(); }
+    size_t laneCount() const { return lanes.size(); }
 
   private:
     struct Request
     {
         Tensor input;
-        std::promise<Tensor> result;
+        std::promise<Tensor> result; ///< unused when done is set
+        BatchCompletion done;        ///< callback path when non-null
         std::chrono::steady_clock::time_point arrival;
     };
 
     void dispatchLoop(size_t laneIdx);
 
+    /** Enqueue under the common submit checks; false = rejected. */
+    bool enqueue(Request &&req);
+
+    /** Resolve one request with a result or an error, never throw. */
+    static void complete(Request &req, Tensor &&out,
+                         const std::exception_ptr &err);
+
     /** Queue holds a full batch (call with mu held). */
     bool batchReady() const;
 
-    const QuantizedTransformer &engine;
+    const BatchForwardFn forward;
     const QuantMode mode;
     const BatchSchedulerConfig cfg;
 
@@ -146,6 +223,7 @@ class BatchScheduler
     size_t queuedRows = 0;
     size_t inFlight = 0;
     bool stopping = false;
+    bool joined = false;     ///< dispatchers joined (stop() ran)
     size_t drainWaiters = 0; ///< drain() calls wanting instant flush
     BatchSchedulerStats st;
     std::vector<size_t> sizes;

@@ -1,0 +1,375 @@
+#include "net/http.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+namespace mokey::net
+{
+
+namespace
+{
+
+/** Parsed message head: start line + headers + total head bytes. */
+struct Head
+{
+    std::string startLine;
+    std::vector<HttpHeader> headers;
+    size_t bytes = 0; ///< includes the blank line
+};
+
+/**
+ * Find and split one message head off @p buf. Returns 1 on success,
+ * 0 when incomplete, -1 on a malformed header line.
+ */
+int
+parseHead(const std::string &buf, Head &head)
+{
+    const size_t end = buf.find("\r\n\r\n");
+    if (end == std::string::npos)
+        return 0;
+    head.bytes = end + 4;
+
+    size_t pos = 0;
+    bool first = true;
+    while (pos < end) {
+        size_t eol = buf.find("\r\n", pos);
+        if (eol == std::string::npos || eol > end)
+            eol = end;
+        const std::string line = buf.substr(pos, eol - pos);
+        pos = eol + 2;
+        if (first) {
+            head.startLine = line;
+            first = false;
+            continue;
+        }
+        const size_t colon = line.find(':');
+        if (colon == std::string::npos)
+            return -1;
+        std::string name = line.substr(0, colon);
+        std::string value = line.substr(colon + 1);
+        // Trim optional whitespace around the value.
+        while (!value.empty() &&
+               (value.front() == ' ' || value.front() == '\t'))
+            value.erase(value.begin());
+        while (!value.empty() &&
+               (value.back() == ' ' || value.back() == '\t'))
+            value.pop_back();
+        if (name.empty())
+            return -1;
+        head.headers.push_back({std::move(name), std::move(value)});
+    }
+    return 1;
+}
+
+const std::string *
+findHeader(const std::vector<HttpHeader> &headers,
+           const std::string &name)
+{
+    for (const HttpHeader &h : headers)
+        if (iequals(h.name, name))
+            return &h.value;
+    return nullptr;
+}
+
+/** Strict non-negative decimal parse; -1 on junk. */
+long long
+parseDecimal(const std::string &s)
+{
+    if (s.empty() || s.size() > 18)
+        return -1;
+    long long v = 0;
+    for (const char c : s) {
+        if (c < '0' || c > '9')
+            return -1;
+        v = v * 10 + (c - '0');
+    }
+    return v;
+}
+
+bool
+resolveKeepAlive(const std::string &version,
+                 const std::vector<HttpHeader> &headers)
+{
+    bool keep = version != "HTTP/1.0"; // 1.1 defaults to keep-alive
+    if (const std::string *c = findHeader(headers, "Connection")) {
+        if (iequals(*c, "close"))
+            keep = false;
+        else if (iequals(*c, "keep-alive"))
+            keep = true;
+    }
+    return keep;
+}
+
+} // namespace
+
+bool
+iequals(const std::string &a, const std::string &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (size_t i = 0; i < a.size(); ++i)
+        if (std::tolower(static_cast<unsigned char>(a[i])) !=
+            std::tolower(static_cast<unsigned char>(b[i])))
+            return false;
+    return true;
+}
+
+const std::string *
+HttpRequest::header(const std::string &name) const
+{
+    return findHeader(headers, name);
+}
+
+const std::string *
+HttpResponse::header(const std::string &name) const
+{
+    return findHeader(headers, name);
+}
+
+HttpRequestParser::Status
+HttpRequestParser::fail(int status, const std::string &what)
+{
+    errStatus = status;
+    errText = what;
+    return Status::Error;
+}
+
+HttpRequestParser::Status
+HttpRequestParser::next(HttpRequest &out)
+{
+    if (errStatus != 0)
+        return Status::Error; // sticky: connection must close
+
+    Head head;
+    const int got = parseHead(buf, head);
+    if (got == 0) {
+        if (buf.size() > lim.maxHeaderBytes)
+            return fail(431, "header section exceeds limit");
+        return Status::NeedMore;
+    }
+    if (got < 0 || head.bytes > lim.maxHeaderBytes)
+        return fail(got < 0 ? 400 : 431,
+                    got < 0 ? "malformed header line"
+                            : "header section exceeds limit");
+
+    // Request line: METHOD SP target SP HTTP/x.y
+    const std::string &line = head.startLine;
+    const size_t sp1 = line.find(' ');
+    const size_t sp2 =
+        sp1 == std::string::npos ? sp1 : line.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos ||
+        line.find(' ', sp2 + 1) != std::string::npos)
+        return fail(400, "malformed request line");
+    std::string method = line.substr(0, sp1);
+    std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    std::string version = line.substr(sp2 + 1);
+    if (method.empty() || target.empty() || target[0] != '/')
+        return fail(400, "malformed request line");
+    if (version != "HTTP/1.1" && version != "HTTP/1.0")
+        return fail(505, "unsupported HTTP version");
+
+    if (findHeader(head.headers, "Transfer-Encoding") != nullptr)
+        return fail(501, "chunked request bodies not supported");
+
+    size_t bodyLen = 0;
+    if (const std::string *cl =
+            findHeader(head.headers, "Content-Length")) {
+        const long long v = parseDecimal(*cl);
+        if (v < 0)
+            return fail(400, "malformed Content-Length");
+        if (static_cast<size_t>(v) > lim.maxBodyBytes)
+            return fail(413, "body exceeds limit");
+        bodyLen = static_cast<size_t>(v);
+    }
+
+    if (buf.size() < head.bytes + bodyLen)
+        return Status::NeedMore;
+
+    out = HttpRequest{};
+    out.method = std::move(method);
+    out.target = std::move(target);
+    out.version = std::move(version);
+    out.headers = std::move(head.headers);
+    out.body = buf.substr(head.bytes, bodyLen);
+    out.keepAlive = resolveKeepAlive(out.version, out.headers);
+    buf.erase(0, head.bytes + bodyLen);
+    return Status::Ready;
+}
+
+HttpResponseParser::Status
+HttpResponseParser::fail(const std::string &what)
+{
+    errText = what;
+    return Status::Error;
+}
+
+HttpResponseParser::Status
+HttpResponseParser::next(HttpResponse &out)
+{
+    Head head;
+    const int got = parseHead(buf, head);
+    if (got == 0)
+        return buf.size() > lim.maxHeaderBytes
+                   ? fail("header section exceeds limit")
+                   : Status::NeedMore;
+    if (got < 0)
+        return fail("malformed header line");
+
+    // Status line: HTTP/x.y CODE reason...
+    const std::string &line = head.startLine;
+    const size_t sp1 = line.find(' ');
+    const size_t sp2 =
+        sp1 == std::string::npos ? sp1 : line.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos)
+        return fail("malformed status line");
+    const long long code = parseDecimal(
+        sp2 == std::string::npos
+            ? line.substr(sp1 + 1)
+            : line.substr(sp1 + 1, sp2 - sp1 - 1));
+    if (code < 100 || code > 599)
+        return fail("malformed status code");
+
+    std::string body;
+    size_t consumed = head.bytes;
+    const std::string *te =
+        findHeader(head.headers, "Transfer-Encoding");
+    if (te != nullptr && iequals(*te, "chunked")) {
+        // Reassemble chunk frames; wait until the whole body (incl.
+        // the zero chunk) is buffered.
+        size_t pos = head.bytes;
+        for (;;) {
+            const size_t eol = buf.find("\r\n", pos);
+            if (eol == std::string::npos)
+                return Status::NeedMore;
+            size_t len = 0;
+            const std::string hex = buf.substr(pos, eol - pos);
+            if (hex.empty() || hex.size() > 8)
+                return fail("malformed chunk size");
+            for (const char c : hex) {
+                const char lc = static_cast<char>(
+                    std::tolower(static_cast<unsigned char>(c)));
+                if (lc >= '0' && lc <= '9')
+                    len = len * 16 + (lc - '0');
+                else if (lc >= 'a' && lc <= 'f')
+                    len = len * 16 + (lc - 'a' + 10);
+                else
+                    return fail("malformed chunk size");
+            }
+            if (buf.size() < eol + 2 + len + 2)
+                return Status::NeedMore;
+            if (buf.compare(eol + 2 + len, 2, "\r\n") != 0)
+                return fail("malformed chunk frame");
+            body.append(buf, eol + 2, len);
+            if (body.size() > lim.maxBodyBytes)
+                return fail("body exceeds limit");
+            pos = eol + 2 + len + 2;
+            if (len == 0)
+                break;
+        }
+        consumed = pos;
+    } else if (const std::string *cl =
+                   findHeader(head.headers, "Content-Length")) {
+        const long long v = parseDecimal(*cl);
+        if (v < 0 || static_cast<size_t>(v) > lim.maxBodyBytes)
+            return fail("bad Content-Length");
+        if (buf.size() < head.bytes + static_cast<size_t>(v))
+            return Status::NeedMore;
+        body = buf.substr(head.bytes, static_cast<size_t>(v));
+        consumed = head.bytes + static_cast<size_t>(v);
+    }
+
+    out = HttpResponse{};
+    out.status = static_cast<int>(code);
+    out.reason =
+        sp2 == std::string::npos ? "" : line.substr(sp2 + 1);
+    out.headers = std::move(head.headers);
+    out.body = std::move(body);
+    out.keepAlive = resolveKeepAlive("HTTP/1.1", out.headers);
+    buf.erase(0, consumed);
+    return Status::Ready;
+}
+
+const char *
+statusText(int status)
+{
+    switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Payload Too Large";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 505: return "HTTP Version Not Supported";
+    default: return "Status";
+    }
+}
+
+namespace
+{
+
+std::string
+headLines(int status, const std::vector<HttpHeader> &headers,
+          bool keep_alive)
+{
+    std::string s = "HTTP/1.1 " + std::to_string(status) + " " +
+                    statusText(status) + "\r\n";
+    for (const HttpHeader &h : headers)
+        s += h.name + ": " + h.value + "\r\n";
+    s += keep_alive ? "Connection: keep-alive\r\n"
+                    : "Connection: close\r\n";
+    return s;
+}
+
+} // namespace
+
+std::string
+serializeResponse(int status, const std::vector<HttpHeader> &headers,
+                  const std::string &body, bool keep_alive)
+{
+    std::string s = headLines(status, headers, keep_alive);
+    s += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    s += "\r\n";
+    s += body;
+    return s;
+}
+
+std::string
+textResponse(int status, const std::string &body, bool keep_alive)
+{
+    return serializeResponse(
+        status, {{"Content-Type", "text/plain"}}, body, keep_alive);
+}
+
+std::string
+chunkedHead(int status, const std::vector<HttpHeader> &headers,
+            bool keep_alive)
+{
+    std::string s = headLines(status, headers, keep_alive);
+    s += "Transfer-Encoding: chunked\r\n";
+    s += "\r\n";
+    return s;
+}
+
+std::string
+chunk(const char *data, size_t n)
+{
+    char hex[16];
+    std::snprintf(hex, sizeof hex, "%zx", n);
+    std::string s(hex);
+    s += "\r\n";
+    s.append(data, n);
+    s += "\r\n";
+    return s;
+}
+
+std::string
+lastChunk()
+{
+    return "0\r\n\r\n";
+}
+
+} // namespace mokey::net

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * HTTP/1.1 wire format: incremental request/response parsers and
+ * serialization helpers (including chunked transfer encoding).
+ *
+ * This is the minimal production subset a serving front-end needs —
+ * request line + headers + Content-Length bodies, keep-alive
+ * semantics for 1.0 and 1.1, chunked responses for streaming — with
+ * hard caps on header and body size so a hostile peer cannot balloon
+ * memory. No URL decoding, no multipart, no compression: inference
+ * requests are binary tensor payloads, not web traffic.
+ *
+ * Both parsers are incremental: feed() bytes as they arrive off the
+ * socket, call next() until it stops returning Ready. Bytes beyond
+ * one message stay buffered, so pipelined requests parse one at a
+ * time in order.
+ */
+
+#ifndef MOKEY_NET_HTTP_HH
+#define MOKEY_NET_HTTP_HH
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mokey::net
+{
+
+/** One header line (name case-insensitive on lookup). */
+struct HttpHeader
+{
+    std::string name;
+    std::string value;
+};
+
+/** Case-insensitive ASCII string equality (header names). */
+bool iequals(const std::string &a, const std::string &b);
+
+/** One parsed request. */
+struct HttpRequest
+{
+    std::string method;  ///< e.g. "GET", "POST"
+    std::string target;  ///< request target, e.g. "/v1/forward"
+    std::string version; ///< "HTTP/1.0" or "HTTP/1.1"
+    std::vector<HttpHeader> headers;
+    std::string body;
+    bool keepAlive = true; ///< per Connection header + version
+
+    /** Value of the first header named @p name, or nullptr. */
+    const std::string *header(const std::string &name) const;
+};
+
+/** One parsed response (the client side of the same wire format). */
+struct HttpResponse
+{
+    int status = 0;
+    std::string reason;
+    std::vector<HttpHeader> headers;
+    std::string body; ///< chunked bodies arrive de-chunked
+    bool keepAlive = true;
+
+    const std::string *header(const std::string &name) const;
+};
+
+/** Parser caps — the memory-safety knobs. */
+struct HttpLimits
+{
+    size_t maxHeaderBytes = 64 << 10; ///< request line + headers
+    size_t maxBodyBytes = 64 << 20;   ///< Content-Length / chunked
+};
+
+/** Incremental request parser for one connection. */
+class HttpRequestParser
+{
+  public:
+    enum class Status {
+        NeedMore, ///< message incomplete, feed more bytes
+        Ready,    ///< one request parsed into the out-param
+        Error     ///< protocol violation; connection must close
+    };
+
+    explicit HttpRequestParser(HttpLimits limits = {})
+        : lim(limits)
+    {
+    }
+
+    /** Append raw socket bytes. */
+    void feed(const char *data, size_t n) { buf.append(data, n); }
+
+    /**
+     * Try to parse one complete request off the front of the
+     * buffer. On Ready, @p out is filled and its bytes consumed;
+     * call again — a pipelining client may have sent the next
+     * request already. On Error, errorStatus()/errorText() describe
+     * the rejection (400/413/431/501) for the final response.
+     */
+    Status next(HttpRequest &out);
+
+    int errorStatus() const { return errStatus; }
+    const std::string &errorText() const { return errText; }
+
+    /** Bytes buffered but not yet consumed by a parsed message. */
+    size_t buffered() const { return buf.size(); }
+
+  private:
+    Status fail(int status, const std::string &what);
+
+    HttpLimits lim;
+    std::string buf;
+    int errStatus = 0;
+    std::string errText;
+};
+
+/** Incremental response parser (used by the blocking client). */
+class HttpResponseParser
+{
+  public:
+    enum class Status { NeedMore, Ready, Error };
+
+    explicit HttpResponseParser(HttpLimits limits = {})
+        : lim(limits)
+    {
+    }
+
+    void feed(const char *data, size_t n) { buf.append(data, n); }
+
+    /**
+     * Parse one complete response (Content-Length or chunked body;
+     * chunked bodies are reassembled into HttpResponse::body).
+     */
+    Status next(HttpResponse &out);
+
+    const std::string &errorText() const { return errText; }
+
+  private:
+    Status fail(const std::string &what);
+
+    HttpLimits lim;
+    std::string buf;
+    std::string errText;
+};
+
+/** Canonical reason phrase for @p status ("OK", "Bad Request"...). */
+const char *statusText(int status);
+
+/**
+ * Serialize a complete (non-chunked) response: status line, caller
+ * headers, Content-Length, Connection per @p keep_alive, body.
+ */
+std::string serializeResponse(int status,
+                              const std::vector<HttpHeader> &headers,
+                              const std::string &body,
+                              bool keep_alive);
+
+/** Shorthand for small text replies (adds Content-Type). */
+std::string textResponse(int status, const std::string &body,
+                         bool keep_alive);
+
+/**
+ * Head of a chunked streaming response: status line + headers +
+ * "Transfer-Encoding: chunked". Follow with chunk() frames and one
+ * lastChunk().
+ */
+std::string chunkedHead(int status,
+                        const std::vector<HttpHeader> &headers,
+                        bool keep_alive);
+
+/** One chunk frame (hex length, CRLF, payload, CRLF). */
+std::string chunk(const char *data, size_t n);
+
+/** The terminating zero-length chunk. */
+std::string lastChunk();
+
+} // namespace mokey::net
+
+#endif // MOKEY_NET_HTTP_HH

@@ -1,0 +1,187 @@
+#include "net/http_client.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace mokey::net
+{
+
+namespace
+{
+
+[[noreturn]] void
+throwErrno(const std::string &what)
+{
+    throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+} // namespace
+
+HttpClient::HttpClient(std::string h, uint16_t p,
+                       std::chrono::milliseconds t)
+    : host(std::move(h)), port(p), timeout(t)
+{
+}
+
+HttpClient::~HttpClient()
+{
+    close();
+}
+
+void
+HttpClient::close()
+{
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+}
+
+void
+HttpClient::ensureConnected()
+{
+    if (fd >= 0)
+        return;
+    fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0)
+        throwErrno("socket");
+    timeval tv{};
+    tv.tv_sec = timeout.count() / 1000;
+    tv.tv_usec = (timeout.count() % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        close();
+        throw std::runtime_error("bad address: " + host);
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof addr) < 0) {
+        const int err = errno;
+        close();
+        errno = err;
+        throwErrno("connect " + host + ":" + std::to_string(port));
+    }
+    ++dialCount;
+}
+
+bool
+HttpClient::sendAll(const std::string &bytes)
+{
+    size_t off = 0;
+    while (off < bytes.size()) {
+        const ssize_t n = ::send(fd, bytes.data() + off,
+                                 bytes.size() - off, MSG_NOSIGNAL);
+        if (n > 0) {
+            off += static_cast<size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        return false; // stale keep-alive connection, most likely
+    }
+    return true;
+}
+
+HttpResponse
+HttpClient::readResponse()
+{
+    HttpResponseParser parser;
+    HttpResponse resp;
+    char buf[16 << 10];
+    for (;;) {
+        switch (parser.next(resp)) {
+        case HttpResponseParser::Status::Ready:
+            return resp;
+        case HttpResponseParser::Status::Error:
+            close();
+            throw std::runtime_error("bad response: " +
+                                     parser.errorText());
+        case HttpResponseParser::Status::NeedMore:
+            break;
+        }
+        const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+        if (n > 0) {
+            parser.feed(buf, static_cast<size_t>(n));
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        close();
+        throw std::runtime_error(
+            n == 0 ? "connection closed mid-response"
+                   : "recv failed: " +
+                         std::string(std::strerror(errno)));
+    }
+}
+
+HttpResponse
+HttpClient::request(const std::string &method,
+                    const std::string &target,
+                    const std::vector<HttpHeader> &headers,
+                    const std::string &body)
+{
+    std::string wire = method + " " + target + " HTTP/1.1\r\n";
+    wire += "Host: " + host + ":" + std::to_string(port) + "\r\n";
+    for (const HttpHeader &h : headers)
+        wire += h.name + ": " + h.value + "\r\n";
+    if (!body.empty() || method == "POST" || method == "PUT")
+        wire += "Content-Length: " + std::to_string(body.size()) +
+                "\r\n";
+    wire += "\r\n";
+    wire += body;
+
+    // A server may have dropped the idle keep-alive connection since
+    // the last request; that race is legal HTTP, so re-dial once.
+    for (int attempt = 0; attempt < 2; ++attempt) {
+        const bool fresh = fd < 0;
+        ensureConnected();
+        if (!sendAll(wire)) {
+            close();
+            if (fresh)
+                throwErrno("send");
+            continue;
+        }
+        HttpResponse resp;
+        try {
+            resp = readResponse();
+        } catch (const std::runtime_error &) {
+            if (fresh)
+                throw;
+            close();
+            continue;
+        }
+        if (!resp.keepAlive)
+            close();
+        return resp;
+    }
+    throw std::runtime_error("request failed after reconnect");
+}
+
+HttpResponse
+HttpClient::get(const std::string &target)
+{
+    return request("GET", target);
+}
+
+HttpResponse
+HttpClient::post(const std::string &target, const std::string &body,
+                 const std::string &contentType)
+{
+    return request("POST", target,
+                   {{"Content-Type", contentType}}, body);
+}
+
+} // namespace mokey::net

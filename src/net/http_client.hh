@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Minimal blocking HTTP/1.1 client with keep-alive reuse — the test,
+ * load-generator, and example-side counterpart of the epoll server.
+ * One HttpClient == one connection: request() serializes, sends,
+ * and blocks until the full response (Content-Length or chunked) is
+ * parsed. A connection the server closed between requests (idle
+ * timeout, drain) is transparently re-dialed once; dials() exposes
+ * how often that happened so tests can assert keep-alive reuse.
+ */
+
+#ifndef MOKEY_NET_HTTP_CLIENT_HH
+#define MOKEY_NET_HTTP_CLIENT_HH
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/http.hh"
+
+namespace mokey::net
+{
+
+/** Blocking single-connection HTTP client. */
+class HttpClient
+{
+  public:
+    /**
+     * @param host    IPv4 address, e.g. "127.0.0.1"
+     * @param port    server port
+     * @param timeout per-syscall send/receive timeout (a hung server
+     *                throws instead of hanging the caller forever)
+     */
+    HttpClient(std::string host, uint16_t port,
+               std::chrono::milliseconds timeout =
+                   std::chrono::milliseconds(30000));
+
+    ~HttpClient();
+
+    HttpClient(const HttpClient &) = delete;
+    HttpClient &operator=(const HttpClient &) = delete;
+
+    /**
+     * Send one request and block for its response. Throws
+     * std::runtime_error on connect/transport/parse failure. The
+     * connection is kept alive for the next call unless the server
+     * said Connection: close.
+     */
+    HttpResponse request(const std::string &method,
+                         const std::string &target,
+                         const std::vector<HttpHeader> &headers = {},
+                         const std::string &body = {});
+
+    HttpResponse get(const std::string &target);
+
+    HttpResponse post(const std::string &target,
+                      const std::string &body,
+                      const std::string &contentType =
+                          "application/octet-stream");
+
+    /** True while a socket is open to the server. */
+    bool connected() const { return fd >= 0; }
+
+    /** Drop the connection (next request re-dials). */
+    void close();
+
+    /** Times a TCP connection was established — 1 after the first
+     *  request when keep-alive reuse works. */
+    uint64_t dials() const { return dialCount; }
+
+  private:
+    void ensureConnected();
+    bool sendAll(const std::string &bytes);
+    HttpResponse readResponse();
+
+    std::string host;
+    uint16_t port;
+    std::chrono::milliseconds timeout;
+    int fd = -1;
+    uint64_t dialCount = 0;
+};
+
+} // namespace mokey::net
+
+#endif // MOKEY_NET_HTTP_CLIENT_HH

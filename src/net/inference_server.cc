@@ -1,0 +1,292 @@
+#include "net/inference_server.hh"
+
+#include <cstring>
+
+namespace mokey::net
+{
+
+namespace
+{
+
+void
+putU32(std::string &s, uint32_t v)
+{
+    char b[4];
+    std::memcpy(b, &v, 4);
+    s.append(b, 4);
+}
+
+uint32_t
+getU32(const char *p)
+{
+    uint32_t v;
+    std::memcpy(&v, p, 4);
+    return v;
+}
+
+} // namespace
+
+std::string
+encodeTensorBody(const Tensor &t)
+{
+    std::string s;
+    s.reserve(8 + t.size() * sizeof(float));
+    putU32(s, static_cast<uint32_t>(t.rows()));
+    putU32(s, static_cast<uint32_t>(t.cols()));
+    s.append(reinterpret_cast<const char *>(t.data()),
+             t.size() * sizeof(float));
+    return s;
+}
+
+bool
+decodeTensorBody(const std::string &body, Tensor &out)
+{
+    if (body.size() < 8)
+        return false;
+    const uint64_t rows = getU32(body.data());
+    const uint64_t cols = getU32(body.data() + 4);
+    if (rows == 0 || cols == 0)
+        return false;
+    const uint64_t n = rows * cols;
+    if (body.size() != 8 + n * sizeof(float))
+        return false;
+    std::vector<float> data(static_cast<size_t>(n));
+    std::memcpy(data.data(), body.data() + 8,
+                n * sizeof(float));
+    out = Tensor(static_cast<size_t>(rows),
+                 static_cast<size_t>(cols), std::move(data));
+    return true;
+}
+
+InferenceServer::InferenceServer(const QuantizedTransformer &pipe,
+                                 InferenceServerConfig c)
+    : InferenceServer(
+          [&pipe](const std::vector<Tensor> &inputs, QuantMode mode,
+                  Lane lane) {
+              return pipe.forwardBatch(inputs, mode, lane);
+          },
+          pipe.modelConfig().hidden, c)
+{
+}
+
+InferenceServer::InferenceServer(BatchForwardFn forward,
+                                 size_t expect_cols,
+                                 InferenceServerConfig c)
+    : cfg(c), expectCols(expect_cols)
+{
+    server = std::make_unique<SocketServer>(
+        cfg.socket, [this](uint64_t connId, HttpRequest &&req) {
+            onRequest(connId, std::move(req));
+        });
+    sched = std::make_unique<BatchScheduler>(
+        std::move(forward), cfg.mode, cfg.scheduler);
+}
+
+InferenceServer::~InferenceServer()
+{
+    drain();
+}
+
+void
+InferenceServer::start()
+{
+    server->start();
+}
+
+void
+InferenceServer::drain()
+{
+    if (drained.exchange(true))
+        return;
+    // Order matters: stop admitting (the socket layer sheds new
+    // requests with 503), let the scheduler finish everything
+    // already admitted (completions post their responses), wait for
+    // the loop to flush and close every connection, then stop the
+    // dispatchers.
+    server->beginDrain();
+    sched->drain();
+    server->waitDrained();
+    sched->stop();
+}
+
+InferenceServerStats
+InferenceServer::stats() const
+{
+    InferenceServerStats s;
+    s.requests = counters.requests.load();
+    s.completed = counters.completed.load();
+    s.shed = counters.shed.load();
+    s.failed = counters.failed.load();
+    s.badRequests = counters.badRequests.load();
+    return s;
+}
+
+std::string
+InferenceServer::statsJson() const
+{
+    const InferenceServerStats is = stats();
+    const SocketServerStats ss = server->stats();
+    const BatchSchedulerStats bs = sched->stats();
+    auto u = [](uint64_t v) { return std::to_string(v); };
+    std::string j = "{\n";
+    j += "  \"requests\": " + u(is.requests) + ",\n";
+    j += "  \"completed\": " + u(is.completed) + ",\n";
+    j += "  \"shed\": " + u(is.shed) + ",\n";
+    j += "  \"failed\": " + u(is.failed) + ",\n";
+    j += "  \"bad_requests\": " + u(is.badRequests) + ",\n";
+    j += "  \"queue_depth\": " + u(sched->queueDepth()) + ",\n";
+    j += "  \"connections\": " +
+         u(server->connectionCount()) + ",\n";
+    j += "  \"accepted\": " + u(ss.accepted) + ",\n";
+    j += "  \"peer_refused\": " + u(ss.peerRefused) + ",\n";
+    j += "  \"drain_sheds\": " + u(ss.drainSheds) + ",\n";
+    j += "  \"batches\": " + u(bs.batches) + ",\n";
+    j += "  \"failed_batches\": " + u(bs.failedBatches) + ",\n";
+    j += "  \"batched_rows\": " + u(bs.batchedRows) + "\n";
+    j += "}\n";
+    return j;
+}
+
+void
+InferenceServer::completeForward(uint64_t connId, bool keep_alive,
+                                 Tensor &&out,
+                                 std::exception_ptr err)
+{
+    // Runs on a scheduler dispatcher thread; everything it touches
+    // is thread-safe (counters, the server outbox).
+    if (err) {
+        std::string what = "batch forward failed";
+        try {
+            std::rethrow_exception(err);
+        } catch (const std::exception &e) {
+            what = e.what();
+        } catch (...) {
+        }
+        ++counters.failed;
+        server->respond(connId,
+                        textResponse(500, what + "\n", keep_alive),
+                        !keep_alive);
+        return;
+    }
+
+    // Count before posting: a client that already holds the
+    // response must see it reflected in the stats.
+    ++counters.completed;
+    const std::vector<HttpHeader> headers = {
+        {"Content-Type", "application/x-mokey-tensor"}};
+    if (cfg.streamRows) {
+        // Chunked streaming: dims frame, then one frame per output
+        // row — the shape a token-streaming decode loop will keep.
+        std::string head = chunkedHead(200, headers, keep_alive);
+        std::string dims;
+        putU32(dims, static_cast<uint32_t>(out.rows()));
+        putU32(dims, static_cast<uint32_t>(out.cols()));
+        head += chunk(dims.data(), dims.size());
+        server->stream(connId, std::move(head));
+        const size_t rowBytes = out.cols() * sizeof(float);
+        for (size_t r = 0; r + 1 < out.rows(); ++r)
+            server->stream(
+                connId,
+                chunk(reinterpret_cast<const char *>(out.row(r)),
+                      rowBytes));
+        std::string tail;
+        if (out.rows() > 0)
+            tail = chunk(reinterpret_cast<const char *>(
+                             out.row(out.rows() - 1)),
+                         rowBytes);
+        tail += lastChunk();
+        server->respond(connId, std::move(tail), !keep_alive);
+    } else {
+        server->respond(connId,
+                        serializeResponse(200, headers,
+                                          encodeTensorBody(out),
+                                          keep_alive),
+                        !keep_alive);
+    }
+}
+
+void
+InferenceServer::onRequest(uint64_t connId, HttpRequest &&req)
+{
+    // Loop thread: keep it allocation-light and never block.
+    const bool keep = req.keepAlive;
+
+    if (req.target == "/healthz" && req.method == "GET") {
+        server->respond(connId, textResponse(200, "ok\n", keep),
+                        !keep);
+        return;
+    }
+    if (req.target == "/v1/stats" && req.method == "GET") {
+        server->respond(
+            connId,
+            serializeResponse(200,
+                              {{"Content-Type",
+                                "application/json"}},
+                              statsJson(), keep),
+            !keep);
+        return;
+    }
+    if (req.target != "/v1/forward") {
+        ++counters.badRequests;
+        server->respond(connId,
+                        textResponse(404, "unknown endpoint\n",
+                                     keep),
+                        !keep);
+        return;
+    }
+    if (req.method != "POST") {
+        ++counters.badRequests;
+        server->respond(
+            connId,
+            textResponse(405, "use POST /v1/forward\n", keep),
+            !keep);
+        return;
+    }
+
+    ++counters.requests;
+    Tensor input;
+    if (!decodeTensorBody(req.body, input) ||
+        (expectCols != 0 && input.cols() != expectCols)) {
+        ++counters.badRequests;
+        server->respond(
+            connId,
+            textResponse(400,
+                         "body must be uint32 rows, uint32 cols == " +
+                             std::to_string(expectCols) +
+                             ", rows*cols float32\n",
+                         keep),
+            !keep);
+        return;
+    }
+
+    // Admission control: shed instead of queueing past the cap so
+    // latency stays bounded and the client retries against a
+    // less-loaded replica.
+    if (sched->queueDepth() >= cfg.maxQueueDepth) {
+        ++counters.shed;
+        server->respond(
+            connId,
+            serializeResponse(503,
+                              {{"Content-Type", "text/plain"},
+                               {"Retry-After", "1"}},
+                              "overloaded, retry later\n", keep),
+            !keep);
+        return;
+    }
+
+    const bool accepted = sched->submit(
+        std::move(input),
+        [this, connId, keep](Tensor out, std::exception_ptr err) {
+            completeForward(connId, keep, std::move(out), err);
+        });
+    if (!accepted) {
+        // Raced a stop/drain: shed gracefully — the exact situation
+        // that used to panic the whole process.
+        ++counters.shed;
+        server->respond(
+            connId,
+            textResponse(503, "shutting down\n", false), true);
+    }
+}
+
+} // namespace mokey::net

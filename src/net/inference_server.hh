@@ -1,0 +1,160 @@
+/**
+ * @file
+ * The production serving front-end: epoll HTTP server wrapped around
+ * the BatchScheduler.
+ *
+ * Request flow: the SocketServer loop parses a POST /v1/forward, the
+ * handler validates the binary tensor body, applies admission
+ * control (queue-depth cap -> 503 shed, per-client fairness via the
+ * socket layer's per-peer connection cap), and submits to the
+ * BatchScheduler with a completion callback. When the micro-batch
+ * finishes, the callback — on the scheduler's dispatcher thread —
+ * streams the output tensor back as chunked transfer frames (one
+ * dims frame, one frame per row, terminator) through the server's
+ * thread-safe outbox. Bytes on the wire are the exact float32 bits
+ * forward() produced: serving is bit-identical to in-process calls.
+ *
+ * Failure flow: an engine exception becomes a 500 on exactly the
+ * requests of the failed batch; a submit that races drain/stop
+ * becomes a 503; neither takes the process down (the scheduler's
+ * contract after the failure-path fixes).
+ *
+ * Endpoints:
+ *   POST /v1/forward  binary tensor in -> chunked binary tensor out
+ *   GET  /healthz     200 "ok"
+ *   GET  /v1/stats    JSON counters (server + scheduler + depth)
+ *
+ * Wire format of a tensor (little-endian, host == wire on x86):
+ *   uint32 rows, uint32 cols, rows*cols float32 row-major values.
+ */
+
+#ifndef MOKEY_NET_INFERENCE_SERVER_HH
+#define MOKEY_NET_INFERENCE_SERVER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "model/scheduler.hh"
+#include "net/socket_server.hh"
+
+namespace mokey::net
+{
+
+/** Front-end knobs on top of the socket and scheduler layers. */
+struct InferenceServerConfig
+{
+    SocketServerConfig socket;
+    BatchSchedulerConfig scheduler;
+
+    /** Quantization mode every served request runs under. */
+    QuantMode mode = QuantMode::WeightsAndActivations;
+
+    /**
+     * Admission cap: shed with 503 when the scheduler already holds
+     * this many uncompleted requests (queued + in-flight). The
+     * backpressure knob that keeps tail latency bounded when offered
+     * load exceeds capacity.
+     */
+    size_t maxQueueDepth = 64;
+
+    /** Stream the output as one chunk per row (true) or a single
+     *  contiguous chunk (false); both end bit-identical. */
+    bool streamRows = true;
+};
+
+/** Front-end counters (monotonic). */
+struct InferenceServerStats
+{
+    uint64_t requests = 0;    ///< /v1/forward requests received
+    uint64_t completed = 0;   ///< 200 responses streamed
+    uint64_t shed = 0;        ///< 503: queue-depth cap or stop race
+    uint64_t failed = 0;      ///< 500: batch forward threw
+    uint64_t badRequests = 0; ///< 400/404/405 at the route layer
+};
+
+/** Serialize @p t in the binary wire format. */
+std::string encodeTensorBody(const Tensor &t);
+
+/**
+ * Parse a binary tensor body. Returns false on malformed input
+ * (short body, size mismatch, zero dims).
+ */
+bool decodeTensorBody(const std::string &body, Tensor &out);
+
+/** HTTP serving wrapper: scheduler + epoll server + admission. */
+class InferenceServer
+{
+  public:
+    /** Serve @p pipe (must be ready() and outlive the server);
+     *  request width is validated against its model config. */
+    InferenceServer(const QuantizedTransformer &pipe,
+                    InferenceServerConfig cfg = {});
+
+    /**
+     * Serve an arbitrary batched forward (tests inject failures and
+     * stubs this way). @p expect_cols validates request width when
+     * non-zero.
+     */
+    InferenceServer(BatchForwardFn forward, size_t expect_cols,
+                    InferenceServerConfig cfg = {});
+
+    /** Graceful drain, then teardown. */
+    ~InferenceServer();
+
+    InferenceServer(const InferenceServer &) = delete;
+    InferenceServer &operator=(const InferenceServer &) = delete;
+
+    /** Bind + spawn the event loop (throws on bind failure). */
+    void start();
+
+    /** Bound port (resolves socket.port == 0). */
+    uint16_t port() const { return server->port(); }
+
+    /**
+     * Graceful shutdown: stop accepting, shed new requests with
+     * 503, finish and flush every in-flight response, stop the
+     * scheduler. Blocks until done. Safe to call twice.
+     */
+    void drain();
+
+    /** Trigger the drain without blocking (SIGTERM path). */
+    void beginDrain() { server->beginDrain(); }
+
+    InferenceServerStats stats() const;
+    SocketServerStats socketStats() const { return server->stats(); }
+    BatchSchedulerStats schedulerStats() const
+    {
+        return sched->stats();
+    }
+
+    /** Admitted-but-uncompleted requests (the admission signal). */
+    size_t queueDepth() const { return sched->queueDepth(); }
+
+  private:
+    void onRequest(uint64_t connId, HttpRequest &&req);
+    void completeForward(uint64_t connId, bool keep_alive,
+                         Tensor &&out, std::exception_ptr err);
+    std::string statsJson() const;
+
+    const InferenceServerConfig cfg;
+    const size_t expectCols;
+
+    // Declaration order is destruction order in reverse: the server
+    // (posts outbox) must outlive the scheduler (whose completion
+    // callbacks post into it).
+    std::unique_ptr<SocketServer> server;
+    std::unique_ptr<BatchScheduler> sched;
+    std::atomic<bool> drained{false};
+
+    struct
+    {
+        std::atomic<uint64_t> requests{0}, completed{0}, shed{0},
+            failed{0}, badRequests{0};
+    } counters;
+};
+
+} // namespace mokey::net
+
+#endif // MOKEY_NET_INFERENCE_SERVER_HH

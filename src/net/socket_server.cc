@@ -1,0 +1,557 @@
+#include "net/socket_server.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <csignal>
+
+#include "common/logging.hh"
+
+namespace mokey::net
+{
+
+namespace
+{
+
+/**
+ * SIGTERM -> beginDrain() plumbing. The handler only performs
+ * async-signal-safe work: an atomic load, an atomic store, and a
+ * write(2) to the server's wake eventfd.
+ */
+std::atomic<SocketServer *> g_sigtermServer{nullptr};
+
+void
+sigtermHandler(int)
+{
+    SocketServer *s = g_sigtermServer.load(std::memory_order_acquire);
+    if (s != nullptr)
+        s->beginDrain();
+}
+
+[[noreturn]] void
+throwErrno(const std::string &what)
+{
+    throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+} // namespace
+
+SocketServer::SocketServer(SocketServerConfig c, RequestHandler h)
+    : cfg(std::move(c)), handler(std::move(h))
+{
+    MOKEY_ASSERT(static_cast<bool>(handler),
+                 "SocketServer needs a request handler");
+}
+
+SocketServer::~SocketServer()
+{
+    stop();
+}
+
+void
+SocketServer::start()
+{
+    MOKEY_ASSERT(!running.load(), "start() called twice");
+
+    listenFd = ::socket(AF_INET,
+                        SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+    if (listenFd < 0)
+        throwErrno("socket");
+    const int one = 1;
+    ::setsockopt(listenFd, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof one);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(cfg.port);
+    if (::inet_pton(AF_INET, cfg.bindAddress.c_str(),
+                    &addr.sin_addr) != 1) {
+        ::close(listenFd);
+        listenFd = -1;
+        throw std::runtime_error("bad bind address: " +
+                                 cfg.bindAddress);
+    }
+    if (::bind(listenFd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof addr) < 0 ||
+        ::listen(listenFd, cfg.backlog) < 0) {
+        const int err = errno;
+        ::close(listenFd);
+        listenFd = -1;
+        errno = err;
+        throwErrno("bind/listen " + cfg.bindAddress + ":" +
+                   std::to_string(cfg.port));
+    }
+    socklen_t alen = sizeof addr;
+    ::getsockname(listenFd, reinterpret_cast<sockaddr *>(&addr),
+                  &alen);
+    boundPort = ntohs(addr.sin_port);
+
+    epollFd = ::epoll_create1(EPOLL_CLOEXEC);
+    wakeFd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (epollFd < 0 || wakeFd < 0)
+        throwErrno("epoll_create1/eventfd");
+
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = listenFd;
+    ::epoll_ctl(epollFd, EPOLL_CTL_ADD, listenFd, &ev);
+    ev.data.fd = wakeFd;
+    ::epoll_ctl(epollFd, EPOLL_CTL_ADD, wakeFd, &ev);
+
+    if (cfg.drainOnSigterm) {
+        g_sigtermServer.store(this, std::memory_order_release);
+        struct sigaction sa{};
+        sa.sa_handler = sigtermHandler;
+        ::sigaction(SIGTERM, &sa, nullptr);
+    }
+
+    running.store(true);
+    loopThread = std::thread([this] { loop(); });
+}
+
+void
+SocketServer::beginDrain()
+{
+    drainFlag.store(true, std::memory_order_release);
+    const uint64_t tick = 1;
+    if (wakeFd >= 0)
+        (void)!::write(wakeFd, &tick, sizeof tick);
+}
+
+void
+SocketServer::waitDrained()
+{
+    std::unique_lock<std::mutex> lk(doneMu);
+    doneCv.wait(lk, [this] { return loopDone.load(); });
+}
+
+void
+SocketServer::stop()
+{
+    stopFlag.store(true);
+    const uint64_t tick = 1;
+    if (wakeFd >= 0)
+        (void)!::write(wakeFd, &tick, sizeof tick);
+    if (loopThread.joinable())
+        loopThread.join();
+    SocketServer *self = this;
+    g_sigtermServer.compare_exchange_strong(self, nullptr);
+    for (int *fd : {&epollFd, &wakeFd, &listenFd}) {
+        if (*fd >= 0)
+            ::close(*fd);
+        *fd = -1;
+    }
+    running.store(false);
+}
+
+bool
+SocketServer::respond(uint64_t connId, std::string bytes,
+                      bool close_after)
+{
+    {
+        std::lock_guard<std::mutex> lk(postMu);
+        posts.push_back(
+            Post{connId, std::move(bytes), true, close_after});
+    }
+    const uint64_t tick = 1;
+    if (wakeFd >= 0)
+        (void)!::write(wakeFd, &tick, sizeof tick);
+    return !loopDone.load();
+}
+
+bool
+SocketServer::stream(uint64_t connId, std::string bytes)
+{
+    {
+        std::lock_guard<std::mutex> lk(postMu);
+        posts.push_back(Post{connId, std::move(bytes), false, false});
+    }
+    const uint64_t tick = 1;
+    if (wakeFd >= 0)
+        (void)!::write(wakeFd, &tick, sizeof tick);
+    return !loopDone.load();
+}
+
+SocketServerStats
+SocketServer::stats() const
+{
+    SocketServerStats s;
+    s.accepted = counters.accepted.load();
+    s.refused = counters.refused.load();
+    s.peerRefused = counters.peerRefused.load();
+    s.closed = counters.closed.load();
+    s.requests = counters.requests.load();
+    s.badRequests = counters.badRequests.load();
+    s.drainSheds = counters.drainSheds.load();
+    s.idleCloses = counters.idleCloses.load();
+    s.droppedResponses = counters.droppedResponses.load();
+    s.bytesIn = counters.bytesIn.load();
+    s.bytesOut = counters.bytesOut.load();
+    return s;
+}
+
+// ---- loop internals (loop thread only below this line) --------------
+
+void
+SocketServer::loop()
+{
+    std::vector<int> deadFds; // collected per iteration, reaped last
+    auto reap = [this, &deadFds] {
+        for (const int fd : deadFds) {
+            auto it = connsByFd.find(fd);
+            if (it == connsByFd.end())
+                continue;
+            connsById.erase(it->second->id);
+            auto peer = peerConns.find(it->second->peerAddr);
+            if (peer != peerConns.end() && --peer->second == 0)
+                peerConns.erase(peer);
+            ::epoll_ctl(epollFd, EPOLL_CTL_DEL, fd, nullptr);
+            ::close(fd);
+            connsByFd.erase(it);
+            ++counters.closed;
+        }
+        deadFds.clear();
+        connCount.store(connsByFd.size());
+    };
+
+    epoll_event evs[64];
+    for (;;) {
+        if (stopFlag.load())
+            break;
+        if (drainFlag.load(std::memory_order_acquire) && !draining)
+            enterDrain();
+        if (draining && connsByFd.empty())
+            break;
+
+        const int n = ::epoll_wait(epollFd, evs, 64, 100);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            warn("epoll_wait: %s", std::strerror(errno));
+            break;
+        }
+        for (int i = 0; i < n; ++i) {
+            const int fd = evs[i].data.fd;
+            if (fd == wakeFd) {
+                uint64_t drainTicks = 0;
+                (void)!::read(wakeFd, &drainTicks,
+                              sizeof drainTicks);
+                continue;
+            }
+            if (fd == listenFd) {
+                acceptReady();
+                continue;
+            }
+            auto it = connsByFd.find(fd);
+            if (it == connsByFd.end())
+                continue;
+            Conn &c = *it->second;
+            if (c.fd < 0)
+                continue; // already marked dead this iteration
+            if (evs[i].events & (EPOLLHUP | EPOLLERR)) {
+                // Peer is gone; flush is pointless.
+                closeConn(c);
+                deadFds.push_back(fd);
+                continue;
+            }
+            if (evs[i].events & EPOLLIN)
+                connReadable(c);
+            if (c.fd >= 0 && (evs[i].events & EPOLLOUT))
+                connWritable(c);
+            if (c.fd < 0)
+                deadFds.push_back(fd);
+        }
+
+        applyPosts();
+        if (cfg.idleTimeout.count() > 0)
+            sweepIdle();
+        for (const auto &kv : connsByFd)
+            if (kv.second->fd < 0)
+                deadFds.push_back(kv.first);
+        reap();
+    }
+
+    // Loop exit: anything still open goes down hard (drain exits
+    // with the map already empty; stop() means "now").
+    for (const auto &kv : connsByFd) {
+        ::epoll_ctl(epollFd, EPOLL_CTL_DEL, kv.first, nullptr);
+        ::close(kv.first);
+        ++counters.closed;
+    }
+    connsByFd.clear();
+    connsById.clear();
+    peerConns.clear();
+    connCount.store(0);
+
+    {
+        std::lock_guard<std::mutex> lk(doneMu);
+        loopDone.store(true);
+    }
+    doneCv.notify_all();
+}
+
+void
+SocketServer::enterDrain()
+{
+    draining = true;
+    if (listenFd >= 0) {
+        ::epoll_ctl(epollFd, EPOLL_CTL_DEL, listenFd, nullptr);
+        ::close(listenFd);
+        listenFd = -1;
+    }
+    // Idle keep-alive connections close right away; busy ones close
+    // once their in-flight response flushes (maybeClose).
+    for (const auto &kv : connsByFd)
+        maybeClose(*kv.second);
+}
+
+void
+SocketServer::acceptReady()
+{
+    for (;;) {
+        sockaddr_in peer{};
+        socklen_t plen = sizeof peer;
+        const int fd = ::accept4(
+            listenFd, reinterpret_cast<sockaddr *>(&peer), &plen,
+            SOCK_NONBLOCK | SOCK_CLOEXEC);
+        if (fd < 0)
+            return; // EAGAIN or transient error: nothing to accept
+        if (connsByFd.size() >= cfg.maxConnections) {
+            // Refuse above the cap: better an immediate close than
+            // an unbounded connection table.
+            ::close(fd);
+            ++counters.refused;
+            continue;
+        }
+        const uint32_t peerAddr = peer.sin_addr.s_addr;
+        if (cfg.maxConnectionsPerPeer > 0 &&
+            peerConns[peerAddr] >= cfg.maxConnectionsPerPeer) {
+            // Fairness: requests are serialized per connection, so
+            // capping a client's connections caps its share of the
+            // admission queue.
+            ::close(fd);
+            ++counters.peerRefused;
+            continue;
+        }
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+        auto conn = std::make_unique<Conn>(cfg.limits);
+        conn->id = nextConnId++;
+        conn->fd = fd;
+        conn->peerAddr = peerAddr;
+        peerConns[peerAddr] += 1;
+        conn->lastActive = std::chrono::steady_clock::now();
+        epoll_event ev{};
+        ev.events = EPOLLIN;
+        ev.data.fd = fd;
+        ::epoll_ctl(epollFd, EPOLL_CTL_ADD, fd, &ev);
+        connsById[conn->id] = conn.get();
+        connsByFd[fd] = std::move(conn);
+        ++counters.accepted;
+        connCount.store(connsByFd.size());
+    }
+}
+
+void
+SocketServer::updateInterest(Conn &c)
+{
+    if (c.fd < 0)
+        return;
+    epoll_event ev{};
+    ev.events = (c.readClosed ? 0u : static_cast<uint32_t>(EPOLLIN)) |
+                (c.outOff < c.out.size()
+                     ? static_cast<uint32_t>(EPOLLOUT)
+                     : 0u);
+    ev.data.fd = c.fd;
+    ::epoll_ctl(epollFd, EPOLL_CTL_MOD, c.fd, &ev);
+}
+
+void
+SocketServer::closeConn(Conn &c)
+{
+    // Marks only; the fd is reaped at the end of the loop iteration
+    // so no live reference to the Conn dangles mid-dispatch.
+    c.fd = -1;
+}
+
+void
+SocketServer::maybeClose(Conn &c)
+{
+    if (c.fd < 0 || c.inflight != 0 || c.outOff < c.out.size())
+        return;
+    if (c.wantClose || c.readClosed || draining)
+        closeConn(c);
+}
+
+void
+SocketServer::connReadable(Conn &c)
+{
+    char buf[16 << 10];
+    for (;;) {
+        const ssize_t n = ::recv(c.fd, buf, sizeof buf, 0);
+        if (n > 0) {
+            counters.bytesIn += static_cast<uint64_t>(n);
+            c.parser.feed(buf, static_cast<size_t>(n));
+            c.lastActive = std::chrono::steady_clock::now();
+            if (static_cast<size_t>(n) < sizeof buf)
+                break;
+            continue;
+        }
+        if (n == 0) {
+            c.readClosed = true;
+            updateInterest(c);
+            break;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            break;
+        if (errno == EINTR)
+            continue;
+        closeConn(c);
+        return;
+    }
+    parseRequests(c);
+    maybeClose(c);
+}
+
+void
+SocketServer::parseRequests(Conn &c)
+{
+    // Strict serialization: never advance the parser while a request
+    // is in flight, so responses go out in request order even for a
+    // pipelining client.
+    while (c.fd >= 0 && c.inflight == 0 && !c.wantClose) {
+        HttpRequest req;
+        const auto got = c.parser.next(req);
+        if (got == HttpRequestParser::Status::NeedMore)
+            break;
+        if (got == HttpRequestParser::Status::Error) {
+            ++counters.badRequests;
+            queueBytes(c, textResponse(c.parser.errorStatus(),
+                                       c.parser.errorText() + "\n",
+                                       false));
+            c.wantClose = true;
+            break;
+        }
+        ++counters.requests;
+        c.lastActive = std::chrono::steady_clock::now();
+        if (draining) {
+            // The drain contract: in-flight work finishes, new work
+            // is shed so the client retries elsewhere.
+            ++counters.drainSheds;
+            queueBytes(c,
+                       textResponse(503, "draining, retry later\n",
+                                    false));
+            c.wantClose = true;
+            break;
+        }
+        if (!req.keepAlive)
+            c.wantClose = true; // close once its response flushes
+        c.inflight = 1;
+        handler(c.id, std::move(req));
+    }
+}
+
+void
+SocketServer::queueBytes(Conn &c, std::string bytes)
+{
+    if (c.fd < 0)
+        return;
+    if (c.out.empty())
+        c.out = std::move(bytes);
+    else
+        c.out += bytes;
+    flush(c);
+    updateInterest(c);
+}
+
+void
+SocketServer::flush(Conn &c)
+{
+    while (c.outOff < c.out.size()) {
+        const ssize_t n =
+            ::send(c.fd, c.out.data() + c.outOff,
+                   c.out.size() - c.outOff, MSG_NOSIGNAL);
+        if (n > 0) {
+            c.outOff += static_cast<size_t>(n);
+            counters.bytesOut += static_cast<uint64_t>(n);
+            continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            return;
+        if (n < 0 && errno == EINTR)
+            continue;
+        closeConn(c); // peer went away mid-response
+        return;
+    }
+    c.out.clear();
+    c.outOff = 0;
+}
+
+void
+SocketServer::connWritable(Conn &c)
+{
+    flush(c);
+    if (c.fd < 0)
+        return;
+    updateInterest(c);
+    maybeClose(c);
+}
+
+void
+SocketServer::applyPosts()
+{
+    std::vector<Post> batch;
+    {
+        std::lock_guard<std::mutex> lk(postMu);
+        batch.swap(posts);
+    }
+    for (Post &p : batch) {
+        auto it = connsById.find(p.connId);
+        if (it == connsById.end() || it->second->fd < 0) {
+            ++counters.droppedResponses;
+            continue;
+        }
+        Conn &c = *it->second;
+        queueBytes(c, std::move(p.bytes));
+        if (p.done) {
+            if (c.inflight > 0)
+                c.inflight -= 1;
+            if (p.closeAfter)
+                c.wantClose = true;
+            c.lastActive = std::chrono::steady_clock::now();
+            // The request cycle is over: a pipelined follow-up may
+            // already be buffered.
+            parseRequests(c);
+        }
+        maybeClose(c);
+    }
+}
+
+void
+SocketServer::sweepIdle()
+{
+    const auto now = std::chrono::steady_clock::now();
+    for (const auto &kv : connsByFd) {
+        Conn &c = *kv.second;
+        if (c.fd < 0 || c.inflight != 0 ||
+            c.outOff < c.out.size())
+            continue;
+        if (now - c.lastActive >= cfg.idleTimeout) {
+            ++counters.idleCloses;
+            closeConn(c);
+        }
+    }
+}
+
+} // namespace mokey::net

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Epoll event-loop HTTP server core.
+ *
+ * One thread runs a level-triggered epoll loop over a non-blocking
+ * listen socket and N keep-alive connections. Request bytes stream
+ * through an incremental HttpRequestParser; each parsed request is
+ * handed to the application handler *on the loop thread* together
+ * with the connection id. The handler responds either inline or —
+ * the serving path — asynchronously from another thread via
+ * respond()/stream(), which enqueue bytes through a mutex-guarded
+ * outbox and wake the loop through an eventfd. The loop owns every
+ * socket: no fd is ever touched off-thread.
+ *
+ * Requests on one connection are strictly serialized: the parser is
+ * only advanced while the connection has no in-flight request, so
+ * responses can never interleave out of order even for a pipelining
+ * client (its later requests simply wait buffered).
+ *
+ * Lifecycle: start() binds and spawns the loop; beginDrain() — also
+ * wired to SIGTERM when drainOnSigterm is set — stops accepting,
+ * sheds newly arriving requests with 503 + Connection: close,
+ * finishes and flushes every in-flight response, then exits the
+ * loop. stop() is the impatient variant that closes everything
+ * immediately.
+ */
+
+#ifndef MOKEY_NET_SOCKET_SERVER_HH
+#define MOKEY_NET_SOCKET_SERVER_HH
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/http.hh"
+
+namespace mokey::net
+{
+
+/** Listener + loop knobs. */
+struct SocketServerConfig
+{
+    /** Bind address (loopback by default — serving pods front this
+     *  with their own mesh/LB layer). */
+    std::string bindAddress = "127.0.0.1";
+
+    /** TCP port; 0 picks an ephemeral port (see port()). */
+    uint16_t port = 0;
+
+    /** listen(2) backlog. */
+    int backlog = 128;
+
+    /** Accepted-connection cap; beyond it accepts are refused with
+     *  an immediate close (the kernel queue must not balloon). */
+    size_t maxConnections = 1024;
+
+    /**
+     * Per-client fairness: maximum concurrent connections per peer
+     * address (0 = unlimited). Requests are serialized per
+     * connection, so this caps how much of the admission queue any
+     * single client can occupy; accepts beyond the cap are refused.
+     */
+    size_t maxConnectionsPerPeer = 0;
+
+    /** Parser caps (header/body byte limits). */
+    HttpLimits limits;
+
+    /** Close keep-alive connections idle longer than this with no
+     *  in-flight request; zero disables the sweep. */
+    std::chrono::milliseconds idleTimeout{30000};
+
+    /** Install a SIGTERM handler that triggers beginDrain(). */
+    bool drainOnSigterm = false;
+};
+
+/** Loop counters (monotonic; readable from any thread). */
+struct SocketServerStats
+{
+    uint64_t accepted = 0;         ///< connections accepted
+    uint64_t refused = 0;          ///< accepts over maxConnections
+    uint64_t peerRefused = 0;      ///< accepts over the per-peer cap
+    uint64_t closed = 0;           ///< connections closed
+    uint64_t requests = 0;         ///< requests parsed + dispatched
+    uint64_t badRequests = 0;      ///< protocol errors answered
+    uint64_t drainSheds = 0;       ///< requests 503'd during drain
+    uint64_t idleCloses = 0;       ///< keep-alive idle timeouts
+    uint64_t droppedResponses = 0; ///< responses to dead connections
+    uint64_t bytesIn = 0;
+    uint64_t bytesOut = 0;
+};
+
+/**
+ * Application hook: one parsed request on connection @p connId. Runs
+ * on the loop thread — do not block; either respond() inline or
+ * capture connId and respond() later from another thread. Exactly
+ * one respond(..., done=true) must eventually follow per request.
+ */
+using RequestHandler =
+    std::function<void(uint64_t connId, HttpRequest &&request)>;
+
+/** Epoll HTTP server; see file header for the threading model. */
+class SocketServer
+{
+  public:
+    explicit SocketServer(SocketServerConfig cfg, RequestHandler h);
+
+    /** Drains (politely) and joins. */
+    ~SocketServer();
+
+    SocketServer(const SocketServer &) = delete;
+    SocketServer &operator=(const SocketServer &) = delete;
+
+    /** Bind, listen, spawn the loop. Throws std::runtime_error on
+     *  socket/bind failure. */
+    void start();
+
+    /** Bound port (after start(); resolves port 0 to the real one). */
+    uint16_t port() const { return boundPort; }
+
+    /**
+     * Queue pre-serialized response bytes for @p connId and mark its
+     * in-flight request complete, re-enabling request parsing on
+     * that connection. Thread-safe. @p close_after flushes then
+     * closes (Connection: close semantics). Returns false when the
+     * connection is already gone (response dropped).
+     */
+    bool respond(uint64_t connId, std::string bytes,
+                 bool close_after = false);
+
+    /**
+     * Queue intermediate streaming bytes (e.g. chunk frames) without
+     * completing the request. Thread-safe. Finish the stream with a
+     * respond() carrying the terminating bytes.
+     */
+    bool stream(uint64_t connId, std::string bytes);
+
+    /** Stop accepting, shed new requests, finish+flush in-flight
+     *  responses, then exit the loop. Thread- and signal-safe
+     *  trigger; returns immediately. */
+    void beginDrain();
+
+    /** Block until the loop has exited (drain complete or stop()). */
+    void waitDrained();
+
+    /** Immediate shutdown: close every socket and join the loop. */
+    void stop();
+
+    /** True once the loop has exited. */
+    bool finished() const { return loopDone.load(); }
+
+    SocketServerStats stats() const;
+
+    /** Live connection count (loop-thread value, racy read). */
+    size_t connectionCount() const { return connCount.load(); }
+
+  private:
+    struct Conn
+    {
+        uint64_t id = 0;
+        int fd = -1;
+        uint32_t peerAddr = 0; ///< IPv4 peer for the fairness cap
+        HttpRequestParser parser;
+        std::string out;     ///< unsent response bytes
+        size_t outOff = 0;   ///< flushed prefix of out
+        size_t inflight = 0; ///< 0 or 1 (requests are serialized)
+        bool wantClose = false;
+        bool readClosed = false;
+        std::chrono::steady_clock::time_point lastActive;
+
+        explicit Conn(HttpLimits lim) : parser(lim) {}
+    };
+
+    /** One respond()/stream() payload crossing into the loop. */
+    struct Post
+    {
+        uint64_t connId = 0;
+        std::string bytes;
+        bool done = false;
+        bool closeAfter = false;
+    };
+
+    void loop();
+    void acceptReady();
+    void connReadable(Conn &c);
+    void connWritable(Conn &c);
+    void parseRequests(Conn &c);
+    void flush(Conn &c);
+    void queueBytes(Conn &c, std::string bytes);
+    void closeConn(Conn &c);
+    void maybeClose(Conn &c);
+    void applyPosts();
+    void sweepIdle();
+    void enterDrain();
+    void updateInterest(Conn &c);
+
+    const SocketServerConfig cfg;
+    const RequestHandler handler;
+
+    int listenFd = -1;
+    int epollFd = -1;
+    int wakeFd = -1;
+    uint16_t boundPort = 0;
+
+    std::thread loopThread;
+    std::atomic<bool> running{false};
+    std::atomic<bool> stopFlag{false};
+    std::atomic<bool> drainFlag{false};
+    bool draining = false; ///< loop-thread view of drainFlag
+    std::atomic<bool> loopDone{false};
+    std::mutex doneMu;
+    std::condition_variable doneCv;
+
+    std::mutex postMu;
+    std::vector<Post> posts; ///< outbox toward the loop
+
+    uint64_t nextConnId = 1;
+    std::unordered_map<int, std::unique_ptr<Conn>> connsByFd;
+    std::unordered_map<uint64_t, Conn *> connsById;
+    std::unordered_map<uint32_t, size_t> peerConns;
+    std::atomic<size_t> connCount{0};
+
+    // Counters are written by the loop thread, read anywhere.
+    struct
+    {
+        std::atomic<uint64_t> accepted{0}, refused{0},
+            peerRefused{0}, closed{0},
+            requests{0}, badRequests{0}, drainSheds{0},
+            idleCloses{0}, droppedResponses{0}, bytesIn{0},
+            bytesOut{0};
+    } counters;
+};
+
+} // namespace mokey::net
+
+#endif // MOKEY_NET_SOCKET_SERVER_HH

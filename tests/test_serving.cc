@@ -620,5 +620,216 @@ TEST_F(ServingFixture, ConcurrentSubmittersAllServed)
     EXPECT_EQ(sched.stats().requests, 4u);
 }
 
+// ---- failure paths --------------------------------------------------
+//
+// The two production-fatal bugs this suite pins down: a throwing
+// engine used to abandon the batch's promises and std::terminate the
+// process, and a submit racing shutdown used to panic through
+// MOKEY_ASSERT. Both must now degrade to per-request errors.
+
+/** Functor engine: echoes inputs, throws while poisoned. */
+struct PoisonableEcho
+{
+    std::atomic<bool> poison{false};
+    std::atomic<uint64_t> calls{0};
+
+    BatchForwardFn
+    fn()
+    {
+        return [this](const std::vector<Tensor> &inputs, QuantMode,
+                      Lane) -> std::vector<Tensor> {
+            ++calls;
+            if (poison.load())
+                throw std::runtime_error("poisoned batch");
+            return inputs;
+        };
+    }
+};
+
+TEST(SchedulerFailure, ThrowingEngineFailsEveryFutureInBatch)
+{
+    PoisonableEcho engine;
+    engine.poison = true;
+    BatchSchedulerConfig cfg;
+    cfg.maxBatch = 3;
+    cfg.flushTimeout = std::chrono::milliseconds(1);
+    BatchScheduler sched(engine.fn(),
+                         QuantMode::WeightsAndActivations, cfg);
+
+    std::vector<std::future<Tensor>> futs;
+    for (int i = 0; i < 3; ++i) {
+        Tensor in(2, 4);
+        in.raw()[0] = static_cast<float>(i);
+        futs.push_back(sched.submit(std::move(in)));
+    }
+    for (auto &f : futs) {
+        try {
+            f.get();
+            FAIL() << "future of a failed batch resolved";
+        } catch (const std::runtime_error &e) {
+            EXPECT_STREQ(e.what(), "poisoned batch");
+        }
+    }
+    // drain() synchronizes with the dispatcher's post-batch counter
+    // restore; it would hang forever if the failed batch leaked its
+    // in-flight accounting.
+    sched.drain();
+    EXPECT_GE(sched.stats().failedBatches, 1u);
+    EXPECT_EQ(sched.queueDepth(), 0u)
+        << "failed batch leaked in-flight accounting";
+
+    // The dispatcher survived: subsequent batches serve correctly
+    // on the same scheduler.
+    engine.poison = false;
+    Tensor in(3, 4);
+    for (size_t i = 0; i < in.size(); ++i)
+        in.raw()[i] = 0.5f * static_cast<float>(i);
+    Tensor out = sched.submit(in).get();
+    ASSERT_EQ(out.rows(), in.rows());
+    EXPECT_EQ(out.raw(), in.raw());
+    sched.drain();
+    EXPECT_EQ(sched.queueDepth(), 0u);
+}
+
+TEST(SchedulerFailure, AlternatingFailuresDoNotPoisonNeighbors)
+{
+    // Interleave failing and succeeding batches: each failure is
+    // scoped to exactly its own batch.
+    PoisonableEcho engine;
+    BatchSchedulerConfig cfg;
+    cfg.maxBatch = 1;
+    cfg.flushTimeout = std::chrono::microseconds(100);
+    BatchScheduler sched(engine.fn(),
+                         QuantMode::WeightsAndActivations, cfg);
+    for (int round = 0; round < 6; ++round) {
+        engine.poison = (round % 2 == 0);
+        Tensor in(1, 4);
+        in.raw()[2] = static_cast<float>(round);
+        auto fut = sched.submit(std::move(in));
+        if (round % 2 == 0) {
+            EXPECT_THROW(fut.get(), std::runtime_error)
+                << "round " << round;
+        } else {
+            EXPECT_EQ(fut.get().raw()[2],
+                      static_cast<float>(round))
+                << "round " << round;
+        }
+    }
+    sched.drain(); // synchronize with the dispatcher's counters
+    const auto st = sched.stats();
+    EXPECT_EQ(st.failedBatches, 3u);
+    EXPECT_EQ(st.batches, 6u);
+}
+
+TEST(SchedulerFailure, WrongOutputCountFailsBatchGracefully)
+{
+    BatchScheduler sched(
+        [](const std::vector<Tensor> &, QuantMode,
+           Lane) -> std::vector<Tensor> {
+            return {}; // lost every request's output
+        },
+        QuantMode::WeightsAndActivations, {});
+    Tensor in(1, 4);
+    auto fut = sched.submit(std::move(in));
+    EXPECT_THROW(fut.get(), std::runtime_error);
+    sched.drain(); // synchronize with the dispatcher's counters
+    EXPECT_EQ(sched.stats().failedBatches, 1u);
+}
+
+TEST(SchedulerFailure, SubmitAfterStopRejectedGracefully)
+{
+    PoisonableEcho engine;
+    BatchScheduler sched(engine.fn(),
+                         QuantMode::WeightsAndActivations, {});
+    sched.stop();
+
+    // Future path: the error arrives through the future, the
+    // process lives (this used to MOKEY_ASSERT-panic).
+    auto fut = sched.submit(Tensor(1, 4));
+    try {
+        fut.get();
+        FAIL() << "submit after stop resolved";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("stopped"),
+                  std::string::npos);
+    }
+
+    // Callback path: rejected synchronously, callback never fires.
+    std::atomic<bool> fired{false};
+    const bool accepted = sched.submit(
+        Tensor(1, 4),
+        [&fired](Tensor, std::exception_ptr) { fired = true; });
+    EXPECT_FALSE(accepted);
+    EXPECT_FALSE(fired.load());
+
+    EXPECT_EQ(sched.stats().rejected, 2u);
+    EXPECT_EQ(engine.calls.load(), 0u);
+    sched.stop(); // idempotent
+}
+
+TEST(SchedulerFailure, EmptyInputRejectedGracefully)
+{
+    PoisonableEcho engine;
+    BatchScheduler sched(engine.fn(),
+                         QuantMode::WeightsAndActivations, {});
+    auto fut = sched.submit(Tensor{});
+    EXPECT_THROW(fut.get(), std::runtime_error);
+    EXPECT_EQ(sched.stats().rejected, 1u);
+    sched.drain();
+}
+
+TEST(SchedulerFailure, CallbackSubmitDeliversResultAndError)
+{
+    PoisonableEcho engine;
+    BatchSchedulerConfig cfg;
+    cfg.flushTimeout = std::chrono::microseconds(100);
+    BatchScheduler sched(engine.fn(),
+                         QuantMode::WeightsAndActivations, cfg);
+
+    Tensor in(2, 3);
+    in.raw()[5] = 42.0f;
+    std::promise<Tensor> okProm;
+    ASSERT_TRUE(sched.submit(
+        in, [&okProm](Tensor out, std::exception_ptr err) {
+            ASSERT_EQ(err, nullptr);
+            okProm.set_value(std::move(out));
+        }));
+    EXPECT_EQ(okProm.get_future().get().raw()[5], 42.0f);
+
+    engine.poison = true;
+    std::promise<std::exception_ptr> errProm;
+    ASSERT_TRUE(sched.submit(
+        in, [&errProm](Tensor, std::exception_ptr err) {
+            errProm.set_value(err);
+        }));
+    const std::exception_ptr err = errProm.get_future().get();
+    ASSERT_NE(err, nullptr);
+    EXPECT_THROW(std::rethrow_exception(err), std::runtime_error);
+}
+
+TEST(SchedulerFailure, ThrowingCompletionCallbackDoesNotKillDispatcher)
+{
+    PoisonableEcho engine;
+    BatchSchedulerConfig cfg;
+    cfg.flushTimeout = std::chrono::microseconds(100);
+    BatchScheduler sched(engine.fn(),
+                         QuantMode::WeightsAndActivations, cfg);
+
+    std::promise<void> fired;
+    ASSERT_TRUE(sched.submit(
+        Tensor(1, 2), [&fired](Tensor, std::exception_ptr) {
+            fired.set_value();
+            throw std::runtime_error("bad callback");
+        }));
+    fired.get_future().get();
+
+    // Dispatcher survived the throwing callback: normal service
+    // continues.
+    Tensor in(1, 2);
+    in.raw()[1] = 9.0f;
+    EXPECT_EQ(sched.submit(in).get().raw()[1], 9.0f);
+    sched.drain();
+}
+
 } // anonymous namespace
 } // namespace mokey
