@@ -172,9 +172,21 @@ HttpRequestParser::next(HttpRequest &out)
     if (findHeader(head.headers, "Transfer-Encoding") != nullptr)
         return fail(501, "chunked request bodies not supported");
 
+    // RFC 9112 §6.3: a message with multiple Content-Length headers
+    // is invalid. Accepting one silently (first- or last-wins) lets
+    // a proxy that picks the other value desync on the keep-alive
+    // stream — request smuggling — so reject duplicates outright.
+    const std::string *cl = nullptr;
+    for (const HttpHeader &h : head.headers) {
+        if (!iequals(h.name, "Content-Length"))
+            continue;
+        if (cl != nullptr)
+            return fail(400, "duplicate Content-Length");
+        cl = &h.value;
+    }
+
     size_t bodyLen = 0;
-    if (const std::string *cl =
-            findHeader(head.headers, "Content-Length")) {
+    if (cl != nullptr) {
         const long long v = parseDecimal(*cl);
         if (v < 0)
             return fail(400, "malformed Content-Length");

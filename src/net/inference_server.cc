@@ -8,20 +8,74 @@ namespace mokey::net
 namespace
 {
 
+// The tensor wire format is explicitly little-endian (uint32 dims,
+// IEEE-754 float32 payload). Big-endian hosts byte-swap on encode
+// and decode so cross-platform clients never consume garbage bits.
+#if defined(__BYTE_ORDER__) &&                                       \
+    __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+constexpr bool kBigEndianHost = true;
+#else
+constexpr bool kBigEndianHost = false;
+#endif
+
 void
 putU32(std::string &s, uint32_t v)
 {
-    char b[4];
-    std::memcpy(b, &v, 4);
+    const char b[4] = {static_cast<char>(v & 0xff),
+                       static_cast<char>((v >> 8) & 0xff),
+                       static_cast<char>((v >> 16) & 0xff),
+                       static_cast<char>((v >> 24) & 0xff)};
     s.append(b, 4);
 }
 
 uint32_t
 getU32(const char *p)
 {
-    uint32_t v;
-    std::memcpy(&v, p, 4);
-    return v;
+    const auto *u = reinterpret_cast<const unsigned char *>(p);
+    return static_cast<uint32_t>(u[0]) |
+           (static_cast<uint32_t>(u[1]) << 8) |
+           (static_cast<uint32_t>(u[2]) << 16) |
+           (static_cast<uint32_t>(u[3]) << 24);
+}
+
+void
+appendFloatsLE(std::string &s, const float *vals, size_t n)
+{
+    if (!kBigEndianHost) {
+        s.append(reinterpret_cast<const char *>(vals),
+                 n * sizeof(float));
+        return;
+    }
+    for (size_t i = 0; i < n; ++i) {
+        uint32_t bits;
+        std::memcpy(&bits, &vals[i], sizeof bits);
+        putU32(s, bits);
+    }
+}
+
+void
+copyFloatsLE(float *dst, const char *src, size_t n)
+{
+    if (!kBigEndianHost) {
+        std::memcpy(dst, src, n * sizeof(float));
+        return;
+    }
+    for (size_t i = 0; i < n; ++i) {
+        const uint32_t bits = getU32(src + i * sizeof(float));
+        std::memcpy(&dst[i], &bits, sizeof bits);
+    }
+}
+
+std::string
+floatChunk(const float *vals, size_t n)
+{
+    if (!kBigEndianHost)
+        return chunk(reinterpret_cast<const char *>(vals),
+                     n * sizeof(float));
+    std::string payload;
+    payload.reserve(n * sizeof(float));
+    appendFloatsLE(payload, vals, n);
+    return chunk(payload.data(), payload.size());
 }
 
 } // namespace
@@ -33,8 +87,7 @@ encodeTensorBody(const Tensor &t)
     s.reserve(8 + t.size() * sizeof(float));
     putU32(s, static_cast<uint32_t>(t.rows()));
     putU32(s, static_cast<uint32_t>(t.cols()));
-    s.append(reinterpret_cast<const char *>(t.data()),
-             t.size() * sizeof(float));
+    appendFloatsLE(s, t.data(), t.size());
     return s;
 }
 
@@ -47,12 +100,18 @@ decodeTensorBody(const std::string &body, Tensor &out)
     const uint64_t cols = getU32(body.data() + 4);
     if (rows == 0 || cols == 0)
         return false;
-    const uint64_t n = rows * cols;
-    if (body.size() != 8 + n * sizeof(float))
+    // Validate by division: the product form `8 + n * sizeof(float)`
+    // wraps mod 2^64 for hostile dims (rows = cols = 2^31 passes an
+    // 8-byte body) and would reach the allocation below — a remote
+    // DoS via a tiny request. The division cannot overflow, and on
+    // match n is bounded by body.size()/4 (itself parser-capped).
+    const uint64_t payload = body.size() - 8;
+    if (payload % sizeof(float) != 0 ||
+        payload / sizeof(float) != rows * cols)
         return false;
-    std::vector<float> data(static_cast<size_t>(n));
-    std::memcpy(data.data(), body.data() + 8,
-                n * sizeof(float));
+    const size_t n = static_cast<size_t>(rows * cols);
+    std::vector<float> data(n);
+    copyFloatsLE(data.data(), body.data() + 8, n);
     out = Tensor(static_cast<size_t>(rows),
                  static_cast<size_t>(cols), std::move(data));
     return true;
@@ -183,17 +242,12 @@ InferenceServer::completeForward(uint64_t connId, bool keep_alive,
         putU32(dims, static_cast<uint32_t>(out.cols()));
         head += chunk(dims.data(), dims.size());
         server->stream(connId, std::move(head));
-        const size_t rowBytes = out.cols() * sizeof(float);
         for (size_t r = 0; r + 1 < out.rows(); ++r)
-            server->stream(
-                connId,
-                chunk(reinterpret_cast<const char *>(out.row(r)),
-                      rowBytes));
+            server->stream(connId,
+                           floatChunk(out.row(r), out.cols()));
         std::string tail;
         if (out.rows() > 0)
-            tail = chunk(reinterpret_cast<const char *>(
-                             out.row(out.rows() - 1)),
-                         rowBytes);
+            tail = floatChunk(out.row(out.rows() - 1), out.cols());
         tail += lastChunk();
         server->respond(connId, std::move(tail), !keep_alive);
     } else {

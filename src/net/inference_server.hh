@@ -24,8 +24,11 @@
  *   GET  /healthz     200 "ok"
  *   GET  /v1/stats    JSON counters (server + scheduler + depth)
  *
- * Wire format of a tensor (little-endian, host == wire on x86):
- *   uint32 rows, uint32 cols, rows*cols float32 row-major values.
+ * Wire format of a tensor — always little-endian on the wire
+ * (big-endian hosts byte-swap on encode/decode, so cross-platform
+ * clients interoperate rather than decoding garbage):
+ *   uint32 rows, uint32 cols, rows*cols IEEE-754 float32 row-major
+ *   values.
  */
 
 #ifndef MOKEY_NET_INFERENCE_SERVER_HH

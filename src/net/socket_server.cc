@@ -369,7 +369,12 @@ SocketServer::updateInterest(Conn &c)
     if (c.fd < 0)
         return;
     epoll_event ev{};
-    ev.events = (c.readClosed ? 0u : static_cast<uint32_t>(EPOLLIN)) |
+    // EPOLLIN stays masked while the parser holds a full request's
+    // worth of unparsed bytes (see SocketServerConfig::limits);
+    // level-triggered epoll would spin hot otherwise.
+    const bool wantRead =
+        !c.readClosed && c.parser.buffered() < recvCap();
+    ev.events = (wantRead ? static_cast<uint32_t>(EPOLLIN) : 0u) |
                 (c.outOff < c.out.size()
                      ? static_cast<uint32_t>(EPOLLOUT)
                      : 0u);
@@ -398,7 +403,18 @@ void
 SocketServer::connReadable(Conn &c)
 {
     char buf[16 << 10];
+    // Stop pulling bytes once the parser buffers a full request's
+    // worth: while a request is in flight the parser is not advanced
+    // (strict serialization below), so without the cap a client
+    // could pump unbounded bytes for the whole inference — a memory-
+    // exhaustion vector across many connections. updateInterest
+    // masks EPOLLIN past the cap and TCP backpressure does the rest;
+    // reads resume when the in-flight response completes and
+    // parseRequests drains the backlog (applyPosts re-arms).
+    const size_t cap = recvCap();
     for (;;) {
+        if (c.parser.buffered() >= cap)
+            break;
         const ssize_t n = ::recv(c.fd, buf, sizeof buf, 0);
         if (n > 0) {
             counters.bytesIn += static_cast<uint64_t>(n);
@@ -421,6 +437,8 @@ SocketServer::connReadable(Conn &c)
         return;
     }
     parseRequests(c);
+    if (c.fd >= 0)
+        updateInterest(c); // may mask EPOLLIN at the receive cap
     maybeClose(c);
 }
 
@@ -533,6 +551,8 @@ SocketServer::applyPosts()
             // The request cycle is over: a pipelined follow-up may
             // already be buffered.
             parseRequests(c);
+            if (c.fd >= 0)
+                updateInterest(c); // re-arm reads once under the cap
         }
         maybeClose(c);
     }

@@ -70,7 +70,16 @@ struct SocketServerConfig
      */
     size_t maxConnectionsPerPeer = 0;
 
-    /** Parser caps (header/body byte limits). */
+    /**
+     * Parser caps (header/body byte limits). They also bound what a
+     * connection may hold unparsed: past maxHeaderBytes +
+     * maxBodyBytes buffered (one maximal request), the loop stops
+     * reading that connection — TCP backpressure takes over — and
+     * resumes once the in-flight request completes and the parser
+     * drains. Without the cap a client could pump bytes for the
+     * whole duration of an in-flight inference (the parser is not
+     * advanced until the response completes) and balloon memory.
+     */
     HttpLimits limits;
 
     /** Close keep-alive connections idle longer than this with no
@@ -129,8 +138,13 @@ class SocketServer
      * Queue pre-serialized response bytes for @p connId and mark its
      * in-flight request complete, re-enabling request parsing on
      * that connection. Thread-safe. @p close_after flushes then
-     * closes (Connection: close semantics). Returns false when the
-     * connection is already gone (response dropped).
+     * closes (Connection: close semantics). Returns false only once
+     * the event loop has exited (drain/stop): the return value
+     * reflects loop liveness, not per-connection delivery. Bytes for
+     * a connection that has already closed are silently dropped on
+     * the loop thread and counted in
+     * SocketServerStats::droppedResponses — a synchronous existence
+     * check here would race the loop thread, so there is none.
      */
     bool respond(uint64_t connId, std::string bytes,
                  bool close_after = false);
@@ -138,7 +152,8 @@ class SocketServer
     /**
      * Queue intermediate streaming bytes (e.g. chunk frames) without
      * completing the request. Thread-safe. Finish the stream with a
-     * respond() carrying the terminating bytes.
+     * respond() carrying the terminating bytes. Return value has the
+     * same loop-liveness-only semantics as respond().
      */
     bool stream(uint64_t connId, std::string bytes);
 
@@ -200,6 +215,18 @@ class SocketServer
     void sweepIdle();
     void enterDrain();
     void updateInterest(Conn &c);
+
+    /**
+     * Per-connection unparsed-byte ceiling: one maximal request.
+     * A complete request never exceeds it (the parser 431s oversized
+     * heads and 413s oversized bodies first), so pausing reads at
+     * the cap can never deadlock an idle connection — next() is
+     * guaranteed Ready or Error once this much is buffered.
+     */
+    size_t recvCap() const
+    {
+        return cfg.limits.maxHeaderBytes + cfg.limits.maxBodyBytes;
+    }
 
     const SocketServerConfig cfg;
     const RequestHandler handler;

@@ -140,6 +140,27 @@ TEST(HttpParser, RejectsProtocolViolations)
     }
 }
 
+TEST(HttpParser, RejectsDuplicateContentLength)
+{
+    // RFC 9112: conflicting Content-Length values must be rejected;
+    // first-wins parsing behind a last-wins proxy is a smuggling
+    // desync. Identical duplicates are rejected too (no reason for
+    // a legitimate client to send them).
+    for (const char *second : {"2", "5"}) {
+        HttpRequestParser p;
+        const std::string wire = "POST / HTTP/1.1\r\n"
+                                 "Content-Length: 5\r\n"
+                                 "Content-Length: " +
+                                 std::string(second) +
+                                 "\r\n\r\nhello";
+        p.feed(wire.data(), wire.size());
+        HttpRequest req;
+        ASSERT_EQ(p.next(req), HttpRequestParser::Status::Error)
+            << "second CL = " << second;
+        EXPECT_EQ(p.errorStatus(), 400);
+    }
+}
+
 TEST(HttpParser, EnforcesHeaderAndBodyCaps)
 {
     net::HttpLimits lim;
@@ -218,6 +239,43 @@ TEST(TensorBody, RoundTripAndRejects)
     std::string zero(body);
     std::memset(&zero[0], 0, 4); // rows = 0
     EXPECT_FALSE(net::decodeTensorBody(zero, junk));
+}
+
+TEST(TensorBody, OverflowingDimsRejectedWithoutAllocation)
+{
+    const auto putLE = [](std::string &s, uint32_t v) {
+        for (int i = 0; i < 4; ++i)
+            s.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    };
+    Tensor junk;
+    {
+        // rows = cols = 2^31: n = 2^62, and 8 + 4n wraps mod 2^64
+        // back to 8 — a product-form size check passes an 8-byte
+        // body and the decoder would try to allocate 2^62 floats.
+        std::string evil;
+        putLE(evil, 0x80000000u);
+        putLE(evil, 0x80000000u);
+        EXPECT_FALSE(net::decodeTensorBody(evil, junk));
+        // Same dims with a plausible-looking payload attached.
+        evil.append(16, '\0');
+        EXPECT_FALSE(net::decodeTensorBody(evil, junk));
+    }
+    {
+        // Payload not a multiple of sizeof(float).
+        std::string ragged;
+        putLE(ragged, 1);
+        putLE(ragged, 1);
+        ragged.append(5, '\0');
+        EXPECT_FALSE(net::decodeTensorBody(ragged, junk));
+    }
+    {
+        // Float count disagrees with rows*cols.
+        std::string extra;
+        putLE(extra, 1);
+        putLE(extra, 1);
+        extra.append(8, '\0'); // two floats for a 1x1 tensor
+        EXPECT_FALSE(net::decodeTensorBody(extra, junk));
+    }
 }
 
 // ---- loopback integration -------------------------------------------
@@ -506,6 +564,52 @@ TEST(NetDrain, GracefulDrainCompletesInflightAndShedsNew)
     net::HttpClient late("127.0.0.1", port,
                          std::chrono::milliseconds(2000));
     EXPECT_THROW(late.get("/healthz"), std::runtime_error);
+}
+
+TEST(NetBackpressure, InflightFloodPausesReadsThenRecovers)
+{
+    // While a slow request is in flight the parser is not advanced,
+    // so pipelined bytes accumulate unparsed. With tiny limits the
+    // flood below crosses the receive cap (maxHeaderBytes +
+    // maxBodyBytes = 1 KiB), forcing the loop to pause reads on the
+    // connection; every buffered request must still be served once
+    // the in-flight response completes (pause must not deadlock or
+    // drop bytes).
+    net::InferenceServerConfig cfg;
+    cfg.socket.limits.maxHeaderBytes = 512;
+    cfg.socket.limits.maxBodyBytes = 512;
+    cfg.maxQueueDepth = 64;
+    cfg.scheduler.flushTimeout = std::chrono::microseconds(200);
+    SlowEchoServer srv(std::chrono::milliseconds(100), cfg);
+
+    Tensor in(2, SlowEchoServer::kCols);
+    const std::string body = net::encodeTensorBody(in);
+    const std::string post =
+        "POST /v1/forward HTTP/1.1\r\nHost: t\r\nContent-Length: " +
+        std::to_string(body.size()) + "\r\n\r\n" + body;
+    constexpr int kFlood = 40; // ~36 bytes each: well past the cap
+    std::string wire = post;
+    for (int i = 0; i < kFlood; ++i)
+        wire += "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n";
+    wire += "GET /healthz HTTP/1.1\r\nHost: t\r\n"
+            "Connection: close\r\n\r\n";
+    ASSERT_GT(wire.size() - post.size(),
+              cfg.socket.limits.maxHeaderBytes +
+                  cfg.socket.limits.maxBodyBytes);
+
+    const auto transcript =
+        rawPipelinedExchange(srv.server.port(), wire, [] {});
+
+    size_t oks = 0;
+    for (size_t pos = 0;
+         (pos = transcript.find("HTTP/1.1 200", pos)) !=
+         std::string::npos;
+         pos += 12)
+        ++oks;
+    EXPECT_EQ(oks, static_cast<size_t>(kFlood) + 2)
+        << transcript.substr(0, 300);
+    EXPECT_EQ(srv.server.stats().completed, 1u);
+    srv.server.drain();
 }
 
 TEST(NetDrain, DestructorDrainsWithoutExplicitCall)
