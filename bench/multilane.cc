@@ -17,7 +17,15 @@
  *    where the seed design burns context switches per loop.
  * 2. *Persistent wave vs parked.* The same 2-lane pattern with
  *    workers spinning briefly (setWaveSpin) before parking.
- * 3. *Scheduler lanes.* Aggregate request throughput of one
+ * 3. *Work stealing on imbalanced lanes.* Two concurrent lanes, one
+ *    submitting 8x-sized loops: makespan with stealing off (the
+ *    frozen PR 3 round-robin sharing schedule) over makespan with
+ *    stealing on (idle workers back-claim whole chunks from the
+ *    busiest lane, lane owners assist once their own range is fully
+ *    claimed). Chunk boundaries are identical either way, so the
+ *    ratio is pure schedule win; it needs parallel hardware to rise
+ *    much above 1.0.
+ * 4. *Scheduler lanes.* Aggregate request throughput of one
  *    BatchScheduler with laneCount=2 vs laneCount=1 on an identical
  *    closed-loop burst. This row's speedup field is 2-lane over
  *    1-lane throughput; it needs parallel hardware to rise much
@@ -224,6 +232,36 @@ timeSeedDispatch(size_t submitters, SeedPool &pool)
     }) / static_cast<double>(submitters * kLoopsPerLane);
 }
 
+/**
+ * Imbalanced two-lane pattern: lane 0 submits 8x-range loops (the
+ * long-prefill shape), lane 1 the small decode-sized loops. Returns
+ * makespan ns for one joint run — the steal scenario's metric, since
+ * stealing moves tail chunks of the heavy loops onto whoever is
+ * idle without changing any chunk boundary.
+ */
+double
+timeImbalancedLanes()
+{
+    constexpr size_t kHeavyMult = 8;
+    constexpr size_t kJointLoops = kLoopsPerLane / 4;
+    return bench::timeKernelNs([] {
+        std::vector<std::thread> callers;
+        for (size_t c = 0; c < 2; ++c) {
+            callers.emplace_back([c] {
+                const Lane lane = Lane::ofIndex(c);
+                const size_t rows =
+                    c == 0 ? kRows * kHeavyMult : kRows;
+                volatile double sink = 0.0;
+                for (size_t rep = 0; rep < kJointLoops; ++rep)
+                    parallelFor(lane, 0, rows, 1,
+                                [&](size_t i) { rowWork(i, &sink); });
+            });
+        }
+        for (auto &t : callers)
+            t.join();
+    });
+}
+
 constexpr size_t kClients = 4;      ///< closed-loop client threads
 constexpr size_t kReqsPerClient = 4; ///< requests each client runs
 
@@ -309,6 +347,20 @@ main()
               kLoopsPerLane, lane4, 0.0, seed4 / lane4});
     json.add({"multilane_dispatch_2lane_wave", kRows, kInner,
               kLoopsPerLane, lane2w, 0.0, seed2 / lane2w});
+
+    // Work stealing on imbalanced lanes: same workload, same chunk
+    // boundaries, only the chunk->thread schedule differs.
+    const bool priorSteal = laneStealing();
+    setLaneStealing(false);
+    const double imbOff = timeImbalancedLanes();
+    setLaneStealing(true);
+    const double imbOn = timeImbalancedLanes();
+    setLaneStealing(priorSteal);
+    std::printf("\nimbalanced lanes (8x vs 1x loops): %8.0f ns off "
+                "-> %8.0f ns on, steal speedup %.2fx\n",
+                imbOff, imbOn, imbOff / imbOn);
+    json.add({"lane_steal_speedup", kRows * 8, kInner,
+              kLoopsPerLane / 4, imbOn, 0.0, imbOff / imbOn});
 
     // Scheduler-level: identical closed-loop burst, 2 lanes vs 1.
     const ModelConfig cfg{"tiny", 2, 32, 2, 128, 256};

@@ -23,6 +23,20 @@
  *     giving honest p50/p99 under load. These rows are raw timings
  *     (speedup_vs_seed = 0): absolute latency is machine-dependent
  *     and is tracked, not gated.
+ *  4. Continuous vs run-to-completion on a ragged mix — the same
+ *     fixed-seed open-loop trace (1/8 long prefills, 7/8 one-to-two
+ *     row decodes) submitted scheduler-level (no HTTP) to a
+ *     BatchScheduler and to a ContinuousScheduler. The gated record
+ *     ("serving_ragged_decode_p99_batch_vs_continuous") is the
+ *     decode-class p99 ratio batch/continuous — the head-of-line
+ *     number iteration-level batching exists to improve: under
+ *     run-to-completion a decode arriving behind a dispatched
+ *     prefill waits a whole multi-layer pass; continuously it waits
+ *     at most one layer step.
+ *
+ * Phases 2 and 3 pin cfg.continuous = false so their records keep
+ * measuring the HTTP layer against the same run-to-completion
+ * scheduler as when they were first recorded.
  *
  * Writes BENCH_serving.json for tools/check_bench_regression.py.
  */
@@ -150,6 +164,7 @@ main()
     double http_bytes = 0.0;
     {
         InferenceServerConfig icfg;
+        icfg.continuous = false; // keep the PR 7 comparison basis
         icfg.scheduler = schedulerConfig();
         icfg.maxQueueDepth = 64;
         InferenceServer server(pipe, icfg);
@@ -214,6 +229,7 @@ main()
     std::vector<double> latency_ms(kOpenLoopRequests, 0.0);
     {
         InferenceServerConfig icfg;
+        icfg.continuous = false; // keep the PR 7 comparison basis
         icfg.scheduler = schedulerConfig();
         icfg.maxQueueDepth = 64;
         InferenceServer server(pipe, icfg);
@@ -271,6 +287,91 @@ main()
                 "p50 %.2f ms, p99 %.2f ms\n",
                 open_qps, p50, p99);
 
+    // ---- phase 4: ragged mix, batch vs continuous scheduler ------
+    // Scheduler-level (no HTTP): the same fixed-seed open-loop trace
+    // against both schedulers; decode-class p99 from the scheduled
+    // arrival is the head-of-line metric iteration-level batching
+    // targets (the overall p99 would just be a long prefill).
+    constexpr size_t kRaggedRequests = 64;
+    constexpr size_t kPrefillRows = 96;
+    std::vector<double> rag_arrival;
+    std::vector<size_t> rag_lens;
+    {
+        std::mt19937 rng(kSeed + 1);
+        std::exponential_distribution<double> gap(0.70 * direct_qps);
+        double t = 0.0;
+        for (size_t i = 0; i < kRaggedRequests; ++i) {
+            t += gap(rng);
+            rag_arrival.push_back(t);
+            rag_lens.push_back(i % 8 == 0 ? kPrefillRows
+                                          : 1 + i % 2);
+        }
+    }
+    std::vector<Tensor> rag_inputs;
+    for (size_t i = 0; i < kRaggedRequests; ++i)
+        rag_inputs.push_back(
+            model.makeInput(rag_lens[i], 1500 + (int)i));
+
+    // One paced submitter replays the trace; completions stamp the
+    // latency slot for their request. drain() orders the reads.
+    const auto runTrace = [&](ServingScheduler &sched) {
+        std::vector<double> lat(kRaggedRequests, 0.0);
+        const auto t0 = clock_t_::now();
+        for (size_t i = 0; i < kRaggedRequests; ++i) {
+            const auto due =
+                t0 + std::chrono::duration_cast<clock_t_::duration>(
+                         std::chrono::duration<double>(
+                             rag_arrival[i]));
+            std::this_thread::sleep_until(due);
+            double *slot = &lat[i];
+            sched.submit(Tensor(rag_inputs[i]),
+                         [slot, due](Tensor, std::exception_ptr) {
+                             *slot = std::chrono::duration<
+                                         double, std::milli>(
+                                         clock_t_::now() - due)
+                                         .count();
+                         });
+        }
+        sched.drain();
+        return lat;
+    };
+    const auto classP99 = [&](const std::vector<double> &lat,
+                              bool decode) {
+        std::vector<double> cls;
+        for (size_t i = 0; i < kRaggedRequests; ++i)
+            if ((rag_lens[i] < kPrefillRows) == decode)
+                cls.push_back(lat[i]);
+        return percentileMs(cls, 0.99);
+    };
+
+    double batch_decode_p99 = 0.0, batch_prefill_p99 = 0.0;
+    {
+        BatchScheduler sched(pipe, QuantMode::WeightsAndActivations,
+                             schedulerConfig());
+        const auto lat = runTrace(sched);
+        batch_decode_p99 = classP99(lat, true);
+        batch_prefill_p99 = classP99(lat, false);
+    }
+    double cont_decode_p99 = 0.0, cont_prefill_p99 = 0.0;
+    {
+        ContinuousSchedulerConfig ccfg;
+        ccfg.maxBatch = 8;
+        ccfg.decodeMaxRows = 4;
+        ccfg.chunkTokens = 96;
+        ContinuousScheduler sched(
+            pipe, QuantMode::WeightsAndActivations, ccfg);
+        const auto lat = runTrace(sched);
+        cont_decode_p99 = classP99(lat, true);
+        cont_prefill_p99 = classP99(lat, false);
+    }
+    const double decode_ratio = batch_decode_p99 / cont_decode_p99;
+    std::printf(
+        "ragged mix decode p99: %6.2f ms batch -> %6.2f ms "
+        "continuous (%.2fx, the gated ratio); prefill p99 "
+        "%6.2f -> %6.2f ms\n",
+        batch_decode_p99, cont_decode_p99, decode_ratio,
+        batch_prefill_p99, cont_prefill_p99);
+
     // ---- machine-readable records --------------------------------
     const size_t mean_rows = total_rows / kClosedLoopRequests;
     BenchJson json("serving");
@@ -289,5 +390,17 @@ main()
               mean_rows, cfg.hidden, p99 * 1e6, 0.0, 0.0});
     json.add({"serving_open_loop_sustained_qps", kOpenLoopRequests,
               mean_rows, cfg.hidden, 1e9 / open_qps, 0.0, 0.0});
+    // Gated ratio row: decode-class p99, run-to-completion over
+    // continuous, same trace, same machine, same run.
+    json.add({"serving_ragged_decode_p99_batch_vs_continuous",
+              kRaggedRequests, kPrefillRows, cfg.hidden,
+              cont_decode_p99 * 1e6, 0.0, decode_ratio});
+    // Raw rows for the same phase (tracked, not gated).
+    json.add({"serving_ragged_decode_p99_batch_ms", kRaggedRequests,
+              kPrefillRows, cfg.hidden, batch_decode_p99 * 1e6, 0.0,
+              0.0});
+    json.add({"serving_ragged_prefill_p99_continuous_ms",
+              kRaggedRequests, kPrefillRows, cfg.hidden,
+              cont_prefill_p99 * 1e6, 0.0, 0.0});
     return json.write() ? 0 : 1;
 }

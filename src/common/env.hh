@@ -49,6 +49,24 @@ envFlag(const char *name, bool fallback)
     fatal("%s must be 0/off or 1/on, got '%s'", name, s.c_str());
 }
 
+/**
+ * Positive-integer env knob: unset/empty -> @p fallback; a positive
+ * decimal integer selects; anything else is a fatal config error
+ * naming the variable.
+ */
+inline size_t
+envSize(const char *name, size_t fallback)
+{
+    const char *env = std::getenv(name);
+    if (env == nullptr || *env == '\0')
+        return fallback;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end == env || *end != '\0' || v == 0)
+        fatal("%s must be a positive integer, got '%s'", name, env);
+    return static_cast<size_t>(v);
+}
+
 } // namespace mokey
 
 #endif // MOKEY_COMMON_ENV_HH

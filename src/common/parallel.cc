@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/env.hh"
 #include "common/logging.hh"
 
 namespace mokey
@@ -26,21 +27,70 @@ thread_local bool in_worker = false;
  * One in-flight loop. Heap-allocated per top-level submission and
  * held by shared_ptr: workers keep draining a snapshot safely even
  * while the lane moves on to its next loop, because an exhausted
- * job's cursor simply stops handing out chunks. The body pointer is
- * only dereferenced after a successful chunk claim, and a claim can
- * only succeed while the owner is still blocked in run() — so the
+ * job's claim word simply stops handing out chunks. The body pointer
+ * is only dereferenced after a successful chunk claim, and a claim
+ * can only succeed while the owner is still blocked in run() — so the
  * caller-owned closure is always alive when called.
+ *
+ * The range is pre-split into nChunks fixed chunks (chunk i covers
+ * [begin + i*chunk, min(begin + (i+1)*chunk, end))) and claimed from
+ * *both ends* through one packed CAS word: the low 32 bits count
+ * front-claimed chunks (the next front chunk's index), the high 32
+ * bits count back-claimed chunks (the next back chunk is
+ * nChunks-1-tail). Owners and lane-affine workers walk the front in
+ * order; thieves take from the tail, so a steal never contends with
+ * the owner's next claim and the two walks meet exactly once. Chunk
+ * boundaries stay a pure function of (range, grain, thread count) —
+ * stealing only changes which thread runs a chunk, never its bounds.
  */
 struct Job
 {
     const RangeBody *body = nullptr;
+    size_t begin = 0;
     size_t end = 0;
     size_t chunk = 1;
     size_t lane = 0;
-    std::atomic<size_t> cursor{0};    ///< next index to claim
+    uint32_t nChunks = 0;
+    std::atomic<uint64_t> claim{0};   ///< lo32 front count, hi32 back count
     std::atomic<size_t> remaining{0}; ///< iterations not yet executed
     bool done = false;                ///< guarded by Executor::mu
 };
+
+/** Chunks of @p j not yet claimed from either end. */
+inline uint32_t
+unclaimedChunks(const Job &j)
+{
+    const uint64_t c = j.claim.load(std::memory_order_relaxed);
+    const uint32_t taken =
+        static_cast<uint32_t>(c) + static_cast<uint32_t>(c >> 32);
+    return taken >= j.nChunks ? 0 : j.nChunks - taken;
+}
+
+/**
+ * Claim one chunk of @p job from the front (owner / affine worker)
+ * or the back (thief). Returns false once every chunk is claimed.
+ */
+inline bool
+claimChunk(Job &job, bool front, size_t &lo, size_t &hi)
+{
+    uint64_t c = job.claim.load(std::memory_order_relaxed);
+    for (;;) {
+        const uint32_t head = static_cast<uint32_t>(c);
+        const uint32_t tail = static_cast<uint32_t>(c >> 32);
+        if (head + tail >= job.nChunks)
+            return false;
+        const uint64_t next =
+            front ? c + 1 : c + (uint64_t(1) << 32);
+        if (job.claim.compare_exchange_weak(
+                c, next, std::memory_order_relaxed)) {
+            const uint32_t idx =
+                front ? head : job.nChunks - 1 - tail;
+            lo = job.begin + static_cast<size_t>(idx) * job.chunk;
+            hi = std::min(lo + job.chunk, job.end);
+            return true;
+        }
+    }
+}
 
 /**
  * The process-wide multi-lane executor. Each lane owns a submit
@@ -95,10 +145,12 @@ class Executor
 
         auto job = std::make_shared<Job>();
         job->body = &body;
+        job->begin = begin;
         job->end = end;
         job->chunk = chunk;
         job->lane = lane;
-        job->cursor.store(begin, std::memory_order_relaxed);
+        job->nChunks = static_cast<uint32_t>(
+            (end - begin + chunk - 1) / chunk);
         job->remaining.store(end - begin, std::memory_order_relaxed);
         {
             std::lock_guard<std::mutex> lk(mu);
@@ -116,7 +168,24 @@ class Executor
         // owner claims every chunk before a parked worker wakes, it
         // returns without waiting for any worker acknowledgement.
         in_worker = true;
-        while (runOneChunk(*job)) {
+        while (runOneChunk(*job, /*front=*/true)) {
+        }
+        // Owner assist: the range is fully claimed but other threads
+        // may still be crunching our final chunks. With stealing on,
+        // spend that window back-claiming chunks from the busiest
+        // other active lane instead of idling in cv_done — this is
+        // the "imbalanced lanes donate instead of idling" path. The
+        // assist ends the moment our own job retires.
+        if (stealing()) {
+            while (job->remaining.load(std::memory_order_relaxed) >
+                   0) {
+                const std::shared_ptr<Job> victim =
+                    busiestOtherJob(lane);
+                if (!victim)
+                    break;
+                if (runOneChunk(*victim, /*front=*/false))
+                    countSteal(lane, victim->lane);
+            }
         }
         in_worker = false;
 
@@ -139,7 +208,21 @@ class Executor
         LaneStats s;
         s.loops = lanes[lane].loops.load(std::memory_order_relaxed);
         s.chunks = lanes[lane].chunks.load(std::memory_order_relaxed);
+        s.steals =
+            lanes[lane].steals.load(std::memory_order_relaxed);
+        s.donated =
+            lanes[lane].donated.load(std::memory_order_relaxed);
         return s;
+    }
+
+    void setStealing(bool on)
+    {
+        stealAtomic.store(on, std::memory_order_relaxed);
+    }
+
+    bool stealing() const
+    {
+        return stealAtomic.load(std::memory_order_relaxed);
     }
 
   private:
@@ -149,6 +232,8 @@ class Executor
         std::shared_ptr<Job> job; ///< guarded by Executor::mu
         std::atomic<uint64_t> loops{0};
         std::atomic<uint64_t> chunks{0};
+        std::atomic<uint64_t> steals{0};
+        std::atomic<uint64_t> donated{0};
     };
 
     Executor()
@@ -171,6 +256,8 @@ class Executor
             else
                 warn("ignoring invalid MOKEY_WAVE_US='%s'", env);
         }
+        stealAtomic.store(envFlag("MOKEY_STEAL", true),
+                          std::memory_order_relaxed);
         std::lock_guard<std::mutex> lk(mu);
         spawnLocked(n - 1);
     }
@@ -202,17 +289,16 @@ class Executor
     }
 
     /**
-     * Claim and execute one chunk of @p job. Returns false once the
-     * job's range is exhausted (safe to call on a stale job: the
-     * cursor just reports exhaustion and the body is never touched).
+     * Claim and execute one chunk of @p job from the given end.
+     * Returns false once the job's range is fully claimed (safe to
+     * call on a stale job: the claim word just reports exhaustion and
+     * the body is never touched).
      */
-    bool runOneChunk(Job &job)
+    bool runOneChunk(Job &job, bool front)
     {
-        const size_t lo =
-            job.cursor.fetch_add(job.chunk, std::memory_order_relaxed);
-        if (lo >= job.end)
+        size_t lo, hi;
+        if (!claimChunk(job, front, lo, hi))
             return false;
-        const size_t hi = std::min(lo + job.chunk, job.end);
         (*job.body)(lo, hi);
         lanes[job.lane].chunks.fetch_add(1, std::memory_order_relaxed);
         // acq_rel: the finisher that observes zero must also observe
@@ -225,6 +311,40 @@ class Executor
         if (left == 0)
             finishJob(job);
         return true;
+    }
+
+    /** Attribute one stolen chunk: @p thief took it for its own lane
+     *  from @p victim's job. */
+    void countSteal(size_t thief, size_t victim)
+    {
+        lanes[thief].steals.fetch_add(1, std::memory_order_relaxed);
+        lanes[victim].donated.fetch_add(1,
+                                        std::memory_order_relaxed);
+    }
+
+    /**
+     * The active job (excluding @p lane's) with the most unclaimed
+     * work, or null when every other lane is drained. Takes mu only
+     * for the slot scan; the returned shared_ptr keeps the job alive
+     * past the lock.
+     */
+    std::shared_ptr<Job> busiestOtherJob(size_t lane)
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        std::shared_ptr<Job> best;
+        size_t bestWork = 0;
+        for (const auto &l : lanes) {
+            if (!l.job || l.job->lane == lane)
+                continue;
+            const size_t work =
+                static_cast<size_t>(unclaimedChunks(*l.job)) *
+                l.job->chunk;
+            if (work > bestWork) {
+                bestWork = work;
+                best = l.job;
+            }
+        }
+        return best;
     }
 
     /** Last chunk of @p job executed: retire it and wake its owner. */
@@ -250,16 +370,115 @@ class Executor
     bool claimableLocked() const
     {
         for (const auto &l : lanes)
-            if (l.job &&
-                l.job->cursor.load(std::memory_order_relaxed) <
-                    l.job->end)
+            if (l.job && unclaimedChunks(*l.job) > 0)
                 return true;
         return false;
+    }
+
+    /**
+     * Stealing-off schedule: one chunk per lane per pass,
+     * round-robin, so concurrent lanes interleave fairly instead of
+     * FIFO-starving. This is the frozen PR 3 behaviour the
+     * determinism tests compare stealing against.
+     */
+    void drainShared(std::array<std::shared_ptr<Job>, kLaneCount> &snap,
+                     size_t n)
+    {
+        // A false return means the job is exhausted for good — drop
+        // it so later passes stop hammering its dead claim word.
+        size_t live = n;
+        while (live > 0) {
+            for (size_t i = 0; i < n; ++i) {
+                if (snap[i] &&
+                    !runOneChunk(*snap[i], /*front=*/true)) {
+                    snap[i].reset();
+                    --live;
+                }
+            }
+        }
+    }
+
+    /**
+     * Stealing-on schedule: stay affine to one home lane and walk its
+     * chunks front-to-back (cache-friendly, contention-free against
+     * thieves); once home is drained, back-claim from the busiest
+     * remaining lane in the snapshot, counting each chunk as a
+     * steal. The worker re-homes to its last victim at the end of the
+     * pass, so a migration pays steal accounting once and then
+     * becomes an affine front-walker on its new lane.
+     */
+    void drainStealing(
+        std::array<std::shared_ptr<Job>, kLaneCount> &snap, size_t n,
+        size_t &home)
+    {
+        auto homeEntry = [&]() -> std::shared_ptr<Job> * {
+            for (size_t i = 0; i < n; ++i)
+                if (snap[i] && snap[i]->lane == home)
+                    return &snap[i];
+            return nullptr;
+        };
+        // A worker with no home yet adopts the busiest lane outright
+        // — adoption is not a steal. (A worker whose home lane is
+        // merely inactive this pass keeps it: its steals below are
+        // attributed to the lane it last worked for.)
+        if (home == kLaneCount) {
+            size_t bestWork = 0;
+            for (size_t i = 0; i < n; ++i) {
+                if (!snap[i])
+                    continue;
+                const size_t work =
+                    static_cast<size_t>(unclaimedChunks(*snap[i])) *
+                    snap[i]->chunk;
+                if (work >= bestWork) {
+                    bestWork = work;
+                    home = snap[i]->lane;
+                }
+            }
+        }
+        size_t lastVictim = kLaneCount;
+        bool frontClaimed = false;
+        for (;;) {
+            if (std::shared_ptr<Job> *he = homeEntry()) {
+                if (runOneChunk(**he, /*front=*/true)) {
+                    frontClaimed = true;
+                    continue;
+                }
+                he->reset();
+            }
+            // Home drained: steal from the tail of the busiest
+            // remaining lane in this pass's snapshot.
+            std::shared_ptr<Job> *victim = nullptr;
+            size_t bestWork = 0;
+            for (size_t i = 0; i < n; ++i) {
+                if (!snap[i])
+                    continue;
+                const size_t work =
+                    static_cast<size_t>(unclaimedChunks(*snap[i])) *
+                    snap[i]->chunk;
+                if (work >= bestWork) {
+                    bestWork = work;
+                    victim = &snap[i];
+                }
+            }
+            if (victim == nullptr)
+                break;
+            if (runOneChunk(**victim, /*front=*/false)) {
+                countSteal(home, (*victim)->lane);
+                lastVictim = (*victim)->lane;
+            } else {
+                victim->reset();
+            }
+        }
+        if (!frontClaimed && lastVictim != kLaneCount)
+            home = lastVictim;
     }
 
     void workerLoop()
     {
         in_worker = true;
+        // Sticky lane affinity for the stealing schedule; kLaneCount
+        // means "no home yet".
+        size_t home = kLaneCount;
         std::unique_lock<std::mutex> lk(mu);
         for (;;) {
             cv_work.wait(lk, [this] {
@@ -269,29 +488,18 @@ class Executor
                 return;
 
             // Snapshot the claimable slots, then drain them without
-            // the lock, one chunk per lane per pass so concurrent
-            // lanes interleave fairly instead of FIFO-starving.
+            // the lock.
             std::array<std::shared_ptr<Job>, kLaneCount> snap;
             size_t n = 0;
             for (auto &l : lanes)
-                if (l.job &&
-                    l.job->cursor.load(std::memory_order_relaxed) <
-                        l.job->end)
+                if (l.job && unclaimedChunks(*l.job) > 0)
                     snap[n++] = l.job;
             if (n > 0) {
                 lk.unlock();
-                // A false return means the job is exhausted for
-                // good — drop it so later passes stop hammering its
-                // dead cursor cache line.
-                size_t live = n;
-                while (live > 0) {
-                    for (size_t i = 0; i < n; ++i) {
-                        if (snap[i] && !runOneChunk(*snap[i])) {
-                            snap[i].reset();
-                            --live;
-                        }
-                    }
-                }
+                if (stealing())
+                    drainStealing(snap, n, home);
+                else
+                    drainShared(snap, n);
                 lk.lock();
             }
 
@@ -327,6 +535,7 @@ class Executor
     bool stopping = false;              ///< guarded by mu
     std::atomic<bool> stoppingAtomic{false};
     std::atomic<size_t> spinMicros{0};
+    std::atomic<bool> stealAtomic{true};
 };
 
 } // anonymous namespace
@@ -369,6 +578,18 @@ void
 setWaveSpin(size_t micros)
 {
     Executor::global().setSpin(micros);
+}
+
+void
+setLaneStealing(bool on)
+{
+    Executor::global().setStealing(on);
+}
+
+bool
+laneStealing()
+{
+    return Executor::global().stealing();
 }
 
 size_t

@@ -13,6 +13,16 @@
  * submission order, which keeps each lane's view of the pool exactly
  * what the single-lane design provided.
  *
+ * On top of the shared worker set sits *work stealing* (on by
+ * default, see setLaneStealing): jobs hand out chunks from both ends
+ * of their range, workers stay affine to one lane and front-claim its
+ * chunks in order, and a thread with nothing left on its own lane
+ * back-claims ("steals") chunks from the tail of the busiest other
+ * active lane — including the lane *owner* while it waits for its
+ * final chunks to retire elsewhere, so imbalanced lanes donate work
+ * instead of idling. Per-lane steals/donated counters surface in
+ * laneStats().
+ *
  * Design constraints, in priority order:
  *
  *  1. *Determinism.* Results must be bit-identical for any thread
@@ -96,10 +106,28 @@ struct LaneStats
 {
     uint64_t loops = 0;  ///< top-level loops submitted to the lane
     uint64_t chunks = 0; ///< chunks executed on behalf of the lane
+    uint64_t steals = 0; ///< chunks this lane's threads stole elsewhere
+    uint64_t donated = 0; ///< chunks of this lane's jobs taken by thieves
 };
 
 /** Snapshot of @p lane's counters. */
 LaneStats laneStats(Lane lane);
+
+/**
+ * Work-stealing knob. When on (the default; MOKEY_STEAL overrides), a
+ * worker that has drained its own lane's queue steals whole chunks
+ * from the *tail* of the busiest other active lane instead of
+ * round-robin sharing, and a lane owner whose range is fully claimed
+ * but not yet finished assists other lanes instead of idling. Chunk
+ * boundaries stay a pure function of (range, grain, thread count), so
+ * results are bit-identical with stealing on or off — only the
+ * chunk→thread assignment changes. Off restores the PR 3 round-robin
+ * work-sharing schedule exactly.
+ */
+void setLaneStealing(bool on);
+
+/** Current work-stealing setting. */
+bool laneStealing();
 
 /** Number of threads the pool currently runs (>= 1). */
 size_t threadCount();

@@ -1,0 +1,416 @@
+#include "model/continuous_scheduler.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <stdexcept>
+
+#include "common/env.hh"
+#include "common/logging.hh"
+
+namespace mokey
+{
+
+ContinuousScheduler::ContinuousScheduler(
+    const QuantizedTransformer &eng, QuantMode m,
+    ContinuousSchedulerConfig c)
+    : ContinuousScheduler(
+          [&eng](size_t layer, const Tensor &stacked,
+                 const std::vector<size_t> &starts, QuantMode mode,
+                 Lane ln) {
+              return eng.forwardStep(layer, stacked, starts, mode, ln);
+          },
+          eng.stepCount(), m, c)
+{
+}
+
+ContinuousScheduler::ContinuousScheduler(StepForwardFn fn,
+                                         size_t steps, QuantMode m,
+                                         ContinuousSchedulerConfig c)
+    : step(std::move(fn)), nSteps(steps), mode(m), cfg(c)
+{
+    MOKEY_ASSERT(static_cast<bool>(step),
+                 "scheduler needs a step function");
+    MOKEY_ASSERT(nSteps >= 1, "step count must be >= 1");
+    MOKEY_ASSERT(cfg.maxBatch >= 1, "maxBatch must be >= 1");
+    cfg.chunkTokens = envSize("MOKEY_CHUNK_TOKENS", cfg.chunkTokens);
+    cfg.decodePriority =
+        envFlag("MOKEY_DECODE_PRIORITY", cfg.decodePriority);
+    MOKEY_ASSERT(cfg.decodeTokens >= 1, "decodeTokens must be >= 1");
+    MOKEY_ASSERT(cfg.chunkTokens >= 1, "chunkTokens must be >= 1");
+    lane = Lane::acquire();
+    stepper = std::thread([this] { stepLoop(); });
+}
+
+ContinuousScheduler::~ContinuousScheduler()
+{
+    stop();
+}
+
+void
+ContinuousScheduler::stop()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        stopping = true;
+        if (joinedFlag)
+            return;
+        joinedFlag = true;
+    }
+    cvWork.notify_all();
+    stepper.join();
+}
+
+bool
+ContinuousScheduler::enqueue(Pending &&req)
+{
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        if (stopping || req.input.rows() == 0) {
+            ++st.rejected;
+            return false;
+        }
+        queue.push_back(std::move(req));
+        ++st.requests;
+    }
+    cvWork.notify_all();
+    return true;
+}
+
+std::future<Tensor>
+ContinuousScheduler::submit(Tensor input)
+{
+    const bool empty = input.rows() == 0;
+    Pending req{std::move(input), {}, nullptr};
+    std::future<Tensor> fut = req.result.get_future();
+    if (!enqueue(std::move(req))) {
+        req.result.set_exception(std::make_exception_ptr(
+            std::runtime_error(
+                empty ? "ContinuousScheduler: empty request"
+                      : "ContinuousScheduler: submit() on a stopped "
+                        "scheduler")));
+    }
+    return fut;
+}
+
+bool
+ContinuousScheduler::submit(Tensor input, BatchCompletion done)
+{
+    MOKEY_ASSERT(static_cast<bool>(done),
+                 "callback submit needs a callback");
+    Pending req{std::move(input), {}, std::move(done)};
+    return enqueue(std::move(req));
+}
+
+void
+ContinuousScheduler::drain()
+{
+    std::unique_lock<std::mutex> lk(mu);
+    cvDone.wait(lk,
+                [this] { return queue.empty() && active.empty(); });
+}
+
+size_t
+ContinuousScheduler::queueDepth() const
+{
+    std::lock_guard<std::mutex> lk(mu);
+    return queue.size() + active.size();
+}
+
+double
+ContinuousScheduler::recentStepSeconds() const
+{
+    std::lock_guard<std::mutex> lk(mu);
+    return recentStep;
+}
+
+double
+ContinuousScheduler::recentBatchSeconds() const
+{
+    std::lock_guard<std::mutex> lk(mu);
+    return recentStep * static_cast<double>(nSteps);
+}
+
+ContinuousSchedulerStats
+ContinuousScheduler::stats() const
+{
+    std::lock_guard<std::mutex> lk(mu);
+    return st;
+}
+
+void
+ContinuousScheduler::finish(Active &a, Tensor &&out,
+                            const std::exception_ptr &err)
+{
+    // Mirrors BatchScheduler::complete(): a broken promise or a
+    // throwing callback is the caller's bug and must not take the
+    // step thread (and every other active request) down with it.
+    try {
+        if (a.done) {
+            a.done(std::move(out), err);
+        } else if (err) {
+            a.result.set_exception(err);
+        } else {
+            a.result.set_value(std::move(out));
+        }
+    } catch (const std::exception &e) {
+        warn("ContinuousScheduler: completion failed: %s", e.what());
+    } catch (...) {
+        warn("ContinuousScheduler: completion failed");
+    }
+}
+
+std::vector<std::list<ContinuousScheduler::Active>::iterator>
+ContinuousScheduler::pickClass(bool decodeClass, size_t budget,
+                               uint64_t &deferred)
+{
+    // Admission (seq) order is list order: joins always push_back.
+    std::vector<std::list<Active>::iterator> sel;
+    size_t rowsTaken = 0;
+    for (auto it = active.begin(); it != active.end(); ++it) {
+        if (it->decode != decodeClass)
+            continue;
+        const size_t r = it->x.rows();
+        // At least one member of the class always advances —
+        // the budget meters extra work, it never starves.
+        if (!sel.empty() && rowsTaken + r > budget) {
+            ++deferred;
+            continue;
+        }
+        rowsTaken += r;
+        sel.push_back(it);
+    }
+    return sel;
+}
+
+void
+ContinuousScheduler::runGroup(
+    const std::vector<std::list<Active>::iterator> &grp, Lane ln,
+    bool decodeClass,
+    std::vector<std::list<Active>::iterator> &finished,
+    std::vector<std::list<Active>::iterator> &failed,
+    std::vector<std::exception_ptr> &failures)
+{
+    const size_t layer = grp.front()->layer;
+
+    // Advance one member by one layer; true on success.
+    auto stepOne = [&](std::list<Active>::iterator it,
+                       std::exception_ptr &err) {
+        try {
+            const std::vector<size_t> starts{0, it->x.rows()};
+            it->x = step(layer, it->x, starts, mode, ln);
+            return true;
+        } catch (...) {
+            err = std::current_exception();
+            return false;
+        }
+    };
+
+    bool groupOk = true;
+    if (grp.size() == 1) {
+        std::exception_ptr err;
+        if (!stepOne(grp.front(), err)) {
+            failed.push_back(grp.front());
+            failures.push_back(err);
+            groupOk = false;
+        }
+    } else {
+        // Stack the group's rows and advance them in one step call.
+        const size_t cols = grp.front()->x.cols();
+        std::vector<size_t> starts{0};
+        size_t total = 0;
+        for (const auto &it : grp) {
+            total += it->x.rows();
+            starts.push_back(total);
+        }
+        Tensor stacked(total, cols);
+        for (size_t i = 0; i < grp.size(); ++i)
+            std::memcpy(stacked.row(starts[i]), grp[i]->x.data(),
+                        grp[i]->x.rows() * cols * sizeof(float));
+        Tensor out;
+        bool ok = true;
+        try {
+            out = step(layer, stacked, starts, mode, ln);
+        } catch (...) {
+            ok = false;
+        }
+        if (ok) {
+            for (size_t i = 0; i < grp.size(); ++i) {
+                const size_t r = grp[i]->x.rows();
+                Tensor slice(r, cols);
+                std::memcpy(slice.data(), out.row(starts[i]),
+                            r * cols * sizeof(float));
+                grp[i]->x = std::move(slice);
+            }
+        } else {
+            // Poison isolation: the group threw, but usually only
+            // one request is poisoned. Retry each member alone so
+            // only the actual thrower(s) observe the failure and
+            // everyone else keeps stepping.
+            groupOk = false;
+            for (const auto &it : grp) {
+                ++tally.isolationRetries;
+                std::exception_ptr err;
+                if (stepOne(it, err)) {
+                    ++it->layer;
+                    if (it->layer == nSteps)
+                        finished.push_back(it);
+                } else {
+                    failed.push_back(it);
+                    failures.push_back(err);
+                }
+            }
+        }
+    }
+
+    if (groupOk) {
+        for (const auto &it : grp) {
+            ++it->layer;
+            if (it->layer == nSteps)
+                finished.push_back(it);
+        }
+    }
+
+    ++tally.steps;
+    if (decodeClass)
+        ++tally.decodeSteps;
+    else
+        ++tally.prefillSteps;
+    for (const auto &it : grp)
+        tally.stepRows += it->x.rows();
+}
+
+void
+ContinuousScheduler::stepLoop()
+{
+    std::unique_lock<std::mutex> lk(mu);
+    for (;;) {
+        cvWork.wait(lk, [this] {
+            return stopping || !queue.empty() || !active.empty();
+        });
+        if (queue.empty() && active.empty()) {
+            if (stopping)
+                return;
+            continue; // spurious wake
+        }
+
+        // Join: arrivals enter the running batch at layer 0, FIFO,
+        // up to maxBatch co-resident requests. This happens between
+        // steps — never mid-step — so every step sees a consistent
+        // batch. Shutdown still flushes the queue (stopping only
+        // gates NEW submissions, in enqueue()).
+        while (!queue.empty() && active.size() < cfg.maxBatch) {
+            Pending p = std::move(queue.front());
+            queue.pop_front();
+            Active a;
+            a.x = std::move(p.input);
+            a.layer = 0;
+            a.decode = cfg.decodePriority &&
+                       a.x.rows() <= cfg.decodeMaxRows;
+            a.result = std::move(p.result);
+            a.done = std::move(p.done);
+            a.seq = nextSeq++;
+            ++st.joins;
+            active.push_back(std::move(a));
+        }
+        ++st.iterations;
+
+        // Schedule this iteration: decode class first (priority),
+        // then prefill under its chunk budget.
+        uint64_t deferredDecode = 0, deferredPrefill = 0;
+        const auto decodeSel =
+            pickClass(true, cfg.decodeTokens, deferredDecode);
+        const auto prefillSel =
+            pickClass(false, cfg.chunkTokens, deferredPrefill);
+        st.prefillDeferrals += deferredPrefill;
+
+        // Group co-layer members so each group is one step call.
+        // Deeper layers run first within a class: requests closest
+        // to completion finish soonest and free their batch slot.
+        auto grouped = [](const std::vector<
+                           std::list<Active>::iterator> &sel) {
+            std::map<size_t,
+                     std::vector<std::list<Active>::iterator>,
+                     std::greater<size_t>>
+                g;
+            for (const auto &it : sel)
+                g[it->layer].push_back(it);
+            return g;
+        };
+        const auto decodeGroups = grouped(decodeSel);
+        const auto prefillGroups = grouped(prefillSel);
+
+        // Step outside the lock: submits keep landing while the
+        // engine runs. The step thread is the only mutator of
+        // `active` membership and payloads, so unlocked access to
+        // the selected members is safe.
+        lk.unlock();
+        tally = {};
+        std::vector<std::list<Active>::iterator> finished, failed;
+        std::vector<std::exception_ptr> failures;
+        const auto t0 = std::chrono::steady_clock::now();
+
+        // Decode class runs to COMPLETION within the iteration: its
+        // rows are cheap (bounded by decodeTokens) and a short
+        // request gains nothing from pacing itself layer-for-layer
+        // against a long prefill. This is what caps a decode's
+        // head-of-line wait at the one in-flight step plus its own
+        // service time, instead of the prefill's whole pass.
+        auto remaining = decodeSel;
+        while (!remaining.empty()) {
+            for (const auto &g : grouped(remaining))
+                runGroup(g.second, lane, true, finished, failed,
+                         failures);
+            std::vector<std::list<Active>::iterator> next;
+            for (const auto &it : remaining) {
+                if (it->layer >= nSteps)
+                    continue;
+                bool dead = false;
+                for (const auto &f : failed)
+                    if (f == it) {
+                        dead = true;
+                        break;
+                    }
+                if (!dead)
+                    next.push_back(it);
+            }
+            remaining = std::move(next);
+        }
+
+        // Prefill advances exactly one budgeted layer slice, then
+        // yields the next iteration to fresh decodes.
+        for (const auto &g : prefillGroups)
+            runGroup(g.second, lane, false, finished, failed,
+                     failures);
+        const double stepSecs =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+
+        // Leave: resolve finished and poisoned requests (callbacks
+        // run unlocked), then drop them from the running batch.
+        for (const auto &it : finished)
+            finish(*it, std::move(it->x), nullptr);
+        for (size_t i = 0; i < failed.size(); ++i)
+            finish(*failed[i], Tensor{}, failures[i]);
+        lk.lock();
+        st.steps += tally.steps;
+        st.decodeSteps += tally.decodeSteps;
+        st.prefillSteps += tally.prefillSteps;
+        st.stepRows += tally.stepRows;
+        st.isolationRetries += tally.isolationRetries;
+        st.completed += finished.size();
+        st.failedRequests += failed.size();
+        for (const auto &it : finished)
+            active.erase(it);
+        for (const auto &it : failed)
+            active.erase(it);
+        if (tally.steps > 0)
+            recentStep = recentStep == 0
+                             ? stepSecs
+                             : 0.75 * recentStep + 0.25 * stepSecs;
+        cvDone.notify_all();
+    }
+}
+
+} // namespace mokey

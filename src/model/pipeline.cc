@@ -506,32 +506,17 @@ QuantizedTransformer::forwardLayerQuantized(
 }
 
 Tensor
-QuantizedTransformer::forwardGraphFused(
-    const Tensor &input, const std::vector<size_t> &starts,
-    Lane lane) const
+QuantizedTransformer::fusedLayerStep(
+    size_t l, const Tensor &x, QuantizedTensor &qx, bool haveQx,
+    bool emitNext, const std::vector<size_t> &starts, bool calib,
+    uint64_t iter, Lane lane) const
 {
     GraphPlan &plan = *graphPlan;
     const ModelConfig &cfg = model.config();
-    const size_t total = input.rows();
+    const size_t total = x.rows();
     const size_t hd = cfg.headDim();
     const size_t batch = starts.size() - 1;
-    // Self-calibration only makes sense when the engine choice is
-    // actually open (MOKEY_ENGINE=auto); under a fixed engine the
-    // timed iterations would just measure what is already decided.
-    const bool calib =
-        engineCalibration() && indexEngine() == IndexEngine::Auto;
-    const uint64_t iter =
-        calib ? plan.iteration.load(std::memory_order_relaxed) : 0;
-
-    // The carried state between layers: the float rows (residual
-    // input of the next attention block) and the same values already
-    // encoded as the next layer's x planes — emitted by the previous
-    // layer's w2 fused GEMM, so no float tensor is re-read for
-    // quantization between layers.
-    Tensor x = input;
-    QuantizedTensor qx;
-    bool have_qx = false;
-    for (size_t l = 0; l < cfg.layers; ++l) {
+    {
         LayerPlan &lp = plan.layers[l];
         SitePlan &sq = lp.sites[kSiteWq];
         SitePlan &sk = lp.sites[kSiteWk];
@@ -541,11 +526,13 @@ QuantizedTransformer::forwardGraphFused(
         SitePlan &s2 = lp.sites[kSiteW2];
 
         const IndexEngine eq = siteEngine(sq, total, iter, calib);
-        if (!have_qx) {
-            // Layer 0 only: the graph's entry encode. Every later
-            // layer receives its x planes from the previous w2 GEMM.
+        if (!haveQx) {
+            // Whole-graph entry (layer 0) and every step-wise call:
+            // encode the float rows as this layer's x planes. On the
+            // whole-graph path later layers receive their planes from
+            // the previous w2 GEMM instead; both routes produce the
+            // same bits (the fused-emission contract).
             qx = encodeActForSite(*lp.dx, x, eq, lane);
-            have_qx = true;
         }
 
         // QKV: heads are gathered in float, so these three fuse the
@@ -650,16 +637,16 @@ QuantizedTransformer::forwardGraphFused(
             lp.dmid, enginePlaneSet(ew2), false, calib, lane);
         countFusedAct(rm.planes);
 
-        // w2: bias + residual + layer-norm fused; unless this is the
-        // last layer, the output is also encoded as the next layer's
+        // w2: bias + residual + layer-norm fused; when the caller
+        // continues plane-to-plane (whole-graph walk, any layer but
+        // the last), the output is also encoded as the next layer's
         // x planes against that layer's dictionary and engine.
-        const bool last = l + 1 == cfg.layers;
         const TensorDictionary *next_dx =
-            last ? nullptr : plan.layers[l + 1].dx;
-        const IndexEngine enx = last
-            ? IndexEngine::Count
-            : siteEngine(plan.layers[l + 1].sites[kSiteWq], total,
-                         iter, calib);
+            emitNext ? plan.layers[l + 1].dx : nullptr;
+        const IndexEngine enx = emitNext
+            ? siteEngine(plan.layers[l + 1].sites[kSiteWq], total,
+                         iter, calib)
+            : IndexEngine::Count;
         const Tensor &res1 = r1.dense;
         FusedGemmOut r2 = runSite(
             s2, rm.planes, ew2,
@@ -669,11 +656,39 @@ QuantizedTransformer::forwardGraphFused(
                 layerNormRow(vals, n);
             },
             next_dx, enginePlaneSet(enx), true, calib, lane);
-        if (!last)
+        if (emitNext)
             countFusedAct(r2.planes);
-        x = std::move(r2.dense);
         qx = std::move(r2.planes);
+        return std::move(r2.dense);
     }
+}
+
+Tensor
+QuantizedTransformer::forwardGraphFused(
+    const Tensor &input, const std::vector<size_t> &starts,
+    Lane lane) const
+{
+    GraphPlan &plan = *graphPlan;
+    const ModelConfig &cfg = model.config();
+    // Self-calibration only makes sense when the engine choice is
+    // actually open (MOKEY_ENGINE=auto); under a fixed engine the
+    // timed iterations would just measure what is already decided.
+    const bool calib =
+        engineCalibration() && indexEngine() == IndexEngine::Auto;
+    const uint64_t iter =
+        calib ? plan.iteration.load(std::memory_order_relaxed) : 0;
+
+    // The carried state between layers: the float rows (residual
+    // input of the next attention block) and the same values already
+    // encoded as the next layer's x planes — emitted by the previous
+    // layer's w2 fused GEMM, so no float tensor is re-read for
+    // quantization between layers.
+    Tensor x = input;
+    QuantizedTensor qx;
+    for (size_t l = 0; l < cfg.layers; ++l)
+        x = fusedLayerStep(l, x, qx, /*haveQx=*/l > 0,
+                           /*emitNext=*/l + 1 < cfg.layers, starts,
+                           calib, iter, lane);
 
     if (calib) {
         const uint64_t done =
@@ -682,6 +697,39 @@ QuantizedTransformer::forwardGraphFused(
             finalizeEnginePins();
     }
     return x;
+}
+
+Tensor
+QuantizedTransformer::forwardStep(size_t layer,
+                                  const Tensor &stacked,
+                                  const std::vector<size_t> &starts,
+                                  QuantMode mode, Lane lane) const
+{
+    MOKEY_ASSERT(!layers.empty(),
+                 "quantizeWeights() must run before forwardStep()");
+    MOKEY_ASSERT(layer < model.config().layers,
+                 "step layer %zu out of range (model has %zu)",
+                 layer, model.config().layers);
+    MOKEY_ASSERT(!starts.empty() &&
+                     starts.back() == stacked.rows(),
+                 "starts must delimit the stacked rows");
+    if (mode == QuantMode::WeightsOnly)
+        return dequantized->forwardLayerBatch(layer, stacked, starts,
+                                              lane);
+
+    MOKEY_ASSERT(!actDicts.empty(),
+                 "profileActivations() must run before full "
+                 "quantized inference");
+    if (graphFuse() && graphPlan) {
+        // Step-wise calls never advance calibration: the timed
+        // iterations are whole-graph passes, and a step's membership
+        // can change between layers, which would skew the profile.
+        QuantizedTensor qx;
+        return fusedLayerStep(layer, stacked, qx, /*haveQx=*/false,
+                              /*emitNext=*/false, starts,
+                              /*calib=*/false, /*iter=*/0, lane);
+    }
+    return forwardLayerQuantized(layer, stacked, starts, lane);
 }
 
 Tensor

@@ -133,6 +133,40 @@ class QuantizedTransformer
                                      QuantMode mode,
                                      Lane lane = {}) const;
 
+    /**
+     * Number of sequential steps a request needs under the step-wise
+     * entry point (= encoder layers; the model is bidirectional, so
+     * the indivisible scheduling unit is one layer over a full
+     * sequence, not a token).
+     */
+    size_t stepCount() const { return model.config().layers; }
+
+    /**
+     * One iteration of the step-wise forward: apply encoder layer
+     * @p layer to a stacked (possibly ragged) batch whose membership
+     * may differ from the previous step — the continuous scheduler's
+     * entry point, where requests join and leave between steps.
+     *
+     * Composition contract: chaining forwardStep over layers
+     * 0..stepCount()-1, with any re-stacking of co-batched rows
+     * between steps, is bit-identical to forward()/forwardBatch() on
+     * the same sequences. On the fused path the step re-encodes the
+     * carried float rows against the layer's activation dictionary;
+     * the fused GEMM contract (emitted planes == encodeToPlanes of
+     * the dense epilogue output) makes that re-encode exact.
+     * Engine self-calibration never advances on this path — only
+     * whole-graph passes are timed.
+     *
+     * @param layer  which encoder layer to apply (< stepCount())
+     * @param stacked sum-of-seqs x hidden stacked activations (the
+     *               original inputs for layer 0, the previous step's
+     *               output rows otherwise)
+     * @param starts B+1 row offsets delimiting the sequences
+     */
+    Tensor forwardStep(size_t layer, const Tensor &stacked,
+                       const std::vector<size_t> &starts,
+                       QuantMode mode, Lane lane = {}) const;
+
     /** Fraction of weight values that are outliers. */
     double weightOutlierFraction() const;
 
@@ -259,6 +293,20 @@ class QuantizedTransformer
     Tensor forwardGraphFused(const Tensor &input,
                              const std::vector<size_t> &starts,
                              Lane lane) const;
+
+    /**
+     * One fused layer over the stacked rows — the shared body of
+     * forwardGraphFused() (which carries @p qx plane-to-plane across
+     * layers) and forwardStep() (which enters with float rows only).
+     * @p qx in: layer @p l's x planes when @p haveQx, else encoded
+     * here; out: the next layer's x planes when @p emitNext, else
+     * left exhausted. Returns the layer's float output rows.
+     */
+    Tensor fusedLayerStep(size_t l, const Tensor &x,
+                          QuantizedTensor &qx, bool haveQx,
+                          bool emitNext,
+                          const std::vector<size_t> &starts,
+                          bool calib, uint64_t iter, Lane lane) const;
 };
 
 } // namespace mokey

@@ -141,6 +141,13 @@ BatchScheduler::stats() const
     return st;
 }
 
+double
+BatchScheduler::recentBatchSeconds() const
+{
+    std::lock_guard<std::mutex> lk(mu);
+    return recentBatch;
+}
+
 std::vector<size_t>
 BatchScheduler::batchSizes() const
 {
@@ -282,6 +289,8 @@ BatchScheduler::dispatchLoop(size_t laneIdx)
         usage[laneIdx].batches += 1;
         usage[laneIdx].rows += rows;
         usage[laneIdx].busySeconds += busy;
+        recentBatch =
+            recentBatch == 0 ? busy : 0.75 * recentBatch + 0.25 * busy;
         inFlight -= batch.size();
         cvDone.notify_all();
     }

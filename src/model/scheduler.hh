@@ -1,7 +1,23 @@
 /**
  * @file
- * Multi-request batch scheduler — the serving front end of the
- * quantized pipeline.
+ * Multi-request batch scheduler — the run-to-completion serving
+ * front end of the quantized pipeline.
+ *
+ * Two schedulers implement the ServingScheduler surface below:
+ *
+ *  - BatchScheduler (this file): classic run-to-completion batching.
+ *    Requests coalesce into a micro-batch, the whole batch runs all
+ *    encoder layers, then the next batch forms. Simple, but a long
+ *    prefill holds every later arrival hostage for a full pass.
+ *
+ *  - ContinuousScheduler (continuous_scheduler.hh): iteration-level
+ *    batching with a two-class policy. The running batch re-forms
+ *    every layer step; requests join and leave between steps. Short
+ *    requests (<= decodeMaxRows rows — the "decode" class) are
+ *    scheduled ahead of long "prefill" requests each iteration, and
+ *    prefill work is metered by a per-step token budget so a large
+ *    prefill advances one budgeted layer slice at a time instead of
+ *    monopolising the engine. See that header for the full policy.
  *
  * Requests (one embedded sequence each) are queued FIFO and
  * coalesced into micro-batches that QuantizedTransformer::
@@ -115,8 +131,42 @@ using BatchForwardFn = std::function<std::vector<Tensor>(
 using BatchCompletion =
     std::function<void(Tensor output, std::exception_ptr error)>;
 
+/**
+ * The scheduler surface the serving front end programs against, so
+ * an InferenceServer can sit on either the run-to-completion
+ * BatchScheduler or the iteration-level ContinuousScheduler without
+ * caring which (the wire protocol is identical either way).
+ */
+class ServingScheduler
+{
+  public:
+    virtual ~ServingScheduler() = default;
+
+    /** Callback-style submit; false = rejected (stopping/empty). */
+    virtual bool submit(Tensor input, BatchCompletion done) = 0;
+
+    /** Requests admitted but not yet completed (queued + active). */
+    virtual size_t queueDepth() const = 0;
+
+    /** Block until every submitted request has completed. */
+    virtual void drain() = 0;
+
+    /** Stop accepting work, flush what is queued, join threads. */
+    virtual void stop() = 0;
+
+    /**
+     * EWMA of the recent per-request service latency, in seconds
+     * (time from dispatch to completion for the work unit the
+     * scheduler runs: one whole batch forward for BatchScheduler,
+     * a full pass of layer steps for ContinuousScheduler). Zero
+     * until the first unit completes. The serving front end sizes
+     * 503 Retry-After hints from this instead of a constant.
+     */
+    virtual double recentBatchSeconds() const = 0;
+};
+
 /** FIFO request queue + micro-batch dispatcher for one pipeline. */
-class BatchScheduler
+class BatchScheduler : public ServingScheduler
 {
   public:
     /**
@@ -160,10 +210,10 @@ class BatchScheduler
      * dispatcher thread. The callback must not block for long (it
      * runs on the dispatcher) and must not re-enter the scheduler.
      */
-    bool submit(Tensor input, BatchCompletion done);
+    bool submit(Tensor input, BatchCompletion done) override;
 
     /** Block until every submitted request has completed. */
-    void drain();
+    void drain() override;
 
     /**
      * Stop accepting work, flush the queue, join the dispatchers.
@@ -171,14 +221,17 @@ class BatchScheduler
      * submits after (or racing) the stop are rejected gracefully.
      * Idempotent; the destructor calls it.
      */
-    void stop();
+    void stop() override;
 
     /**
      * Requests admitted but not yet completed (queued + in-flight).
      * The admission-control signal: a server sheds with 503 when
      * this exceeds its queue-depth cap.
      */
-    size_t queueDepth() const;
+    size_t queueDepth() const override;
+
+    /** EWMA of recent per-batch forward wall time (seconds). */
+    double recentBatchSeconds() const override;
 
     BatchSchedulerStats stats() const;
 
@@ -226,6 +279,7 @@ class BatchScheduler
     bool joined = false;     ///< dispatchers joined (stop() ran)
     size_t drainWaiters = 0; ///< drain() calls wanting instant flush
     BatchSchedulerStats st;
+    double recentBatch = 0; ///< EWMA of batch forward seconds (mu)
     std::vector<size_t> sizes;
     std::vector<SchedulerLaneUsage> usage; ///< guarded by mu
 

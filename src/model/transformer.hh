@@ -124,18 +124,20 @@ class Transformer
     /** Generate a plausible embedded input (seq x hidden). */
     Tensor makeInput(size_t seq, uint64_t seed) const;
 
-  private:
-    ModelConfig cfg;
-    std::vector<EncoderWeights> enc;
-
     /**
      * One encoder layer over a stacked row space; @p starts holds
      * B+1 row offsets delimiting the sequences (attention must not
-     * mix rows of different requests).
+     * mix rows of different requests). Public because the step-wise
+     * serving path (QuantizedTransformer::forwardStep under
+     * WeightsOnly) advances stacked batches one layer at a time.
      */
     Tensor forwardLayerBatch(size_t layer, const Tensor &input,
                              const std::vector<size_t> &starts,
                              Lane lane = {}) const;
+
+  private:
+    ModelConfig cfg;
+    std::vector<EncoderWeights> enc;
 };
 
 } // namespace mokey

@@ -1,5 +1,6 @@
 #include "net/inference_server.hh"
 
+#include <cmath>
 #include <cstring>
 
 namespace mokey::net
@@ -117,15 +118,41 @@ decodeTensorBody(const std::string &body, Tensor &out)
     return true;
 }
 
+unsigned
+retryAfterSeconds(double recentSeconds, size_t depth,
+                  size_t maxBatch)
+{
+    if (!(recentSeconds > 0))
+        return 1;
+    // Waves of work ahead of a retrying client: the backlog in
+    // units of one dispatch, plus the wave its own retry joins.
+    const double waves =
+        static_cast<double>(depth) /
+            static_cast<double>(maxBatch < 1 ? 1 : maxBatch) +
+        1.0;
+    const double secs = std::ceil(recentSeconds * waves);
+    if (secs <= 1.0)
+        return 1;
+    if (secs >= 30.0)
+        return 30;
+    return static_cast<unsigned>(secs);
+}
+
 InferenceServer::InferenceServer(const QuantizedTransformer &pipe,
                                  InferenceServerConfig c)
-    : InferenceServer(
-          [&pipe](const std::vector<Tensor> &inputs, QuantMode mode,
-                  Lane lane) {
-              return pipe.forwardBatch(inputs, mode, lane);
-          },
-          pipe.modelConfig().hidden, c)
+    : cfg(c), expectCols(pipe.modelConfig().hidden)
 {
+    if (cfg.continuous) {
+        auto s = std::make_unique<ContinuousScheduler>(
+            pipe, cfg.mode, cfg.continuousScheduler);
+        contSched = s.get();
+        initScheduler(std::move(s));
+    } else {
+        auto s = std::make_unique<BatchScheduler>(
+            pipe, cfg.mode, cfg.scheduler);
+        batchSched = s.get();
+        initScheduler(std::move(s));
+    }
 }
 
 InferenceServer::InferenceServer(BatchForwardFn forward,
@@ -133,12 +160,38 @@ InferenceServer::InferenceServer(BatchForwardFn forward,
                                  InferenceServerConfig c)
     : cfg(c), expectCols(expect_cols)
 {
+    auto s = std::make_unique<BatchScheduler>(
+        std::move(forward), cfg.mode, cfg.scheduler);
+    batchSched = s.get();
+    initScheduler(std::move(s));
+}
+
+InferenceServer::InferenceServer(StepForwardFn step, size_t steps,
+                                 size_t expect_cols,
+                                 InferenceServerConfig c)
+    : cfg(c), expectCols(expect_cols)
+{
+    auto s = std::make_unique<ContinuousScheduler>(
+        std::move(step), steps, cfg.mode, cfg.continuousScheduler);
+    contSched = s.get();
+    initScheduler(std::move(s));
+}
+
+void
+InferenceServer::initScheduler(std::unique_ptr<ServingScheduler> s)
+{
     server = std::make_unique<SocketServer>(
         cfg.socket, [this](uint64_t connId, HttpRequest &&req) {
             onRequest(connId, std::move(req));
         });
-    sched = std::make_unique<BatchScheduler>(
-        std::move(forward), cfg.mode, cfg.scheduler);
+    sched = std::move(s);
+}
+
+size_t
+InferenceServer::batchCapacity() const
+{
+    return contSched ? cfg.continuousScheduler.maxBatch
+                     : cfg.scheduler.maxBatch;
 }
 
 InferenceServer::~InferenceServer()
@@ -185,7 +238,6 @@ InferenceServer::statsJson() const
 {
     const InferenceServerStats is = stats();
     const SocketServerStats ss = server->stats();
-    const BatchSchedulerStats bs = sched->stats();
     auto u = [](uint64_t v) { return std::to_string(v); };
     std::string j = "{\n";
     j += "  \"requests\": " + u(is.requests) + ",\n";
@@ -199,9 +251,28 @@ InferenceServer::statsJson() const
     j += "  \"accepted\": " + u(ss.accepted) + ",\n";
     j += "  \"peer_refused\": " + u(ss.peerRefused) + ",\n";
     j += "  \"drain_sheds\": " + u(ss.drainSheds) + ",\n";
-    j += "  \"batches\": " + u(bs.batches) + ",\n";
-    j += "  \"failed_batches\": " + u(bs.failedBatches) + ",\n";
-    j += "  \"batched_rows\": " + u(bs.batchedRows) + "\n";
+    j += "  \"scheduler\": \"" +
+         std::string(contSched ? "continuous" : "batch") + "\",\n";
+    j += "  \"recent_batch_seconds\": " +
+         std::to_string(sched->recentBatchSeconds()) + ",\n";
+    if (contSched) {
+        const ContinuousSchedulerStats cs = contSched->stats();
+        j += "  \"iterations\": " + u(cs.iterations) + ",\n";
+        j += "  \"steps\": " + u(cs.steps) + ",\n";
+        j += "  \"decode_steps\": " + u(cs.decodeSteps) + ",\n";
+        j += "  \"prefill_steps\": " + u(cs.prefillSteps) + ",\n";
+        j += "  \"step_rows\": " + u(cs.stepRows) + ",\n";
+        j += "  \"joins\": " + u(cs.joins) + ",\n";
+        j += "  \"prefill_deferrals\": " +
+             u(cs.prefillDeferrals) + ",\n";
+        j += "  \"failed_requests\": " +
+             u(cs.failedRequests) + "\n";
+    } else {
+        const BatchSchedulerStats bs = batchSched->stats();
+        j += "  \"batches\": " + u(bs.batches) + ",\n";
+        j += "  \"failed_batches\": " + u(bs.failedBatches) + ",\n";
+        j += "  \"batched_rows\": " + u(bs.batchedRows) + "\n";
+    }
     j += "}\n";
     return j;
 }
@@ -316,13 +387,20 @@ InferenceServer::onRequest(uint64_t connId, HttpRequest &&req)
     // Admission control: shed instead of queueing past the cap so
     // latency stays bounded and the client retries against a
     // less-loaded replica.
-    if (sched->queueDepth() >= cfg.maxQueueDepth) {
+    const size_t depth = sched->queueDepth();
+    if (depth >= cfg.maxQueueDepth) {
+        // Retry-After from measured recent batch latency, not a
+        // constant: a loaded 12-layer model and a toy stub tell the
+        // client very different things.
+        const unsigned after = retryAfterSeconds(
+            sched->recentBatchSeconds(), depth, batchCapacity());
         ++counters.shed;
         server->respond(
             connId,
             serializeResponse(503,
                               {{"Content-Type", "text/plain"},
-                               {"Retry-After", "1"}},
+                               {"Retry-After",
+                                std::to_string(after)}},
                               "overloaded, retry later\n", keep),
             !keep);
         return;

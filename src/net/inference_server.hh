@@ -1,14 +1,17 @@
 /**
  * @file
  * The production serving front-end: epoll HTTP server wrapped around
- * the BatchScheduler.
+ * a ServingScheduler (the continuous iteration-level scheduler by
+ * default; the run-to-completion BatchScheduler as the fallback —
+ * same wire protocol either way).
  *
  * Request flow: the SocketServer loop parses a POST /v1/forward, the
  * handler validates the binary tensor body, applies admission
- * control (queue-depth cap -> 503 shed, per-client fairness via the
- * socket layer's per-peer connection cap), and submits to the
- * BatchScheduler with a completion callback. When the micro-batch
- * finishes, the callback — on the scheduler's dispatcher thread —
+ * control (queue-depth cap -> 503 shed with a Retry-After sized from
+ * measured recent batch latency, per-client fairness via the socket
+ * layer's per-peer connection cap), and submits to the scheduler
+ * with a completion callback. When the request's batch (or its last
+ * layer step) finishes, the callback — on a scheduler thread —
  * streams the output tensor back as chunked transfer frames (one
  * dims frame, one frame per row, terminator) through the server's
  * thread-safe outbox. Bytes on the wire are the exact float32 bits
@@ -39,6 +42,7 @@
 #include <memory>
 #include <string>
 
+#include "model/continuous_scheduler.hh"
 #include "model/scheduler.hh"
 #include "net/socket_server.hh"
 
@@ -49,7 +53,21 @@ namespace mokey::net
 struct InferenceServerConfig
 {
     SocketServerConfig socket;
+
+    /**
+     * Serve through the continuous iteration-level scheduler (the
+     * default) or the run-to-completion BatchScheduler. Only the
+     * pipeline constructor honors this; the BatchForwardFn
+     * constructor is inherently batch-mode (it interposes on the
+     * whole-batch forward).
+     */
+    bool continuous = true;
+
+    /** Knobs when continuous == false. */
     BatchSchedulerConfig scheduler;
+
+    /** Knobs when continuous == true. */
+    ContinuousSchedulerConfig continuousScheduler;
 
     /** Quantization mode every served request runs under. */
     QuantMode mode = QuantMode::WeightsAndActivations;
@@ -77,6 +95,17 @@ struct InferenceServerStats
     uint64_t badRequests = 0; ///< 400/404/405 at the route layer
 };
 
+/**
+ * The Retry-After hint a shedding 503 carries, derived from measured
+ * service latency instead of a constant: roughly how long the
+ * current backlog (@p depth requests over batches of @p maxBatch)
+ * takes to clear at @p recentSeconds per batch, clamped to [1, 30]
+ * whole seconds. Returns 1 before any latency has been measured.
+ * Pure — unit-tested directly.
+ */
+unsigned retryAfterSeconds(double recentSeconds, size_t depth,
+                           size_t maxBatch);
+
 /** Serialize @p t in the binary wire format. */
 std::string encodeTensorBody(const Tensor &t);
 
@@ -96,11 +125,22 @@ class InferenceServer
                     InferenceServerConfig cfg = {});
 
     /**
-     * Serve an arbitrary batched forward (tests inject failures and
-     * stubs this way). @p expect_cols validates request width when
-     * non-zero.
+     * Serve an arbitrary batched forward through the run-to-
+     * completion BatchScheduler (tests inject failures and stubs
+     * this way; cfg.continuous is ignored). @p expect_cols validates
+     * request width when non-zero.
      */
     InferenceServer(BatchForwardFn forward, size_t expect_cols,
+                    InferenceServerConfig cfg = {});
+
+    /**
+     * Serve an arbitrary one-layer step of @p steps layers through
+     * the continuous scheduler (the continuous-mode counterpart of
+     * the BatchForwardFn constructor, for fault injection and
+     * stubs). @p expect_cols validates request width when non-zero.
+     */
+    InferenceServer(StepForwardFn step, size_t steps,
+                    size_t expect_cols,
                     InferenceServerConfig cfg = {});
 
     /** Graceful drain, then teardown. */
@@ -127,19 +167,36 @@ class InferenceServer
 
     InferenceServerStats stats() const;
     SocketServerStats socketStats() const { return server->stats(); }
+
+    /** True when serving through the continuous scheduler. */
+    bool continuousMode() const { return contSched != nullptr; }
+
+    /** Batch-mode scheduler counters ({} in continuous mode). */
     BatchSchedulerStats schedulerStats() const
     {
-        return sched->stats();
+        return batchSched ? batchSched->stats()
+                          : BatchSchedulerStats{};
+    }
+
+    /** Continuous-mode scheduler counters ({} in batch mode). */
+    ContinuousSchedulerStats continuousSchedulerStats() const
+    {
+        return contSched ? contSched->stats()
+                         : ContinuousSchedulerStats{};
     }
 
     /** Admitted-but-uncompleted requests (the admission signal). */
     size_t queueDepth() const { return sched->queueDepth(); }
 
   private:
+    void initScheduler(std::unique_ptr<ServingScheduler> s);
     void onRequest(uint64_t connId, HttpRequest &&req);
     void completeForward(uint64_t connId, bool keep_alive,
                          Tensor &&out, std::exception_ptr err);
     std::string statsJson() const;
+
+    /** Requests one dispatch wave absorbs (Retry-After scaling). */
+    size_t batchCapacity() const;
 
     const InferenceServerConfig cfg;
     const size_t expectCols;
@@ -148,7 +205,9 @@ class InferenceServer
     // (posts outbox) must outlive the scheduler (whose completion
     // callbacks post into it).
     std::unique_ptr<SocketServer> server;
-    std::unique_ptr<BatchScheduler> sched;
+    std::unique_ptr<ServingScheduler> sched;
+    BatchScheduler *batchSched = nullptr;    ///< owned by sched
+    ContinuousScheduler *contSched = nullptr; ///< owned by sched
     std::atomic<bool> drained{false};
 
     struct

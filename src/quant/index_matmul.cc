@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 #include <memory>
+#include <mutex>
 
 #include "common/logging.hh"
 #include "common/parallel.hh"
@@ -225,6 +226,152 @@ namespace
 {
 
 /**
+ * Small sharded LRU behind cachedGemmConstants(). The key is the
+ * complete set of value inputs to gemmConstants() — two dictionaries'
+ * (scale, mean), the shared exponential dictionary's (a, b,
+ * indexCount), and K — so two keys that compare equal derive
+ * bit-identical constants and a collision is by construction
+ * impossible to observe. Sharding by key hash keeps concurrent lanes
+ * off each other's mutex; each shard is a tiny move-to-front vector
+ * (attention sites produce one K per (layer, seq) — a handful of
+ * live keys per serving mix).
+ */
+struct GemmKey
+{
+    double sA, mA, sW, mW, expA, expB;
+    size_t h, k;
+
+    bool operator==(const GemmKey &o) const
+    {
+        return sA == o.sA && mA == o.mA && sW == o.sW &&
+               mW == o.mW && expA == o.expA && expB == o.expB &&
+               h == o.h && k == o.k;
+    }
+};
+
+class GemmConstantsCache
+{
+  public:
+    static GemmConstantsCache &global()
+    {
+        static GemmConstantsCache cache;
+        return cache;
+    }
+
+    GemmConstants get(const TensorDictionary &da,
+                      const TensorDictionary &dw, size_t k)
+    {
+        const ExpDictionary &exp = da.exp();
+        const GemmKey key{da.scale(), da.mean(),  dw.scale(),
+                          dw.mean(),  exp.a(),    exp.b(),
+                          exp.indexCount(),       k};
+        Shard &shard = shards[hashKey(key) % kShards];
+        {
+            std::lock_guard<std::mutex> lk(shard.mu);
+            for (size_t i = 0; i < shard.entries.size(); ++i) {
+                if (shard.entries[i].key == key) {
+                    if (i != 0)
+                        std::rotate(shard.entries.begin(),
+                                    shard.entries.begin() + i,
+                                    shard.entries.begin() + i + 1);
+                    hits.fetch_add(1, std::memory_order_relaxed);
+                    return shard.entries.front().value;
+                }
+            }
+        }
+        // Derive outside the shard lock — the derivation is pure, so
+        // two lanes racing the same key just both insert equal
+        // values.
+        const GemmConstants value = gemmConstants(da, dw, k);
+        misses.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lk(shard.mu);
+        if (shard.entries.size() >= kPerShard)
+            shard.entries.pop_back();
+        shard.entries.insert(shard.entries.begin(), {key, value});
+        return value;
+    }
+
+    uint64_t hitCount() const
+    {
+        return hits.load(std::memory_order_relaxed);
+    }
+
+    uint64_t missCount() const
+    {
+        return misses.load(std::memory_order_relaxed);
+    }
+
+  private:
+    static constexpr size_t kShards = 8;
+    static constexpr size_t kPerShard = 8;
+
+    struct Entry
+    {
+        GemmKey key;
+        GemmConstants value;
+    };
+
+    struct Shard
+    {
+        std::mutex mu;
+        std::vector<Entry> entries;
+    };
+
+    static size_t hashKey(const GemmKey &key)
+    {
+        // FNV-1a over the key bytes' value-defining fields; doubles
+        // hashed by bit pattern (keys are compared by ==, so -0.0 vs
+        // 0.0 landing in different shards is merely a missed hit).
+        uint64_t h = 1469598103934665603ull;
+        const auto mix = [&h](uint64_t v) {
+            h = (h ^ v) * 1099511628211ull;
+        };
+        const auto mixd = [&](double d) {
+            uint64_t bits;
+            std::memcpy(&bits, &d, sizeof bits);
+            mix(bits);
+        };
+        mixd(key.sA);
+        mixd(key.mA);
+        mixd(key.sW);
+        mixd(key.mW);
+        mixd(key.expA);
+        mixd(key.expB);
+        mix(key.h);
+        mix(key.k);
+        return static_cast<size_t>(h);
+    }
+
+    std::array<Shard, kShards> shards;
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+};
+
+} // anonymous namespace
+
+GemmConstants
+cachedGemmConstants(const TensorDictionary &da,
+                    const TensorDictionary &dw, size_t k)
+{
+    return GemmConstantsCache::global().get(da, dw, k);
+}
+
+uint64_t
+gemmConstantsCacheHits()
+{
+    return GemmConstantsCache::global().hitCount();
+}
+
+uint64_t
+gemmConstantsCacheMisses()
+{
+    return GemmConstantsCache::global().missCount();
+}
+
+namespace
+{
+
+/**
  * One engine dot product over the mag planes and outlier sidecars.
  *
  * The GPE histogram algebra collapses exactly: a Gaussian pair's
@@ -302,7 +449,7 @@ engineMatmul(const QuantizedTensor &a, const QuantizedTensor &wt,
                  a.cols(), wt.cols());
     const size_t m = a.rows(), n = wt.rows(), k = a.cols();
     const GemmConstants ctx =
-        gemmConstants(a.dictionary(), wt.dictionary(), k);
+        cachedGemmConstants(a.dictionary(), wt.dictionary(), k);
 
     // Materialize both plane views on this thread before fanning
     // out; hold the owning pointers so a concurrent plane-set
@@ -461,7 +608,7 @@ countingMatmul(const QuantizedTensor &a, const QuantizedTensor &wt,
                  a.cols(), wt.cols());
     const size_t m = a.rows(), n = wt.rows(), k = a.cols();
     const GemmConstants cc =
-        gemmConstants(a.dictionary(), wt.dictionary(), k);
+        cachedGemmConstants(a.dictionary(), wt.dictionary(), k);
     const GemmConstants &ctx = cc;
 
     // Byte planes only: 2 B per element resident, never the 8 B mag
@@ -635,7 +782,7 @@ indexMatmulTransBFused(const QuantizedTensor &a,
     const size_t m = a.rows(), n = wt.rows(), k = a.cols();
     const GemmConstants ctx = constants
         ? *constants
-        : gemmConstants(a.dictionary(), wt.dictionary(), k);
+        : cachedGemmConstants(a.dictionary(), wt.dictionary(), k);
     MOKEY_ASSERT(ctx.k == k, "hoisted constants built for K=%zu, "
                  "GEMM has K=%zu", ctx.k, k);
 

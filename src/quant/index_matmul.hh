@@ -75,6 +75,27 @@ GemmConstants gemmConstants(const TensorDictionary &da,
                             const TensorDictionary &dw, size_t k);
 
 /**
+ * Cached variant for GEMMs whose dictionaries are not known at graph
+ * planning time — the attention act×act products, whose K is the
+ * sequence length and whose activation dictionaries change per
+ * profile. Backed by a small sharded LRU keyed on the exact value
+ * inputs of gemmConstants() (dictionary scale/mean, exponential
+ * dictionary parameters, K), so a hit returns bit-identical constants
+ * to a fresh derivation by construction. Safe to call from concurrent
+ * lanes.
+ */
+GemmConstants cachedGemmConstants(const TensorDictionary &da,
+                                  const TensorDictionary &dw,
+                                  size_t k);
+
+/** Cumulative cachedGemmConstants() hits (monotonic; for tests and
+ *  stats). */
+uint64_t gemmConstantsCacheHits();
+
+/** Cumulative cachedGemmConstants() misses (monotonic). */
+uint64_t gemmConstantsCacheMisses();
+
+/**
  * The per-output-activation histogram state — a software model of
  * the GPE's four Counter Register Files (Fig. 6).
  */

@@ -852,5 +852,67 @@ TEST_F(IndexDotFixture, FixedVectorConstantsMatchFloat)
     EXPECT_DOUBLE_EQ(static_cast<double>(fc.pom2), flc.pom2);
 }
 
+TEST(GemmConstantsCache, HitsReturnBitIdenticalConstants)
+{
+    // The attention act×act hoisting path: a cached lookup must be
+    // indistinguishable from a fresh derivation for every field, for
+    // several (dictionary, K) combinations, repeated so the second
+    // round is served from the LRU.
+    ExpDictionary exp(1.179, -0.977, 8);
+    Quantizer quantizer(exp);
+    Rng rng(77);
+    std::vector<TensorDictionary> dicts;
+    for (int d = 0; d < 3; ++d) {
+        Tensor t(8, 64,
+                 rng.gaussianVector(8 * 64, 0.3 * d, 1.0 + d));
+        dicts.push_back(quantizer.buildDictionary(t));
+    }
+
+    const uint64_t h0 = gemmConstantsCacheHits();
+    for (int round = 0; round < 2; ++round) {
+        for (const auto &da : dicts) {
+            for (const auto &dw : dicts) {
+                for (const size_t k : {4u, 24u, 96u}) {
+                    const GemmConstants fresh =
+                        gemmConstants(da, dw, k);
+                    const GemmConstants cached =
+                        cachedGemmConstants(da, dw, k);
+                    EXPECT_EQ(fresh.k, cached.k);
+                    EXPECT_EQ(fresh.sA, cached.sA);
+                    EXPECT_EQ(fresh.sW, cached.sW);
+                    EXPECT_EQ(fresh.mA, cached.mA);
+                    EXPECT_EQ(fresh.mW, cached.mW);
+                    EXPECT_EQ(fresh.c0, cached.c0);
+                    EXPECT_EQ(fresh.constTerm, cached.constTerm);
+                    EXPECT_EQ(fresh.mags, cached.mags);
+                    EXPECT_EQ(fresh.prod, cached.prod);
+                }
+            }
+        }
+    }
+    // Round 2 re-asks for every key just inserted by round 1: at
+    // least those 27 lookups must be hits.
+    EXPECT_GE(gemmConstantsCacheHits() - h0, 27u);
+}
+
+TEST(GemmConstantsCache, EvictionKeepsResultsExact)
+{
+    // Far more live K values than the cache holds: every lookup must
+    // still match a fresh derivation even while entries churn.
+    ExpDictionary exp(1.179, -0.977, 8);
+    Quantizer quantizer(exp);
+    Rng rng(78);
+    Tensor t(8, 64, rng.gaussianVector(8 * 64, 0.0, 1.0));
+    const TensorDictionary dict = quantizer.buildDictionary(t);
+    for (size_t k = 1; k <= 256; ++k) {
+        const GemmConstants fresh = gemmConstants(dict, dict, k);
+        const GemmConstants cached =
+            cachedGemmConstants(dict, dict, k);
+        EXPECT_EQ(fresh.constTerm, cached.constTerm) << "k=" << k;
+        EXPECT_EQ(fresh.prod, cached.prod) << "k=" << k;
+        EXPECT_EQ(fresh.k, cached.k) << "k=" << k;
+    }
+}
+
 } // anonymous namespace
 } // namespace mokey

@@ -666,5 +666,102 @@ TEST(NetFailure, EngineThrowBecomes500NotProcessDeath)
     srv.drain();
 }
 
+TEST(NetRetryAfter, ScalesWithMeasuredLatencyAndBacklog)
+{
+    // Nothing measured yet -> the conservative floor.
+    EXPECT_EQ(net::retryAfterSeconds(0.0, 100, 4), 1u);
+    // Fast engine, shallow backlog -> still the floor.
+    EXPECT_EQ(net::retryAfterSeconds(0.01, 4, 4), 1u);
+    // Half-second batches, two waves queued -> ceil(0.5 * 3) = 2.
+    EXPECT_EQ(net::retryAfterSeconds(0.5, 8, 4), 2u);
+    // Deep backlog on a slow engine clamps at 30 s.
+    EXPECT_EQ(net::retryAfterSeconds(2.0, 64, 4), 30u);
+    // Degenerate maxBatch never divides by zero.
+    EXPECT_EQ(net::retryAfterSeconds(1.0, 3, 0), 4u);
+}
+
+TEST_F(NetServingFixture, BatchModeFallbackServesBitIdentical)
+{
+    // cfg.continuous = false must restore the PR 7 run-to-completion
+    // path exactly — same wire bytes, batch counters moving again.
+    net::InferenceServerConfig cfg;
+    cfg.continuous = false;
+    cfg.scheduler.flushTimeout = std::chrono::microseconds(500);
+    net::InferenceServer srv(pipeline, cfg);
+    srv.start();
+    EXPECT_FALSE(srv.continuousMode());
+
+    net::HttpClient client("127.0.0.1", srv.port());
+    const Tensor in = model.makeInput(9, 912);
+    const auto resp =
+        client.post("/v1/forward", net::encodeTensorBody(in));
+    ASSERT_EQ(resp.status, 200) << resp.body;
+    Tensor out;
+    ASSERT_TRUE(net::decodeTensorBody(resp.body, out));
+    const Tensor ref =
+        pipeline.forward(in, QuantMode::WeightsAndActivations);
+    ASSERT_EQ(out.rows(), ref.rows());
+    for (size_t j = 0; j < ref.size(); ++j)
+        ASSERT_EQ(out.raw()[j], ref.raw()[j]) << "elem=" << j;
+    EXPECT_GE(srv.schedulerStats().batches, 1u);
+
+    const auto stats = client.get("/v1/stats");
+    EXPECT_NE(stats.body.find("\"scheduler\": \"batch\""),
+              std::string::npos)
+        << stats.body;
+    srv.drain();
+}
+
+TEST(NetFailure, ContinuousPoisonBecomes500OnlyForThatRequest)
+{
+    // Continuous-mode counterpart of the batch fault-injection test:
+    // a step that throws for a marked request 500s that request
+    // alone; the step loop and every other request survive.
+    net::InferenceServerConfig cfg;
+    net::InferenceServer srv(
+        [](size_t, const Tensor &stacked,
+           const std::vector<size_t> &starts, QuantMode,
+           Lane) -> Tensor {
+            for (size_t s = 0; s + 1 < starts.size(); ++s)
+                if (stacked.at(starts[s], 0) >= 1e6f)
+                    throw std::runtime_error("poisoned step");
+            return stacked;
+        },
+        3, 4, cfg);
+    srv.start();
+    EXPECT_TRUE(srv.continuousMode());
+
+    net::HttpClient client("127.0.0.1", srv.port());
+    Tensor poison(1, 4);
+    poison.raw()[0] = 1e6f;
+    const auto failed =
+        client.post("/v1/forward", net::encodeTensorBody(poison));
+    EXPECT_EQ(failed.status, 500);
+    EXPECT_NE(failed.body.find("poisoned step"), std::string::npos);
+
+    Tensor in(2, 4);
+    in.raw()[5] = 3.0f;
+    const auto okResp =
+        client.post("/v1/forward", net::encodeTensorBody(in));
+    ASSERT_EQ(okResp.status, 200);
+    Tensor out;
+    ASSERT_TRUE(net::decodeTensorBody(okResp.body, out));
+    EXPECT_EQ(out.raw()[5], 3.0f);
+
+    const auto st = srv.stats();
+    EXPECT_EQ(st.failed, 1u);
+    EXPECT_EQ(st.completed, 1u);
+    EXPECT_EQ(srv.continuousSchedulerStats().failedRequests, 1u);
+
+    const auto stats = client.get("/v1/stats");
+    EXPECT_NE(stats.body.find("\"scheduler\": \"continuous\""),
+              std::string::npos)
+        << stats.body;
+    EXPECT_NE(stats.body.find("\"failed_requests\": 1"),
+              std::string::npos)
+        << stats.body;
+    srv.drain();
+}
+
 } // namespace
 } // namespace mokey

@@ -230,6 +230,147 @@ TEST(Parallel, LaneStatsCountLoopsAndChunks)
     setThreadCount(original);
 }
 
+TEST(Parallel, StealingKnobRoundTrips)
+{
+    const bool original = laneStealing();
+    setLaneStealing(false);
+    EXPECT_FALSE(laneStealing());
+    setLaneStealing(true);
+    EXPECT_TRUE(laneStealing());
+    setLaneStealing(original);
+}
+
+TEST(Parallel, StealingCoversEveryIndexExactlyOnce)
+{
+    // Deliberately imbalanced concurrent lanes with stealing forced
+    // on: two-ended chunk claiming must still cover every index of
+    // every lane's loop exactly once (the front and back walks meet
+    // exactly at the claim word, never overlapping).
+    const size_t original = threadCount();
+    const bool original_steal = laneStealing();
+    setThreadCount(4);
+    setLaneStealing(true);
+    constexpr size_t kLanes = 3, kN = 4096, kLoops = 6;
+    std::vector<std::atomic<int>> hits(kLanes * kN);
+    std::vector<std::thread> callers;
+    for (size_t c = 0; c < kLanes; ++c)
+        callers.emplace_back([&, c] {
+            const Lane lane = Lane::ofIndex(c);
+            // Lane 0 does 8x the per-index work of the others, so
+            // thieves have something to take from its tail.
+            const size_t inner = c == 0 ? 800 : 100;
+            for (size_t rep = 0; rep < kLoops; ++rep)
+                parallelFor(lane, 0, kN, 1, [&](size_t i) {
+                    volatile double acc = 0.0;
+                    for (size_t p = 0; p < inner; ++p)
+                        acc = acc + 1e-3;
+                    hits[c * kN + i]++;
+                });
+        });
+    for (auto &t : callers)
+        t.join();
+    for (size_t i = 0; i < hits.size(); ++i)
+        ASSERT_EQ(hits[i].load(), static_cast<int>(kLoops))
+            << "slot " << i;
+    setLaneStealing(original_steal);
+    setThreadCount(original);
+}
+
+TEST(Parallel, StealingOnOffStaysBitIdentical)
+{
+    // The determinism contract under stealing: chunk boundaries are
+    // a pure function of (range, grain, thread count), so forcing
+    // stealing on or off must not change a single output bit even
+    // with imbalanced lanes racing for the same workers.
+    const size_t n = 2050;
+    const auto run = [&](Lane lane, size_t inner) {
+        std::vector<double> out(n);
+        parallelFor(lane, 0, n, 1, [&](size_t i) {
+            double acc = 0.0;
+            for (size_t p = 0; p < inner; ++p)
+                acc += static_cast<double>(i * 31 + p) * 1e-3;
+            out[i] = acc;
+        });
+        return out;
+    };
+
+    const size_t original = threadCount();
+    const bool original_steal = laneStealing();
+    setThreadCount(1);
+    const auto serial_heavy = run(Lane{}, 400);
+    const auto serial_light = run(Lane{}, 50);
+
+    for (const bool steal : {true, false}) {
+        setThreadCount(4);
+        setLaneStealing(steal);
+        std::vector<double> heavy, light;
+        std::thread h([&] {
+            for (int rep = 0; rep < 4; ++rep)
+                heavy = run(Lane::ofIndex(0), 400);
+        });
+        std::thread l([&] {
+            for (int rep = 0; rep < 4; ++rep)
+                light = run(Lane::ofIndex(1), 50);
+        });
+        h.join();
+        l.join();
+        ASSERT_EQ(serial_heavy, heavy) << "steal=" << steal;
+        ASSERT_EQ(serial_light, light) << "steal=" << steal;
+    }
+    setLaneStealing(original_steal);
+    setThreadCount(original);
+}
+
+TEST(Parallel, StealAndDonateCountersBalance)
+{
+    // Every stolen chunk is attributed exactly once on each side:
+    // across all lanes, the steals delta equals the donated delta.
+    // (Whether any steal happens at all is timing-dependent — on a
+    // saturated 1-core host it can legitimately be zero.)
+    const size_t original = threadCount();
+    const bool original_steal = laneStealing();
+    setThreadCount(4);
+    setLaneStealing(true);
+
+    // Each lane exactly once: the shared lane 0 plus ofIndex(0..14)
+    // which covers 1..kLaneCount-1 without wrapping.
+    const auto totals = [] {
+        std::pair<uint64_t, uint64_t> t{laneStats(Lane{}).steals,
+                                        laneStats(Lane{}).donated};
+        for (size_t l = 0; l + 1 < kLaneCount; ++l) {
+            const LaneStats s = laneStats(Lane::ofIndex(l));
+            t.first += s.steals;
+            t.second += s.donated;
+        }
+        return t;
+    };
+    const auto before = totals();
+
+    constexpr size_t kLanes = 4;
+    std::vector<std::thread> callers;
+    for (size_t c = 0; c < kLanes; ++c)
+        callers.emplace_back([&, c] {
+            const Lane lane = Lane::ofIndex(c);
+            const size_t inner = c == 0 ? 2000 : 50;
+            std::atomic<uint64_t> sink{0};
+            for (size_t rep = 0; rep < 8; ++rep)
+                parallelFor(lane, 0, 1024, 1, [&](size_t i) {
+                    uint64_t acc = 0;
+                    for (size_t p = 0; p < inner; ++p)
+                        acc += i * p;
+                    sink += acc;
+                });
+        });
+    for (auto &t : callers)
+        t.join();
+
+    const auto after = totals();
+    EXPECT_EQ(after.first - before.first,
+              after.second - before.second);
+    setLaneStealing(original_steal);
+    setThreadCount(original);
+}
+
 TEST(Parallel, WaveSpinKnobRoundTrips)
 {
     const size_t original = waveSpin();
