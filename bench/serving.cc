@@ -51,6 +51,7 @@
 #include <vector>
 
 #include "bench_util.hh"
+#include "common/fault.hh"
 #include "model/config.hh"
 #include "model/pipeline.hh"
 #include "model/scheduler.hh"
@@ -371,6 +372,69 @@ main()
         "%6.2f -> %6.2f ms\n",
         batch_decode_p99, cont_decode_p99, decode_ratio,
         batch_prefill_p99, cont_prefill_p99);
+
+    // ---- phase 5: chaos — deterministic fault injection ----------
+    // Engine-dispatch faults at a fixed seed against the batch-mode
+    // server, one request per batch, serial client: a request fails
+    // (500) iff a fault fired during it, so every injected fault
+    // maps onto exactly the request it poisoned — and the server
+    // keeps serving afterwards. Honors an externally-armed
+    // MOKEY_FAULT (then the 1:1 mapping check is skipped, since the
+    // armed site may not be the engine).
+    {
+        auto &inj = FaultInjector::instance();
+        const bool armed_here = !faultsArmed();
+        if (armed_here)
+            inj.configure("engine:0.05:1337");
+
+        InferenceServerConfig icfg;
+        icfg.continuous = false;
+        icfg.scheduler = schedulerConfig();
+        icfg.scheduler.maxBatch = 1;
+        InferenceServer server(pipe, icfg);
+        server.start();
+        HttpClient cli("127.0.0.1", server.port());
+
+        constexpr size_t kChaosRequests = 32;
+        size_t chaos_ok = 0, chaos_failed = 0, mismatches = 0;
+        for (size_t i = 0; i < kChaosRequests; ++i) {
+            const uint64_t before =
+                inj.fired(FaultSite::EngineDispatch);
+            HttpResponse rsp;
+            try {
+                rsp = cli.post(
+                    "/v1/forward",
+                    encodeTensorBody(inputs[i % inputs.size()]));
+            } catch (const std::exception &) {
+                ++chaos_failed; // injected connection reset
+                continue;
+            }
+            const uint64_t hits =
+                inj.fired(FaultSite::EngineDispatch) - before;
+            if (rsp.status == 200) {
+                ++chaos_ok;
+                if (armed_here && hits != 0)
+                    ++mismatches;
+            } else {
+                ++chaos_failed;
+                if (armed_here && hits == 0)
+                    ++mismatches;
+            }
+        }
+        server.drain();
+        if (armed_here)
+            inj.disarm();
+
+        std::printf("chaos (engine:0.05): %zu served, %zu failed, "
+                    "%zu fault<->failure mismatches\n",
+                    chaos_ok, chaos_failed, mismatches);
+        if (mismatches != 0 || chaos_ok == 0) {
+            std::fprintf(stderr,
+                         "chaos phase failed: injected faults did "
+                         "not map 1:1 onto failed requests\n");
+            return 1;
+        }
+    }
 
     // ---- machine-readable records --------------------------------
     const size_t mean_rows = total_rows / kClosedLoopRequests;

@@ -1,0 +1,252 @@
+#include "common/fault.hh"
+
+#include <chrono>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace mokey
+{
+
+namespace detail
+{
+std::atomic<bool> g_faultsArmed{false};
+} // namespace detail
+
+namespace
+{
+
+constexpr const char *kSiteNames[kFaultSiteCount] = {
+    "engine", "step", "stepdelay", "sched",
+    "sockread", "sockwrite", "sockreset"};
+
+/** splitmix64 of the (seed, check index) pair: every bit of the
+ *  output is well mixed, so thresholding the low 32 bits gives an
+ *  unbiased Bernoulli stream per site. */
+uint64_t
+mix64(uint64_t seed, uint64_t n)
+{
+    uint64_t z = seed + (n + 1) * 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/** Fire threshold on the low 32 bits; rate 1.0 maps to 2^32 (always
+ *  fires) without overflowing the comparison domain. */
+uint64_t
+rateThreshold(double rate)
+{
+    return static_cast<uint64_t>(rate * 4294967296.0);
+}
+
+/** MOKEY_FAULT is parsed once, before main() runs any serving code;
+ *  a junk spec is a fatal config error like every other knob. */
+struct EnvArm
+{
+    EnvArm()
+    {
+        const char *env = std::getenv("MOKEY_FAULT");
+        if (env == nullptr || *env == '\0')
+            return;
+        try {
+            FaultInjector::instance().configure(env);
+        } catch (const std::invalid_argument &e) {
+            fatal("MOKEY_FAULT: %s", e.what());
+        }
+    }
+} g_envArm;
+
+} // namespace
+
+FaultInjector &
+FaultInjector::instance()
+{
+    static FaultInjector inj;
+    return inj;
+}
+
+const char *
+FaultInjector::name(FaultSite site)
+{
+    return kSiteNames[static_cast<size_t>(site)];
+}
+
+bool
+FaultInjector::parseSite(const std::string &name, FaultSite &out)
+{
+    for (size_t i = 0; i < kFaultSiteCount; ++i) {
+        if (name == kSiteNames[i]) {
+            out = static_cast<FaultSite>(i);
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+FaultInjector::wouldFire(double rate, uint64_t seed, uint64_t n)
+{
+    return (mix64(seed, n) & 0xffffffffull) < rateThreshold(rate);
+}
+
+void
+FaultInjector::configure(const std::string &spec)
+{
+    // Parse the whole spec before arming anything: a junk entry
+    // after a valid one must not leave the injector half-armed (the
+    // caller catches and reports, and retrying with a fixed spec
+    // should start from a clean slate).
+    struct Parsed
+    {
+        FaultSite site;
+        double rate;
+        uint64_t seed;
+    };
+    std::vector<Parsed> parsed;
+    size_t pos = 0;
+    while (pos <= spec.size()) {
+        size_t end = spec.find(',', pos);
+        if (end == std::string::npos)
+            end = spec.size();
+        const std::string entry = spec.substr(pos, end - pos);
+        pos = end + 1;
+        if (entry.empty())
+            throw std::invalid_argument(
+                "empty entry in fault spec '" + spec + "'");
+
+        const size_t c1 = entry.find(':');
+        const size_t c2 =
+            c1 == std::string::npos ? c1 : entry.find(':', c1 + 1);
+        if (c1 == std::string::npos || c2 == std::string::npos)
+            throw std::invalid_argument(
+                "fault spec entry '" + entry +
+                "' must be <site>:<rate>:<seed>");
+
+        const std::string siteStr = entry.substr(0, c1);
+        const std::string rateStr =
+            entry.substr(c1 + 1, c2 - c1 - 1);
+        const std::string seedStr = entry.substr(c2 + 1);
+
+        FaultSite site;
+        if (!parseSite(siteStr, site))
+            throw std::invalid_argument("unknown fault site '" +
+                                        siteStr + "'");
+
+        char *rend = nullptr;
+        const double rate = std::strtod(rateStr.c_str(), &rend);
+        if (rend == rateStr.c_str() || *rend != '\0' ||
+            !(rate > 0.0) || rate > 1.0)
+            throw std::invalid_argument(
+                "fault rate '" + rateStr +
+                "' must be a decimal in (0, 1]");
+
+        // strtoull accepts a leading '-' by wrapping; reject it
+        // explicitly so "engine:0.1:-1" is junk, not 2^64-1.
+        char *send = nullptr;
+        const unsigned long long seed =
+            std::strtoull(seedStr.c_str(), &send, 10);
+        if (send == seedStr.c_str() || *send != '\0' ||
+            seedStr[0] == '-')
+            throw std::invalid_argument(
+                "fault seed '" + seedStr +
+                "' must be a non-negative integer");
+
+        parsed.push_back(Parsed{site, rate, seed});
+    }
+    for (const Parsed &p : parsed)
+        arm(p.site, p.rate, p.seed);
+}
+
+void
+FaultInjector::arm(FaultSite site, double rate, uint64_t seed)
+{
+    Site &s = sites[static_cast<size_t>(site)];
+    s.thresh.store(rateThreshold(rate), std::memory_order_relaxed);
+    s.seed.store(seed, std::memory_order_relaxed);
+    s.nChecks.store(0, std::memory_order_relaxed);
+    s.nFired.store(0, std::memory_order_relaxed);
+    s.on.store(true, std::memory_order_release);
+    if (this == &instance())
+        detail::g_faultsArmed.store(true, std::memory_order_release);
+}
+
+void
+FaultInjector::disarm()
+{
+    for (Site &s : sites) {
+        s.on.store(false, std::memory_order_release);
+        s.nChecks.store(0, std::memory_order_relaxed);
+        s.nFired.store(0, std::memory_order_relaxed);
+    }
+    if (this == &instance())
+        detail::g_faultsArmed.store(false,
+                                    std::memory_order_release);
+}
+
+bool
+FaultInjector::armed() const
+{
+    for (const Site &s : sites)
+        if (s.on.load(std::memory_order_acquire))
+            return true;
+    return false;
+}
+
+bool
+FaultInjector::armed(FaultSite site) const
+{
+    return sites[static_cast<size_t>(site)].on.load(
+        std::memory_order_acquire);
+}
+
+bool
+FaultInjector::shouldFire(FaultSite site)
+{
+    Site &s = sites[static_cast<size_t>(site)];
+    if (!s.on.load(std::memory_order_acquire))
+        return false;
+    const uint64_t n =
+        s.nChecks.fetch_add(1, std::memory_order_relaxed);
+    const bool fire =
+        (mix64(s.seed.load(std::memory_order_relaxed), n) &
+         0xffffffffull) < s.thresh.load(std::memory_order_relaxed);
+    if (fire)
+        s.nFired.fetch_add(1, std::memory_order_relaxed);
+    return fire;
+}
+
+uint64_t
+FaultInjector::fired(FaultSite site) const
+{
+    return sites[static_cast<size_t>(site)].nFired.load(
+        std::memory_order_relaxed);
+}
+
+uint64_t
+FaultInjector::checks(FaultSite site) const
+{
+    return sites[static_cast<size_t>(site)].nChecks.load(
+        std::memory_order_relaxed);
+}
+
+void
+faultThrowIfFired(FaultSite site)
+{
+    if (FaultInjector::instance().shouldFire(site))
+        throw std::runtime_error(
+            std::string("injected fault: ") +
+            FaultInjector::name(site));
+}
+
+void
+faultDelayIfFired(FaultSite site)
+{
+    if (FaultInjector::instance().shouldFire(site))
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+}
+
+} // namespace mokey

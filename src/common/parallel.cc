@@ -13,6 +13,7 @@
 
 #include "common/env.hh"
 #include "common/logging.hh"
+#include "common/watchdog.hh"
 
 namespace mokey
 {
@@ -258,6 +259,11 @@ class Executor
         }
         stealAtomic.store(envFlag("MOKEY_STEAL", true),
                           std::memory_order_relaxed);
+        // Construct the watchdog singleton before any worker exists:
+        // static destruction then tears the Executor (and its worker
+        // Task handles) down first, so no worker ever touches a dead
+        // Watchdog.
+        Watchdog::instance();
         std::lock_guard<std::mutex> lk(mu);
         spawnLocked(n - 1);
     }
@@ -382,12 +388,13 @@ class Executor
      * determinism tests compare stealing against.
      */
     void drainShared(std::array<std::shared_ptr<Job>, kLaneCount> &snap,
-                     size_t n)
+                     size_t n, Watchdog::Task &wdt)
     {
         // A false return means the job is exhausted for good — drop
         // it so later passes stop hammering its dead claim word.
         size_t live = n;
         while (live > 0) {
+            wdt.beat();
             for (size_t i = 0; i < n; ++i) {
                 if (snap[i] &&
                     !runOneChunk(*snap[i], /*front=*/true)) {
@@ -409,7 +416,7 @@ class Executor
      */
     void drainStealing(
         std::array<std::shared_ptr<Job>, kLaneCount> &snap, size_t n,
-        size_t &home)
+        size_t &home, Watchdog::Task &wdt)
     {
         auto homeEntry = [&]() -> std::shared_ptr<Job> * {
             for (size_t i = 0; i < n; ++i)
@@ -438,6 +445,7 @@ class Executor
         size_t lastVictim = kLaneCount;
         bool frontClaimed = false;
         for (;;) {
+            wdt.beat();
             if (std::shared_ptr<Job> *he = homeEntry()) {
                 if (runOneChunk(**he, /*front=*/true)) {
                     frontClaimed = true;
@@ -476,14 +484,18 @@ class Executor
     void workerLoop()
     {
         in_worker = true;
+        Watchdog::Task wdt =
+            Watchdog::instance().monitor("executor-worker");
         // Sticky lane affinity for the stealing schedule; kLaneCount
         // means "no home yet".
         size_t home = kLaneCount;
         std::unique_lock<std::mutex> lk(mu);
         for (;;) {
+            wdt.idle();
             cv_work.wait(lk, [this] {
                 return stopping || claimableLocked();
             });
+            wdt.beat();
             if (stopping)
                 return;
 
@@ -497,9 +509,9 @@ class Executor
             if (n > 0) {
                 lk.unlock();
                 if (stealing())
-                    drainStealing(snap, n, home);
+                    drainStealing(snap, n, home, wdt);
                 else
-                    drainShared(snap, n);
+                    drainShared(snap, n, wdt);
                 lk.lock();
             }
 

@@ -1,0 +1,207 @@
+#include "common/watchdog.hh"
+
+#include "common/env.hh"
+#include "common/logging.hh"
+
+namespace mokey
+{
+
+namespace
+{
+
+std::chrono::milliseconds
+defaultBudget()
+{
+    // Parsed per registration so tests can vary it between
+    // constructions; a getenv is noise next to spawning a thread.
+    return std::chrono::milliseconds(
+        envSize("MOKEY_WATCHDOG_MS", 2000));
+}
+
+} // namespace
+
+Watchdog &
+Watchdog::instance()
+{
+    static Watchdog wd;
+    return wd;
+}
+
+int64_t
+Watchdog::nowNs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+Watchdog::~Watchdog()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        stopFlag = true;
+    }
+    stopCv.notify_all();
+    if (monitorThread.joinable())
+        monitorThread.join();
+    for (Slot *s : slots)
+        delete s;
+}
+
+Watchdog::Task &
+Watchdog::Task::operator=(Task &&other) noexcept
+{
+    if (this != &other) {
+        if (wd != nullptr)
+            wd->release(slot);
+        wd = other.wd;
+        slot = other.slot;
+        other.wd = nullptr;
+    }
+    return *this;
+}
+
+Watchdog::Task::~Task()
+{
+    if (wd != nullptr)
+        wd->release(slot);
+}
+
+void
+Watchdog::Task::beat()
+{
+    if (wd == nullptr)
+        return;
+    Slot &s = *wd->slots[slot]; // slot addresses are stable
+    s.lastBeatNs.store(nowNs(), std::memory_order_relaxed);
+    s.idleFlag.store(false, std::memory_order_relaxed);
+}
+
+void
+Watchdog::Task::idle()
+{
+    if (wd == nullptr)
+        return;
+    wd->slots[slot]->idleFlag.store(true,
+                                    std::memory_order_relaxed);
+}
+
+Watchdog::Task
+Watchdog::monitor(std::string name, std::chrono::milliseconds budget)
+{
+    if (budget.count() <= 0)
+        budget = defaultBudget();
+    std::lock_guard<std::mutex> lk(mu);
+    size_t idx = slots.size();
+    for (size_t i = 0; i < slots.size(); ++i) {
+        if (!slots[i]->inUse) {
+            idx = i;
+            break;
+        }
+    }
+    if (idx == slots.size())
+        slots.push_back(new Slot());
+    Slot &s = *slots[idx];
+    s.name = std::move(name);
+    s.budget = budget;
+    s.inUse = true;
+    s.loggedStall = false;
+    s.idleFlag.store(false, std::memory_order_relaxed);
+    s.lastBeatNs.store(nowNs(), std::memory_order_relaxed);
+    if (!monitorThread.joinable() && !stopFlag)
+        monitorThread = std::thread([this] { monitorLoop(); });
+    return Task(this, idx);
+}
+
+void
+Watchdog::release(size_t slot)
+{
+    std::lock_guard<std::mutex> lk(mu);
+    slots[slot]->inUse = false;
+}
+
+std::vector<Watchdog::Stall>
+Watchdog::stalls() const
+{
+    const int64_t now = nowNs();
+    std::vector<Stall> out;
+    std::lock_guard<std::mutex> lk(mu);
+    for (const Slot *s : slots) {
+        if (!s->inUse || s->idleFlag.load(std::memory_order_relaxed))
+            continue;
+        const int64_t ageNs =
+            now - s->lastBeatNs.load(std::memory_order_relaxed);
+        const auto age =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::nanoseconds(ageNs));
+        if (age > s->budget)
+            out.push_back(Stall{s->name, age});
+    }
+    return out;
+}
+
+std::string
+Watchdog::cause() const
+{
+    const std::vector<Stall> cur = stalls();
+    if (cur.empty())
+        return {};
+    const Stall *worst = &cur[0];
+    for (const Stall &s : cur)
+        if (s.stalled > worst->stalled)
+            worst = &s;
+    return worst->task + " stalled " +
+           std::to_string(worst->stalled.count()) + "ms";
+}
+
+void
+Watchdog::setCheckInterval(std::chrono::milliseconds interval)
+{
+    intervalMs.store(interval.count() < 1 ? 1 : interval.count(),
+                     std::memory_order_relaxed);
+    stopCv.notify_all();
+}
+
+void
+Watchdog::monitorLoop()
+{
+    std::unique_lock<std::mutex> lk(mu);
+    for (;;) {
+        stopCv.wait_for(
+            lk,
+            std::chrono::milliseconds(
+                intervalMs.load(std::memory_order_relaxed)),
+            [this] { return stopFlag; });
+        if (stopFlag)
+            return;
+        const int64_t now = nowNs();
+        for (Slot *s : slots) {
+            if (!s->inUse ||
+                s->idleFlag.load(std::memory_order_relaxed)) {
+                s->loggedStall = false;
+                continue;
+            }
+            const int64_t ageNs =
+                now - s->lastBeatNs.load(std::memory_order_relaxed);
+            const auto age = std::chrono::duration_cast<
+                std::chrono::milliseconds>(
+                std::chrono::nanoseconds(ageNs));
+            const bool stalled = age > s->budget;
+            if (stalled && !s->loggedStall) {
+                s->loggedStall = true;
+                stallCount.fetch_add(1, std::memory_order_relaxed);
+                warn("watchdog: %s stalled for %lldms "
+                     "(budget %lldms)",
+                     s->name.c_str(),
+                     static_cast<long long>(age.count()),
+                     static_cast<long long>(s->budget.count()));
+            } else if (!stalled && s->loggedStall) {
+                s->loggedStall = false;
+                inform("watchdog: %s recovered after a stall",
+                       s->name.c_str());
+            }
+        }
+    }
+}
+
+} // namespace mokey

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Stall watchdog: liveness monitoring for the serving stack's
+ * long-running loops (scheduler dispatch/step threads, the lane
+ * executor's workers).
+ *
+ * Each monitored loop registers a named Task and then heartbeats:
+ * beat() at the top of every iteration/wave ("alive and busy"),
+ * idle() before parking on a condition variable ("not expected to
+ * beat"). A busy task whose last beat is older than its budget is
+ * STALLED — wedged inside an engine call, a deadlock, or a runaway
+ * request — and the watchdog reports it, with the task name and the
+ * stall age as the cause.
+ *
+ * A monitor thread (started lazily with the first registration)
+ * polls every checkInterval, logs each ok->stalled transition once
+ * (and the recovery), and counts stallEvents. Health queries
+ * (healthy()/cause()) evaluate the live timestamps directly, so a
+ * caller like /healthz sees a stall or a recovery immediately, not
+ * one poll later.
+ *
+ * The per-iteration cost of a heartbeat is one clock read and one
+ * relaxed atomic store — cheap enough for every scheduler iteration
+ * and executor wave.
+ *
+ * Knobs: MOKEY_WATCHDOG_MS is the default stall budget for tasks
+ * registered without an explicit one (default 2000 ms).
+ */
+
+#ifndef MOKEY_COMMON_WATCHDOG_HH
+#define MOKEY_COMMON_WATCHDOG_HH
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace mokey
+{
+
+/** Process-wide stall monitor; loops register Tasks and heartbeat. */
+class Watchdog
+{
+  public:
+    /**
+     * RAII handle to one monitored loop: registered busy, must
+     * beat() within its budget or go idle(); unregisters on
+     * destruction. Movable, not copyable.
+     */
+    class Task
+    {
+      public:
+        Task() = default;
+        Task(Task &&other) noexcept { *this = std::move(other); }
+        Task &operator=(Task &&other) noexcept;
+        ~Task();
+
+        Task(const Task &) = delete;
+        Task &operator=(const Task &) = delete;
+
+        /** Alive and busy: restart the stall clock. */
+        void beat();
+
+        /** Parked (waiting for work): no beats expected. The next
+         *  beat() flips back to busy. */
+        void idle();
+
+        bool valid() const { return wd != nullptr; }
+
+      private:
+        friend class Watchdog;
+        Task(Watchdog *w, size_t s) : wd(w), slot(s) {}
+        Watchdog *wd = nullptr;
+        size_t slot = 0;
+    };
+
+    /** One reported stall. */
+    struct Stall
+    {
+        std::string task;
+        std::chrono::milliseconds stalled{0}; ///< time since beat
+    };
+
+    Watchdog() = default;
+    ~Watchdog();
+
+    Watchdog(const Watchdog &) = delete;
+    Watchdog &operator=(const Watchdog &) = delete;
+
+    /** The process-wide instance every production loop registers
+     *  with (tests may build private ones). */
+    static Watchdog &instance();
+
+    /**
+     * Register one monitored loop. @p budget <= 0 selects the
+     * MOKEY_WATCHDOG_MS default. The task starts busy with a fresh
+     * beat, so a loop that registers and immediately wedges is
+     * caught one budget later.
+     */
+    Task monitor(std::string name,
+                 std::chrono::milliseconds budget =
+                     std::chrono::milliseconds(0));
+
+    /** Every currently stalled task (busy past its budget),
+     *  evaluated against the live timestamps. */
+    std::vector<Stall> stalls() const;
+
+    /** No task is currently stalled. */
+    bool healthy() const { return stalls().empty(); }
+
+    /** Human-readable cause: "" when healthy, else the worst stall
+     *  ("continuous-scheduler stalled 3120ms"). */
+    std::string cause() const;
+
+    /** ok->stalled transitions the monitor thread has logged. */
+    uint64_t stallEvents() const
+    {
+        return stallCount.load(std::memory_order_relaxed);
+    }
+
+    /** Monitor poll period (default 100 ms; tests shrink it). */
+    void setCheckInterval(std::chrono::milliseconds interval);
+
+  private:
+    struct Slot
+    {
+        std::string name;                ///< guarded by mu
+        std::chrono::milliseconds budget{0}; ///< guarded by mu
+        bool inUse = false;              ///< guarded by mu
+        std::atomic<int64_t> lastBeatNs{0};
+        std::atomic<bool> idleFlag{false};
+        bool loggedStall = false;        ///< monitor thread only
+    };
+
+    void release(size_t slot);
+    void monitorLoop();
+    static int64_t nowNs();
+
+    mutable std::mutex mu;
+    std::vector<Slot *> slots;        ///< stable addresses, never shrink
+    std::thread monitorThread;
+    std::condition_variable stopCv;
+    bool stopFlag = false;
+    std::atomic<int64_t> intervalMs{100};
+    std::atomic<uint64_t> stallCount{0};
+};
+
+} // namespace mokey
+
+#endif // MOKEY_COMMON_WATCHDOG_HH

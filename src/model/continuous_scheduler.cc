@@ -6,7 +6,9 @@
 #include <stdexcept>
 
 #include "common/env.hh"
+#include "common/fault.hh"
 #include "common/logging.hh"
+#include "common/watchdog.hh"
 
 namespace mokey
 {
@@ -78,10 +80,10 @@ ContinuousScheduler::enqueue(Pending &&req)
 }
 
 std::future<Tensor>
-ContinuousScheduler::submit(Tensor input)
+ContinuousScheduler::submit(Tensor input, Deadline deadline)
 {
     const bool empty = input.rows() == 0;
-    Pending req{std::move(input), {}, nullptr};
+    Pending req{std::move(input), {}, nullptr, deadline};
     std::future<Tensor> fut = req.result.get_future();
     if (!enqueue(std::move(req))) {
         req.result.set_exception(std::make_exception_ptr(
@@ -94,11 +96,12 @@ ContinuousScheduler::submit(Tensor input)
 }
 
 bool
-ContinuousScheduler::submit(Tensor input, BatchCompletion done)
+ContinuousScheduler::submit(Tensor input, BatchCompletion done,
+                            Deadline deadline)
 {
     MOKEY_ASSERT(static_cast<bool>(done),
                  "callback submit needs a callback");
-    Pending req{std::move(input), {}, std::move(done)};
+    Pending req{std::move(input), {}, std::move(done), deadline};
     return enqueue(std::move(req));
 }
 
@@ -106,15 +109,16 @@ void
 ContinuousScheduler::drain()
 {
     std::unique_lock<std::mutex> lk(mu);
-    cvDone.wait(lk,
-                [this] { return queue.empty() && active.empty(); });
+    cvDone.wait(lk, [this] {
+        return queue.empty() && active.empty() && resolving == 0;
+    });
 }
 
 size_t
 ContinuousScheduler::queueDepth() const
 {
     std::lock_guard<std::mutex> lk(mu);
-    return queue.size() + active.size();
+    return queue.size() + active.size() + resolving;
 }
 
 double
@@ -153,6 +157,22 @@ ContinuousScheduler::finish(Active &a, Tensor &&out,
         } else {
             a.result.set_value(std::move(out));
         }
+    } catch (const std::exception &e) {
+        warn("ContinuousScheduler: completion failed: %s", e.what());
+    } catch (...) {
+        warn("ContinuousScheduler: completion failed");
+    }
+}
+
+void
+ContinuousScheduler::finishPending(Pending &p,
+                                   const std::exception_ptr &err)
+{
+    try {
+        if (p.done)
+            p.done(Tensor{}, err);
+        else
+            p.result.set_exception(err);
     } catch (const std::exception &e) {
         warn("ContinuousScheduler: completion failed: %s", e.what());
     } catch (...) {
@@ -283,11 +303,15 @@ ContinuousScheduler::runGroup(
 void
 ContinuousScheduler::stepLoop()
 {
+    Watchdog::Task wdt =
+        Watchdog::instance().monitor("continuous-scheduler");
     std::unique_lock<std::mutex> lk(mu);
     for (;;) {
+        wdt.idle();
         cvWork.wait(lk, [this] {
             return stopping || !queue.empty() || !active.empty();
         });
+        wdt.beat();
         if (queue.empty() && active.empty()) {
             if (stopping)
                 return;
@@ -298,8 +322,21 @@ ContinuousScheduler::stepLoop()
         // up to maxBatch co-resident requests. This happens between
         // steps — never mid-step — so every step sees a consistent
         // batch. Shutdown still flushes the queue (stopping only
-        // gates NEW submissions, in enqueue()).
-        while (!queue.empty() && active.size() < cfg.maxBatch) {
+        // gates NEW submissions, in enqueue()). Requests whose
+        // deadline already passed while queued are dropped here —
+        // even when the batch is full, so a backlog of doomed work
+        // can't wedge behind the maxBatch cap.
+        const auto joinNow = std::chrono::steady_clock::now();
+        std::vector<Pending> expiredQueued;
+        while (!queue.empty()) {
+            if (queue.front().deadline <= joinNow) {
+                ++st.expiredRequests;
+                expiredQueued.push_back(std::move(queue.front()));
+                queue.pop_front();
+                continue;
+            }
+            if (active.size() >= cfg.maxBatch)
+                break;
             Pending p = std::move(queue.front());
             queue.pop_front();
             Active a;
@@ -310,9 +347,30 @@ ContinuousScheduler::stepLoop()
             a.result = std::move(p.result);
             a.done = std::move(p.done);
             a.seq = nextSeq++;
+            a.deadline = p.deadline;
             ++st.joins;
             active.push_back(std::move(a));
         }
+
+        // Expire mid-flight: a running request whose deadline passed
+        // between iterations leaves NOW and frees its batch slot —
+        // continuing a pass the client already abandoned would only
+        // steal engine time from live requests. Splicing to a local
+        // list removes the member from the running batch while
+        // keeping it alive for its (unlocked) completion below.
+        std::list<Active> expiredActive;
+        for (auto it = active.begin(); it != active.end();) {
+            auto cur = it++;
+            if (cur->deadline <= joinNow) {
+                ++st.expiredRequests;
+                expiredActive.splice(expiredActive.end(), active,
+                                     cur);
+            }
+        }
+        // Expired requests left queue/active above but their
+        // completions run unlocked below; drain() must not return
+        // until those have fired.
+        resolving += expiredQueued.size() + expiredActive.size();
         ++st.iterations;
 
         // Schedule this iteration: decode class first (priority),
@@ -345,8 +403,18 @@ ContinuousScheduler::stepLoop()
         // `active` membership and payloads, so unlocked access to
         // the selected members is safe.
         lk.unlock();
+        if (!expiredQueued.empty() || !expiredActive.empty()) {
+            const auto err =
+                std::make_exception_ptr(DeadlineExpired());
+            for (Pending &p : expiredQueued)
+                finishPending(p, err);
+            for (Active &a : expiredActive)
+                finish(a, Tensor{}, err);
+        }
+        faultDelayPoint(FaultSite::SchedDelay);
         tally = {};
         std::vector<std::list<Active>::iterator> finished, failed;
+        std::vector<std::list<Active>::iterator> expiredMid;
         std::vector<std::exception_ptr> failures;
         const auto t0 = std::chrono::steady_clock::now();
 
@@ -358,10 +426,12 @@ ContinuousScheduler::stepLoop()
         // service time, instead of the prefill's whole pass.
         auto remaining = decodeSel;
         while (!remaining.empty()) {
+            wdt.beat();
             for (const auto &g : grouped(remaining))
                 runGroup(g.second, lane, true, finished, failed,
                          failures);
             std::vector<std::list<Active>::iterator> next;
+            const auto roundNow = std::chrono::steady_clock::now();
             for (const auto &it : remaining) {
                 if (it->layer >= nSteps)
                     continue;
@@ -371,8 +441,16 @@ ContinuousScheduler::stepLoop()
                         dead = true;
                         break;
                     }
-                if (!dead)
-                    next.push_back(it);
+                if (dead)
+                    continue;
+                // Deadline check between layer steps: a decode that
+                // expired mid-run stops here, partway through its
+                // pass, rather than finishing layers nobody reads.
+                if (it->deadline <= roundNow) {
+                    expiredMid.push_back(it);
+                    continue;
+                }
+                next.push_back(it);
             }
             remaining = std::move(next);
         }
@@ -387,13 +465,20 @@ ContinuousScheduler::stepLoop()
                 std::chrono::steady_clock::now() - t0)
                 .count();
 
-        // Leave: resolve finished and poisoned requests (callbacks
-        // run unlocked), then drop them from the running batch.
+        // Leave: resolve finished, poisoned, and expired requests
+        // (callbacks run unlocked), then drop them from the batch.
         for (const auto &it : finished)
             finish(*it, std::move(it->x), nullptr);
         for (size_t i = 0; i < failed.size(); ++i)
             finish(*failed[i], Tensor{}, failures[i]);
+        if (!expiredMid.empty()) {
+            const auto err =
+                std::make_exception_ptr(DeadlineExpired());
+            for (const auto &it : expiredMid)
+                finish(*it, Tensor{}, err);
+        }
         lk.lock();
+        resolving -= expiredQueued.size() + expiredActive.size();
         st.steps += tally.steps;
         st.decodeSteps += tally.decodeSteps;
         st.prefillSteps += tally.prefillSteps;
@@ -401,9 +486,12 @@ ContinuousScheduler::stepLoop()
         st.isolationRetries += tally.isolationRetries;
         st.completed += finished.size();
         st.failedRequests += failed.size();
+        st.expiredRequests += expiredMid.size();
         for (const auto &it : finished)
             active.erase(it);
         for (const auto &it : failed)
+            active.erase(it);
+        for (const auto &it : expiredMid)
             active.erase(it);
         if (tally.steps > 0)
             recentStep = recentStep == 0

@@ -107,6 +107,7 @@ struct ContinuousSchedulerStats
     uint64_t joins = 0;            ///< admissions into running batch
     uint64_t prefillDeferrals = 0; ///< prefills budget held back
     uint64_t isolationRetries = 0; ///< individual retries after throw
+    uint64_t expiredRequests = 0;  ///< dropped: deadline passed
 };
 
 /**
@@ -153,9 +154,16 @@ class ContinuousScheduler : public ServingScheduler
      * resolves to the full forward result once the request has
      * stepped through every layer, or carries the exception that
      * poisoned it. Rejections (stopping, empty input) resolve to a
-     * std::runtime_error instead of panicking.
+     * std::runtime_error instead of panicking. A non-default
+     * @p deadline that passes while the request is queued OR between
+     * layer steps resolves to DeadlineExpired — a doomed prefill
+     * frees its batch slot mid-flight instead of finishing a pass
+     * nobody will read.
      */
-    std::future<Tensor> submit(Tensor input);
+    std::future<Tensor> submit(Tensor input,
+                               Deadline deadline = kNoDeadline);
+
+    using ServingScheduler::submit;
 
     /**
      * Callback-style submit (the event-loop front-end's path).
@@ -164,7 +172,8 @@ class ContinuousScheduler : public ServingScheduler
      * from the step thread. The callback must not block for long and
      * must not re-enter the scheduler.
      */
-    bool submit(Tensor input, BatchCompletion done) override;
+    bool submit(Tensor input, BatchCompletion done,
+                Deadline deadline) override;
 
     /** Block until every submitted request has completed. */
     void drain() override;
@@ -204,6 +213,7 @@ class ContinuousScheduler : public ServingScheduler
         std::promise<Tensor> result; ///< unused when done is set
         BatchCompletion done;        ///< callback path when non-null
         uint64_t seq;                ///< admission order (FIFO ties)
+        Deadline deadline = kNoDeadline;
     };
 
     struct Pending
@@ -211,6 +221,7 @@ class ContinuousScheduler : public ServingScheduler
         Tensor input;
         std::promise<Tensor> result;
         BatchCompletion done;
+        Deadline deadline = kNoDeadline;
     };
 
     void stepLoop();
@@ -234,6 +245,10 @@ class ContinuousScheduler : public ServingScheduler
     static void finish(Active &a, Tensor &&out,
                        const std::exception_ptr &err);
 
+    /** Resolve one still-queued request with an error (expiry). */
+    static void finishPending(Pending &p,
+                              const std::exception_ptr &err);
+
     const StepForwardFn step;
     const size_t nSteps;
     const QuantMode mode;
@@ -244,6 +259,7 @@ class ContinuousScheduler : public ServingScheduler
     std::condition_variable cvDone; ///< request finished
     std::deque<Pending> queue;
     std::list<Active> active; ///< running batch (step thread edits)
+    size_t resolving = 0; ///< expired, completion still running (mu)
     uint64_t nextSeq = 0;
     bool stopping = false;
     bool joinedFlag = false;

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/env.hh"
+#include "common/fault.hh"
 #include "common/logging.hh"
 #include "common/parallel.hh"
 #include "tensor/ops.hh"
@@ -315,6 +316,11 @@ QuantizedTransformer::runSite(SitePlan &site,
                               PlaneSet outSets, bool keepDense,
                               bool calibrating, Lane lane) const
 {
+    // Engine-dispatch seam of the fused path (the unfused path's is
+    // in indexMatmulTransB). Sits on the caller's thread, before any
+    // parallelFor fan-out, so an injected throw unwinds to the
+    // scheduler instead of a worker.
+    faultPoint(FaultSite::EngineDispatch);
     if (!calibrating ||
         site.pinned.load(std::memory_order_relaxed) >= 0)
         return indexMatmulTransBFused(act, *site.weight, e, epi,
@@ -713,6 +719,8 @@ QuantizedTransformer::forwardStep(size_t layer,
     MOKEY_ASSERT(!starts.empty() &&
                      starts.back() == stacked.rows(),
                  "starts must delimit the stacked rows");
+    faultPoint(FaultSite::StepThrow);
+    faultDelayPoint(FaultSite::StepDelay);
     if (mode == QuantMode::WeightsOnly)
         return dequantized->forwardLayerBatch(layer, stacked, starts,
                                               lane);

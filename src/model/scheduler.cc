@@ -2,7 +2,9 @@
 
 #include <stdexcept>
 
+#include "common/fault.hh"
 #include "common/logging.hh"
+#include "common/watchdog.hh"
 
 namespace mokey
 {
@@ -76,11 +78,11 @@ BatchScheduler::enqueue(Request &&req)
 }
 
 std::future<Tensor>
-BatchScheduler::submit(Tensor input)
+BatchScheduler::submit(Tensor input, Deadline deadline)
 {
     const bool empty = input.rows() == 0;
     Request req{std::move(input), {}, nullptr,
-                std::chrono::steady_clock::now()};
+                std::chrono::steady_clock::now(), deadline};
     std::future<Tensor> fut = req.result.get_future();
     if (!enqueue(std::move(req))) {
         // Rejected: the promise is still ours (enqueue only moves
@@ -96,12 +98,13 @@ BatchScheduler::submit(Tensor input)
 }
 
 bool
-BatchScheduler::submit(Tensor input, BatchCompletion done)
+BatchScheduler::submit(Tensor input, BatchCompletion done,
+                       Deadline deadline)
 {
     MOKEY_ASSERT(static_cast<bool>(done),
                  "callback submit needs a callback");
     Request req{std::move(input), {}, std::move(done),
-                std::chrono::steady_clock::now()};
+                std::chrono::steady_clock::now(), deadline};
     return enqueue(std::move(req));
 }
 
@@ -189,9 +192,13 @@ void
 BatchScheduler::dispatchLoop(size_t laneIdx)
 {
     const Lane lane = lanes[laneIdx];
+    Watchdog::Task wdt =
+        Watchdog::instance().monitor("batch-dispatcher");
     std::unique_lock<std::mutex> lk(mu);
     for (;;) {
+        wdt.idle();
         cvWork.wait(lk, [this] { return stopping || !queue.empty(); });
+        wdt.beat();
         if (queue.empty()) {
             if (stopping)
                 return;
@@ -206,6 +213,7 @@ BatchScheduler::dispatchLoop(size_t laneIdx)
         bool timed_out = false;
         while (!queue.empty() && !batchReady() && !stopping &&
                drainWaiters == 0) {
+            wdt.beat();
             const auto deadline =
                 queue.front().arrival + cfg.flushTimeout;
             if (cvWork.wait_until(lk, deadline) ==
@@ -214,6 +222,7 @@ BatchScheduler::dispatchLoop(size_t laneIdx)
                 break;
             }
         }
+        wdt.beat();
         if (queue.empty())
             continue; // another lane took the whole queue
 
@@ -221,28 +230,46 @@ BatchScheduler::dispatchLoop(size_t laneIdx)
 
         // Pop FIFO up to the capacity caps. A single request larger
         // than maxTokens still dispatches alone rather than
-        // starving.
-        std::vector<Request> batch;
+        // starving. Requests whose deadline already passed while
+        // queued are dropped here — before their rows are stacked —
+        // and complete with DeadlineExpired instead of burning a
+        // batch slot on a client that gave up.
+        std::vector<Request> batch, expired;
         size_t rows = 0;
-        while (!queue.empty() && batch.size() < cfg.maxBatch &&
-               (batch.empty() ||
-                rows + queue.front().input.rows() <= cfg.maxTokens)) {
-            rows += queue.front().input.rows();
-            queuedRows -= queue.front().input.rows();
-            batch.push_back(std::move(queue.front()));
+        const auto popNow = std::chrono::steady_clock::now();
+        while (!queue.empty() && batch.size() < cfg.maxBatch) {
+            Request &front = queue.front();
+            if (front.deadline <= popNow) {
+                queuedRows -= front.input.rows();
+                ++st.expiredRequests;
+                expired.push_back(std::move(front));
+                queue.pop_front();
+                continue;
+            }
+            if (!batch.empty() &&
+                rows + front.input.rows() > cfg.maxTokens)
+                break;
+            rows += front.input.rows();
+            queuedRows -= front.input.rows();
+            batch.push_back(std::move(front));
             queue.pop_front();
         }
 
-        ++st.batches;
-        st.batchedRows += rows;
-        if (was_full)
-            ++st.capacityFlushes;
-        else if (timed_out)
-            ++st.timeoutFlushes;
-        else
-            ++st.drainFlushes;
-        sizes.push_back(batch.size());
-        inFlight += batch.size();
+        if (!batch.empty()) {
+            ++st.batches;
+            st.batchedRows += rows;
+            if (was_full)
+                ++st.capacityFlushes;
+            else if (timed_out)
+                ++st.timeoutFlushes;
+            else
+                ++st.drainFlushes;
+            sizes.push_back(batch.size());
+        }
+        // Expired requests count as in flight until their
+        // completions have run, so drain() keeps its contract that
+        // every submitted request has fully completed.
+        inFlight += batch.size() + expired.size();
 
         // If requests remain, wake another lane to start forming the
         // next batch while this one computes.
@@ -253,6 +280,16 @@ BatchScheduler::dispatchLoop(size_t laneIdx)
         // executor lane: submitters keep queueing, and other lanes'
         // batches run concurrently over the shared worker set.
         lk.unlock();
+        for (Request &r : expired)
+            complete(r, Tensor{},
+                     std::make_exception_ptr(DeadlineExpired()));
+        if (batch.empty()) {
+            lk.lock();
+            inFlight -= expired.size();
+            cvDone.notify_all();
+            continue;
+        }
+        faultDelayPoint(FaultSite::SchedDelay);
         std::vector<Tensor> inputs;
         inputs.reserve(batch.size());
         for (Request &r : batch)
@@ -291,7 +328,7 @@ BatchScheduler::dispatchLoop(size_t laneIdx)
         usage[laneIdx].busySeconds += busy;
         recentBatch =
             recentBatch == 0 ? busy : 0.75 * recentBatch + 0.25 * busy;
-        inFlight -= batch.size();
+        inFlight -= batch.size() + expired.size();
         cvDone.notify_all();
     }
 }

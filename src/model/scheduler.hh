@@ -102,6 +102,7 @@ struct BatchSchedulerStats
     uint64_t capacityFlushes = 0; ///< dispatched full (batch/tokens)
     uint64_t timeoutFlushes = 0;  ///< dispatched on flushTimeout
     uint64_t drainFlushes = 0;    ///< dispatched by drain()/shutdown
+    uint64_t expiredRequests = 0; ///< dropped: deadline passed queued
 };
 
 /** Per-lane dispatch accounting (one entry per dispatcher thread). */
@@ -132,6 +133,30 @@ using BatchCompletion =
     std::function<void(Tensor output, std::exception_ptr error)>;
 
 /**
+ * Absolute per-request deadline on the steady clock; kNoDeadline
+ * (the default) means the request never expires. The serving
+ * front-end stamps one from the client's X-Mokey-Deadline-Ms header.
+ */
+using Deadline = std::chrono::steady_clock::time_point;
+inline constexpr Deadline kNoDeadline = Deadline::max();
+
+/**
+ * The error an expired request observes: its deadline passed while
+ * it sat queued (both schedulers drop expired work before stacking
+ * it) or, in the continuous scheduler, between layer steps — the
+ * client already gave up, so finishing the work would only burn
+ * engine time. The HTTP front-end maps this to 504.
+ */
+class DeadlineExpired : public std::runtime_error
+{
+  public:
+    DeadlineExpired()
+        : std::runtime_error("request deadline expired")
+    {
+    }
+};
+
+/**
  * The scheduler surface the serving front end programs against, so
  * an InferenceServer can sit on either the run-to-completion
  * BatchScheduler or the iteration-level ContinuousScheduler without
@@ -142,8 +167,21 @@ class ServingScheduler
   public:
     virtual ~ServingScheduler() = default;
 
-    /** Callback-style submit; false = rejected (stopping/empty). */
-    virtual bool submit(Tensor input, BatchCompletion done) = 0;
+    /**
+     * Callback-style submit; false = rejected (stopping/empty). A
+     * request whose @p deadline passes before its work is stacked
+     * (or, continuous mode, between layer steps) completes with
+     * DeadlineExpired instead of running.
+     */
+    virtual bool submit(Tensor input, BatchCompletion done,
+                        Deadline deadline) = 0;
+
+    /** Deadline-less convenience overload. */
+    bool submit(Tensor input, BatchCompletion done)
+    {
+        return submit(std::move(input), std::move(done),
+                      kNoDeadline);
+    }
 
     /** Requests admitted but not yet completed (queued + active). */
     virtual size_t queueDepth() const = 0;
@@ -198,8 +236,13 @@ class BatchScheduler : public ServingScheduler
      * carries the exception that failed its batch. A submit racing
      * stop() (and an empty input) resolves to a std::runtime_error
      * instead of panicking — the caller sheds, the process lives.
+     * A non-default @p deadline that passes while the request is
+     * queued resolves to DeadlineExpired without running.
      */
-    std::future<Tensor> submit(Tensor input);
+    std::future<Tensor> submit(Tensor input,
+                               Deadline deadline = kNoDeadline);
+
+    using ServingScheduler::submit;
 
     /**
      * Queue one request with a completion callback instead of a
@@ -210,7 +253,8 @@ class BatchScheduler : public ServingScheduler
      * dispatcher thread. The callback must not block for long (it
      * runs on the dispatcher) and must not re-enter the scheduler.
      */
-    bool submit(Tensor input, BatchCompletion done) override;
+    bool submit(Tensor input, BatchCompletion done,
+                Deadline deadline) override;
 
     /** Block until every submitted request has completed. */
     void drain() override;
@@ -251,6 +295,7 @@ class BatchScheduler : public ServingScheduler
         std::promise<Tensor> result; ///< unused when done is set
         BatchCompletion done;        ///< callback path when non-null
         std::chrono::steady_clock::time_point arrival;
+        Deadline deadline = kNoDeadline;
     };
 
     void dispatchLoop(size_t laneIdx);

@@ -1,8 +1,11 @@
 #include "net/http_client.hh"
 
+#include <algorithm>
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -41,7 +44,21 @@ HttpClient::close()
     if (fd >= 0) {
         ::close(fd);
         fd = -1;
+        appliedTimeout = std::chrono::milliseconds(0);
     }
+}
+
+void
+HttpClient::applyTimeout(std::chrono::milliseconds t)
+{
+    if (fd < 0 || t == appliedTimeout)
+        return;
+    timeval tv{};
+    tv.tv_sec = t.count() / 1000;
+    tv.tv_usec = (t.count() % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+    appliedTimeout = t;
 }
 
 void
@@ -52,11 +69,10 @@ HttpClient::ensureConnected()
     fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
     if (fd < 0)
         throwErrno("socket");
-    timeval tv{};
-    tv.tv_sec = timeout.count() / 1000;
-    tv.tv_usec = (timeout.count() % 1000) * 1000;
-    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
-    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+    // The constructor timeout covers connect() (SO_SNDTIMEO bounds
+    // it on Linux); request() re-applies its per-call override for
+    // the send/receive phase.
+    applyTimeout(timeout);
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
 
@@ -131,7 +147,8 @@ HttpResponse
 HttpClient::request(const std::string &method,
                     const std::string &target,
                     const std::vector<HttpHeader> &headers,
-                    const std::string &body)
+                    const std::string &body,
+                    std::chrono::milliseconds perCallTimeout)
 {
     std::string wire = method + " " + target + " HTTP/1.1\r\n";
     wire += "Host: " + host + ":" + std::to_string(port) + "\r\n";
@@ -143,11 +160,15 @@ HttpClient::request(const std::string &method,
     wire += "\r\n";
     wire += body;
 
+    const std::chrono::milliseconds effective =
+        perCallTimeout.count() > 0 ? perCallTimeout : timeout;
+
     // A server may have dropped the idle keep-alive connection since
     // the last request; that race is legal HTTP, so re-dial once.
     for (int attempt = 0; attempt < 2; ++attempt) {
         const bool fresh = fd < 0;
         ensureConnected();
+        applyTimeout(effective);
         if (!sendAll(wire)) {
             close();
             if (fresh)
@@ -168,6 +189,69 @@ HttpClient::request(const std::string &method,
         return resp;
     }
     throw std::runtime_error("request failed after reconnect");
+}
+
+HttpResponse
+HttpClient::requestWithRetry(const std::string &method,
+                             const std::string &target,
+                             const std::vector<HttpHeader> &headers,
+                             const std::string &body,
+                             const HttpRetryPolicy &policy)
+{
+    const int attempts = policy.attempts < 1 ? 1 : policy.attempts;
+    std::chrono::milliseconds backoff = policy.initialBackoff;
+    if (backoff.count() < 0)
+        backoff = std::chrono::milliseconds(0);
+
+    auto advance = [&]() {
+        ++retryCount;
+        const double next = static_cast<double>(backoff.count()) *
+                            (policy.multiplier > 1.0
+                                 ? policy.multiplier
+                                 : 1.0);
+        backoff = std::min(
+            policy.maxBackoff,
+            std::chrono::milliseconds(
+                static_cast<long long>(next)));
+    };
+
+    for (int a = 0;; ++a) {
+        HttpResponse resp;
+        try {
+            resp = request(method, target, headers, body,
+                           policy.perCallTimeout);
+        } catch (const std::runtime_error &) {
+            // Transport failure (refused, reset, timeout): back off
+            // and retry; the final attempt's error propagates.
+            if (a + 1 >= attempts)
+                throw;
+            std::this_thread::sleep_for(backoff);
+            advance();
+            continue;
+        }
+        if (resp.status != 503 || !policy.retryOn503 ||
+            a + 1 >= attempts)
+            return resp;
+
+        // A shed (overload or draining): the server's Retry-After is
+        // its measured estimate of when capacity frees up — better
+        // than our blind exponential step, but clamped so a confused
+        // server cannot park us for minutes.
+        std::chrono::milliseconds wait = backoff;
+        if (policy.honorRetryAfter) {
+            if (const std::string *ra = resp.header("Retry-After")) {
+                char *end = nullptr;
+                const long long secs =
+                    std::strtoll(ra->c_str(), &end, 10);
+                if (end != ra->c_str() && *end == '\0' && secs >= 0)
+                    wait = std::min(
+                        policy.maxBackoff,
+                        std::chrono::milliseconds(secs * 1000));
+            }
+        }
+        std::this_thread::sleep_for(wait);
+        advance();
+    }
 }
 
 HttpResponse

@@ -22,6 +22,37 @@
 namespace mokey::net
 {
 
+/**
+ * Bounded-retry policy for requestWithRetry(): transport failures
+ * and (optionally) 503 responses are retried with exponential
+ * backoff, honoring the server's Retry-After hint when present
+ * (clamped to maxBackoff so a hostile or confused server cannot
+ * park the client for minutes).
+ */
+struct HttpRetryPolicy
+{
+    /** Total attempts including the first (>= 1). */
+    int attempts = 3;
+
+    /** Backoff before the first retry; doubles (multiplier) after
+     *  each, capped at maxBackoff. */
+    std::chrono::milliseconds initialBackoff{50};
+    double multiplier = 2.0;
+    std::chrono::milliseconds maxBackoff{2000};
+
+    /** Sleep the server's Retry-After (seconds, clamped to
+     *  maxBackoff) instead of the exponential step when a 503
+     *  carries one. */
+    bool honorRetryAfter = true;
+
+    /** Retry 503 responses (sheds/draining) — not just transport
+     *  errors. The final attempt's 503 is returned, not thrown. */
+    bool retryOn503 = true;
+
+    /** Per-call send/receive timeout; 0 keeps the constructor's. */
+    std::chrono::milliseconds perCallTimeout{0};
+};
+
 /** Blocking single-connection HTTP client. */
 class HttpClient
 {
@@ -45,12 +76,33 @@ class HttpClient
      * Send one request and block for its response. Throws
      * std::runtime_error on connect/transport/parse failure. The
      * connection is kept alive for the next call unless the server
-     * said Connection: close.
+     * said Connection: close. A non-zero @p perCallTimeout overrides
+     * the constructor's send/receive timeout for this call only —
+     * how a caller with its own deadline keeps one slow request
+     * from eating its whole budget.
      */
     HttpResponse request(const std::string &method,
                          const std::string &target,
                          const std::vector<HttpHeader> &headers = {},
-                         const std::string &body = {});
+                         const std::string &body = {},
+                         std::chrono::milliseconds perCallTimeout =
+                             std::chrono::milliseconds(0));
+
+    /**
+     * request() wrapped in bounded retry per @p policy: transport
+     * errors (connect refused, reset, timeout) and — when
+     * policy.retryOn503 — 503 responses are retried with
+     * exponential backoff, sleeping the server's Retry-After hint
+     * instead when one is present (clamped to policy.maxBackoff).
+     * The last attempt's failure propagates: a transport error
+     * throws, a 503 is returned for the caller to inspect.
+     */
+    HttpResponse
+    requestWithRetry(const std::string &method,
+                     const std::string &target,
+                     const std::vector<HttpHeader> &headers = {},
+                     const std::string &body = {},
+                     const HttpRetryPolicy &policy = {});
 
     HttpResponse get(const std::string &target);
 
@@ -69,16 +121,23 @@ class HttpClient
      *  request when keep-alive reuse works. */
     uint64_t dials() const { return dialCount; }
 
+    /** Retries requestWithRetry() has performed (sleep-then-resend
+     *  cycles, both transport and 503). */
+    uint64_t retries() const { return retryCount; }
+
   private:
     void ensureConnected();
+    void applyTimeout(std::chrono::milliseconds t);
     bool sendAll(const std::string &bytes);
     HttpResponse readResponse();
 
     std::string host;
     uint16_t port;
     std::chrono::milliseconds timeout;
+    std::chrono::milliseconds appliedTimeout{0}; ///< on current fd
     int fd = -1;
     uint64_t dialCount = 0;
+    uint64_t retryCount = 0;
 };
 
 } // namespace mokey::net

@@ -1,7 +1,10 @@
 #include "net/inference_server.hh"
 
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
+
+#include "common/watchdog.hh"
 
 namespace mokey::net
 {
@@ -122,15 +125,20 @@ unsigned
 retryAfterSeconds(double recentSeconds, size_t depth,
                   size_t maxBatch)
 {
-    if (!(recentSeconds > 0))
-        return 1;
+    // Cold start: before the first batch completes the EWMA is zero,
+    // but the backlog is still real — a replica slammed at startup
+    // must not tell every shed client "retry in 1s" regardless of
+    // how deep its queue is. Assume a nominal wave cost until a
+    // measurement replaces it.
+    const double per =
+        recentSeconds > 0 ? recentSeconds : kColdStartWaveSeconds;
     // Waves of work ahead of a retrying client: the backlog in
     // units of one dispatch, plus the wave its own retry joins.
     const double waves =
         static_cast<double>(depth) /
             static_cast<double>(maxBatch < 1 ? 1 : maxBatch) +
         1.0;
-    const double secs = std::ceil(recentSeconds * waves);
+    const double secs = std::ceil(per * waves);
     if (secs <= 1.0)
         return 1;
     if (secs >= 30.0)
@@ -208,6 +216,7 @@ InferenceServer::start()
 void
 InferenceServer::drain()
 {
+    draining.store(true, std::memory_order_release);
     if (drained.exchange(true))
         return;
     // Order matters: stop admitting (the socket layer sheds new
@@ -221,6 +230,22 @@ InferenceServer::drain()
     sched->stop();
 }
 
+ServerHealth
+InferenceServer::health() const
+{
+    if (draining.load(std::memory_order_acquire))
+        return ServerHealth::Draining;
+    if (!Watchdog::instance().healthy())
+        return ServerHealth::Degraded;
+    return ServerHealth::Ok;
+}
+
+std::string
+InferenceServer::healthCause() const
+{
+    return Watchdog::instance().cause();
+}
+
 InferenceServerStats
 InferenceServer::stats() const
 {
@@ -230,6 +255,7 @@ InferenceServer::stats() const
     s.shed = counters.shed.load();
     s.failed = counters.failed.load();
     s.badRequests = counters.badRequests.load();
+    s.expired = counters.expired.load();
     return s;
 }
 
@@ -245,6 +271,16 @@ InferenceServer::statsJson() const
     j += "  \"shed\": " + u(is.shed) + ",\n";
     j += "  \"failed\": " + u(is.failed) + ",\n";
     j += "  \"bad_requests\": " + u(is.badRequests) + ",\n";
+    j += "  \"expired\": " + u(is.expired) + ",\n";
+    const ServerHealth h = health();
+    j += std::string("  \"health\": \"") +
+         (h == ServerHealth::Ok
+              ? "ok"
+              : h == ServerHealth::Degraded ? "degraded"
+                                            : "draining") +
+         "\",\n";
+    j += "  \"watchdog_stall_events\": " +
+         u(Watchdog::instance().stallEvents()) + ",\n";
     j += "  \"queue_depth\": " + u(sched->queueDepth()) + ",\n";
     j += "  \"connections\": " +
          u(server->connectionCount()) + ",\n";
@@ -265,12 +301,16 @@ InferenceServer::statsJson() const
         j += "  \"joins\": " + u(cs.joins) + ",\n";
         j += "  \"prefill_deferrals\": " +
              u(cs.prefillDeferrals) + ",\n";
+        j += "  \"expired_requests\": " +
+             u(cs.expiredRequests) + ",\n";
         j += "  \"failed_requests\": " +
              u(cs.failedRequests) + "\n";
     } else {
         const BatchSchedulerStats bs = batchSched->stats();
         j += "  \"batches\": " + u(bs.batches) + ",\n";
         j += "  \"failed_batches\": " + u(bs.failedBatches) + ",\n";
+        j += "  \"expired_requests\": " +
+             u(bs.expiredRequests) + ",\n";
         j += "  \"batched_rows\": " + u(bs.batchedRows) + "\n";
     }
     j += "}\n";
@@ -286,11 +326,25 @@ InferenceServer::completeForward(uint64_t connId, bool keep_alive,
     // is thread-safe (counters, the server outbox).
     if (err) {
         std::string what = "batch forward failed";
+        bool expired = false;
         try {
             std::rethrow_exception(err);
+        } catch (const DeadlineExpired &e) {
+            what = e.what();
+            expired = true;
         } catch (const std::exception &e) {
             what = e.what();
         } catch (...) {
+        }
+        if (expired) {
+            // The scheduler dropped the request because its
+            // X-Mokey-Deadline-Ms passed before (or while) it ran:
+            // the gateway's timeout semantics, 504.
+            ++counters.expired;
+            server->respond(
+                connId, textResponse(504, what + "\n", keep_alive),
+                !keep_alive);
+            return;
         }
         ++counters.failed;
         server->respond(connId,
@@ -337,8 +391,30 @@ InferenceServer::onRequest(uint64_t connId, HttpRequest &&req)
     const bool keep = req.keepAlive;
 
     if (req.target == "/healthz" && req.method == "GET") {
-        server->respond(connId, textResponse(200, "ok\n", keep),
-                        !keep);
+        // Three-state health. 503 on draining means a load balancer
+        // polling here stops routing the moment graceful shutdown
+        // begins — not after the listener closes. 503 on degraded
+        // (a serving loop stalled past its watchdog budget) pulls a
+        // wedged replica out of rotation while it still answers
+        // cheap requests like this one.
+        switch (health()) {
+        case ServerHealth::Ok:
+            server->respond(connId, textResponse(200, "ok\n", keep),
+                            !keep);
+            return;
+        case ServerHealth::Degraded:
+            server->respond(
+                connId,
+                textResponse(503, "degraded: " + healthCause() + "\n",
+                             keep),
+                !keep);
+            return;
+        case ServerHealth::Draining:
+            server->respond(connId,
+                            textResponse(503, "draining\n", keep),
+                            !keep);
+            return;
+        }
         return;
     }
     if (req.target == "/v1/stats" && req.method == "GET") {
@@ -369,6 +445,30 @@ InferenceServer::onRequest(uint64_t connId, HttpRequest &&req)
     }
 
     ++counters.requests;
+
+    // Optional per-request deadline: X-Mokey-Deadline-Ms is the
+    // client's end-to-end budget, stamped into an absolute
+    // steady-clock deadline here at admission (queueing time counts
+    // against it — that is the point).
+    Deadline deadline = kNoDeadline;
+    if (const std::string *h = req.header("X-Mokey-Deadline-Ms")) {
+        char *end = nullptr;
+        const long long ms = std::strtoll(h->c_str(), &end, 10);
+        if (end == h->c_str() || *end != '\0' || ms < 0) {
+            ++counters.badRequests;
+            server->respond(
+                connId,
+                textResponse(400,
+                             "X-Mokey-Deadline-Ms must be a "
+                             "non-negative integer\n",
+                             keep),
+                !keep);
+            return;
+        }
+        deadline = std::chrono::steady_clock::now() +
+                   std::chrono::milliseconds(ms);
+    }
+
     Tensor input;
     if (!decodeTensorBody(req.body, input) ||
         (expectCols != 0 && input.cols() != expectCols)) {
@@ -410,7 +510,8 @@ InferenceServer::onRequest(uint64_t connId, HttpRequest &&req)
         std::move(input),
         [this, connId, keep](Tensor out, std::exception_ptr err) {
             completeForward(connId, keep, std::move(out), err);
-        });
+        },
+        deadline);
     if (!accepted) {
         // Raced a stop/drain: shed gracefully — the exact situation
         // that used to panic the whole process.

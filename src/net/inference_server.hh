@@ -22,9 +22,19 @@
  * becomes a 503; neither takes the process down (the scheduler's
  * contract after the failure-path fixes).
  *
+ * Deadlines: a client may send X-Mokey-Deadline-Ms: N on
+ * /v1/forward. The handler stamps an absolute steady-clock deadline
+ * at admission; a request whose deadline passes while queued (or,
+ * continuous mode, between layer steps) completes with 504 instead
+ * of burning engine time. A junk header value is a 400.
+ *
  * Endpoints:
  *   POST /v1/forward  binary tensor in -> chunked binary tensor out
- *   GET  /healthz     200 "ok"
+ *   GET  /healthz     three-state health: 200 "ok", 503 "degraded:
+ *                     <cause>" (a serving loop stalled past its
+ *                     watchdog budget), 503 "draining" (graceful
+ *                     shutdown began — load balancers stop routing
+ *                     here while in-flight work finishes)
  *   GET  /v1/stats    JSON counters (server + scheduler + depth)
  *
  * Wire format of a tensor — always little-endian on the wire
@@ -93,6 +103,15 @@ struct InferenceServerStats
     uint64_t shed = 0;        ///< 503: queue-depth cap or stop race
     uint64_t failed = 0;      ///< 500: batch forward threw
     uint64_t badRequests = 0; ///< 400/404/405 at the route layer
+    uint64_t expired = 0;     ///< 504: deadline passed before done
+};
+
+/** Three-state health surfaced by GET /healthz. */
+enum class ServerHealth
+{
+    Ok,       ///< serving, all monitored loops beating
+    Degraded, ///< a serving loop stalled past its watchdog budget
+    Draining, ///< graceful shutdown in progress (sheds new work)
 };
 
 /**
@@ -105,6 +124,14 @@ struct InferenceServerStats
  */
 unsigned retryAfterSeconds(double recentSeconds, size_t depth,
                            size_t maxBatch);
+
+/**
+ * What retryAfterSeconds assumes one dispatch wave costs before any
+ * latency has been measured (cold start): a queued-up replica that
+ * has not completed a batch yet still hints proportionally to its
+ * backlog instead of collapsing to the 1-second clamp floor.
+ */
+inline constexpr double kColdStartWaveSeconds = 0.25;
 
 /** Serialize @p t in the binary wire format. */
 std::string encodeTensorBody(const Tensor &t);
@@ -162,8 +189,23 @@ class InferenceServer
      */
     void drain();
 
-    /** Trigger the drain without blocking (SIGTERM path). */
-    void beginDrain() { server->beginDrain(); }
+    /**
+     * Trigger the drain without blocking (SIGTERM path). /healthz
+     * reports draining from this instant — before the socket layer
+     * has even processed the wakeup — so a load balancer polling
+     * health never routes new work at a server that will shed it.
+     */
+    void beginDrain()
+    {
+        draining.store(true, std::memory_order_release);
+        server->beginDrain();
+    }
+
+    /** Live three-state health (what /healthz serves). */
+    ServerHealth health() const;
+
+    /** The watchdog cause string when health() is Degraded. */
+    std::string healthCause() const;
 
     InferenceServerStats stats() const;
     SocketServerStats socketStats() const { return server->stats(); }
@@ -209,11 +251,12 @@ class InferenceServer
     BatchScheduler *batchSched = nullptr;    ///< owned by sched
     ContinuousScheduler *contSched = nullptr; ///< owned by sched
     std::atomic<bool> drained{false};
+    std::atomic<bool> draining{false}; ///< beginDrain()/drain() ran
 
     struct
     {
         std::atomic<uint64_t> requests{0}, completed{0}, shed{0},
-            failed{0}, badRequests{0};
+            failed{0}, badRequests{0}, expired{0};
     } counters;
 };
 

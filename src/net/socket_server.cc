@@ -15,6 +15,7 @@
 
 #include <csignal>
 
+#include "common/fault.hh"
 #include "common/logging.hh"
 
 namespace mokey::net
@@ -329,9 +330,12 @@ SocketServer::acceptReady()
             return; // EAGAIN or transient error: nothing to accept
         if (connsByFd.size() >= cfg.maxConnections) {
             // Refuse above the cap: better an immediate close than
-            // an unbounded connection table.
-            ::close(fd);
+            // an unbounded connection table. Count before closing:
+            // the close is observable (RST) before a counter bumped
+            // after it, so stats readers reacting to the close must
+            // already see the refusal.
             ++counters.refused;
+            ::close(fd);
             continue;
         }
         const uint32_t peerAddr = peer.sin_addr.s_addr;
@@ -339,9 +343,10 @@ SocketServer::acceptReady()
             peerConns[peerAddr] >= cfg.maxConnectionsPerPeer) {
             // Fairness: requests are serialized per connection, so
             // capping a client's connections caps its share of the
-            // admission queue.
-            ::close(fd);
+            // admission queue. Count before closing (same ordering
+            // argument as above).
             ++counters.peerRefused;
+            ::close(fd);
             continue;
         }
         const int one = 1;
@@ -402,6 +407,13 @@ SocketServer::maybeClose(Conn &c)
 void
 SocketServer::connReadable(Conn &c)
 {
+    // Chaos seam: a sockreset fault models the peer (or a middlebox)
+    // yanking the connection mid-read — the server must shrug, free
+    // the connection, and keep serving everyone else.
+    if (faultFire(FaultSite::SockReset)) {
+        closeConn(c);
+        return;
+    }
     char buf[16 << 10];
     // Stop pulling bytes once the parser buffers a full request's
     // worth: while a request is in flight the parser is not advanced
@@ -415,12 +427,18 @@ SocketServer::connReadable(Conn &c)
     for (;;) {
         if (c.parser.buffered() >= cap)
             break;
-        const ssize_t n = ::recv(c.fd, buf, sizeof buf, 0);
+        // Chaos seam: a sockread fault shrinks this read to a few
+        // bytes, exercising the parser's resume-from-partial paths
+        // (level-triggered epoll re-delivers the rest).
+        const size_t want = faultFire(FaultSite::SockRead)
+                                ? static_cast<size_t>(7)
+                                : sizeof buf;
+        const ssize_t n = ::recv(c.fd, buf, want, 0);
         if (n > 0) {
             counters.bytesIn += static_cast<uint64_t>(n);
             c.parser.feed(buf, static_cast<size_t>(n));
             c.lastActive = std::chrono::steady_clock::now();
-            if (static_cast<size_t>(n) < sizeof buf)
+            if (static_cast<size_t>(n) < want)
                 break;
             continue;
         }
@@ -497,12 +515,22 @@ void
 SocketServer::flush(Conn &c)
 {
     while (c.outOff < c.out.size()) {
-        const ssize_t n =
-            ::send(c.fd, c.out.data() + c.outOff,
-                   c.out.size() - c.outOff, MSG_NOSIGNAL);
+        size_t len = c.out.size() - c.outOff;
+        // Chaos seam: a sockwrite fault truncates this send and
+        // stops flushing, leaving the rest for the EPOLLOUT re-arm
+        // (updateInterest sees pending output) — the partial-write
+        // resume path a congested peer exercises.
+        const bool truncated =
+            len > 3 && faultFire(FaultSite::SockWrite);
+        if (truncated)
+            len = 3;
+        const ssize_t n = ::send(c.fd, c.out.data() + c.outOff, len,
+                                 MSG_NOSIGNAL);
         if (n > 0) {
             c.outOff += static_cast<size_t>(n);
             counters.bytesOut += static_cast<uint64_t>(n);
+            if (truncated)
+                return;
             continue;
         }
         if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))

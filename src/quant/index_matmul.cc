@@ -6,6 +6,7 @@
 #include <memory>
 #include <mutex>
 
+#include "common/fault.hh"
 #include "common/logging.hh"
 #include "common/parallel.hh"
 #include "common/simd.hh"
@@ -686,6 +687,7 @@ Tensor
 indexMatmulTransB(const QuantizedTensor &a, const QuantizedTensor &wt,
                   IndexMatmulStats *stats, Lane lane)
 {
+    faultPoint(FaultSite::EngineDispatch);
     if (resolveIndexEngine(a, wt) == IndexEngine::Count)
         return countingMatmul(a, wt, stats, true, lane);
     return engineMatmul(a, wt, stats, true, lane);

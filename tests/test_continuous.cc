@@ -397,6 +397,224 @@ TEST(ContinuousScheduling, EnvKnobsOverrideConfig)
     }
 }
 
+TEST_F(ContinuousFixture, DeadlineParityStaggeredDeadlines)
+{
+    // The acceptance bar for the deadline layer: requests carrying
+    // deadlines they comfortably meet must produce BIT-IDENTICAL
+    // outputs to a run with no deadlines at all (the bookkeeping may
+    // not perturb scheduling results), while requests whose deadline
+    // already passed resolve to DeadlineExpired without burning a
+    // full pass.
+    const auto inputs = raggedInputs();
+    const QuantMode mode = QuantMode::WeightsAndActivations;
+    const ThreadCountGuard thread_guard;
+    setThreadCount(1);
+    std::vector<Tensor> refs;
+    for (const Tensor &in : inputs)
+        refs.push_back(pipeline.forward(in, mode));
+    setThreadCount(4);
+
+    ContinuousSchedulerConfig cfg;
+    cfg.maxBatch = 3;
+    cfg.decodeMaxRows = 2;
+    cfg.chunkTokens = 16;
+    ContinuousScheduler sched(pipeline, mode, cfg);
+
+    const auto now = std::chrono::steady_clock::now();
+    const Deadline generous = now + std::chrono::minutes(1);
+    const Deadline passed = now - std::chrono::milliseconds(1);
+
+    std::vector<std::future<Tensor>> futs;
+    std::vector<std::future<Tensor>> doomed;
+    for (size_t i = 0; i < inputs.size(); ++i) {
+        futs.push_back(sched.submit(Tensor(inputs[i]), generous));
+        if (i % 3 == 0)
+            doomed.push_back(
+                sched.submit(model.makeInput(4, 900 + i), passed));
+    }
+    for (size_t i = 0; i < futs.size(); ++i)
+        expectBitIdentical(refs[i], futs[i].get(),
+                           "deadline parity req=" +
+                               std::to_string(i));
+    for (auto &f : doomed)
+        EXPECT_THROW(f.get(), DeadlineExpired);
+
+    sched.drain();
+    const auto st = sched.stats();
+    EXPECT_EQ(st.completed, inputs.size());
+    EXPECT_EQ(st.expiredRequests, doomed.size());
+    EXPECT_EQ(st.failedRequests, 0u);
+    EXPECT_EQ(sched.queueDepth(), 0u);
+}
+
+TEST(ContinuousDeadline, ExpiredQueuedRequestDroppedEvenWhenFull)
+{
+    // maxBatch 1: the blocker owns the only slot, so the expired
+    // request can never be admitted — the join loop must drop it
+    // from the QUEUE (the "even when the batch is full" path).
+    constexpr size_t kSteps = 3;
+    constexpr float kBlock = 100.0f;
+    StubStep stub;
+    std::atomic<bool> release{false};
+    ContinuousSchedulerConfig cfg;
+    cfg.maxBatch = 1;
+    ContinuousScheduler sched(
+        [&stub, &release](size_t l, const Tensor &x,
+                          const std::vector<size_t> &s, QuantMode m,
+                          Lane ln) {
+            if (x.at(0, 0) >= kBlock)
+                while (!release.load())
+                    std::this_thread::sleep_for(
+                        std::chrono::microseconds(50));
+            return stub(l, x, s, m, ln);
+        },
+        kSteps, QuantMode::WeightsAndActivations, cfg);
+
+    auto blocker = sched.submit(constTensor(1, 4, kBlock));
+    auto expired = sched.submit(
+        constTensor(1, 4, 1.0f),
+        std::chrono::steady_clock::now() -
+            std::chrono::milliseconds(1));
+    release.store(true);
+
+    EXPECT_EQ(blocker.get().raw()[0], kBlock + kSteps);
+    EXPECT_THROW(expired.get(), DeadlineExpired);
+
+    // The scheduler keeps serving after the expiry.
+    auto after = sched.submit(constTensor(1, 4, 2.0f));
+    EXPECT_EQ(after.get().raw()[0], 2.0f + kSteps);
+
+    sched.drain();
+    const auto st = sched.stats();
+    EXPECT_EQ(st.expiredRequests, 1u);
+    EXPECT_EQ(st.completed, 2u);
+    EXPECT_EQ(st.failedRequests, 0u);
+    EXPECT_EQ(sched.queueDepth(), 0u);
+}
+
+TEST(ContinuousDeadline, MidFlightExpiryFreesTheSlotEarly)
+{
+    // A request admitted with time on the clock whose deadline
+    // passes BETWEEN layer steps must stop stepping right there:
+    // strictly fewer step calls than a full pass, DeadlineExpired on
+    // the future, and the batch slot freed for later work.
+    constexpr size_t kSteps = 6;
+    StubStep stub;
+    ContinuousScheduler sched(
+        [&stub](size_t l, const Tensor &x,
+                const std::vector<size_t> &s, QuantMode m, Lane ln) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(20));
+            return stub(l, x, s, m, ln);
+        },
+        kSteps, QuantMode::WeightsAndActivations, {});
+
+    // 6 layers x 20 ms = 120 ms of engine time against a 50 ms
+    // budget: expiry lands between rounds 2 and 3 on any machine
+    // (each round costs >= 20 ms, so 6 rounds can never fit).
+    auto doomed = sched.submit(
+        constTensor(1, 4, 1.0f),
+        std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(50));
+    EXPECT_THROW(doomed.get(), DeadlineExpired);
+    EXPECT_LT(stub.calls.load(), kSteps)
+        << "an expired request burned its full pass anyway";
+
+    auto after = sched.submit(constTensor(1, 4, 2.0f));
+    EXPECT_EQ(after.get().raw()[0], 2.0f + kSteps);
+
+    sched.drain();
+    const auto st = sched.stats();
+    EXPECT_EQ(st.expiredRequests, 1u);
+    EXPECT_EQ(st.completed, 1u);
+    EXPECT_EQ(st.failedRequests, 0u);
+    EXPECT_EQ(sched.queueDepth(), 0u);
+}
+
+TEST(ContinuousDeadline, GenerousDeadlineNeverExpires)
+{
+    constexpr size_t kSteps = 2;
+    StubStep stub;
+    ContinuousScheduler sched(
+        [&stub](size_t l, const Tensor &x,
+                const std::vector<size_t> &s, QuantMode m, Lane ln) {
+            return stub(l, x, s, m, ln);
+        },
+        kSteps, QuantMode::WeightsAndActivations, {});
+    auto fut = sched.submit(constTensor(2, 4, 3.0f),
+                            std::chrono::steady_clock::now() +
+                                std::chrono::minutes(5));
+    EXPECT_EQ(fut.get().raw()[0], 3.0f + kSteps);
+    sched.drain();
+    EXPECT_EQ(sched.stats().expiredRequests, 0u);
+}
+
+TEST_F(ContinuousFixture, ChaosStepFaultsIsolateAndBooksBalance)
+{
+    // With the forwardStep throw site hot, some requests fail with
+    // the injected error and the rest must still come back
+    // bit-identical to the one-shot references; the books balance
+    // (completed == successes, failed+expired == failures) and the
+    // scheduler keeps serving afterwards. Under a CI env sweep the
+    // site mix is arbitrary, so only the survival invariants hold.
+    const QuantMode mode = QuantMode::WeightsAndActivations;
+    const auto inputs = raggedInputs();
+    // References before arming: under an env sweep the injector is
+    // already hot, so ride out injected throws with a retry loop.
+    std::vector<Tensor> refs;
+    for (const Tensor &in : inputs) {
+        for (int tries = 0;; ++tries) {
+            try {
+                refs.push_back(pipeline.forward(in, mode));
+                break;
+            } catch (const std::runtime_error &) {
+                ASSERT_LT(tries, 500) << "reference forward never "
+                                         "survived the env faults";
+            }
+        }
+    }
+
+    const FaultArmGuard guard("step:0.15:77");
+
+    ContinuousSchedulerConfig cfg;
+    cfg.maxBatch = 4;
+    cfg.decodeMaxRows = 2;
+    ContinuousScheduler sched(pipeline, mode, cfg);
+    std::vector<std::future<Tensor>> futs;
+    for (const Tensor &in : inputs)
+        futs.push_back(sched.submit(Tensor(in)));
+
+    uint64_t ok = 0, failed = 0;
+    for (size_t i = 0; i < futs.size(); ++i) {
+        try {
+            const Tensor out = futs[i].get();
+            expectBitIdentical(refs[i], out,
+                               "chaos req=" + std::to_string(i));
+            ++ok;
+        } catch (const std::runtime_error &) {
+            ++failed;
+        }
+    }
+    sched.drain();
+    const auto st = sched.stats();
+    EXPECT_EQ(ok + failed, inputs.size());
+    EXPECT_EQ(st.completed, ok);
+    EXPECT_EQ(st.failedRequests + st.expiredRequests, failed);
+
+    // Still alive: a fresh submit eventually succeeds bit-exact
+    // with faults still armed.
+    for (int tries = 0;; ++tries) {
+        try {
+            expectBitIdentical(refs[0],
+                               sched.submit(Tensor(inputs[0])).get(),
+                               "chaos post-fault submit");
+            break;
+        } catch (const std::runtime_error &) {
+            ASSERT_LT(tries, 200) << "scheduler never recovered";
+        }
+    }
+}
+
 TEST(ContinuousScheduling, DrainAndRecentLatencyTracking)
 {
     constexpr size_t kSteps = 3;

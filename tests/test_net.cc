@@ -9,8 +9,10 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <functional>
+#include <memory>
 #include <thread>
 #include <vector>
 #include <gtest/gtest.h>
@@ -20,6 +22,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "common/fault.hh"
+#include "common/watchdog.hh"
 #include "model/config.hh"
 #include "model/pipeline.hh"
 #include "net/http.hh"
@@ -668,8 +672,15 @@ TEST(NetFailure, EngineThrowBecomes500NotProcessDeath)
 
 TEST(NetRetryAfter, ScalesWithMeasuredLatencyAndBacklog)
 {
-    // Nothing measured yet -> the conservative floor.
-    EXPECT_EQ(net::retryAfterSeconds(0.0, 100, 4), 1u);
+    // Nothing measured yet but a deep backlog: the nominal
+    // cold-start wave cost scales the hint with depth instead of
+    // collapsing to the clamp floor — ceil(0.25 * (100/4 + 1)) = 7.
+    EXPECT_EQ(net::retryAfterSeconds(0.0, 100, 4), 7u);
+    // Nothing measured, shallow or empty backlog -> the floor.
+    EXPECT_EQ(net::retryAfterSeconds(0.0, 4, 4), 1u);
+    EXPECT_EQ(net::retryAfterSeconds(0.0, 0, 4), 1u);
+    // Cold start still clamps at 30 s for absurd depth.
+    EXPECT_EQ(net::retryAfterSeconds(0.0, 4000, 4), 30u);
     // Fast engine, shallow backlog -> still the floor.
     EXPECT_EQ(net::retryAfterSeconds(0.01, 4, 4), 1u);
     // Half-second batches, two waves queued -> ceil(0.5 * 3) = 2.
@@ -761,6 +772,578 @@ TEST(NetFailure, ContinuousPoisonBecomes500OnlyForThatRequest)
               std::string::npos)
         << stats.body;
     srv.drain();
+}
+
+// ---- deadlines ------------------------------------------------------
+
+TEST(NetDeadline, ExpiredWhileQueuedBecomes504)
+{
+    // One-batch-at-a-time slow engine: request A occupies the
+    // dispatcher for ~200 ms while B waits queued with a 10 ms
+    // deadline. By the time the dispatcher pops B its deadline has
+    // passed — B must get a 504 without ever touching the engine.
+    net::InferenceServerConfig cfg;
+    cfg.scheduler.maxBatch = 1;
+    cfg.scheduler.flushTimeout = std::chrono::microseconds(200);
+    SlowEchoServer srv(std::chrono::milliseconds(200), cfg);
+
+    Tensor in(1, SlowEchoServer::kCols);
+    in.raw()[0] = 42.0f;
+    const std::string body = net::encodeTensorBody(in);
+
+    std::thread first([&] {
+        net::HttpClient a("127.0.0.1", srv.server.port());
+        const auto resp = a.post("/v1/forward", body);
+        EXPECT_EQ(resp.status, 200);
+    });
+    while (srv.server.queueDepth() == 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+    net::HttpClient b("127.0.0.1", srv.server.port());
+    const auto expired = b.request(
+        "POST", "/v1/forward", {{"X-Mokey-Deadline-Ms", "10"}},
+        body);
+    EXPECT_EQ(expired.status, 504) << expired.body;
+    first.join();
+
+    const auto st = srv.server.stats();
+    EXPECT_EQ(st.expired, 1u);
+    EXPECT_EQ(st.completed, 1u);
+    EXPECT_EQ(st.failed, 0u);
+    EXPECT_GE(srv.server.schedulerStats().expiredRequests, 1u);
+
+    const auto stats = b.get("/v1/stats");
+    EXPECT_NE(stats.body.find("\"expired\": 1"), std::string::npos)
+        << stats.body;
+    srv.server.drain();
+}
+
+TEST(NetDeadline, GenerousDeadlineServesNormally)
+{
+    SlowEchoServer srv(std::chrono::milliseconds(1));
+    net::HttpClient client("127.0.0.1", srv.server.port());
+    Tensor in(2, SlowEchoServer::kCols);
+    for (size_t i = 0; i < in.size(); ++i)
+        in.raw()[i] = 0.5f * static_cast<float>(i);
+    const auto resp = client.request(
+        "POST", "/v1/forward", {{"X-Mokey-Deadline-Ms", "60000"}},
+        net::encodeTensorBody(in));
+    ASSERT_EQ(resp.status, 200) << resp.body;
+    Tensor out;
+    ASSERT_TRUE(net::decodeTensorBody(resp.body, out));
+    for (size_t i = 0; i < in.size(); ++i)
+        EXPECT_EQ(out.raw()[i], in.raw()[i]);
+    EXPECT_EQ(srv.server.stats().expired, 0u);
+    srv.server.drain();
+}
+
+TEST(NetDeadline, JunkDeadlineHeaderIs400)
+{
+    SlowEchoServer srv(std::chrono::milliseconds(0));
+    net::HttpClient client("127.0.0.1", srv.server.port());
+    Tensor in(1, SlowEchoServer::kCols);
+    const std::string body = net::encodeTensorBody(in);
+    for (const char *junk : {"abc", "-5", "12x", ""}) {
+        const auto resp = client.request(
+            "POST", "/v1/forward", {{"X-Mokey-Deadline-Ms", junk}},
+            body);
+        EXPECT_EQ(resp.status, 400) << "value '" << junk << "'";
+    }
+    EXPECT_EQ(srv.server.stats().requests, 4u);
+    EXPECT_EQ(srv.server.stats().badRequests, 4u);
+    srv.server.drain();
+}
+
+// ---- three-state health ---------------------------------------------
+
+TEST(NetHealth, DrainingReportedTheInstantDrainBegins)
+{
+    net::InferenceServerConfig cfg;
+    cfg.scheduler.flushTimeout = std::chrono::microseconds(200);
+    SlowEchoServer srv(std::chrono::milliseconds(150), cfg);
+    EXPECT_EQ(srv.server.health(), net::ServerHealth::Ok);
+
+    // Park a slow request so the event loop stays alive through the
+    // drain window, with a health probe connection opened BEFORE the
+    // drain begins (new connects are refused after).
+    net::HttpClient probe("127.0.0.1", srv.server.port());
+    EXPECT_EQ(probe.get("/healthz").status, 200);
+
+    Tensor in(1, SlowEchoServer::kCols);
+    std::thread inflight([&] {
+        net::HttpClient c("127.0.0.1", srv.server.port());
+        const auto resp =
+            c.post("/v1/forward", net::encodeTensorBody(in));
+        EXPECT_EQ(resp.status, 200);
+    });
+    while (srv.server.queueDepth() == 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+    srv.server.beginDrain();
+    // The flag flips synchronously — no waiting for the event loop
+    // to process the wakeup (the load-balancer race the satellite
+    // fix closes).
+    EXPECT_EQ(srv.server.health(), net::ServerHealth::Draining);
+
+    // On the wire, a poll during drain sees a 503 (the handler's
+    // "draining" or the socket layer's drain shed) — unless the
+    // loop already closed the idle probe connection, which reads
+    // the same to a load balancer: stop routing here.
+    try {
+        const auto polled = probe.get("/healthz");
+        EXPECT_EQ(polled.status, 503);
+    } catch (const std::runtime_error &) {
+    }
+
+    inflight.join();
+    srv.server.drain();
+    EXPECT_EQ(srv.server.health(), net::ServerHealth::Draining);
+    EXPECT_EQ(srv.server.stats().completed, 1u);
+}
+
+TEST(NetHealth, WatchdogDegradedThenRecovers)
+{
+    // A 100 ms watchdog budget and a 400 ms engine stall: /healthz
+    // must transition ok -> degraded (naming the stalled loop) ->
+    // ok, serving throughout (the event loop is not the stalled
+    // thread). The env knob stays set for the whole test scope: the
+    // budget is read when the dispatcher THREAD registers with the
+    // watchdog, and that races the constructor returning — an
+    // unsetenv right after construction can beat the registration
+    // and silently restore the 2000 ms default.
+    ::setenv("MOKEY_WATCHDOG_MS", "100", 1);
+    struct EnvClear
+    {
+        ~EnvClear() { ::unsetenv("MOKEY_WATCHDOG_MS"); }
+    } envClear;
+    net::InferenceServerConfig cfg;
+    cfg.scheduler.flushTimeout = std::chrono::microseconds(200);
+    SlowEchoServer srv(std::chrono::milliseconds(400), cfg);
+    EXPECT_EQ(srv.server.health(), net::ServerHealth::Ok);
+
+    net::HttpClient probe("127.0.0.1", srv.server.port());
+    Tensor in(1, SlowEchoServer::kCols);
+    std::thread inflight([&] {
+        net::HttpClient c("127.0.0.1", srv.server.port());
+        EXPECT_EQ(
+            c.post("/v1/forward", net::encodeTensorBody(in)).status,
+            200);
+    });
+    // Join even when an ASSERT bails out of the test body; a
+    // joinable thread's destructor would terminate the process.
+    struct Joiner
+    {
+        std::thread &t;
+        ~Joiner()
+        {
+            if (t.joinable())
+                t.join();
+        }
+    } joiner{inflight};
+
+    // The dispatcher wedges inside the 400 ms forward; past the
+    // 100 ms budget health() flips to Degraded.
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(5);
+    bool sawDegraded = false;
+    while (std::chrono::steady_clock::now() < deadline) {
+        if (srv.server.health() == net::ServerHealth::Degraded) {
+            sawDegraded = true;
+            break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    ASSERT_TRUE(sawDegraded) << "stall never detected";
+    EXPECT_NE(srv.server.healthCause().find("stalled"),
+              std::string::npos)
+        << srv.server.healthCause();
+
+    // The event loop still serves while the dispatcher is wedged,
+    // and /healthz tells the truth about it.
+    const auto resp = probe.get("/healthz");
+    EXPECT_EQ(resp.status, 503);
+    EXPECT_NE(resp.body.find("degraded"), std::string::npos)
+        << resp.body;
+
+    inflight.join();
+    // The dispatcher beats again once the stall clears; fresh
+    // budget so a slow degraded-detection can't starve this poll.
+    const auto recoverBy = std::chrono::steady_clock::now() +
+                           std::chrono::seconds(5);
+    bool sawOk = false;
+    while (std::chrono::steady_clock::now() < recoverBy) {
+        if (srv.server.health() == net::ServerHealth::Ok) {
+            sawOk = true;
+            break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    EXPECT_TRUE(sawOk) << "health never recovered";
+    EXPECT_EQ(probe.get("/healthz").status, 200);
+    EXPECT_GE(Watchdog::instance().stallEvents(), 1u);
+
+    const auto stats = probe.get("/v1/stats");
+    EXPECT_NE(stats.body.find("\"watchdog_stall_events\""),
+              std::string::npos)
+        << stats.body;
+    srv.server.drain();
+}
+
+// ---- client retry and re-dial ---------------------------------------
+
+TEST(NetClient, RedialsExactlyOnceAfterServerRestart)
+{
+    auto first = std::make_unique<SlowEchoServer>(
+        std::chrono::milliseconds(0));
+    const uint16_t port = first->server.port();
+    net::HttpClient client("127.0.0.1", port,
+                           std::chrono::milliseconds(2000));
+    EXPECT_EQ(client.get("/healthz").status, 200);
+    EXPECT_EQ(client.dials(), 1u);
+    first->server.drain();
+    first.reset();
+
+    // Same port, new server (SO_REUSEADDR makes the rebind
+    // immediate): the client's kept-alive connection is stale, and
+    // one transparent re-dial — exactly one — must recover it.
+    net::InferenceServerConfig cfg;
+    cfg.socket.port = port;
+    SlowEchoServer second(std::chrono::milliseconds(0), cfg);
+    ASSERT_EQ(second.server.port(), port);
+    EXPECT_EQ(client.get("/healthz").status, 200);
+    EXPECT_EQ(client.dials(), 2u);
+    second.server.drain();
+}
+
+TEST(NetClient, DeadPeerFailsFastInsteadOfHanging)
+{
+    // Reserve a port, then free it so nothing listens there.
+    uint16_t port;
+    {
+        SlowEchoServer reserve(std::chrono::milliseconds(0));
+        port = reserve.server.port();
+        reserve.server.drain();
+    }
+    net::HttpClient client("127.0.0.1", port,
+                           std::chrono::milliseconds(1000));
+    const auto t0 = std::chrono::steady_clock::now();
+    EXPECT_THROW(client.get("/healthz"), std::runtime_error);
+    const auto elapsed = std::chrono::steady_clock::now() - t0;
+    EXPECT_LT(elapsed, std::chrono::seconds(10))
+        << "a dead peer should error, not hang";
+}
+
+/** Scripted raw HTTP peer: answers each request on one accepted
+ *  connection with the next canned response, then closes. */
+struct ScriptedServer
+{
+    explicit ScriptedServer(std::vector<std::string> responses)
+        : canned(std::move(responses))
+    {
+        fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        EXPECT_GE(fd, 0);
+        const int one = 1;
+        ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof one);
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        EXPECT_EQ(::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+                         sizeof addr),
+                  0);
+        EXPECT_EQ(::listen(fd, 4), 0);
+        socklen_t len = sizeof addr;
+        ::getsockname(fd, reinterpret_cast<sockaddr *>(&addr),
+                      &len);
+        boundPort = ntohs(addr.sin_port);
+        worker = std::thread([this] { serve(); });
+    }
+
+    ~ScriptedServer()
+    {
+        if (worker.joinable())
+            worker.join();
+        if (fd >= 0)
+            ::close(fd);
+    }
+
+    void serve()
+    {
+        const int c = ::accept(fd, nullptr, nullptr);
+        if (c < 0)
+            return;
+        timeval tv{10, 0};
+        ::setsockopt(c, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+        std::string acc;
+        char buf[4096];
+        for (const std::string &resp : canned) {
+            while (acc.find("\r\n\r\n") == std::string::npos) {
+                const ssize_t n = ::recv(c, buf, sizeof buf, 0);
+                if (n <= 0) {
+                    ::close(c);
+                    return;
+                }
+                acc.append(buf, static_cast<size_t>(n));
+            }
+            acc.erase(0, acc.find("\r\n\r\n") + 4);
+            ::send(c, resp.data(), resp.size(), MSG_NOSIGNAL);
+        }
+        ::close(c);
+    }
+
+    uint16_t port() const { return boundPort; }
+
+    std::vector<std::string> canned;
+    int fd = -1;
+    uint16_t boundPort = 0;
+    std::thread worker;
+};
+
+TEST(NetClient, RetryWithBackoffRecoversFrom503)
+{
+    // A shed (503 + Retry-After: 0) followed by success on the same
+    // connection: requestWithRetry must sleep the hint, resend, and
+    // hand back the 200 — one retry, one dial.
+    ScriptedServer peer(
+        {"HTTP/1.1 503 Service Unavailable\r\n"
+         "Retry-After: 0\r\nContent-Length: 5\r\n\r\nbusy\n",
+         "HTTP/1.1 200 OK\r\nContent-Length: 5\r\n\r\ndone\n"});
+    net::HttpClient client("127.0.0.1", peer.port(),
+                           std::chrono::milliseconds(5000));
+    net::HttpRetryPolicy policy;
+    policy.attempts = 3;
+    policy.initialBackoff = std::chrono::milliseconds(5);
+    const auto resp =
+        client.requestWithRetry("GET", "/x", {}, "", policy);
+    EXPECT_EQ(resp.status, 200);
+    EXPECT_EQ(resp.body, "done\n");
+    EXPECT_EQ(client.retries(), 1u);
+    EXPECT_EQ(client.dials(), 1u);
+}
+
+TEST(NetClient, RetryExhaustionReturnsTheLast503)
+{
+    ScriptedServer peer(
+        {"HTTP/1.1 503 Service Unavailable\r\n"
+         "Retry-After: 0\r\nContent-Length: 5\r\n\r\nbusy\n",
+         "HTTP/1.1 503 Service Unavailable\r\n"
+         "Retry-After: 0\r\nContent-Length: 5\r\n\r\nbusy\n"});
+    net::HttpClient client("127.0.0.1", peer.port(),
+                           std::chrono::milliseconds(5000));
+    net::HttpRetryPolicy policy;
+    policy.attempts = 2;
+    policy.initialBackoff = std::chrono::milliseconds(5);
+    const auto resp =
+        client.requestWithRetry("GET", "/x", {}, "", policy);
+    EXPECT_EQ(resp.status, 503);
+    EXPECT_EQ(client.retries(), 1u);
+}
+
+TEST(NetClient, TransportRetriesThenThrowOnDeadPeer)
+{
+    uint16_t port;
+    {
+        SlowEchoServer reserve(std::chrono::milliseconds(0));
+        port = reserve.server.port();
+        reserve.server.drain();
+    }
+    net::HttpClient client("127.0.0.1", port,
+                           std::chrono::milliseconds(500));
+    net::HttpRetryPolicy policy;
+    policy.attempts = 3;
+    policy.initialBackoff = std::chrono::milliseconds(1);
+    EXPECT_THROW(
+        client.requestWithRetry("GET", "/healthz", {}, "", policy),
+        std::runtime_error);
+    EXPECT_EQ(client.retries(), 2u) << "two backoff cycles before "
+                                       "the final attempt's throw";
+}
+
+// ---- chaos ----------------------------------------------------------
+// FaultArmGuard (tests/test_util.hh) arms the injector per test and
+// defers to an env-armed MOKEY_FAULT sweep.
+
+TEST_F(NetServingFixture, ChaosEngineFaultsMapToExactRequests)
+{
+    // The acceptance bar for fault injection: with the engine-
+    // dispatch site armed at a fixed seed, EXACTLY the requests
+    // whose dispatches fired fail (500), everyone else is served
+    // bit-identically, and the server never dies. Batch mode with
+    // serial requests makes the mapping airtight: one request per
+    // batch, no isolation retries, so fired-count delta over a
+    // request <=> that request's engine threw.
+    constexpr int kRequests = 24;
+    std::vector<Tensor> ins, refs;
+    for (int i = 0; i < kRequests; ++i)
+        ins.push_back(model.makeInput(2, 500 + i));
+    // References are computed BEFORE arming our spec; under an env
+    // sweep the injector is already hot, so ride out any injected
+    // throws — the retry re-rolls fresh check indices.
+    for (const Tensor &in : ins) {
+        for (int tries = 0;; ++tries) {
+            try {
+                refs.push_back(pipeline.forward(
+                    in, QuantMode::WeightsAndActivations));
+                break;
+            } catch (const std::runtime_error &) {
+                ASSERT_LT(tries, 500) << "reference forward never "
+                                         "survived the env faults";
+            }
+        }
+    }
+
+    FaultArmGuard guard("engine:0.02:4242");
+    auto &inj = FaultInjector::instance();
+    const bool exactMapping =
+        inj.armed(FaultSite::EngineDispatch) &&
+        !inj.armed(FaultSite::SockReset);
+
+    net::InferenceServerConfig cfg;
+    cfg.continuous = false;
+    cfg.scheduler.maxBatch = 1;
+    cfg.scheduler.flushTimeout = std::chrono::microseconds(200);
+    net::InferenceServer srv(pipeline, cfg);
+    srv.start();
+    net::HttpClient client("127.0.0.1", srv.port());
+
+    uint64_t failed = 0, ok = 0, transport = 0;
+    for (int i = 0; i < kRequests; ++i) {
+        const uint64_t before = inj.fired(FaultSite::EngineDispatch);
+        net::HttpResponse resp;
+        try {
+            resp = client.post("/v1/forward",
+                               net::encodeTensorBody(ins[i]));
+        } catch (const std::runtime_error &) {
+            ++transport; // injected connection resets (env sweep)
+            continue;
+        }
+        const uint64_t hits =
+            inj.fired(FaultSite::EngineDispatch) - before;
+        if (resp.status == 200) {
+            if (exactMapping)
+                EXPECT_EQ(hits, 0u) << "request " << i
+                                    << " absorbed a fired fault";
+            Tensor out;
+            ASSERT_TRUE(net::decodeTensorBody(resp.body, out));
+            const Tensor &ref = refs[i];
+            for (size_t j = 0; j < ref.size(); ++j)
+                ASSERT_EQ(out.raw()[j], ref.raw()[j])
+                    << "req=" << i << " elem=" << j;
+            ++ok;
+        } else {
+            ASSERT_GE(resp.status, 500) << resp.body;
+            if (exactMapping) {
+                EXPECT_GE(hits, 1u)
+                    << "request " << i
+                    << " failed without a fired fault";
+                EXPECT_NE(resp.body.find("injected fault"),
+                          std::string::npos)
+                    << resp.body;
+            }
+            ++failed;
+        }
+    }
+
+    // The server survived the whole run; the books balance unless
+    // an env-armed sockreset made the client resend requests the
+    // server had already counted.
+    const auto st = srv.stats();
+    if (!inj.armed(FaultSite::SockReset)) {
+        EXPECT_EQ(st.completed, ok);
+        EXPECT_EQ(st.failed, failed);
+    }
+    if (guard.owned) {
+        EXPECT_GE(ok, 1u);
+        EXPECT_GE(failed, 1u) << "rate 0.02 over " << kRequests
+                              << " requests never fired";
+        EXPECT_EQ(transport, 0u);
+    }
+    srv.drain();
+}
+
+TEST(NetChaos, ShortReadsAndWritesNeverChangeBytes)
+{
+    // sockread/sockwrite only fragment I/O: with both armed hot,
+    // every request must still complete 200 with bit-exact payload
+    // (the event loop re-arms and finishes partial reads/writes).
+    FaultArmGuard guard("sockread:1.0:7,sockwrite:0.5:7");
+    auto &inj = FaultInjector::instance();
+    const bool resetsPossible = inj.armed(FaultSite::SockReset);
+
+    SlowEchoServer srv(std::chrono::milliseconds(0));
+    net::HttpClient client("127.0.0.1", srv.server.port());
+
+    uint64_t ok = 0;
+    constexpr int kRequests = 12;
+    for (int i = 0; i < kRequests; ++i) {
+        Tensor in(3, SlowEchoServer::kCols);
+        for (size_t j = 0; j < in.size(); ++j)
+            in.raw()[j] = static_cast<float>(i * 100 + j) * 0.25f;
+        net::HttpResponse resp;
+        try {
+            resp = client.post("/v1/forward",
+                               net::encodeTensorBody(in));
+        } catch (const std::runtime_error &) {
+            ASSERT_TRUE(resetsPossible)
+                << "transport error without sockreset armed";
+            continue;
+        }
+        if (resp.status != 200) {
+            ASSERT_GE(resp.status, 500);
+            continue;
+        }
+        Tensor out;
+        ASSERT_TRUE(net::decodeTensorBody(resp.body, out));
+        for (size_t j = 0; j < in.size(); ++j)
+            ASSERT_EQ(out.raw()[j], in.raw()[j])
+                << "req=" << i << " elem=" << j;
+        ++ok;
+    }
+    if (guard.owned) {
+        EXPECT_EQ(ok, static_cast<uint64_t>(kRequests));
+        EXPECT_GE(inj.fired(FaultSite::SockRead), 1u);
+        EXPECT_GE(inj.fired(FaultSite::SockWrite), 1u);
+    } else {
+        EXPECT_GE(ok, 1u) << "server stopped serving under faults";
+    }
+    srv.server.drain();
+}
+
+TEST(NetChaos, ConnectionResetsFailOnlyTheirConnection)
+{
+    // sockreset drops connections on read-readiness. Clients see
+    // transport errors; the server itself must keep accepting and
+    // serving fresh connections throughout.
+    FaultArmGuard guard("sockreset:0.3:11");
+
+    SlowEchoServer srv(std::chrono::milliseconds(0));
+    uint64_t ok = 0, reset = 0;
+    constexpr int kRequests = 20;
+    for (int i = 0; i < kRequests; ++i) {
+        // Fresh client per request: a reset poisons one connection
+        // only, never the listener.
+        net::HttpClient client("127.0.0.1", srv.server.port(),
+                               std::chrono::milliseconds(2000));
+        Tensor in(1, SlowEchoServer::kCols);
+        in.raw()[0] = static_cast<float>(i);
+        try {
+            const auto resp = client.post(
+                "/v1/forward", net::encodeTensorBody(in));
+            if (resp.status != 200)
+                continue;
+            Tensor out;
+            ASSERT_TRUE(net::decodeTensorBody(resp.body, out));
+            EXPECT_EQ(out.raw()[0], static_cast<float>(i));
+            ++ok;
+        } catch (const std::runtime_error &) {
+            ++reset;
+        }
+    }
+    EXPECT_GE(ok, 1u) << "no request survived the reset chaos";
+    if (guard.owned)
+        EXPECT_GE(reset, 1u) << "rate 0.3 never dropped a "
+                                "connection in 20 requests";
+    srv.server.drain();
 }
 
 } // namespace

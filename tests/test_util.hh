@@ -10,6 +10,9 @@
 #ifndef MOKEY_TESTS_TEST_UTIL_HH
 #define MOKEY_TESTS_TEST_UTIL_HH
 
+#include <string>
+
+#include "common/fault.hh"
 #include "common/parallel.hh"
 #include "model/pipeline.hh"
 #include "quant/engine.hh"
@@ -57,6 +60,34 @@ struct MagBudgetGuard
 {
     size_t prior = autoMagBudgetBytes();
     ~MagBudgetGuard() { setAutoMagBudgetBytes(prior); }
+};
+
+/**
+ * Arms the process-wide fault injector for one test — unless the
+ * environment (a CI chaos sweep via MOKEY_FAULT) already armed it,
+ * in which case the env spec describes the whole binary's fault plan
+ * and wins. `owned` tells the test whether its own spec is in force
+ * (strong, seed-specific assertions hold) or an arbitrary env spec
+ * is (only survival invariants hold).
+ */
+struct FaultArmGuard
+{
+    explicit FaultArmGuard(const std::string &spec)
+    {
+        if (!faultsArmed()) {
+            FaultInjector::instance().configure(spec);
+            owned = true;
+        }
+    }
+    ~FaultArmGuard()
+    {
+        if (owned)
+            FaultInjector::instance().disarm();
+    }
+    FaultArmGuard(const FaultArmGuard &) = delete;
+    FaultArmGuard &operator=(const FaultArmGuard &) = delete;
+
+    bool owned = false;
 };
 
 } // namespace mokey

@@ -93,25 +93,24 @@ def main():
         return 2
     committed, fresh = sys.argv[1], sys.argv[2]
 
+    missing = []
     if os.path.isdir(committed):
         pairs = []
-        missing = []
-        for path in sorted(
-                glob.glob(os.path.join(committed, "BENCH_*.json"))):
+        baselines = sorted(
+            glob.glob(os.path.join(committed, "BENCH_*.json")))
+        for path in baselines:
             other = os.path.join(fresh, os.path.basename(path))
             if os.path.exists(other):
                 pairs.append((path, other))
             else:
+                # A bench that silently stopped running is a
+                # regression too — but keep comparing the rest, so
+                # one run reports every problem at once.
                 missing.append(other)
-        if missing:
-            for m in missing:
-                print(f"FAIL: committed baseline has no fresh "
-                      f"measurement at {m}")
-            return 1
-        if not pairs:
+        if not baselines:
             print(f"FAIL: no BENCH_*.json baselines in {committed}")
             return 1
-        committed_names = {os.path.basename(p) for p, _ in pairs}
+        committed_names = {os.path.basename(p) for p in baselines}
         for path in sorted(
                 glob.glob(os.path.join(fresh, "BENCH_*.json"))):
             if os.path.basename(path) not in committed_names:
@@ -123,12 +122,22 @@ def main():
     failures = []
     for committed_path, fresh_path in pairs:
         print(f"== {os.path.basename(committed_path)} ==")
-        failures += check_pair(committed_path, fresh_path)
+        failures += [(os.path.basename(committed_path), key)
+                     for key in check_pair(committed_path,
+                                           fresh_path)]
 
-    if failures:
-        print(f"FAIL: {len(failures)} kernel speedup(s) regressed "
-              f"beyond the allowed envelope vs the committed "
-              f"baseline")
+    # One consolidated verdict: every regressed record across every
+    # bench, plus every bench with no fresh measurement, in a single
+    # run — no fix-one-rerun-find-the-next loop.
+    if failures or missing:
+        print("FAIL summary:")
+        for bench, key in failures:
+            print(f"  regressed: {bench} {key[0]} "
+                  f"{key[1]}x{key[2]}x{key[3]}")
+        for m in missing:
+            print(f"  missing fresh measurement: {m}")
+        print(f"FAIL: {len(failures)} regressed record(s), "
+              f"{len(missing)} missing bench(es)")
         return 1
     print("all recorded speedups within the allowed envelope")
     return 0
