@@ -72,9 +72,8 @@ Watchdog::Task::beat()
 {
     if (wd == nullptr)
         return;
-    Slot &s = *wd->slots[slot]; // slot addresses are stable
-    s.lastBeatNs.store(nowNs(), std::memory_order_relaxed);
-    s.idleFlag.store(false, std::memory_order_relaxed);
+    slot->lastBeatNs.store(nowNs(), std::memory_order_relaxed);
+    slot->idleFlag.store(false, std::memory_order_relaxed);
 }
 
 void
@@ -82,8 +81,7 @@ Watchdog::Task::idle()
 {
     if (wd == nullptr)
         return;
-    wd->slots[slot]->idleFlag.store(true,
-                                    std::memory_order_relaxed);
+    slot->idleFlag.store(true, std::memory_order_relaxed);
 }
 
 Watchdog::Task
@@ -110,14 +108,14 @@ Watchdog::monitor(std::string name, std::chrono::milliseconds budget)
     s.lastBeatNs.store(nowNs(), std::memory_order_relaxed);
     if (!monitorThread.joinable() && !stopFlag)
         monitorThread = std::thread([this] { monitorLoop(); });
-    return Task(this, idx);
+    return Task(this, &s);
 }
 
 void
-Watchdog::release(size_t slot)
+Watchdog::release(Slot *slot)
 {
     std::lock_guard<std::mutex> lk(mu);
-    slots[slot]->inUse = false;
+    slot->inUse = false;
 }
 
 std::vector<Watchdog::Stall>

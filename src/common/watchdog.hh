@@ -45,6 +45,8 @@ namespace mokey
 /** Process-wide stall monitor; loops register Tasks and heartbeat. */
 class Watchdog
 {
+    struct Slot;
+
   public:
     /**
      * RAII handle to one monitored loop: registered busy, must
@@ -73,9 +75,14 @@ class Watchdog
 
       private:
         friend class Watchdog;
-        Task(Watchdog *w, size_t s) : wd(w), slot(s) {}
+        Task(Watchdog *w, Slot *s) : wd(w), slot(s) {}
         Watchdog *wd = nullptr;
-        size_t slot = 0;
+        // Direct pointer, not an index: beat()/idle() run without mu,
+        // and indexing the slots vector would race with a concurrent
+        // monitor() reallocating its backing array. Slot objects
+        // themselves are heap-allocated and never freed before
+        // Watchdog teardown, so the pointer stays valid.
+        Slot *slot = nullptr;
     };
 
     /** One reported stall. */
@@ -136,7 +143,7 @@ class Watchdog
         bool loggedStall = false;        ///< monitor thread only
     };
 
-    void release(size_t slot);
+    void release(Slot *slot);
     void monitorLoop();
     static int64_t nowNs();
 

@@ -243,10 +243,18 @@ HttpClient::requestWithRetry(const std::string &method,
                 char *end = nullptr;
                 const long long secs =
                     std::strtoll(ra->c_str(), &end, 10);
-                if (end != ra->c_str() && *end == '\0' && secs >= 0)
+                if (end != ra->c_str() && *end == '\0' &&
+                    secs >= 0) {
+                    // Clamp before the *1000: a hostile Retry-After
+                    // near LLONG_MAX would overflow (UB) ahead of
+                    // the maxBackoff clamp.
+                    const long long capSecs =
+                        policy.maxBackoff.count() / 1000 + 1;
                     wait = std::min(
                         policy.maxBackoff,
-                        std::chrono::milliseconds(secs * 1000));
+                        std::chrono::milliseconds(
+                            std::min(secs, capSecs) * 1000));
+                }
             }
         }
         std::this_thread::sleep_for(wait);

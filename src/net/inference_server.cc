@@ -465,8 +465,15 @@ InferenceServer::onRequest(uint64_t connId, HttpRequest &&req)
                 !keep);
             return;
         }
+        // Clamp the client-controlled budget before building the
+        // absolute deadline: now() + milliseconds(LLONG_MAX)
+        // overflows the nanosecond representation (UB, and the
+        // wrapped deadline would instantly 504). A day-long budget
+        // never binds in practice, so larger values behave the same.
+        constexpr long long kMaxDeadlineMs = 86400000LL; // 24h
         deadline = std::chrono::steady_clock::now() +
-                   std::chrono::milliseconds(ms);
+                   std::chrono::milliseconds(
+                       ms > kMaxDeadlineMs ? kMaxDeadlineMs : ms);
     }
 
     Tensor input;

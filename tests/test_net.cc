@@ -837,6 +837,25 @@ TEST(NetDeadline, GenerousDeadlineServesNormally)
     srv.server.drain();
 }
 
+TEST(NetDeadline, HugeDeadlineClampedServesNormally)
+{
+    // LLONG_MAX milliseconds used to overflow the steady_clock
+    // addition (UB; the wrapped deadline instantly 504'd the most
+    // patient client). The budget is clamped, so a huge value
+    // behaves exactly like no deadline.
+    SlowEchoServer srv(std::chrono::milliseconds(1));
+    net::HttpClient client("127.0.0.1", srv.server.port());
+    Tensor in(1, SlowEchoServer::kCols);
+    in.raw()[0] = 7.0f;
+    const auto resp = client.request(
+        "POST", "/v1/forward",
+        {{"X-Mokey-Deadline-Ms", "9223372036854775807"}},
+        net::encodeTensorBody(in));
+    ASSERT_EQ(resp.status, 200) << resp.body;
+    EXPECT_EQ(srv.server.stats().expired, 0u);
+    srv.server.drain();
+}
+
 TEST(NetDeadline, JunkDeadlineHeaderIs400)
 {
     SlowEchoServer srv(std::chrono::milliseconds(0));
@@ -1119,6 +1138,32 @@ TEST(NetClient, RetryWithBackoffRecoversFrom503)
     EXPECT_EQ(resp.body, "done\n");
     EXPECT_EQ(client.retries(), 1u);
     EXPECT_EQ(client.dials(), 1u);
+}
+
+TEST(NetClient, HugeRetryAfterClampedToMaxBackoff)
+{
+    // A hostile Retry-After near LLONG_MAX used to overflow in the
+    // seconds→ms conversion before the maxBackoff clamp could apply.
+    // The wait must be bounded by maxBackoff, not the server's hint.
+    ScriptedServer peer(
+        {"HTTP/1.1 503 Service Unavailable\r\n"
+         "Retry-After: 9223372036854775807\r\n"
+         "Content-Length: 5\r\n\r\nbusy\n",
+         "HTTP/1.1 200 OK\r\nContent-Length: 5\r\n\r\ndone\n"});
+    net::HttpClient client("127.0.0.1", peer.port(),
+                           std::chrono::milliseconds(5000));
+    net::HttpRetryPolicy policy;
+    policy.attempts = 3;
+    policy.initialBackoff = std::chrono::milliseconds(5);
+    policy.maxBackoff = std::chrono::milliseconds(50);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto resp =
+        client.requestWithRetry("GET", "/x", {}, "", policy);
+    const auto elapsed = std::chrono::steady_clock::now() - t0;
+    EXPECT_EQ(resp.status, 200);
+    EXPECT_EQ(client.retries(), 1u);
+    EXPECT_LT(elapsed, std::chrono::seconds(2))
+        << "waited the server's bogus hint instead of maxBackoff";
 }
 
 TEST(NetClient, RetryExhaustionReturnsTheLast503)
